@@ -1,0 +1,277 @@
+(* tpart — command-line front end for the temporal partitioning and
+   synthesis system.
+
+   Subcommands:
+     tpart graph     print a specification summary (optionally DOT)
+     tpart estimate  run the greedy list-scheduling segment estimator
+     tpart solve     run the exact ILP flow and print the design *)
+
+open Cmdliner
+
+(* ---------------- graph selection ---------------- *)
+
+let parse_graph s =
+  let fail () =
+    Error
+      (`Msg
+        (Printf.sprintf
+           "unknown graph %S (expected paper:1..6, figure1, diamond, chain:N, \
+            random:TASKS,OPS,SEED, file:PATH)"
+           s))
+  in
+  match String.split_on_char ':' s with
+  | [ "figure1" ] -> Ok (Taskgraph.Examples.figure1 ())
+  | [ "diamond" ] -> Ok (Taskgraph.Examples.diamond ())
+  | [ "paper"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 1 && n <= 6 -> Ok (Taskgraph.Examples.paper_graph n)
+    | Some _ | None -> fail ())
+  | [ "chain"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 1 -> Ok (Taskgraph.Examples.chain n)
+    | Some _ | None -> fail ())
+  | "file" :: rest -> (
+    let path = String.concat ":" rest in
+    try Ok (Taskgraph.Serialize.load path) with
+    | Sys_error m | Invalid_argument m -> Error (`Msg m))
+  | [ "random"; spec ] -> (
+    match List.map int_of_string_opt (String.split_on_char ',' spec) with
+    | [ Some tasks; Some ops; Some seed ] -> (
+      try
+        Ok (Taskgraph.Generator.generate (Taskgraph.Generator.default ~tasks ~ops ~seed))
+      with Invalid_argument m -> Error (`Msg m))
+    | _ -> fail ())
+  | _ -> fail ()
+
+let graph_conv = Arg.conv (parse_graph, fun ppf g -> Format.fprintf ppf "%s" (Taskgraph.Graph.name g))
+
+let graph_arg =
+  Arg.(
+    required
+    & opt (some graph_conv) None
+    & info [ "g"; "graph" ] ~docv:"GRAPH"
+        ~doc:
+          "Specification to process: $(b,figure1), $(b,diamond), \
+           $(b,paper:N) (N in 1..6), $(b,chain:N), \
+           $(b,random:TASKS,OPS,SEED) or $(b,file:PATH) (see \
+           Taskgraph.Serialize for the format).")
+
+(* ---------------- shared options ---------------- *)
+
+let adders = Arg.(value & opt int 2 & info [ "adders" ] ~docv:"N" ~doc:"Adder instances in F.")
+let muls = Arg.(value & opt int 2 & info [ "muls" ] ~docv:"N" ~doc:"Multiplier instances in F.")
+let subs = Arg.(value & opt int 1 & info [ "subs" ] ~docv:"N" ~doc:"Subtracter instances in F.")
+
+let capacity =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "c"; "capacity" ] ~docv:"FG"
+        ~doc:"FPGA capacity in function generators (default: non-binding).")
+
+let alpha =
+  Arg.(value & opt float 0.7 & info [ "alpha" ] ~docv:"A" ~doc:"Logic-optimization factor in (0,1].")
+
+let scratch =
+  Arg.(value & opt int 64 & info [ "m"; "scratch" ] ~docv:"WORDS" ~doc:"Scratch memory Ms between partitions.")
+
+let latency =
+  Arg.(value & opt int 0 & info [ "l"; "latency-relax" ] ~docv:"L" ~doc:"Latency relaxation over the maximum ALAP.")
+
+let partitions =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n"; "partitions" ] ~docv:"N"
+        ~doc:"Partition bound N (default: estimated by list scheduling).")
+
+let time_limit =
+  Arg.(value & opt float 600. & info [ "time-limit" ] ~docv:"SECONDS" ~doc:"Branch-and-bound wall-clock limit.")
+
+let strategy =
+  let strategy_conv =
+    Arg.enum
+      [ ("paper", Temporal.Branching.Paper);
+        ("most-fractional", Temporal.Branching.Most_fractional);
+        ("first-fractional", Temporal.Branching.First_fractional) ]
+  in
+  Arg.(
+    value
+    & opt strategy_conv Temporal.Branching.Paper
+    & info [ "strategy" ] ~docv:"RULE"
+        ~doc:"Branching rule: $(b,paper), $(b,most-fractional) or $(b,first-fractional).")
+
+let no_tighten =
+  Arg.(value & flag & info [ "no-tighten" ] ~doc:"Drop the Section 6 tightening cuts (eqs. 28-32).")
+
+let no_step_cuts =
+  Arg.(value & flag & info [ "no-step-cuts" ] ~doc:"Drop the step-ownership cuts (see DESIGN.md).")
+
+let fortet =
+  Arg.(value & flag & info [ "fortet" ] ~doc:"Use Fortet's linearization instead of Glover's.")
+
+let dot_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE" ~doc:"Write a DOT rendering to $(docv).")
+
+let lp_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lp" ] ~docv:"FILE" ~doc:"Write the generated model in LP format to $(docv).")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* ---------------- graph command ---------------- *)
+
+let graph_cmd =
+  let save_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Write the specification in the textual graph format to $(docv).")
+  in
+  let run g dot save =
+    Format.printf "%a@." Taskgraph.Graph.pp_summary g;
+    Format.printf "critical path: %d control steps@."
+      (Taskgraph.Topo.critical_path_length g);
+    (match dot with
+     | Some path ->
+       write_file path (Taskgraph.Dot.op_graph g);
+       Format.printf "wrote %s@." path
+     | None -> ());
+    (match save with
+     | Some path ->
+       Taskgraph.Serialize.save path g;
+       Format.printf "wrote %s@." path
+     | None -> ());
+    0
+  in
+  Cmd.v (Cmd.info "graph" ~doc:"Print a specification summary.")
+    Term.(const run $ graph_arg $ dot_out $ save_out)
+
+(* ---------------- estimate command ---------------- *)
+
+let estimate_cmd =
+  let run g a m s capacity alpha latency =
+    let allocation = Hls.Component.ams (a, m, s) in
+    let probe =
+      Temporal.Spec.make ~graph:g ~allocation ?capacity ~alpha
+        ~latency_relax:latency ~num_partitions:1 ()
+    in
+    let c =
+      {
+        Hls.Estimate.capacity = probe.Temporal.Spec.capacity;
+        alpha;
+        max_steps = Temporal.Spec.num_steps probe;
+      }
+    in
+    match Hls.Estimate.estimate g allocation c with
+    | Some seg ->
+      Format.printf "%a@." Hls.Estimate.pp seg;
+      0
+    | None ->
+      Format.printf "no feasible greedy segmentation@.";
+      1
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Greedy list-scheduling segment estimation (Figure 2, stage 1).")
+    Term.(const run $ graph_arg $ adders $ muls $ subs $ capacity $ alpha $ latency)
+
+(* ---------------- solve command ---------------- *)
+
+let report_flag =
+  Arg.(value & flag & info [ "report" ] ~doc:"Print the full design report (summary + Gantt chart).")
+
+let solve_cmd =
+  let run g a m s capacity alpha scratch latency partitions time_limit strategy
+      no_tighten no_step_cuts fortet dot lp_out report_wanted =
+    let allocation = Hls.Component.ams (a, m, s) in
+    let options =
+      {
+        Temporal.Formulation.default_options with
+        Temporal.Formulation.tighten = not no_tighten;
+        step_cuts = not no_step_cuts;
+        linearization =
+          (if fortet then Temporal.Formulation.Fortet
+           else Temporal.Formulation.Glover);
+      }
+    in
+    let result =
+      Temporal.Pipeline.run ~options ~strategy ~time_limit
+        ?num_partitions:partitions ~graph:g ~allocation ?capacity ~alpha
+        ~scratch ~latency_relax:latency ()
+    in
+    Format.printf "%a@." Temporal.Pipeline.pp result;
+    (match lp_out with
+     | Some path ->
+       let vars =
+         Temporal.Formulation.build ~options result.Temporal.Pipeline.spec
+       in
+       write_file path (Ilp.Lp_format.to_string vars.Temporal.Vars.lp);
+       Format.printf "wrote %s@." path
+     | None -> ());
+    match result.Temporal.Pipeline.report.Temporal.Solver.outcome with
+    | Temporal.Solver.Feasible sol ->
+      if report_wanted then
+        print_string
+          (Temporal.Report.full result.Temporal.Pipeline.spec sol);
+      (match dot with
+       | Some path ->
+         write_file path
+           (Taskgraph.Dot.op_graph_with_partition g (fun t ->
+                sol.Temporal.Solution.partition_of.(t)));
+         Format.printf "wrote %s@." path
+       | None -> ());
+      0
+    | Temporal.Solver.Infeasible_model -> 1
+    | Temporal.Solver.Timed_out _ -> 2
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Exact temporal partitioning and synthesis (full Figure 2 flow).")
+    Term.(
+      const run $ graph_arg $ adders $ muls $ subs $ capacity $ alpha $ scratch
+      $ latency $ partitions $ time_limit $ strategy $ no_tighten
+      $ no_step_cuts $ fortet $ dot_out $ lp_out $ report_flag)
+
+(* ---------------- explore command ---------------- *)
+
+let explore_cmd =
+  let l_max =
+    Arg.(value & opt int 4 & info [ "l-max" ] ~docv:"L" ~doc:"Largest latency relaxation to sweep.")
+  in
+  let n_max =
+    Arg.(value & opt int 3 & info [ "n-max" ] ~docv:"N" ~doc:"Largest partition bound to sweep.")
+  in
+  let run g a m s capacity alpha scratch time_limit l_max n_max =
+    let allocation = Hls.Component.ams (a, m, s) in
+    let points =
+      Temporal.Explore.sweep ~time_limit_per_point:time_limit ~graph:g
+        ~allocation ?capacity ~alpha ~scratch ~latency_range:(0, l_max)
+        ~partition_range:(1, n_max) ()
+    in
+    Format.printf "%a" Temporal.Explore.pp_table points;
+    Format.printf "@.Pareto frontier (latency relaxation vs communication):@.";
+    Format.printf "%a" Temporal.Explore.pp_table
+      (Temporal.Explore.pareto points);
+    0
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Sweep (L, N) design points and print the trade-off frontier.")
+    Term.(
+      const run $ graph_arg $ adders $ muls $ subs $ capacity $ alpha $ scratch
+      $ time_limit $ l_max $ n_max)
+
+let () =
+  let doc = "optimal temporal partitioning and synthesis for reconfigurable architectures" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "tpart" ~doc ~version:"1.0.0")
+          [ graph_cmd; estimate_cmd; solve_cmd; explore_cmd ]))

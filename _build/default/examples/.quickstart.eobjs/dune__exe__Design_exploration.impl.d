@@ -1,0 +1,1 @@
+examples/design_exploration.ml: Format Hls List Taskgraph Temporal Unix

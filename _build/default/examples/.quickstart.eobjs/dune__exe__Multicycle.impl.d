@@ -1,0 +1,1 @@
+examples/multicycle.ml: Array Format Hls List Taskgraph Temporal

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Hls List Printf String Taskgraph Temporal

@@ -1,0 +1,1 @@
+examples/split_tasks.ml: Format Hls List Printf Taskgraph Temporal

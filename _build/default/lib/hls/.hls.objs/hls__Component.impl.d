@@ -1,0 +1,1 @@
+lib/hls/component.ml: Array Format List Taskgraph

@@ -1,0 +1,1 @@
+lib/hls/component.mli: Format Taskgraph

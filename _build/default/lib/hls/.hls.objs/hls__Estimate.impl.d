@@ -1,0 +1,1 @@
+lib/hls/estimate.ml: Component Float Format Fun Hashtbl List List_scheduler Taskgraph

@@ -1,0 +1,1 @@
+lib/hls/list_scheduler.ml: Array Component Format Hashtbl Int List Option Schedule Set Taskgraph

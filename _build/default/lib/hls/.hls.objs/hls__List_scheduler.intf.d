@@ -1,0 +1,1 @@
+lib/hls/list_scheduler.mli: Component Taskgraph

@@ -1,0 +1,1 @@
+lib/hls/schedule.ml: Array Format List Taskgraph

@@ -1,0 +1,65 @@
+module G = Taskgraph.Graph
+module Topo = Taskgraph.Topo
+
+type t = { asap : int array; alap : int array; cp_length : int }
+
+let compute_weighted ~latency g =
+  let n = G.num_ops g in
+  let order = Topo.op_order g in
+  let asap = Array.make n 1 in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun p ->
+          if asap.(p) + latency p > asap.(i) then asap.(i) <- asap.(p) + latency p)
+        (G.op_preds g i))
+    order;
+  (* the deadline is the earliest possible completion of the whole graph *)
+  let cp_length = ref 1 in
+  for i = 0 to n - 1 do
+    let finish = asap.(i) + latency i - 1 in
+    if finish > !cp_length then cp_length := finish
+  done;
+  let cp_length = !cp_length in
+  let alap = Array.init n (fun i -> cp_length - latency i + 1) in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun s ->
+          if alap.(s) - latency i < alap.(i) then alap.(i) <- alap.(s) - latency i)
+        (G.op_succs g i))
+    (List.rev order);
+  { asap; alap; cp_length }
+
+let compute g = compute_weighted ~latency:(fun _ -> 1) g
+
+let window s ~relax i = (s.asap.(i), s.alap.(i) + relax)
+
+let num_steps s ~relax = s.cp_length + relax
+
+let mobility s i = s.alap.(i) - s.asap.(i)
+
+let ops_in_step s ~relax g j =
+  let acc = ref [] in
+  for i = G.num_ops g - 1 downto 0 do
+    let lo, hi = window s ~relax i in
+    if lo <= j && j <= hi then acc := i :: !acc
+  done;
+  !acc
+
+let check_valid g s =
+  let fail fmt = Format.kasprintf invalid_arg fmt in
+  Array.iteri
+    (fun i a ->
+      if a < 1 then fail "op %d: asap %d < 1" i a;
+      if a > s.alap.(i) then fail "op %d: asap %d > alap %d" i a s.alap.(i);
+      if s.alap.(i) > s.cp_length then
+        fail "op %d: alap %d > cp %d" i s.alap.(i) s.cp_length)
+    s.asap;
+  List.iter
+    (fun (i1, i2) ->
+      if not (s.asap.(i1) < s.asap.(i2)) then
+        fail "dep %d->%d: asap not increasing" i1 i2;
+      if not (s.alap.(i1) < s.alap.(i2)) then
+        fail "dep %d->%d: alap not increasing" i1 i2)
+    (G.op_deps g)

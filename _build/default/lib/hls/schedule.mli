@@ -1,0 +1,45 @@
+(** ASAP / ALAP schedules and mobility windows.
+
+    The paper's preprocessing step (Section 3): compute, over the
+    combined operation graph of the specification, the As Soon As
+    Possible and As Late As Possible control step of each operation.
+    With the unit-latency assumption, these are longest-path depths.
+    The mobility window of operation [i] is
+    [CS(i) = ASAP(i) .. ALAP(i) + L] where [L] is the user latency
+    relaxation. Control steps are 1-based as in the paper. *)
+
+type t = {
+  asap : int array;  (** 1-based earliest control step per operation. *)
+  alap : int array;  (** 1-based latest control step (without relaxation). *)
+  cp_length : int;  (** Critical path length = max ALAP = schedule deadline. *)
+}
+
+val compute : Taskgraph.Graph.t -> t
+(** Unit-latency schedule (the paper's base model). *)
+
+val compute_weighted : latency:(Taskgraph.Graph.op_id -> int) -> Taskgraph.Graph.t -> t
+(** Latency-aware ASAP/ALAP (the multicycle extension): [asap]/[alap]
+    are {e issue} steps; an operation issued at [j] with latency [d]
+    completes at the end of step [j + d - 1], and its successors issue
+    no earlier than [j + d]. [cp_length] is the earliest completion of
+    the whole graph. *)
+
+val window : t -> relax:int -> Taskgraph.Graph.op_id -> int * int
+(** [window s ~relax i] is the inclusive control-step range
+    [(ASAP(i), ALAP(i) + relax)]. *)
+
+val num_steps : t -> relax:int -> int
+(** Total number of control steps available: [cp_length + relax]. *)
+
+val mobility : t -> Taskgraph.Graph.op_id -> int
+(** [ALAP(i) - ASAP(i)] (0 on the critical path). *)
+
+val ops_in_step : t -> relax:int -> Taskgraph.Graph.t -> int -> Taskgraph.Graph.op_id list
+(** [ops_in_step s ~relax g j] is the paper's [CS^-1(j)]: operations
+    whose window contains step [j]. *)
+
+val check_valid : Taskgraph.Graph.t -> t -> unit
+(** Asserts the defining inequalities (used by tests):
+    [asap <= alap], and for every dependency [i1 -> i2],
+    [asap(i1) < asap(i2)] and [alap(i1) < alap(i2)]. Raises
+    [Invalid_argument] on violation. *)

@@ -1,0 +1,1 @@
+lib/ilp/branch_bound.ml: Array Feas_check Float Format Int List Logs Lp Option Simplex Unix

@@ -1,0 +1,1 @@
+lib/ilp/feas_check.ml: Array Float Format List Lp

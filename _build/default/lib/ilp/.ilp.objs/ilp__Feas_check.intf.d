@@ -1,0 +1,1 @@
+lib/ilp/feas_check.mli: Format Lp

@@ -1,0 +1,1 @@
+lib/ilp/lp.ml: Array Float Format List Printf

@@ -1,0 +1,1 @@
+lib/ilp/lp_format.ml: Array Float Format Hashtbl List Lp

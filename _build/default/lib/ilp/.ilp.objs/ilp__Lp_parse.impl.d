@@ -1,0 +1,1 @@
+lib/ilp/lp_parse.ml: Float Format Fun Hashtbl List Lp Printf String

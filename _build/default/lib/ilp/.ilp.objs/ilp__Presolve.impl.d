@@ -1,0 +1,1 @@
+lib/ilp/presolve.ml: Array Float Format List Lp Printf

@@ -1,0 +1,1 @@
+lib/ilp/presolve.mli: Format Lp

@@ -1,0 +1,1 @@
+lib/ilp/simplex.ml: Array Float Format Int List Logs Lp Option Sparse Vec

@@ -1,0 +1,1 @@
+lib/ilp/sparse.ml: Array Float Format List

@@ -1,0 +1,424 @@
+let src = Logs.Src.create "ilp.bb" ~doc:"Branch and bound"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type value_order = One_first | Zero_first
+
+type node_order = Depth_first | Best_bound
+
+type branch_rule = lp_solution:float array -> is_fixed:(int -> bool) -> int option
+
+type hook_result =
+  | Hook_none
+  | Hook_incumbent of float array
+  | Hook_prune
+  | Hook_incumbent_and_prune of float array
+
+type options = {
+  max_nodes : int;
+  time_limit : float;
+  branch_rule : branch_rule option;
+  value_order : value_order;
+  node_order : node_order;
+  integral_objective : bool;
+  int_tol : float;
+  on_incumbent : (float -> float array -> unit) option;
+  warm_start : bool;
+  node_hook :
+    (lp_solution:float array -> is_fixed:(int -> bool) -> hook_result) option;
+}
+
+let default_options =
+  {
+    max_nodes = max_int;
+    time_limit = Float.infinity;
+    branch_rule = None;
+    value_order = One_first;
+    node_order = Depth_first;
+    integral_objective = false;
+    int_tol = 1e-6;
+    on_incumbent = None;
+    warm_start = true;
+    node_hook = None;
+  }
+
+type outcome =
+  | Optimal of { obj : float; x : float array }
+  | Infeasible
+  | Unbounded
+  | Limit_reached of { best : (float * float array) option; bound : float }
+
+type stats = {
+  nodes : int;
+  incumbents : int;
+  pivots : int;
+  max_depth : int;
+  elapsed : float;
+  root_obj : float;
+}
+
+let fractionality v =
+  let f = v -. Float.round v in
+  Float.abs f
+
+(* A node is the list of bound fixings on the path from the root, most
+   recent first. [n_bound] is the LP objective of its parent: a valid
+   lower bound before the node itself is solved. *)
+type node = { fixes : (int * float * float) list; depth : int; n_bound : float }
+
+let pp_outcome ppf = function
+  | Optimal { obj; _ } -> Format.fprintf ppf "optimal (obj = %g)" obj
+  | Infeasible -> Format.fprintf ppf "infeasible"
+  | Unbounded -> Format.fprintf ppf "unbounded"
+  | Limit_reached { best = Some (obj, _); bound } ->
+    Format.fprintf ppf "limit reached (incumbent = %g, bound = %g)" obj bound
+  | Limit_reached { best = None; bound } ->
+    Format.fprintf ppf "limit reached (no incumbent, bound = %g)" bound
+
+(* Simple binary min-heap on (key, node) for best-bound search. *)
+module Heap = struct
+  type 'a t = { mutable data : (float * 'a) array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let push h key v =
+    if h.size = Array.length h.data then begin
+      let ncap = Int.max 16 (2 * h.size) in
+      let d = Array.make ncap (key, v) in
+      Array.blit h.data 0 d 0 h.size;
+      h.data <- d
+    end;
+    h.data.(h.size) <- (key, v);
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if fst h.data.(!i) < fst h.data.(p) then begin
+        let t = h.data.(!i) in
+        h.data.(!i) <- h.data.(p);
+        h.data.(p) <- t;
+        i := p
+      end
+      else continue := false
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.data.(0) <- h.data.(h.size);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then
+            smallest := l;
+          if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then
+            smallest := r;
+          if !smallest <> !i then begin
+            let t = h.data.(!i) in
+            h.data.(!i) <- h.data.(!smallest);
+            h.data.(!smallest) <- t;
+            i := !smallest
+          end
+          else continue := false
+        done
+      end;
+      Some top
+    end
+
+  let fold f init h =
+    let acc = ref init in
+    for i = 0 to h.size - 1 do
+      acc := f !acc (fst h.data.(i))
+    done;
+    !acc
+end
+
+let solve ?(options = default_options) lp =
+  let t0 = Unix.gettimeofday () in
+  let n = Lp.num_vars lp in
+  let int_vars =
+    List.map (fun (v : Lp.var) -> (v :> int)) (Lp.integer_vars lp)
+  in
+  let objective = Lp.objective lp in
+  let root_lb = Array.init n (fun j -> Lp.var_lb lp (Lp.var_of_int lp j)) in
+  let root_ub = Array.init n (fun j -> Lp.var_ub lp (Lp.var_of_int lp j)) in
+  let st = Simplex.create lp in
+  let pivots0 = Simplex.total_pivots st in
+  let nodes = ref 0 in
+  let incumbents = ref 0 in
+  let max_depth = ref 0 in
+  let best : (float * float array) option ref = ref None in
+  let root_obj = ref Float.nan in
+  (* Pruning cutoff given the current incumbent. *)
+  let cutoff () =
+    match !best with
+    | None -> Float.infinity
+    | Some (obj, _) ->
+      if options.integral_objective then obj -. 1. +. 1e-6 else obj -. 1e-6
+  in
+  let is_integral x =
+    List.for_all (fun j -> fractionality x.(j) <= options.int_tol) int_vars
+  in
+  let choose_branch x ~is_fixed =
+    let fallback () =
+      let best_j = ref (-1) and best_f = ref options.int_tol in
+      List.iter
+        (fun j ->
+          let f = fractionality x.(j) in
+          if f > !best_f then begin
+            best_j := j;
+            best_f := f
+          end)
+        int_vars;
+      if !best_j < 0 then None else Some !best_j
+    in
+    match options.branch_rule with
+    | None -> fallback ()
+    | Some rule -> (
+      (* A custom rule may branch on an unfixed variable even when it is
+         integral in the relaxation — fixing it still partitions the
+         search space, and problem-specific hooks can then resolve the
+         fully-fixed subtrees combinatorially. *)
+      match rule ~lp_solution:x ~is_fixed with
+      | Some j when not (is_fixed j) -> Some j
+      | Some _ | None -> fallback ())
+  in
+  (* Apply a node's bounds to the solver: root bounds overwritten by the
+     node's fixes (most recent first, so apply in reverse). *)
+  let apply_bounds fixes =
+    for j = 0 to n - 1 do
+      Simplex.set_var_bounds st j ~lb:root_lb.(j) ~ub:root_ub.(j)
+    done;
+    List.iter
+      (fun (j, lo, hi) -> Simplex.set_var_bounds st j ~lb:lo ~ub:hi)
+      (List.rev fixes)
+  in
+  let stack : node list ref = ref [] in
+  let heap : node Heap.t = Heap.create () in
+  let push node =
+    match options.node_order with
+    | Depth_first -> stack := node :: !stack
+    | Best_bound -> Heap.push heap node.n_bound node
+  in
+  let pop () =
+    match options.node_order with
+    | Depth_first -> (
+      match !stack with
+      | [] -> None
+      | node :: rest ->
+        stack := rest;
+        Some node)
+    | Best_bound -> Option.map snd (Heap.pop heap)
+  in
+  (* Best lower bound among open nodes (for the Limit_reached report). *)
+  let open_bound () =
+    let from_stack =
+      List.fold_left (fun acc nd -> Float.min acc nd.n_bound) Float.infinity
+        !stack
+    in
+    let from_heap = Heap.fold Float.min Float.infinity heap in
+    Float.min from_stack from_heap
+  in
+  push { fixes = []; depth = 0; n_bound = Float.neg_infinity };
+  let result = ref None in
+  let unbounded = ref false in
+  while !result = None do
+    match pop () with
+    | None ->
+      result :=
+        Some
+          (match !best with
+           | Some (obj, x) -> Optimal { obj; x }
+           | None -> if !unbounded then Unbounded else Infeasible)
+    | Some node ->
+      let elapsed = Unix.gettimeofday () -. t0 in
+      if !nodes >= options.max_nodes || elapsed > options.time_limit then begin
+        (* Drain: report the incumbent and the best open bound. *)
+        let bound = Float.min (open_bound ()) node.n_bound in
+        let bound = if Float.is_finite bound then bound else Float.neg_infinity in
+        result := Some (Limit_reached { best = !best; bound })
+      end
+      else if node.n_bound >= cutoff () then () (* pruned by bound *)
+      else begin
+        incr nodes;
+        if node.depth > !max_depth then max_depth := node.depth;
+        apply_bounds node.fixes;
+        let res =
+          if !nodes = 1 || not options.warm_start then Simplex.primal st
+          else Simplex.dual_reopt st
+        in
+        let res =
+          match res.Simplex.status with
+          | Simplex.Iter_limit ->
+            Log.warn (fun f -> f "node %d hit the pivot limit; restarting" !nodes);
+            Simplex.primal st
+          | _ -> res
+        in
+        if !nodes = 1 then root_obj := (match res.Simplex.status with
+            | Simplex.Optimal -> res.Simplex.obj
+            | _ -> Float.nan);
+        let accept_incumbent x =
+          let obj = Array.fold_left ( +. ) 0. (Array.mapi (fun j c -> c *. x.(j)) objective) in
+          let improves =
+            match !best with None -> true | Some (b, _) -> obj < b -. 1e-9
+          in
+          if improves then begin
+            (* Guard against solver drift: an incumbent must satisfy
+               the original rows and root bounds. *)
+            if Feas_check.is_feasible ~tol:1e-5 lp x then begin
+              best := Some (obj, Array.copy x);
+              incr incumbents;
+              (match options.on_incumbent with
+               | Some f -> f obj x
+               | None -> ());
+              Log.info (fun f ->
+                  f "incumbent %g at node %d depth %d" obj !nodes node.depth)
+            end
+            else
+              Log.warn (fun f ->
+                  f "discarded numerically infeasible incumbent at node %d"
+                    !nodes)
+          end
+        in
+        match res.Simplex.status with
+        | Simplex.Infeasible -> ()
+        | Simplex.Iter_limit ->
+          (* persistent numerical trouble: stop soundly with the best
+             incumbent and a conservative bound *)
+          Log.warn (fun f ->
+              f "node %d unsolvable numerically; reporting limit" !nodes);
+          let bound = Float.min (open_bound ()) node.n_bound in
+          let bound =
+            if Float.is_finite bound then bound else Float.neg_infinity
+          in
+          result := Some (Limit_reached { best = !best; bound })
+        | Simplex.Unbounded ->
+          (* An unbounded relaxation at the root of an all-binary model
+             means the MILP itself is unbounded or infeasible; record and
+             continue (branching cannot repair an unbounded LP). *)
+          unbounded := true;
+          result := Some Unbounded
+        | Simplex.Optimal ->
+          let obj = res.Simplex.obj and x = res.Simplex.x in
+          let is_fixed j =
+            let lo, hi =
+              List.fold_left
+                (fun (l, h) (j', lo, hi) ->
+                  if j' = j then (lo, hi) else (l, h))
+                (root_lb.(j), root_ub.(j))
+                (List.rev node.fixes)
+            in
+            hi -. lo <= 1e-9
+          in
+          (* Node hook: a problem-specific completion heuristic may
+             inject a full incumbent and/or prune this subtree. *)
+          let hook_says_prune =
+            match options.node_hook with
+            | None -> false
+            | Some hook ->
+              (match hook ~lp_solution:x ~is_fixed with
+               | Hook_none -> false
+               | Hook_incumbent v ->
+                 accept_incumbent v;
+                 false
+               | Hook_prune -> true
+               | Hook_incumbent_and_prune v ->
+                 accept_incumbent v;
+                 true)
+          in
+          if hook_says_prune then ()
+          else if obj >= cutoff () then () (* dominated *)
+          else begin
+            if is_integral x then accept_incumbent x;
+            if
+              (match !best with
+               | Some (b, _) -> obj >= (if options.integral_objective then b -. 1. +. 1e-6 else b -. 1e-6)
+               | None -> false)
+            then () (* the fresh incumbent closed this node *)
+            else
+            match choose_branch x ~is_fixed with
+            | None ->
+              (* All integer variables integral within a looser tolerance
+                 than is_integral used: accept as incumbent. *)
+              let improves =
+                match !best with None -> true | Some (b, _) -> obj < b -. 1e-9
+              in
+              if improves then begin
+                best := Some (obj, Array.copy x);
+                incr incumbents
+              end
+            | Some j ->
+              let v = x.(j) in
+              let lo_j, hi_j = (root_lb.(j), root_ub.(j)) in
+              (* Current node bounds for j (fixes override the root). *)
+              let lo_j, hi_j =
+                List.fold_left
+                  (fun (l, h) (j', lo, hi) -> if j' = j then (lo, hi) else (l, h))
+                  (lo_j, hi_j) (List.rev node.fixes)
+              in
+              let child lo hi =
+                {
+                  fixes = (j, lo, hi) :: node.fixes;
+                  depth = node.depth + 1;
+                  n_bound = obj;
+                }
+              in
+              if fractionality v <= options.int_tol then begin
+                (* Branching on an integral value (a rule may resolve
+                   unfixed variables): children are the fixed point and
+                   the complement interval(s) — floor/ceil would
+                   reproduce the parent. *)
+                let vi = Float.round v in
+                let others =
+                  (if vi -. 1. >= lo_j then [ child lo_j (vi -. 1.) ] else [])
+                  @ if vi +. 1. <= hi_j then [ child (vi +. 1.) hi_j ] else []
+                in
+                (match options.node_order with
+                 | Depth_first ->
+                   (* push the fixed child last so the dive continues
+                      through the current relaxation's value *)
+                   List.iter push others;
+                   push (child vi vi)
+                 | Best_bound ->
+                   push (child vi vi);
+                   List.iter push others)
+              end
+              else begin
+                let down = child lo_j (Float.floor v)
+                and up = child (Float.ceil v) hi_j in
+                match (options.node_order, options.value_order) with
+                | Depth_first, One_first ->
+                  (* stack: push the preferred child last so it pops first *)
+                  push down;
+                  push up
+                | Depth_first, Zero_first ->
+                  push up;
+                  push down
+                | Best_bound, One_first ->
+                  push up;
+                  push down
+                | Best_bound, Zero_first ->
+                  push down;
+                  push up
+              end
+          end
+      end
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let stats =
+    {
+      nodes = !nodes;
+      incumbents = !incumbents;
+      pivots = Simplex.total_pivots st - pivots0;
+      max_depth = !max_depth;
+      elapsed;
+      root_obj = !root_obj;
+    }
+  in
+  (Option.get !result, stats)

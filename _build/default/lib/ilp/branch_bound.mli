@@ -1,0 +1,95 @@
+(** Branch and bound for mixed 0-1 / integer linear programs.
+
+    Drives {!Simplex} over a tree of bound-fixing decisions. Child nodes
+    are evaluated with warm-started dual re-optimization, exploiting the
+    fact that dual feasibility of a simplex basis does not depend on
+    variable bounds.
+
+    The branching variable choice and the branch value order are
+    pluggable, which is what the reproduced paper's Section 8 heuristic
+    (branch on [y_tp] in topological priority order, value 1 first; then
+    on [u_pk]) requires. *)
+
+type value_order =
+  | One_first  (** Explore the [>= ceil] (for binaries: [= 1]) child first. *)
+  | Zero_first
+
+type node_order =
+  | Depth_first
+      (** Stack-based DFS; cheapest warm starts, finds incumbents early.
+          This is what the paper's solver does. *)
+  | Best_bound  (** Explore the node with the smallest LP bound first. *)
+
+type branch_rule = lp_solution:float array -> is_fixed:(int -> bool) -> int option
+(** A branching rule receives the node's LP solution (indexed by
+    [(var :> int)]) and a predicate telling whether a variable is
+    already fixed ([lb = ub]) at this node. It returns the structural
+    index of an integer variable to branch on, or [None] to fall back
+    to the default most-fractional rule. The variable need not be
+    fractional: fixing an integral variable still partitions the search
+    space, which lets problem-specific node hooks resolve fully-fixed
+    subtrees combinatorially. *)
+
+type hook_result =
+  | Hook_none
+  | Hook_incumbent of float array
+      (** A full feasible assignment to install as an incumbent (it is
+          re-verified against the model before acceptance). *)
+  | Hook_prune  (** Discard this subtree: no better solution lies below. *)
+  | Hook_incumbent_and_prune of float array
+
+type options = {
+  max_nodes : int;
+  time_limit : float;  (** Wall-clock seconds; [infinity] disables. *)
+  branch_rule : branch_rule option;
+  value_order : value_order;
+  node_order : node_order;
+  integral_objective : bool;
+      (** Set when every integer solution has an integral objective
+          value; enables the stronger [ceil] pruning cutoff. *)
+  int_tol : float;  (** Integrality tolerance (default [1e-6]). *)
+  on_incumbent : (float -> float array -> unit) option;
+      (** Called on every improving incumbent. *)
+  warm_start : bool;
+      (** Evaluate nodes with dual re-optimization from the previous
+          basis (default). Disable to solve every node from scratch —
+          slower, used as a numerical cross-check. *)
+  node_hook :
+    (lp_solution:float array -> is_fixed:(int -> bool) -> hook_result) option;
+      (** Problem-specific completion heuristic, called after each
+          feasible node relaxation. [is_fixed j] reports whether
+          structural variable [j] is pinned ([lb = ub]) at this node —
+          a hook must only return [Hook_prune] based on variables that
+          are actually fixed, otherwise it would cut off solutions
+          still reachable below. *)
+}
+
+val default_options : options
+(** DFS, value 1 first, most-fractional branching, no limits. *)
+
+type outcome =
+  | Optimal of { obj : float; x : float array }
+      (** Proven optimal solution (minimization-oriented objective;
+          multiply by {!Lp.obj_sign} for the user's orientation). *)
+  | Infeasible
+  | Unbounded
+  | Limit_reached of { best : (float * float array) option; bound : float }
+      (** Node or time limit hit. [best] is the incumbent so far;
+          [bound] is a valid global lower bound. *)
+
+type stats = {
+  nodes : int;  (** LP relaxations solved. *)
+  incumbents : int;  (** Number of improving integer solutions found. *)
+  pivots : int;  (** Total simplex pivots. *)
+  max_depth : int;
+  elapsed : float;  (** Wall-clock seconds. *)
+  root_obj : float;  (** Root LP relaxation value ([nan] if infeasible). *)
+}
+
+val solve : ?options:options -> Lp.t -> outcome * stats
+(** Solves the mixed-integer model. The [Lp.t] is not mutated. *)
+
+val fractionality : float -> float
+(** Distance of a value to the nearest integer, in [0, 0.5]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

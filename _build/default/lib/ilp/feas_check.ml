@@ -1,0 +1,49 @@
+type violation =
+  | Bound of { var : int; value : float; lb : float; ub : float }
+  | Row of { row : int; activity : float; sense : Lp.sense; rhs : float }
+  | Integrality of { var : int; value : float }
+
+let check ?(tol = 1e-6) lp x =
+  if Array.length x <> Lp.num_vars lp then
+    invalid_arg "Feas_check.check: dimension mismatch";
+  let viols = ref [] in
+  for j = 0 to Lp.num_vars lp - 1 do
+    let v = Lp.var_of_int lp j in
+    let lb = Lp.var_lb lp v and ub = Lp.var_ub lp v in
+    if x.(j) < lb -. tol || x.(j) > ub +. tol then
+      viols := Bound { var = j; value = x.(j); lb; ub } :: !viols;
+    if Lp.is_integer_var lp v && Float.abs (x.(j) -. Float.round x.(j)) > tol
+    then viols := Integrality { var = j; value = x.(j) } :: !viols
+  done;
+  Lp.iter_rows lp (fun i terms sense rhs ->
+      let activity = Lp.eval_linear terms x in
+      let ok =
+        match sense with
+        | Lp.Le -> activity <= rhs +. tol
+        | Lp.Ge -> activity >= rhs -. tol
+        | Lp.Eq -> Float.abs (activity -. rhs) <= tol
+      in
+      if not ok then viols := Row { row = i; activity; sense; rhs } :: !viols);
+  List.rev !viols
+
+let is_feasible ?tol lp x = check ?tol lp x = []
+
+let objective_value lp x =
+  let obj = Lp.objective lp in
+  let acc = ref 0. in
+  Array.iteri (fun j c -> acc := !acc +. (c *. x.(j))) obj;
+  Lp.obj_sign lp *. !acc
+
+let pp_violation lp ppf = function
+  | Bound { var; value; lb; ub } ->
+    Format.fprintf ppf "bound: %s = %g outside [%g, %g]"
+      (Lp.var_name lp (Lp.var_of_int lp var))
+      value lb ub
+  | Row { row; activity; sense; rhs } ->
+    let op = match sense with Lp.Le -> "<=" | Lp.Ge -> ">=" | Lp.Eq -> "=" in
+    Format.fprintf ppf "row %s: activity %g violates %s %g"
+      (Lp.row_name lp row) activity op rhs
+  | Integrality { var; value } ->
+    Format.fprintf ppf "integrality: %s = %g"
+      (Lp.var_name lp (Lp.var_of_int lp var))
+      value

@@ -1,0 +1,24 @@
+(** Independent feasibility checking of candidate solutions.
+
+    Re-evaluates every constraint, bound and integrality marker of an
+    {!Lp.t} at a given point, without involving any solver state. Used
+    by the tests and by the temporal-partitioning validator so that a
+    solver bug cannot silently certify a wrong answer. *)
+
+type violation =
+  | Bound of { var : int; value : float; lb : float; ub : float }
+  | Row of { row : int; activity : float; sense : Lp.sense; rhs : float }
+  | Integrality of { var : int; value : float }
+
+val check : ?tol:float -> Lp.t -> float array -> violation list
+(** [check lp x] is the list of violations of [x] (default
+    [tol = 1e-6]). Empty means [x] is feasible for the mixed-integer
+    model. *)
+
+val is_feasible : ?tol:float -> Lp.t -> float array -> bool
+
+val objective_value : Lp.t -> float array -> float
+(** Objective at [x] in the user's orientation (maximization models
+    report the maximization value). *)
+
+val pp_violation : Lp.t -> Format.formatter -> violation -> unit

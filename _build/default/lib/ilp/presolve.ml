@@ -1,0 +1,175 @@
+type stats = {
+  rows_removed : int;
+  bounds_tightened : int;
+  vars_fixed : int;
+  passes : int;
+}
+
+type result = Infeasible of string | Reduced of Lp.t * stats
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d rows removed, %d bounds tightened, %d vars fixed (%d passes)"
+    s.rows_removed s.bounds_tightened s.vars_fixed s.passes
+
+let tol = 1e-9
+
+exception Infeasible_row of string
+
+(* Minimum and maximum activity of [terms] under current bounds. *)
+let activity_range lp terms =
+  List.fold_left
+    (fun (lo, hi) (c, v) ->
+      let lb = Lp.var_lb lp v and ub = Lp.var_ub lp v in
+      if c >= 0. then (lo +. (c *. lb), hi +. (c *. ub))
+      else (lo +. (c *. ub), hi +. (c *. lb)))
+    (0., 0.) terms
+
+let presolve ?(max_passes = 10) lp0 =
+  let lp = Lp.copy lp0 in
+  let removed = Array.make (Lp.num_constrs lp) false in
+  let rows_removed = ref 0 in
+  let bounds_tightened = ref 0 in
+  let passes = ref 0 in
+  (* Tighten one variable's bound; round inward for integer variables.
+     Returns true when the bound actually moved. *)
+  let tighten v ~lb ~ub =
+    let old_lb = Lp.var_lb lp v and old_ub = Lp.var_ub lp v in
+    let lb, ub =
+      if Lp.is_integer_var lp v then
+        ( (if Float.is_finite lb then Float.ceil (lb -. 1e-6) else lb),
+          if Float.is_finite ub then Float.floor (ub +. 1e-6) else ub )
+      else (lb, ub)
+    in
+    let new_lb = Float.max old_lb lb and new_ub = Float.min old_ub ub in
+    if new_lb > new_ub +. tol then
+      raise
+        (Infeasible_row
+           (Printf.sprintf "variable %s: empty domain [%g, %g]"
+              (Lp.var_name lp v) new_lb new_ub));
+    let moved = new_lb > old_lb +. tol || new_ub < old_ub -. tol in
+    if moved then begin
+      Lp.set_bounds lp v ~lb:new_lb ~ub:(Float.max new_lb new_ub);
+      incr bounds_tightened
+    end;
+    moved
+  in
+  let process_row i terms sense rhs =
+    let lo, hi = activity_range lp terms in
+    (* infeasibility / redundancy *)
+    (match sense with
+     | Lp.Le ->
+       if lo > rhs +. 1e-7 then
+         raise (Infeasible_row (Lp.row_name lp i));
+       if hi <= rhs +. tol then begin
+         removed.(i) <- true;
+         incr rows_removed
+       end
+     | Lp.Ge ->
+       if hi < rhs -. 1e-7 then raise (Infeasible_row (Lp.row_name lp i));
+       if lo >= rhs -. tol then begin
+         removed.(i) <- true;
+         incr rows_removed
+       end
+     | Lp.Eq ->
+       if lo > rhs +. 1e-7 || hi < rhs -. 1e-7 then
+         raise (Infeasible_row (Lp.row_name lp i)));
+    if not removed.(i) then begin
+      (* bound propagation: residual activity of the other terms *)
+      let changed = ref false in
+      List.iter
+        (fun (c, v) ->
+          if Float.abs c > tol then begin
+            let lb = Lp.var_lb lp v and ub = Lp.var_ub lp v in
+            let lo_rest = lo -. (if c >= 0. then c *. lb else c *. ub) in
+            (* upper-side constraint: activity <= rhs (Le and Eq) *)
+            if sense = Lp.Le || sense = Lp.Eq then
+              if Float.is_finite lo_rest then begin
+                let limit = (rhs -. lo_rest) /. c in
+                if c > 0. then begin
+                  if tighten v ~lb:Float.neg_infinity ~ub:limit then
+                    changed := true
+                end
+                else if tighten v ~lb:limit ~ub:Float.infinity then
+                  changed := true
+              end;
+            (* lower-side constraint: activity >= rhs (Ge and Eq) *)
+            if sense = Lp.Ge || sense = Lp.Eq then begin
+              let hi_rest = lo +. hi -. lo -. (if c >= 0. then c *. ub else c *. lb) in
+              if Float.is_finite hi_rest then begin
+                let limit = (rhs -. hi_rest) /. c in
+                if c > 0. then begin
+                  if tighten v ~lb:limit ~ub:Float.infinity then changed := true
+                end
+                else if tighten v ~lb:Float.neg_infinity ~ub:limit then
+                  changed := true
+              end
+            end
+          end)
+        terms;
+      !changed
+    end
+    else false
+  in
+  try
+    let continue = ref true in
+    while !continue && !passes < max_passes do
+      incr passes;
+      continue := false;
+      Lp.iter_rows lp (fun i terms sense rhs ->
+          if not removed.(i) then
+            if process_row i terms sense rhs then continue := true)
+    done;
+    (* rebuild without the removed rows *)
+    let out = Lp.create ~name:(Lp.name lp) () in
+    for j = 0 to Lp.num_vars lp - 1 do
+      let v = Lp.var_of_int lp j in
+      ignore
+        (Lp.add_var out ~name:(Lp.var_name lp v) ~lb:(Lp.var_lb lp v)
+           ~ub:(Lp.var_ub lp v)
+           (match Lp.var_kind lp v with
+            | Lp.Binary ->
+              (* bounds may have been tightened below/above 0/1: keep the
+                 tightened bounds by re-declaring as Integer *)
+              Lp.Integer
+            | k -> k))
+    done;
+    (* re-apply binary bounds (Binary forces [0,1]; Integer keeps them) *)
+    for j = 0 to Lp.num_vars lp - 1 do
+      let v = Lp.var_of_int lp j in
+      Lp.set_bounds out (Lp.var_of_int out j) ~lb:(Lp.var_lb lp v)
+        ~ub:(Lp.var_ub lp v)
+    done;
+    Lp.iter_rows lp (fun i terms sense rhs ->
+        if not removed.(i) then
+          ignore
+            (Lp.add_constr out ~name:(Lp.row_name lp i)
+               (List.map (fun (c, v) -> (c, Lp.var_of_int out (v : Lp.var :> int))) terms)
+               sense rhs));
+    (* objective (minimization-oriented internal form) *)
+    let obj = Lp.objective lp in
+    let sign = Lp.obj_sign lp in
+    Lp.set_objective out
+      ~maximize:(sign < 0.)
+      (Array.to_list
+         (Array.mapi (fun j c -> (sign *. c, Lp.var_of_int out j)) obj)
+      |> List.filter (fun (c, _) -> c <> 0.));
+    let vars_fixed =
+      let n = ref 0 in
+      for j = 0 to Lp.num_vars out - 1 do
+        let v = Lp.var_of_int out j in
+        if
+          Float.is_finite (Lp.var_lb out v)
+          && Lp.var_ub out v -. Lp.var_lb out v <= tol
+        then incr n
+      done;
+      !n
+    in
+    Reduced
+      ( out,
+        {
+          rows_removed = !rows_removed;
+          bounds_tightened = !bounds_tightened;
+          vars_fixed;
+          passes = !passes;
+        } )
+  with Infeasible_row name -> Infeasible name

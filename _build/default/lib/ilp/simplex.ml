@@ -1,0 +1,696 @@
+let src = Logs.Src.create "ilp.simplex" ~doc:"Bounded-variable simplex"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type status = Optimal | Infeasible | Unbounded | Iter_limit
+
+type result = { status : status; obj : float; x : float array; iterations : int }
+
+type vstat = Basic | At_lower | At_upper | Free_zero
+
+type state = {
+  m : int;  (* rows *)
+  nstruct : int;  (* structural columns *)
+  ncols : int;  (* nstruct + m slacks + m artificials *)
+  cols : Sparse.t array;
+  lb : float array;
+  ub : float array;
+  cost : float array;  (* phase-II minimization costs *)
+  rhs : float array;
+  basis : int array;  (* row -> basic column *)
+  pos : int array;  (* column -> row when basic, -1 otherwise *)
+  stat : vstat array;
+  binv : float array array;  (* dense m x m basis inverse *)
+  xb : float array;  (* values of basic variables, per row *)
+  y : float array;  (* workspace: simplex multipliers *)
+  w : float array;  (* workspace: transformed entering column *)
+  tmp : float array;  (* workspace *)
+  mutable total_pivots : int;
+  mutable refactors : int;
+  mutable bland : bool;  (* anti-cycling mode *)
+  mutable degen_streak : int;
+  mutable pivots_since_refactor : int;
+}
+
+(* Tolerances. The models we target have small integer coefficients, so
+   fairly tight tolerances are safe. *)
+let ftol = 1e-7 (* primal feasibility *)
+let dtol = 1e-7 (* dual feasibility / pricing *)
+let ptol = 1e-9 (* smallest acceptable pivot *)
+let degen_switch = 60 (* degenerate pivots before switching to Bland *)
+let refactor_period = 400 (* pivots between basis re-inversions *)
+
+let num_rows st = st.m
+let num_structural st = st.nstruct
+let total_pivots st = st.total_pivots
+let refactorizations st = st.refactors
+
+let pp_status ppf = function
+  | Optimal -> Format.fprintf ppf "optimal"
+  | Infeasible -> Format.fprintf ppf "infeasible"
+  | Unbounded -> Format.fprintf ppf "unbounded"
+  | Iter_limit -> Format.fprintf ppf "iteration-limit"
+
+let slack_col st i = st.nstruct + i
+let art_col st i = st.nstruct + st.m + i
+
+let create lp =
+  let m = Lp.num_constrs lp in
+  let nstruct = Lp.num_vars lp in
+  let ncols = nstruct + m + m in
+  (* Accumulate structural columns from the rows. *)
+  let col_entries = Array.make nstruct [] in
+  let rhs = Array.make m 0. in
+  let slack_lb = Array.make m 0. and slack_ub = Array.make m 0. in
+  Lp.iter_rows lp (fun i terms sense b ->
+      rhs.(i) <- b;
+      List.iter
+        (fun (c, v) ->
+          let v = (v : Lp.var :> int) in
+          col_entries.(v) <- (i, c) :: col_entries.(v))
+        terms;
+      match sense with
+      | Lp.Le ->
+        slack_lb.(i) <- 0.;
+        slack_ub.(i) <- Float.infinity
+      | Lp.Ge ->
+        slack_lb.(i) <- Float.neg_infinity;
+        slack_ub.(i) <- 0.
+      | Lp.Eq ->
+        slack_lb.(i) <- 0.;
+        slack_ub.(i) <- 0.);
+  let cols = Array.make ncols Sparse.empty in
+  for j = 0 to nstruct - 1 do
+    cols.(j) <- Sparse.of_assoc col_entries.(j)
+  done;
+  for i = 0 to m - 1 do
+    cols.(nstruct + i) <- Sparse.of_assoc [ (i, 1.) ];
+    cols.(nstruct + m + i) <- Sparse.of_assoc [ (i, 1.) ]
+  done;
+  let lb = Array.make ncols 0. and ub = Array.make ncols 0. in
+  for j = 0 to nstruct - 1 do
+    let v = Lp.var_of_int lp j in
+    lb.(j) <- Lp.var_lb lp v;
+    ub.(j) <- Lp.var_ub lp v
+  done;
+  for i = 0 to m - 1 do
+    lb.(nstruct + i) <- slack_lb.(i);
+    ub.(nstruct + i) <- slack_ub.(i)
+    (* artificials keep [0, 0] until phase I opens them *)
+  done;
+  let cost = Array.make ncols 0. in
+  let obj = Lp.objective lp in
+  Array.blit obj 0 cost 0 nstruct;
+  {
+    m;
+    nstruct;
+    ncols;
+    cols;
+    lb;
+    ub;
+    cost;
+    rhs;
+    basis = Array.init m (fun i -> nstruct + i);
+    pos = Array.make ncols (-1);
+    stat = Array.make ncols At_lower;
+    binv = Array.init m (fun i ->
+        let r = Array.make m 0. in
+        r.(i) <- 1.;
+        r);
+    xb = Array.make m 0.;
+    y = Array.make m 0.;
+    w = Array.make m 0.;
+    tmp = Array.make m 0.;
+    total_pivots = 0;
+    refactors = 0;
+    bland = false;
+    degen_streak = 0;
+    pivots_since_refactor = 0;
+  }
+
+let set_var_bounds st j ~lb ~ub =
+  if j < 0 || j >= st.nstruct then invalid_arg "Simplex.set_var_bounds: range";
+  if lb > ub then invalid_arg "Simplex.set_var_bounds: lb > ub";
+  st.lb.(j) <- lb;
+  st.ub.(j) <- ub
+
+let get_var_bounds st j =
+  if j < 0 || j >= st.nstruct then invalid_arg "Simplex.get_var_bounds: range";
+  (st.lb.(j), st.ub.(j))
+
+let is_fixed st j = st.ub.(j) -. st.lb.(j) <= 1e-12
+
+(* Value of a nonbasic column given its status. *)
+let nb_value st j =
+  match st.stat.(j) with
+  | At_lower -> st.lb.(j)
+  | At_upper -> st.ub.(j)
+  | Free_zero -> 0.
+  | Basic -> invalid_arg "nb_value: basic"
+
+let col_value st j =
+  if st.stat.(j) = Basic then st.xb.(st.pos.(j)) else nb_value st j
+
+(* Default nonbasic status for a column given its bounds. *)
+let default_stat st j =
+  if Float.is_finite st.lb.(j) then At_lower
+  else if Float.is_finite st.ub.(j) then At_upper
+  else Free_zero
+
+(* xb <- Binv * (rhs - sum of nonbasic columns at their values) *)
+let compute_xb st =
+  Array.blit st.rhs 0 st.tmp 0 st.m;
+  for j = 0 to st.ncols - 1 do
+    if st.stat.(j) <> Basic then begin
+      let v = nb_value st j in
+      if v <> 0. then Sparse.add_to_dense ~scale:(-.v) st.cols.(j) st.tmp
+    end
+  done;
+  for i = 0 to st.m - 1 do
+    st.xb.(i) <- Vec.dot st.binv.(i) st.tmp
+  done
+
+(* y <- c_B * Binv for the given cost vector *)
+let compute_y st costs =
+  Vec.fill st.y 0.;
+  for k = 0 to st.m - 1 do
+    let c = costs.(st.basis.(k)) in
+    if c <> 0. then Vec.axpy ~alpha:c ~x:st.binv.(k) ~y:st.y
+  done
+
+let reduced_cost st costs j = costs.(j) -. Sparse.dot_dense st.cols.(j) st.y
+
+(* w <- Binv * column j *)
+let ftran st j =
+  Vec.fill st.w 0.;
+  Sparse.iter
+    (fun r a ->
+      for i = 0 to st.m - 1 do
+        st.w.(i) <- st.w.(i) +. (a *. st.binv.(i).(r))
+      done)
+    st.cols.(j)
+
+(* Rebuild Binv by Gauss-Jordan inversion of the basis matrix, then
+   recompute xb. Used as a numerical safeguard. *)
+exception Singular_basis
+
+let refactor st =
+  st.refactors <- st.refactors + 1;
+  st.pivots_since_refactor <- 0;
+  let m = st.m in
+  let a = Array.init m (fun _ -> Array.make m 0.) in
+  for i = 0 to m - 1 do
+    (* dense column i of the basis into column i of [a] *)
+    Sparse.iter (fun r v -> a.(r).(i) <- v) st.cols.(st.basis.(i));
+    let row = st.binv.(i) in
+    Array.fill row 0 m 0.;
+    row.(i) <- 1.
+  done;
+  (* Gauss-Jordan with partial pivoting, applying the same row operations
+     to the identity accumulated in st.binv. *)
+  for c = 0 to m - 1 do
+    let piv_row = ref c and piv_v = ref (Float.abs a.(c).(c)) in
+    for r = c + 1 to m - 1 do
+      let v = Float.abs a.(r).(c) in
+      if v > !piv_v then begin
+        piv_row := r;
+        piv_v := v
+      end
+    done;
+    if !piv_v < 1e-11 then raise Singular_basis;
+    if !piv_row <> c then begin
+      (* Row swaps are ordinary row operations applied to both sides of
+         [B | I]: the left side still reduces to exactly I, so neither
+         the basis ordering nor xb is affected. *)
+      let swap arr =
+        let t = arr.(c) in
+        arr.(c) <- arr.(!piv_row);
+        arr.(!piv_row) <- t
+      in
+      swap a;
+      swap st.binv
+    end;
+    let p = a.(c).(c) in
+    Vec.scale (1. /. p) a.(c);
+    Vec.scale (1. /. p) st.binv.(c);
+    for r = 0 to m - 1 do
+      if r <> c then begin
+        let f = a.(r).(c) in
+        if f <> 0. then begin
+          Vec.axpy ~alpha:(-.f) ~x:a.(c) ~y:a.(r);
+          Vec.axpy ~alpha:(-.f) ~x:st.binv.(c) ~y:st.binv.(r)
+        end
+      end
+    done
+  done;
+  for i = 0 to m - 1 do
+    st.pos.(st.basis.(i)) <- i
+  done;
+  compute_xb st
+
+(* Apply the product-form update for entering column whose transformed
+   column is in st.w, pivoting on row r. *)
+let update_binv st r =
+  let piv = st.w.(r) in
+  Vec.scale (1. /. piv) st.binv.(r);
+  for i = 0 to st.m - 1 do
+    if i <> r then begin
+      let f = st.w.(i) in
+      if f <> 0. then Vec.axpy ~alpha:(-.f) ~x:st.binv.(r) ~y:st.binv.(i)
+    end
+  done
+
+let objective_value st costs =
+  let acc = ref 0. in
+  for j = 0 to st.ncols - 1 do
+    if costs.(j) <> 0. then acc := !acc +. (costs.(j) *. col_value st j)
+  done;
+  !acc
+
+let extract_x st =
+  Array.init st.nstruct (fun j -> col_value st j)
+
+(* -------------------------------------------------------------------- *)
+(* Primal simplex iterations                                             *)
+(* -------------------------------------------------------------------- *)
+
+type price_choice = { pc_col : int; pc_d : float }
+
+let price st costs =
+  compute_y st costs;
+  let best = ref None and best_score = ref dtol in
+  (try
+     for j = 0 to st.ncols - 1 do
+       if st.stat.(j) <> Basic && not (is_fixed st j) then begin
+         let d = reduced_cost st costs j in
+         let score =
+           match st.stat.(j) with
+           | At_lower -> -.d
+           | At_upper -> d
+           | Free_zero -> Float.abs d
+           | Basic -> 0.
+         in
+         if score > !best_score then begin
+           best := Some { pc_col = j; pc_d = d };
+           best_score := score;
+           (* Bland's rule: take the first eligible column. *)
+           if st.bland then raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  !best
+
+type ratio_outcome =
+  | Flip of float (* step of a bound flip of the entering column *)
+  | Pivot of { row : int; step : float; to_upper : bool }
+  | Unbounded_dir
+
+let ratio_test st j sigma =
+  let span = st.ub.(j) -. st.lb.(j) in
+  let best_t = ref (if Float.is_finite span then span else Float.infinity) in
+  let best_row = ref (-1) in
+  let best_to_upper = ref false in
+  (* tie-breaking: prefer larger |pivot| for stability (or the smallest
+     basic index under Bland's anti-cycling rule) *)
+  let best_piv = ref 0. in
+  for i = 0 to st.m - 1 do
+    let delta = -.sigma *. st.w.(i) in
+    if Float.abs delta > ptol then begin
+      let k = st.basis.(i) in
+      let target, to_upper =
+        if delta > 0. then (st.ub.(k), true) else (st.lb.(k), false)
+      in
+      if Float.is_finite target then begin
+        let t = Float.max 0. ((target -. st.xb.(i)) /. delta) in
+        let piv = Float.abs st.w.(i) in
+        let improves =
+          t < !best_t -. 1e-9
+          || (t <= !best_t +. 1e-9 && !best_row >= 0
+              &&
+              if st.bland then k < st.basis.(!best_row) else piv > !best_piv)
+        in
+        if improves then begin
+          best_t := Float.min t !best_t;
+          best_row := i;
+          best_to_upper := to_upper;
+          best_piv := piv
+        end
+      end
+    end
+  done;
+  if !best_row < 0 then
+    if Float.is_finite !best_t then Flip !best_t else Unbounded_dir
+  else Pivot { row = !best_row; step = !best_t; to_upper = !best_to_upper }
+
+(* One primal phase over the given cost vector. Returns the phase status. *)
+let primal_loop st costs max_iters =
+  let iters = ref 0 in
+  let outcome = ref None in
+  while !outcome = None do
+    if !iters >= max_iters then outcome := Some Iter_limit
+    else
+      match price st costs with
+      | None -> outcome := Some Optimal
+      | Some { pc_col = j; pc_d = d } ->
+        let sigma =
+          match st.stat.(j) with
+          | At_lower -> 1.
+          | At_upper -> -1.
+          | Free_zero -> if d < 0. then 1. else -1.
+          | Basic -> assert false
+        in
+        ftran st j;
+        (match ratio_test st j sigma with
+         | Unbounded_dir -> outcome := Some Unbounded
+         | Flip t ->
+           for i = 0 to st.m - 1 do
+             st.xb.(i) <- st.xb.(i) -. (sigma *. t *. st.w.(i))
+           done;
+           st.stat.(j) <-
+             (match st.stat.(j) with
+              | At_lower -> At_upper
+              | At_upper -> At_lower
+              | Free_zero | Basic -> assert false);
+           incr iters;
+           st.total_pivots <- st.total_pivots + 1
+         | Pivot { row = r; step = t; to_upper } ->
+           let entering_value = nb_value st j +. (sigma *. t) in
+           for i = 0 to st.m - 1 do
+             st.xb.(i) <- st.xb.(i) -. (sigma *. t *. st.w.(i))
+           done;
+           let leaving = st.basis.(r) in
+           (* Numerical safeguard: degenerate tiny pivots can poison Binv. *)
+           if Float.abs st.w.(r) < ptol then begin
+             refactor st;
+             (* retry this iteration with a clean inverse *)
+             ()
+           end
+           else begin
+             update_binv st r;
+             st.basis.(r) <- j;
+             st.pos.(j) <- r;
+             st.pos.(leaving) <- -1;
+             st.stat.(j) <- Basic;
+             st.stat.(leaving) <- (if to_upper then At_upper else At_lower);
+             st.xb.(r) <- entering_value;
+             incr iters;
+             st.total_pivots <- st.total_pivots + 1;
+             st.pivots_since_refactor <- st.pivots_since_refactor + 1;
+             if st.pivots_since_refactor >= refactor_period then refactor st;
+             if t <= 1e-9 then begin
+               st.degen_streak <- st.degen_streak + 1;
+               if st.degen_streak > degen_switch then st.bland <- true
+             end
+             else begin
+               st.degen_streak <- 0;
+               st.bland <- false
+             end
+           end)
+  done;
+  (Option.get !outcome, !iters)
+
+(* -------------------------------------------------------------------- *)
+(* Full primal solve from a fresh slack basis                             *)
+(* -------------------------------------------------------------------- *)
+
+let reset_to_slack_basis st =
+  for j = 0 to st.nstruct - 1 do
+    st.stat.(j) <- default_stat st j;
+    st.pos.(j) <- -1
+  done;
+  for i = 0 to st.m - 1 do
+    let s = slack_col st i and a = art_col st i in
+    st.basis.(i) <- s;
+    st.stat.(s) <- Basic;
+    st.pos.(s) <- i;
+    (* close artificials *)
+    st.lb.(a) <- 0.;
+    st.ub.(a) <- 0.;
+    st.stat.(a) <- At_lower;
+    st.pos.(a) <- -1;
+    let row = st.binv.(i) in
+    Array.fill row 0 st.m 0.;
+    row.(i) <- 1.
+  done;
+  st.bland <- false;
+  st.degen_streak <- 0;
+  st.pivots_since_refactor <- 0;
+  compute_xb st
+
+let rec primal_guarded ~max_iters ~attempt st =
+  try primal_once ~max_iters st
+  with Singular_basis ->
+    (* accumulated numerical damage: restart from the exact identity
+       basis; give up gracefully if it persists *)
+    Log.warn (fun f -> f "singular basis; restarting primal from scratch");
+    if attempt >= 1 then
+      { status = Iter_limit; obj = Float.nan; x = extract_x st; iterations = 0 }
+    else primal_guarded ~max_iters ~attempt:(attempt + 1) st
+
+and primal_once ~max_iters st =
+  reset_to_slack_basis st;
+  (* Install artificials on rows whose slack value violates slack bounds. *)
+  let phase1_cost = Array.make st.ncols 0. in
+  let need_phase1 = ref false in
+  for i = 0 to st.m - 1 do
+    let s = slack_col st i and a = art_col st i in
+    let v = st.xb.(i) in
+    if v > st.ub.(s) +. ftol then begin
+      st.stat.(s) <- At_upper;
+      st.pos.(s) <- -1;
+      st.lb.(a) <- 0.;
+      st.ub.(a) <- Float.infinity;
+      phase1_cost.(a) <- 1.;
+      st.basis.(i) <- a;
+      st.stat.(a) <- Basic;
+      st.pos.(a) <- i;
+      st.xb.(i) <- v -. st.ub.(s);
+      need_phase1 := true
+    end
+    else if v < st.lb.(s) -. ftol then begin
+      st.stat.(s) <- At_lower;
+      st.pos.(s) <- -1;
+      st.lb.(a) <- Float.neg_infinity;
+      st.ub.(a) <- 0.;
+      phase1_cost.(a) <- -1.;
+      st.basis.(i) <- a;
+      st.stat.(a) <- Basic;
+      st.pos.(a) <- i;
+      st.xb.(i) <- v -. st.lb.(s);
+      need_phase1 := true
+    end
+  done;
+  let iters1 = ref 0 in
+  let feasible = ref true in
+  if !need_phase1 then begin
+    let status, it = primal_loop st phase1_cost max_iters in
+    iters1 := it;
+    match status with
+    | Iter_limit ->
+      feasible := false (* treated below as iteration limit *)
+    | Unbounded -> assert false (* phase-I objective is bounded below by 0 *)
+    | Optimal | Infeasible ->
+      let infeas = objective_value st phase1_cost in
+      let infeas =
+        if infeas > 1e-6 && st.pivots_since_refactor > 0 then begin
+          (* guard against drift-faked infeasibility *)
+          refactor st;
+          let _, it = primal_loop st phase1_cost max_iters in
+          iters1 := !iters1 + it;
+          objective_value st phase1_cost
+        end
+        else infeas
+      in
+      if infeas > 1e-6 then feasible := false;
+      (* Close the artificial bounds for phase II. Any artificial still
+         basic sits at value 0 and leaves on the first pivot touching
+         its row (its [0,0] bounds make the ratio test expel it). *)
+      for i = 0 to st.m - 1 do
+        let a = art_col st i in
+        st.lb.(a) <- 0.;
+        st.ub.(a) <- 0.;
+        if st.stat.(a) <> Basic then st.stat.(a) <- At_lower
+      done
+  end;
+  if (not !feasible) && !iters1 >= max_iters then
+    { status = Iter_limit; obj = Float.nan; x = extract_x st; iterations = !iters1 }
+  else if not !feasible then
+    { status = Infeasible; obj = Float.nan; x = extract_x st; iterations = !iters1 }
+  else begin
+    let status, it2 = primal_loop st st.cost (max_iters - !iters1) in
+    let obj = objective_value st st.cost in
+    { status; obj; x = extract_x st; iterations = !iters1 + it2 }
+  end
+
+(* -------------------------------------------------------------------- *)
+(* Dual-simplex re-optimization after bound changes                       *)
+(* -------------------------------------------------------------------- *)
+
+(* Clamp nonbasic columns back inside their (possibly new) bounds. *)
+let revalidate_nonbasic st =
+  for j = 0 to st.ncols - 1 do
+    if st.stat.(j) <> Basic then begin
+      let lo = st.lb.(j) and hi = st.ub.(j) in
+      (match st.stat.(j) with
+       | Free_zero ->
+         if Float.is_finite lo then st.stat.(j) <- At_lower
+         else if Float.is_finite hi then st.stat.(j) <- At_upper
+       | At_lower -> if not (Float.is_finite lo) then
+           st.stat.(j) <- (if Float.is_finite hi then At_upper else Free_zero)
+       | At_upper -> if not (Float.is_finite hi) then
+           st.stat.(j) <- (if Float.is_finite lo then At_lower else Free_zero)
+       | Basic -> ());
+      (* After bound tightening an At_lower column may sit below the new
+         lower bound etc.; snap to the nearest bound. *)
+      match st.stat.(j) with
+      | At_lower | At_upper ->
+        let v = nb_value st j in
+        if v < lo -. 1e-12 then st.stat.(j) <- At_lower
+        else if v > hi +. 1e-12 then st.stat.(j) <- At_upper
+      | Free_zero | Basic -> ()
+    end
+  done
+
+let most_violated_row st =
+  let best = ref None and best_v = ref ftol in
+  for i = 0 to st.m - 1 do
+    let k = st.basis.(i) in
+    let above = st.xb.(i) -. st.ub.(k) and below = st.lb.(k) -. st.xb.(i) in
+    if above > !best_v then begin
+      best := Some (i, true);
+      best_v := above
+    end
+    else if below > !best_v then begin
+      best := Some (i, false);
+      best_v := below
+    end
+  done;
+  !best
+
+let dual_loop st max_iters =
+  let iters = ref 0 in
+  let outcome = ref None in
+  while !outcome = None do
+    if !iters >= max_iters then outcome := Some `Stalled
+    else
+      match most_violated_row st with
+      | None -> outcome := Some `Primal_feasible
+      | Some (r, above) -> (
+        compute_y st st.cost;
+        let rho = st.binv.(r) in
+        let best = ref None and best_ratio = ref Float.infinity in
+        let best_alpha = ref 0. in
+        for j = 0 to st.ncols - 1 do
+          if st.stat.(j) <> Basic && not (is_fixed st j) then begin
+            let alpha = Sparse.dot_dense st.cols.(j) rho in
+            let eligible =
+              if above then
+                match st.stat.(j) with
+                | At_lower -> alpha > ptol
+                | At_upper -> alpha < -.ptol
+                | Free_zero -> Float.abs alpha > ptol
+                | Basic -> false
+              else
+                match st.stat.(j) with
+                | At_lower -> alpha < -.ptol
+                | At_upper -> alpha > ptol
+                | Free_zero -> Float.abs alpha > ptol
+                | Basic -> false
+            in
+            if eligible then begin
+              let d = reduced_cost st st.cost j in
+              let ratio = Float.abs (d /. alpha) in
+              if
+                ratio < !best_ratio -. 1e-12
+                || (ratio < !best_ratio +. 1e-12
+                    && Float.abs alpha > Float.abs !best_alpha)
+              then begin
+                best := Some j;
+                best_ratio := ratio;
+                best_alpha := alpha
+              end
+            end
+          end
+        done;
+        match !best with
+        | None ->
+          (* No direction can repair the violated row: the current
+             nonbasic values already extremize the basic value, so the
+             problem is primal infeasible. Accumulated product-form
+             error can fake this certificate, so re-derive it from a
+             fresh factorization before trusting it. *)
+          if st.pivots_since_refactor > 0 then begin
+            refactor st;
+            incr iters
+          end
+          else outcome := Some `Infeasible
+        | Some j ->
+          let k = st.basis.(r) in
+          let bound = if above then st.ub.(k) else st.lb.(k) in
+          ftran st j;
+          let alpha = st.w.(r) in
+          if Float.abs alpha < ptol then begin
+            refactor st;
+            incr iters (* retry after refactorization *)
+          end
+          else begin
+            let theta = (st.xb.(r) -. bound) /. alpha in
+            let entering_value = nb_value st j +. theta in
+            for i = 0 to st.m - 1 do
+              st.xb.(i) <- st.xb.(i) -. (theta *. st.w.(i))
+            done;
+            update_binv st r;
+            st.basis.(r) <- j;
+            st.pos.(j) <- r;
+            st.pos.(k) <- -1;
+            st.stat.(j) <- Basic;
+            st.stat.(k) <- (if above then At_upper else At_lower);
+            st.xb.(r) <- entering_value;
+            incr iters;
+            st.total_pivots <- st.total_pivots + 1;
+            st.pivots_since_refactor <- st.pivots_since_refactor + 1;
+            if st.pivots_since_refactor >= refactor_period then refactor st
+          end)
+  done;
+  (Option.get !outcome, !iters)
+
+let primal ?(max_iters = 200_000) st = primal_guarded ~max_iters ~attempt:0 st
+
+let dual_reopt ?(max_iters = 200_000) st =
+  match
+    (revalidate_nonbasic st;
+     compute_xb st;
+     let dual_cap = Int.min max_iters (1000 + (30 * st.m)) in
+     dual_loop st dual_cap)
+  with
+  | exception Singular_basis ->
+    Log.warn (fun f -> f "singular basis in warm start; primal restart");
+    primal ~max_iters st
+  | `Infeasible, it ->
+    { status = Infeasible; obj = Float.nan; x = extract_x st; iterations = it }
+  | `Stalled, _ ->
+    Log.debug (fun f -> f "dual re-optimization stalled; primal restart");
+    primal ~max_iters st
+  | `Primal_feasible, it1 -> (
+    (* The dual loop restored primal feasibility; a primal clean-up pass
+       certifies optimality (the warm basis may not be dual feasible,
+       e.g. after a nonbasic column was snapped to its other bound). *)
+    match primal_loop st st.cost (max_iters - it1) with
+    | exception Singular_basis ->
+      Log.warn (fun f -> f "singular basis in clean-up; primal restart");
+      primal ~max_iters st
+    | status, it2 ->
+    (match status with
+     | Optimal ->
+       { status = Optimal; obj = objective_value st st.cost;
+         x = extract_x st; iterations = it1 + it2 }
+     | Unbounded ->
+       { status = Unbounded; obj = Float.neg_infinity;
+         x = extract_x st; iterations = it1 + it2 }
+     | Iter_limit ->
+       { status = Iter_limit; obj = Float.nan; x = extract_x st;
+         iterations = it1 + it2 }
+     | Infeasible -> assert false (* primal_loop never returns Infeasible *)))
+
+let solve ?max_iters lp = primal ?max_iters (create lp)

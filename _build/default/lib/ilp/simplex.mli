@@ -1,0 +1,71 @@
+(** Bounded-variable simplex solver for linear programs.
+
+    Solves the LP relaxation of an {!Lp.t} (integrality markers are
+    ignored). The implementation is a revised simplex with an explicit
+    dense basis inverse and product-form updates:
+
+    - variable bounds are handled implicitly (no explicit bound rows),
+      which keeps the row count equal to the number of constraints;
+    - phase I uses one-signed artificial variables minimizing total
+      infeasibility;
+    - Dantzig pricing with an automatic switch to Bland's rule under
+      degeneracy (anti-cycling);
+    - a dual-simplex re-optimization loop supports warm starts after
+      bound changes, which is what {!Branch_bound} uses between nodes.
+
+    A {!state} owns all solver storage. Bounds of structural variables
+    may be changed between solves ({!set_var_bounds}); the constraint
+    matrix, senses and right-hand sides are fixed at {!create} time. *)
+
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Iter_limit  (** Gave up; solution content is best-effort. *)
+
+type result = {
+  status : status;
+  obj : float;  (** Minimization-oriented objective value at [x]. *)
+  x : float array;  (** Structural variable values, indexed by [(var :> int)]. *)
+  iterations : int;  (** Simplex pivots performed by this call. *)
+}
+
+type state
+
+val create : Lp.t -> state
+(** Builds solver storage for the model. Later mutations of the [Lp.t]
+    are not observed except through {!set_var_bounds}. *)
+
+val num_rows : state -> int
+
+val num_structural : state -> int
+
+val set_var_bounds : state -> int -> lb:float -> ub:float -> unit
+(** [set_var_bounds st j ~lb ~ub] overrides the bounds of structural
+    variable [j]. Takes effect at the next {!primal} or {!dual_reopt}.
+    Raises [Invalid_argument] if [j] is out of range or [lb > ub]. *)
+
+val get_var_bounds : state -> int -> float * float
+
+val primal : ?max_iters:int -> state -> result
+(** Full primal solve from a fresh slack basis (phase I + phase II).
+    Always safe to call. *)
+
+val dual_reopt : ?max_iters:int -> state -> result
+(** Re-optimizes from the current basis after bound changes. Intended
+    for warm starts: typically needs few pivots. Internally restores
+    primal feasibility with a dual-simplex loop, then runs a primal
+    clean-up pass to guarantee optimality; falls back to {!primal} when
+    the warm start goes numerically bad. Calling it on a fresh state is
+    valid and equivalent to {!primal}. *)
+
+val solve : ?max_iters:int -> Lp.t -> result
+(** [solve lp] is [primal (create lp)]: one-shot LP relaxation solve. *)
+
+val total_pivots : state -> int
+(** Cumulative pivot count across all solves on this state. *)
+
+val refactorizations : state -> int
+(** Number of basis re-inversions triggered by numerical safeguards. *)
+
+val pp_status : Format.formatter -> status -> unit

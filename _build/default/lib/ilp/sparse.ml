@@ -1,0 +1,78 @@
+type t = { idx : int array; value : float array }
+
+let empty = { idx = [||]; value = [||] }
+
+let of_assoc l =
+  List.iter
+    (fun (i, _) -> if i < 0 then invalid_arg "Sparse.of_assoc: negative index")
+    l;
+  let sorted = List.sort (fun (i, _) (j, _) -> compare i j) l in
+  (* Merge duplicates, drop (near-)zeros. *)
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | (i, v) :: rest ->
+      let rec take_same v = function
+        | (j, w) :: rest' when j = i -> take_same (v +. w) rest'
+        | rest' -> (v, rest')
+      in
+      let v, rest = take_same v rest in
+      if Float.abs v <= 1e-13 then merge acc rest else merge ((i, v) :: acc) rest
+  in
+  let merged = merge [] sorted in
+  {
+    idx = Array.of_list (List.map fst merged);
+    value = Array.of_list (List.map snd merged);
+  }
+
+let nnz v = Array.length v.idx
+
+let get v i =
+  (* Binary search over the sorted index array. *)
+  let rec search lo hi =
+    if lo > hi then 0.
+    else
+      let mid = (lo + hi) / 2 in
+      let j = v.idx.(mid) in
+      if j = i then v.value.(mid)
+      else if j < i then search (mid + 1) hi
+      else search lo (mid - 1)
+  in
+  search 0 (Array.length v.idx - 1)
+
+let dot_dense v d =
+  let acc = ref 0. in
+  for k = 0 to Array.length v.idx - 1 do
+    acc := !acc +. (v.value.(k) *. d.(v.idx.(k)))
+  done;
+  !acc
+
+let add_to_dense ?(scale = 1.) v d =
+  for k = 0 to Array.length v.idx - 1 do
+    d.(v.idx.(k)) <- d.(v.idx.(k)) +. (scale *. v.value.(k))
+  done
+
+let iter f v =
+  for k = 0 to Array.length v.idx - 1 do
+    f v.idx.(k) v.value.(k)
+  done
+
+let fold f v init =
+  let acc = ref init in
+  for k = 0 to Array.length v.idx - 1 do
+    acc := f v.idx.(k) v.value.(k) !acc
+  done;
+  !acc
+
+let to_list v = fold (fun i x acc -> (i, x) :: acc) v [] |> List.rev
+
+let map_values f v =
+  of_assoc (List.map (fun (i, x) -> (i, f x)) (to_list v))
+
+let pp ppf v =
+  Format.fprintf ppf "{";
+  Array.iteri
+    (fun k i ->
+      if k > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "%d:%g" i v.value.(k))
+    v.idx;
+  Format.fprintf ppf "}"

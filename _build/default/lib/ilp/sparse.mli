@@ -1,0 +1,40 @@
+(** Sparse vectors stored as parallel (index, value) arrays.
+
+    Used for the columns of the constraint matrix in the simplex kernels.
+    Entries are kept sorted by index and free of explicit zeros. *)
+
+type t = private {
+  idx : int array;  (** Row indices, strictly increasing. *)
+  value : float array;  (** Matching coefficients, all non-zero. *)
+}
+
+val empty : t
+
+val of_assoc : (int * float) list -> t
+(** [of_assoc l] builds a sparse vector from (index, coefficient) pairs.
+    Duplicate indices are summed; resulting zeros (within [1e-13]) are
+    dropped. Raises [Invalid_argument] on a negative index. *)
+
+val nnz : t -> int
+(** Number of stored entries. *)
+
+val get : t -> int -> float
+(** [get v i] is the coefficient at index [i] ([0.] if absent).
+    Logarithmic in [nnz v]. *)
+
+val dot_dense : t -> float array -> float
+(** [dot_dense v d] is the inner product with a dense vector. *)
+
+val add_to_dense : ?scale:float -> t -> float array -> unit
+(** [add_to_dense ~scale v d] performs [d <- d + scale * v] (default
+    [scale = 1.]). *)
+
+val iter : (int -> float -> unit) -> t -> unit
+
+val fold : (int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> (int * float) list
+
+val map_values : (float -> float) -> t -> t
+
+val pp : Format.formatter -> t -> unit

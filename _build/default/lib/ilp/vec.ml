@@ -1,0 +1,66 @@
+type t = float array
+
+let create n = Array.make n 0.
+
+let copy = Array.copy
+
+let of_list = Array.of_list
+
+let dot a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vec.dot: length mismatch";
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let axpy ~alpha ~x ~y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Vec.axpy: length mismatch";
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let scale alpha x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- alpha *. x.(i)
+  done
+
+let nrm_inf x =
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    let a = Float.abs x.(i) in
+    if a > !acc then acc := a
+  done;
+  !acc
+
+let nrm2 x =
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. x.(i))
+  done;
+  sqrt !acc
+
+let max_abs_index x =
+  if Array.length x = 0 then invalid_arg "Vec.max_abs_index: empty";
+  let best = ref 0 and best_v = ref (Float.abs x.(0)) in
+  for i = 1 to Array.length x - 1 do
+    let a = Float.abs x.(i) in
+    if a > !best_v then begin
+      best := i;
+      best_v := a
+    end
+  done;
+  !best
+
+let fill x v = Array.fill x 0 (Array.length x) v
+
+let pp ppf x =
+  Format.fprintf ppf "[|";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "%g" v)
+    x;
+  Format.fprintf ppf "|]"

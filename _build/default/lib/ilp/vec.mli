@@ -1,0 +1,37 @@
+(** Dense float vectors.
+
+    Thin helpers over [float array] used by the simplex kernels. All
+    operations are eager and allocate only when documented. *)
+
+type t = float array
+
+val create : int -> t
+(** [create n] is a zero vector of length [n]. *)
+
+val copy : t -> t
+
+val of_list : float list -> t
+
+val dot : t -> t -> float
+(** [dot a b] is the inner product. Raises [Invalid_argument] on length
+    mismatch. *)
+
+val axpy : alpha:float -> x:t -> y:t -> unit
+(** [axpy ~alpha ~x ~y] performs [y <- alpha * x + y] in place. *)
+
+val scale : float -> t -> unit
+(** [scale alpha x] performs [x <- alpha * x] in place. *)
+
+val nrm_inf : t -> float
+(** Infinity norm: maximum absolute entry ([0.] for the empty vector). *)
+
+val nrm2 : t -> float
+(** Euclidean norm. *)
+
+val max_abs_index : t -> int
+(** Index of the entry with largest absolute value. Raises
+    [Invalid_argument] on the empty vector. *)
+
+val fill : t -> float -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/taskgraph/dot.ml: Array Buffer Graph List Printf

@@ -1,0 +1,1 @@
+lib/taskgraph/examples.ml: Generator Graph List Printf

@@ -1,0 +1,1 @@
+lib/taskgraph/examples.mli: Graph

@@ -1,0 +1,1 @@
+lib/taskgraph/graph.ml: Array Format Hashtbl List Option Printf Queue

@@ -1,0 +1,1 @@
+lib/taskgraph/prng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/taskgraph/prng.mli:

@@ -1,0 +1,1 @@
+lib/taskgraph/serialize.ml: Buffer Format Fun Graph List Printf String

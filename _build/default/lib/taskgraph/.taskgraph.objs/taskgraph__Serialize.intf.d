@@ -1,0 +1,1 @@
+lib/taskgraph/serialize.mli: Graph

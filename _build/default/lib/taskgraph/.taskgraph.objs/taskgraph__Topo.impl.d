@@ -1,0 +1,1 @@
+lib/taskgraph/topo.ml: Array Graph Int List Set

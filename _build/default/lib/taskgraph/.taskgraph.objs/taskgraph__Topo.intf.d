@@ -1,0 +1,1 @@
+lib/taskgraph/topo.mli: Graph

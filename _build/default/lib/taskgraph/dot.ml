@@ -1,0 +1,54 @@
+let buf_add = Buffer.add_string
+
+let task_graph g =
+  let b = Buffer.create 256 in
+  buf_add b (Printf.sprintf "digraph %S {\n  rankdir=TB;\n  node [shape=box];\n" (Graph.name g));
+  for t = 0 to Graph.num_tasks g - 1 do
+    buf_add b
+      (Printf.sprintf "  t%d [label=\"%s\\n(%d ops)\"];\n" t
+         (Graph.task_name g t)
+         (List.length (Graph.task_ops g t)))
+  done;
+  List.iter
+    (fun (t1, t2, bw) ->
+      buf_add b (Printf.sprintf "  t%d -> t%d [label=\"%d\"];\n" t1 t2 bw))
+    (Graph.task_edges g);
+  buf_add b "}\n";
+  Buffer.contents b
+
+let palette =
+  [| "lightblue"; "lightgoldenrod"; "lightpink"; "lightgreen"; "lightsalmon";
+     "lightcyan"; "plum"; "khaki" |]
+
+let op_graph_gen g color_of =
+  let b = Buffer.create 512 in
+  buf_add b (Printf.sprintf "digraph %S {\n  rankdir=TB;\n  node [shape=circle];\n" (Graph.name g));
+  for t = 0 to Graph.num_tasks g - 1 do
+    buf_add b (Printf.sprintf "  subgraph cluster_t%d {\n    label=\"%s\";\n" t (Graph.task_name g t));
+    (match color_of t with
+     | Some c -> buf_add b (Printf.sprintf "    style=filled;\n    fillcolor=%s;\n" c)
+     | None -> ());
+    List.iter
+      (fun o ->
+        buf_add b
+          (Printf.sprintf "    o%d [label=\"%s%d\"];\n" o
+             (Graph.op_kind_to_string (Graph.op_kind g o))
+             o))
+      (Graph.task_ops g t);
+    buf_add b "  }\n"
+  done;
+  List.iter
+    (fun (o1, o2) ->
+      let cross = Graph.op_task g o1 <> Graph.op_task g o2 in
+      buf_add b
+        (Printf.sprintf "  o%d -> o%d%s;\n" o1 o2
+           (if cross then " [style=bold,color=red]" else "")))
+    (Graph.op_deps g);
+  buf_add b "}\n";
+  Buffer.contents b
+
+let op_graph g = op_graph_gen g (fun _ -> None)
+
+let op_graph_with_partition g part =
+  op_graph_gen g (fun t ->
+      Some palette.(part t mod Array.length palette))

@@ -1,0 +1,14 @@
+(** Graphviz (DOT) export of specifications.
+
+    Regenerates the paper's Figure 1 style drawings: tasks as clusters
+    of their operations, task edges labelled with bandwidths. *)
+
+val task_graph : Graph.t -> string
+(** Task-level view: one node per task, edges labelled with bandwidth. *)
+
+val op_graph : Graph.t -> string
+(** Operation-level view: operations grouped into per-task clusters. *)
+
+val op_graph_with_partition : Graph.t -> (Graph.task_id -> int) -> string
+(** Like {!op_graph}, coloring each task cluster by the temporal
+    partition assigned by the given function. *)

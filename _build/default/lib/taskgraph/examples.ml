@@ -1,0 +1,195 @@
+(* Graph 1 / Figure 1: a 5-task, 22-operation DSP-style specification
+   at the paper's published size. The front stages (window, fir, mix)
+   are multiply/add datapaths (7 muls, 8 adds over a 6-deep chain); the
+   tail stages (gain, accum) are add/subtract (5 adds, 2 subs, 3 deep).
+   The counts are chosen so that, on a capacity-limited device (C = 70,
+   alpha = 0.7 in the benchmarks), Table 3's latency/partition frontier
+   reproduces: with no relaxation nothing fits; with L = 1 the design
+   splits across a reconfiguration; only at L = 4 does a single
+   configuration (1 adder serializing all 13 adds) become possible. *)
+let figure1 () =
+  let b = Graph.builder ~name:"figure1" () in
+  let t0 = Graph.add_task b ~name:"window" () in
+  let t1 = Graph.add_task b ~name:"fir" () in
+  let t2 = Graph.add_task b ~name:"mix" () in
+  let t3 = Graph.add_task b ~name:"gain" () in
+  let t4 = Graph.add_task b ~name:"accum" () in
+  let op = Graph.add_op b in
+  let dep = Graph.add_op_dep b in
+  (* t0 (6 ops, depth 3): M3 A3 *)
+  let o0 = op ~task:t0 Graph.Mul in
+  let o1 = op ~task:t0 Graph.Mul in
+  let o2 = op ~task:t0 Graph.Add in
+  let o3 = op ~task:t0 Graph.Add in
+  let o4 = op ~task:t0 Graph.Mul in
+  let o5 = op ~task:t0 Graph.Add in
+  dep o0 o3;
+  dep o1 o4;
+  dep o3 o5;
+  dep o4 o5;
+  ignore o2;
+  (* t1 (5 ops, depth 3): M2 A3 *)
+  let o6 = op ~task:t1 Graph.Mul in
+  let o7 = op ~task:t1 Graph.Add in
+  let o8 = op ~task:t1 Graph.Mul in
+  let o9 = op ~task:t1 Graph.Add in
+  let o10 = op ~task:t1 Graph.Add in
+  dep o6 o8;
+  dep o7 o9;
+  dep o8 o10;
+  dep o9 o10;
+  (* t2 (4 ops, depth 2): M2 A2 — the adds hang off the input-free
+     multiplier so the task's tail-feeding add is not serialized behind
+     the multiplier queue *)
+  let o11 = op ~task:t2 Graph.Mul in
+  let o12 = op ~task:t2 Graph.Add in
+  let o13 = op ~task:t2 Graph.Mul in
+  let o14 = op ~task:t2 Graph.Add in
+  dep o13 o12;
+  dep o13 o14;
+  ignore o11;
+  (* t3 (4 ops, depth 2): A3 S1 *)
+  let o15 = op ~task:t3 Graph.Add in
+  let o16 = op ~task:t3 Graph.Add in
+  let o17 = op ~task:t3 Graph.Sub in
+  let o18 = op ~task:t3 Graph.Add in
+  dep o15 o17;
+  dep o16 o18;
+  (* t4 (3 ops, depth 1): A2 S1 *)
+  let o19 = op ~task:t4 Graph.Add in
+  let o20 = op ~task:t4 Graph.Sub in
+  let o21 = op ~task:t4 Graph.Add in
+  (* inter-task data flow, Figure-1-style bandwidth labels *)
+  dep o5 o6;
+  Graph.set_bandwidth b t0 t1 2;
+  dep o5 o11;
+  Graph.set_bandwidth b t0 t2 3;
+  dep o10 o15;
+  Graph.set_bandwidth b t1 t3 2;
+  dep o14 o16;
+  Graph.set_bandwidth b t2 t3 4;
+  dep o17 o19;
+  dep o17 o20;
+  dep o18 o21;
+  Graph.set_bandwidth b t3 t4 3;
+  Graph.build b
+
+(* A hand-written mixer specification kept as an additional example of
+   explicit graph construction (not used by the paper tables). *)
+let mixer () =
+  let b = Graph.builder ~name:"mixer" () in
+  let t0 = Graph.add_task b ~name:"window" () in
+  let t1 = Graph.add_task b ~name:"fir" () in
+  let t2 = Graph.add_task b ~name:"mix" () in
+  let t3 = Graph.add_task b ~name:"gain" () in
+  let t4 = Graph.add_task b ~name:"accum" () in
+  let op = Graph.add_op b in
+  let dep = Graph.add_op_dep b in
+  (* t0 (6 ops): two multiplier taps feeding an adder tree *)
+  let o0 = op ~task:t0 Graph.Mul in
+  let o1 = op ~task:t0 Graph.Mul in
+  let o2 = op ~task:t0 Graph.Add in
+  let o3 = op ~task:t0 Graph.Add in
+  let o4 = op ~task:t0 Graph.Sub in
+  let o5 = op ~task:t0 Graph.Add in
+  dep o0 o3;
+  dep o2 o3;
+  dep o1 o4;
+  dep o3 o5;
+  dep o4 o5;
+  (* t1 (5 ops): parallel product / difference, combined *)
+  let o6 = op ~task:t1 Graph.Mul in
+  let o7 = op ~task:t1 Graph.Add in
+  let o8 = op ~task:t1 Graph.Mul in
+  let o9 = op ~task:t1 Graph.Sub in
+  let o10 = op ~task:t1 Graph.Add in
+  dep o6 o8;
+  dep o7 o9;
+  dep o8 o10;
+  dep o9 o10;
+  (* t2 (5 ops): mixes the two upstream streams *)
+  let o11 = op ~task:t2 Graph.Mul in
+  let o12 = op ~task:t2 Graph.Mul in
+  let o13 = op ~task:t2 Graph.Add in
+  let o14 = op ~task:t2 Graph.Sub in
+  let o15 = op ~task:t2 Graph.Add in
+  dep o11 o13;
+  dep o12 o14;
+  dep o13 o15;
+  dep o14 o15;
+  (* t3 (3 ops): gain stage, shallow fan-out *)
+  let o16 = op ~task:t3 Graph.Mul in
+  let o17 = op ~task:t3 Graph.Add in
+  let o18 = op ~task:t3 Graph.Sub in
+  dep o16 o17;
+  dep o16 o18;
+  (* t4 (3 ops): output accumulate, shallow fan-out *)
+  let o19 = op ~task:t4 Graph.Add in
+  let o20 = op ~task:t4 Graph.Mul in
+  let o21 = op ~task:t4 Graph.Add in
+  dep o19 o20;
+  dep o19 o21;
+  (* inter-task data flow with Figure-1-style bandwidth labels *)
+  dep o5 o11;
+  Graph.set_bandwidth b t0 t2 3;
+  dep o10 o12;
+  Graph.set_bandwidth b t1 t2 2;
+  dep o5 o16;
+  Graph.set_bandwidth b t0 t3 2;
+  dep o15 o19;
+  Graph.set_bandwidth b t2 t4 4;
+  dep o18 o19;
+  Graph.set_bandwidth b t3 t4 2;
+  Graph.build b
+
+let paper_sizes =
+  [ (1, (5, 22)); (2, (10, 37)); (3, (10, 45)); (4, (10, 44));
+    (5, (10, 65)); (6, (10, 72)) ]
+
+let paper_graph n =
+  match n with
+  | 1 -> figure1 ()
+  | 2 | 3 | 4 | 5 | 6 ->
+    let tasks, ops = List.assoc n paper_sizes in
+    let p = Generator.default ~tasks ~ops ~seed:(100 + n) in
+    let g = Generator.generate { p with kind_weights = [ (Graph.Add, 4); (Graph.Mul, 3); (Graph.Sub, 2) ] } in
+    g
+  | _ -> invalid_arg "Examples.paper_graph: expected 1..6"
+
+let chain n =
+  if n < 1 then invalid_arg "Examples.chain: n < 1";
+  let b = Graph.builder ~name:(Printf.sprintf "chain%d" n) () in
+  let prev = ref None in
+  for i = 0 to n - 1 do
+    let t = Graph.add_task b ~name:(Printf.sprintf "c%d" i) () in
+    let o = Graph.add_op b ~task:t (if i mod 2 = 0 then Graph.Add else Graph.Mul) in
+    (match !prev with
+     | Some (t', o') ->
+       Graph.add_op_dep b o' o;
+       Graph.set_bandwidth b t' t 1
+     | None -> ());
+    prev := Some (t, o)
+  done;
+  Graph.build b
+
+let diamond () =
+  let b = Graph.builder ~name:"diamond" () in
+  let src = Graph.add_task b ~name:"src" () in
+  let left = Graph.add_task b ~name:"left" () in
+  let right = Graph.add_task b ~name:"right" () in
+  let join = Graph.add_task b ~name:"join" () in
+  let o_src = Graph.add_op b ~task:src Graph.Add in
+  let o_l1 = Graph.add_op b ~task:left Graph.Mul in
+  let o_l2 = Graph.add_op b ~task:left Graph.Add in
+  let o_r1 = Graph.add_op b ~task:right Graph.Mul in
+  let o_j = Graph.add_op b ~task:join Graph.Sub in
+  Graph.add_op_dep b o_l1 o_l2;
+  Graph.add_op_dep b o_src o_l1;
+  Graph.add_op_dep b o_src o_r1;
+  Graph.add_op_dep b o_l2 o_j;
+  Graph.add_op_dep b o_r1 o_j;
+  Graph.set_bandwidth b src left 2;
+  Graph.set_bandwidth b src right 3;
+  Graph.set_bandwidth b left join 1;
+  Graph.set_bandwidth b right join 4;
+  Graph.build b

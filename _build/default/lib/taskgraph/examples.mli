@@ -1,0 +1,33 @@
+(** The specifications used by the paper's evaluation.
+
+    Graph 1 is a hand-built 5-task / 22-operation behavioral
+    specification in the style of the paper's Figure 1 (the original
+    figure's structure is not published; this is a faithful
+    reconstruction at the published size). Graphs 2-6 are seeded random
+    graphs at the published sizes (Tables 1-4). *)
+
+val figure1 : unit -> Graph.t
+(** The Figure 1 behavioral specification: 5 tasks, 22 operations,
+    bandwidth-labelled task edges. Identical to {!paper_graph}[ 1]. The
+    front tasks are multiply/add datapaths, the tail tasks add/subtract,
+    so a capacity-limited device forces a temporal split between them. *)
+
+val mixer : unit -> Graph.t
+(** A hand-written 5-task / 22-op mixer specification (an explicit
+    construction example; not used by the paper tables). *)
+
+val paper_graph : int -> Graph.t
+(** [paper_graph n] for [n] in [1 .. 6] builds the evaluation graph with
+    the published (tasks, operations) size: (5,22) (10,37) (10,45)
+    (10,44) (10,65) (10,72). Raises [Invalid_argument] otherwise. *)
+
+val paper_sizes : (int * (int * int)) list
+(** [(n, (tasks, ops))] for each published graph. *)
+
+val chain : int -> Graph.t
+(** [chain n] is a linear pipeline of [n] single-operation tasks with
+    unit bandwidths — the smallest interesting partitioning instance
+    (used by tests and the Figure 3 walkthrough). *)
+
+val diamond : unit -> Graph.t
+(** Four tasks in a diamond (fork-join) with mixed bandwidths. *)

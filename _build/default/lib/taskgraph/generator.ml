@@ -1,0 +1,84 @@
+type params = {
+  tasks : int;
+  ops : int;
+  seed : int;
+  kind_weights : (Graph.op_kind * int) list;
+  intra_density : float;
+  task_edge_density : float;
+  max_bandwidth : int;
+}
+
+let default ~tasks ~ops ~seed =
+  {
+    tasks;
+    ops;
+    seed;
+    kind_weights = [ (Graph.Add, 4); (Graph.Mul, 3); (Graph.Sub, 2) ];
+    intra_density = 0.25;
+    task_edge_density = 0.2;
+    max_bandwidth = 6;
+  }
+
+let pick_kind rng weights =
+  let total = List.fold_left (fun a (_, w) -> a + w) 0 weights in
+  let r = Prng.int rng total in
+  let rec go acc = function
+    | [] -> assert false
+    | (k, w) :: rest -> if r < acc + w then k else go (acc + w) rest
+  in
+  go 0 weights
+
+let generate p =
+  if p.tasks < 1 then invalid_arg "Generator.generate: tasks < 1";
+  if p.ops < p.tasks then invalid_arg "Generator.generate: ops < tasks";
+  if p.kind_weights = [] || List.exists (fun (_, w) -> w <= 0) p.kind_weights
+  then invalid_arg "Generator.generate: bad kind weights";
+  if p.max_bandwidth < 1 then invalid_arg "Generator.generate: max_bandwidth";
+  let rng = Prng.create p.seed in
+  let b = Graph.builder ~name:(Printf.sprintf "rand-t%d-o%d-s%d" p.tasks p.ops p.seed) () in
+  let tasks = Array.init p.tasks (fun _ -> Graph.add_task b ()) in
+  (* Distribute operations: one per task, the rest uniformly. *)
+  let per_task = Array.make p.tasks 1 in
+  for _ = 1 to p.ops - p.tasks do
+    let t = Prng.int rng p.tasks in
+    per_task.(t) <- per_task.(t) + 1
+  done;
+  (* Operations and intra-task edges. Within a task, every operation
+     after the first depends on some earlier operation of the same task
+     (backbone), plus optional extra edges. Edges always point from a
+     lower to a higher insertion index, so the result is acyclic. *)
+  let ops_of = Array.make p.tasks [||] in
+  Array.iteri
+    (fun ti t ->
+      let ops =
+        Array.init per_task.(ti) (fun _ ->
+            Graph.add_op b ~task:t (pick_kind rng p.kind_weights))
+      in
+      for k = 1 to Array.length ops - 1 do
+        let from = Prng.int rng k in
+        Graph.add_op_dep b ops.(from) ops.(k);
+        if Prng.bool rng p.intra_density && k >= 2 then begin
+          let from2 = Prng.int rng k in
+          if from2 <> from then Graph.add_op_dep b ops.(from2) ops.(k)
+        end
+      done;
+      ops_of.(ti) <- ops)
+    tasks;
+  (* Task edges: a spanning edge into every non-source task plus random
+     extras; realized as an operation dependency from a random op of the
+     earlier task to a random op of the later task. *)
+  let connect t1 t2 =
+    let o1 = ops_of.(t1).(Prng.int rng (Array.length ops_of.(t1))) in
+    let o2 = ops_of.(t2).(Prng.int rng (Array.length ops_of.(t2))) in
+    Graph.add_op_dep b o1 o2;
+    Graph.set_bandwidth b tasks.(t1) tasks.(t2)
+      (Prng.int_in rng 1 p.max_bandwidth)
+  in
+  for t2 = 1 to p.tasks - 1 do
+    let t1 = Prng.int rng t2 in
+    connect t1 t2;
+    for t1' = 0 to t2 - 1 do
+      if t1' <> t1 && Prng.bool rng p.task_edge_density then connect t1' t2
+    done
+  done;
+  Graph.build b

@@ -1,0 +1,32 @@
+(** Seeded random task-graph generator.
+
+    Produces layered DAG specifications with exact task and operation
+    counts, mimicking the random graphs of the paper's evaluation (whose
+    structure is unpublished; only sizes, functional-unit mixes and
+    partition counts are given). Generation is fully deterministic in
+    the seed — see {!Prng}. *)
+
+type params = {
+  tasks : int;  (** Number of tasks (>= 1). *)
+  ops : int;  (** Total number of operations (>= tasks). *)
+  seed : int;
+  kind_weights : (Graph.op_kind * int) list;
+      (** Relative frequency of operation kinds; weights must be
+          positive. *)
+  intra_density : float;
+      (** Probability of an extra dependency between two operations of
+          the same task (a backbone chain edge is always present). *)
+  task_edge_density : float;
+      (** Probability of an extra task edge between a topologically
+          earlier and later task (a spanning edge per non-source task is
+          always present). *)
+  max_bandwidth : int;  (** Task-edge bandwidths are uniform in [1, max]. *)
+}
+
+val default : tasks:int -> ops:int -> seed:int -> params
+(** DSP-like defaults: kinds add:4 mul:3 sub:2, intra 0.25, task edges
+    0.2, bandwidth up to 6. *)
+
+val generate : params -> Graph.t
+(** Raises [Invalid_argument] on inconsistent parameters
+    ([ops < tasks], empty [kind_weights], ...). *)

@@ -1,0 +1,246 @@
+type op_kind = Add | Sub | Mul | Div | Cmp
+
+let op_kind_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Cmp -> "cmp"
+
+let pp_op_kind ppf k = Format.pp_print_string ppf (op_kind_to_string k)
+
+let all_op_kinds = [ Add; Sub; Mul; Div; Cmp ]
+
+type task_id = int
+type op_id = int
+
+type t = {
+  g_name : string;
+  task_names : string array;
+  ops_of_task : op_id list array;  (* insertion order *)
+  kinds : op_kind array;
+  owner : task_id array;
+  deps : (op_id * op_id) list;  (* i1 -> i2 *)
+  preds : op_id list array;
+  succs : op_id list array;
+  t_edges : (task_id * task_id * int) list;
+  t_preds : task_id list array;
+  t_succs : task_id list array;
+}
+
+type builder = {
+  b_name : string;
+  mutable b_task_names : string list;  (* reversed *)
+  mutable b_ntasks : int;
+  mutable b_ops : (task_id * op_kind) list;  (* reversed *)
+  mutable b_nops : int;
+  mutable b_deps : (op_id * op_id) list;
+  mutable b_bw : ((task_id * task_id) * int) list;
+}
+
+let builder ?(name = "graph") () =
+  {
+    b_name = name;
+    b_task_names = [];
+    b_ntasks = 0;
+    b_ops = [];
+    b_nops = 0;
+    b_deps = [];
+    b_bw = [];
+  }
+
+let add_task b ?name () =
+  let id = b.b_ntasks in
+  let n = match name with Some n -> n | None -> Printf.sprintf "t%d" id in
+  b.b_task_names <- n :: b.b_task_names;
+  b.b_ntasks <- id + 1;
+  id
+
+let add_op b ~task kind =
+  if task < 0 || task >= b.b_ntasks then invalid_arg "Graph.add_op: unknown task";
+  let id = b.b_nops in
+  b.b_ops <- (task, kind) :: b.b_ops;
+  b.b_nops <- id + 1;
+  id
+
+let add_op_dep b i1 i2 =
+  if i1 < 0 || i1 >= b.b_nops || i2 < 0 || i2 >= b.b_nops then
+    invalid_arg "Graph.add_op_dep: unknown operation";
+  if i1 = i2 then invalid_arg "Graph.add_op_dep: self-loop";
+  b.b_deps <- (i1, i2) :: b.b_deps
+
+let set_bandwidth b t1 t2 bw =
+  if t1 < 0 || t1 >= b.b_ntasks || t2 < 0 || t2 >= b.b_ntasks then
+    invalid_arg "Graph.set_bandwidth: unknown task";
+  if bw < 0 then invalid_arg "Graph.set_bandwidth: negative bandwidth";
+  b.b_bw <- ((t1, t2), bw) :: b.b_bw
+
+(* Kahn's algorithm; returns None when the graph has a cycle. *)
+let topo_ok n edges =
+  let indeg = Array.make n 0 in
+  let succs = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      indeg.(b) <- indeg.(b) + 1;
+      succs.(a) <- b :: succs.(a))
+    edges;
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr seen;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      succs.(v)
+  done;
+  !seen = n
+
+let build b =
+  if b.b_ntasks = 0 then invalid_arg "Graph.build: no tasks";
+  let nops = b.b_nops and ntasks = b.b_ntasks in
+  let kinds = Array.make nops Add and owner = Array.make nops 0 in
+  List.iteri
+    (fun i (task, kind) ->
+      let id = nops - 1 - i in
+      kinds.(id) <- kind;
+      owner.(id) <- task)
+    b.b_ops;
+  let ops_of_task = Array.make ntasks [] in
+  for i = nops - 1 downto 0 do
+    ops_of_task.(owner.(i)) <- i :: ops_of_task.(owner.(i))
+  done;
+  Array.iteri
+    (fun t ops ->
+      if ops = [] then
+        invalid_arg (Printf.sprintf "Graph.build: task %d has no operations" t))
+    ops_of_task;
+  let deps = List.sort_uniq compare b.b_deps in
+  if not (topo_ok nops deps) then
+    invalid_arg "Graph.build: operation graph has a cycle";
+  let preds = Array.make nops [] and succs = Array.make nops [] in
+  List.iter
+    (fun (a, c) ->
+      succs.(a) <- c :: succs.(a);
+      preds.(c) <- a :: preds.(c))
+    deps;
+  (* Derive task edges from crossing operation dependencies. *)
+  let crossing = Hashtbl.create 16 in
+  List.iter
+    (fun (a, c) ->
+      let ta = owner.(a) and tc = owner.(c) in
+      if ta <> tc then
+        Hashtbl.replace crossing (ta, tc)
+          (1 + Option.value ~default:0 (Hashtbl.find_opt crossing (ta, tc))))
+    deps;
+  List.iter
+    (fun ((t1, t2), _) ->
+      if not (Hashtbl.mem crossing (t1, t2)) then
+        invalid_arg
+          (Printf.sprintf
+             "Graph.build: bandwidth override on non-edge %d -> %d" t1 t2))
+    b.b_bw;
+  let t_edges =
+    Hashtbl.fold
+      (fun (t1, t2) default acc ->
+        let bw =
+          match List.assoc_opt (t1, t2) b.b_bw with
+          | Some bw -> bw
+          | None -> default
+        in
+        (t1, t2, bw) :: acc)
+      crossing []
+    |> List.sort compare
+  in
+  if not (topo_ok ntasks (List.map (fun (a, c, _) -> (a, c)) t_edges)) then
+    invalid_arg "Graph.build: task graph has a cycle";
+  let t_preds = Array.make ntasks [] and t_succs = Array.make ntasks [] in
+  List.iter
+    (fun (t1, t2, _) ->
+      t_succs.(t1) <- t2 :: t_succs.(t1);
+      t_preds.(t2) <- t1 :: t_preds.(t2))
+    t_edges;
+  let task_names = Array.make ntasks "" in
+  List.iteri (fun i n -> task_names.(ntasks - 1 - i) <- n) b.b_task_names;
+  {
+    g_name = b.b_name;
+    task_names;
+    ops_of_task;
+    kinds;
+    owner;
+    deps;
+    preds;
+    succs;
+    t_edges;
+    t_preds;
+    t_succs;
+  }
+
+let name g = g.g_name
+let num_tasks g = Array.length g.task_names
+let num_ops g = Array.length g.kinds
+
+let check_task g t =
+  if t < 0 || t >= num_tasks g then invalid_arg "Graph: task out of range"
+
+let check_op g i =
+  if i < 0 || i >= num_ops g then invalid_arg "Graph: op out of range"
+
+let task_name g t =
+  check_task g t;
+  g.task_names.(t)
+
+let task_ops g t =
+  check_task g t;
+  g.ops_of_task.(t)
+
+let op_kind g i =
+  check_op g i;
+  g.kinds.(i)
+
+let op_task g i =
+  check_op g i;
+  g.owner.(i)
+
+let op_deps g = g.deps
+
+let op_preds g i =
+  check_op g i;
+  g.preds.(i)
+
+let op_succs g i =
+  check_op g i;
+  g.succs.(i)
+
+let task_edges g = g.t_edges
+
+let task_preds g t =
+  check_task g t;
+  g.t_preds.(t)
+
+let task_succs g t =
+  check_task g t;
+  g.t_succs.(t)
+
+let kind_counts g =
+  let count k = Array.fold_left (fun n k' -> if k = k' then n + 1 else n) 0 g.kinds in
+  List.filter_map
+    (fun k ->
+      let n = count k in
+      if n > 0 then Some (k, n) else None)
+    all_op_kinds
+
+let total_bandwidth g =
+  List.fold_left (fun acc (_, _, bw) -> acc + bw) 0 g.t_edges
+
+let pp_summary ppf g =
+  Format.fprintf ppf "%s: %d tasks, %d ops, %d task edges (bw %d), kinds:"
+    g.g_name (num_tasks g) (num_ops g) (List.length g.t_edges)
+    (total_bandwidth g);
+  List.iter
+    (fun (k, n) -> Format.fprintf ppf " %a=%d" pp_op_kind k n)
+    (kind_counts g)

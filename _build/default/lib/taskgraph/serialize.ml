@@ -1,0 +1,104 @@
+let to_string g =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Printf.sprintf "taskgraph %s\n" (Graph.name g));
+  for t = 0 to Graph.num_tasks g - 1 do
+    Buffer.add_string b (Printf.sprintf "task %s\n" (Graph.task_name g t))
+  done;
+  (* operations in id order: id order is preserved on reload *)
+  for i = 0 to Graph.num_ops g - 1 do
+    Buffer.add_string b
+      (Printf.sprintf "op %d %s\n" (Graph.op_task g i)
+         (Graph.op_kind_to_string (Graph.op_kind g i)))
+  done;
+  List.iter
+    (fun (a, c) -> Buffer.add_string b (Printf.sprintf "dep %d %d\n" a c))
+    (Graph.op_deps g);
+  List.iter
+    (fun (t1, t2, bw) ->
+      Buffer.add_string b (Printf.sprintf "bw %d %d %d\n" t1 t2 bw))
+    (Graph.task_edges g);
+  Buffer.contents b
+
+let kind_of_string line_no = function
+  | "add" -> Graph.Add
+  | "sub" -> Graph.Sub
+  | "mul" -> Graph.Mul
+  | "div" -> Graph.Div
+  | "cmp" -> Graph.Cmp
+  | s ->
+    invalid_arg (Printf.sprintf "Serialize: line %d: unknown kind %S" line_no s)
+
+let of_string text =
+  let builder = ref None in
+  let tasks = ref [] (* reversed *) in
+  let ops = ref [] in
+  let fail line_no fmt =
+    Format.kasprintf
+      (fun m -> invalid_arg (Printf.sprintf "Serialize: line %d: %s" line_no m))
+      fmt
+  in
+  let get_builder line_no =
+    match !builder with
+    | Some b -> b
+    | None -> fail line_no "missing 'taskgraph' header"
+  in
+  let nth l n what line_no =
+    match List.nth_opt (List.rev !l) n with
+    | Some x -> x
+    | None -> fail line_no "unknown %s index %d" what n
+  in
+  List.iteri
+    (fun idx line ->
+      let line_no = idx + 1 in
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "taskgraph"; name ] ->
+          if !builder <> None then fail line_no "duplicate header";
+          builder := Some (Graph.builder ~name ())
+        | "taskgraph" :: _ -> fail line_no "header wants exactly one name"
+        | [ "task"; name ] ->
+          let b = get_builder line_no in
+          tasks := Graph.add_task b ~name () :: !tasks
+        | [ "op"; t; kind ] -> (
+          let b = get_builder line_no in
+          match int_of_string_opt t with
+          | None -> fail line_no "bad task index %S" t
+          | Some t ->
+            let task = nth tasks t "task" line_no in
+            ops := Graph.add_op b ~task (kind_of_string line_no kind) :: !ops)
+        | [ "dep"; a; c ] -> (
+          let b = get_builder line_no in
+          match (int_of_string_opt a, int_of_string_opt c) with
+          | Some a, Some c ->
+            Graph.add_op_dep b (nth ops a "op" line_no) (nth ops c "op" line_no)
+          | _ -> fail line_no "bad dep indices")
+        | [ "bw"; t1; t2; n ] -> (
+          let b = get_builder line_no in
+          match
+            (int_of_string_opt t1, int_of_string_opt t2, int_of_string_opt n)
+          with
+          | Some t1, Some t2, Some n ->
+            Graph.set_bandwidth b
+              (nth tasks t1 "task" line_no)
+              (nth tasks t2 "task" line_no)
+              n
+          | _ -> fail line_no "bad bw arguments")
+        | word :: _ -> fail line_no "unknown directive %S" word
+        | [] -> ())
+    (String.split_on_char '\n' text);
+  match !builder with
+  | None -> invalid_arg "Serialize: empty input"
+  | Some b -> Graph.build b
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,34 @@
+(** Textual persistence of specifications.
+
+    A simple line-oriented format so graphs can be versioned, edited by
+    hand and passed to the command-line tool:
+
+    {v
+    taskgraph my_spec
+    task window
+    task fir
+    op 0 mul
+    op 0 add
+    op 1 add
+    dep 0 1
+    dep 1 2
+    bw 0 1 4
+    v}
+
+    [op T KIND] adds an operation to the [T]-th declared task; [dep A B]
+    declares the dependency between the [A]-th and [B]-th declared
+    operations; [bw T1 T2 N] overrides the bandwidth of the task edge.
+    Comment lines start with [#]; blank lines are ignored. *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t
+(** Raises [Invalid_argument] with a line number on malformed input, and
+    propagates {!Graph.build} validation errors. *)
+
+val save : string -> Graph.t -> unit
+(** [save path g] writes the graph to a file. *)
+
+val load : string -> Graph.t
+(** Raises [Sys_error] when unreadable, [Invalid_argument] when
+    malformed. *)

@@ -1,0 +1,65 @@
+(* Deterministic Kahn topological sort with a sorted frontier. *)
+let kahn n preds succs =
+  let indeg = Array.make n 0 in
+  for v = 0 to n - 1 do
+    indeg.(v) <- List.length (preds v)
+  done;
+  let module S = Set.Make (Int) in
+  let frontier = ref S.empty in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then frontier := S.add v !frontier
+  done;
+  let order = ref [] in
+  while not (S.is_empty !frontier) do
+    let v = S.min_elt !frontier in
+    frontier := S.remove v !frontier;
+    order := v :: !order;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then frontier := S.add w !frontier)
+      (succs v)
+  done;
+  let order = List.rev !order in
+  assert (List.length order = n);
+  order
+
+let task_order g =
+  kahn (Graph.num_tasks g) (Graph.task_preds g) (Graph.task_succs g)
+
+let task_priority g =
+  let order = task_order g in
+  let p = Array.make (Graph.num_tasks g) 0 in
+  List.iteri (fun i t -> p.(t) <- i + 1) order;
+  p
+
+let op_order g = kahn (Graph.num_ops g) (Graph.op_preds g) (Graph.op_succs g)
+
+let task_reachable g t1 t2 =
+  if t1 = t2 then true
+  else begin
+    let seen = Array.make (Graph.num_tasks g) false in
+    let rec dfs t =
+      t = t2
+      || (not seen.(t)
+          && begin
+            seen.(t) <- true;
+            List.exists dfs (Graph.task_succs g t)
+          end)
+    in
+    dfs t1
+  end
+
+let op_levels g =
+  let levels = Array.make (Graph.num_ops g) 0 in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun p -> if levels.(p) + 1 > levels.(i) then levels.(i) <- levels.(p) + 1)
+        (Graph.op_preds g i))
+    (op_order g);
+  levels
+
+let critical_path_length g =
+  if Graph.num_ops g = 0 then 0
+  else 1 + Array.fold_left Int.max 0 (op_levels g)

@@ -1,0 +1,29 @@
+(** Topological orderings, priorities and reachability.
+
+    The paper's branch-and-bound heuristic (Section 8) branches on the
+    partitioning variables of tasks in topological priority order: for a
+    dependency [t1 -> t2], task [t1] gets the higher priority. *)
+
+val task_order : Graph.t -> Graph.task_id list
+(** A topological order of the tasks (sources first). Deterministic:
+    ties are broken by task id. *)
+
+val task_priority : Graph.t -> int array
+(** [p = task_priority g] maps each task to its priority [1 .. n],
+    1 being the highest (branch first). Consistent with {!task_order}:
+    [p.(t)] is the 1-based position of [t] in the order. *)
+
+val op_order : Graph.t -> Graph.op_id list
+(** A topological order of the operations. *)
+
+val task_reachable : Graph.t -> Graph.task_id -> Graph.task_id -> bool
+(** [task_reachable g t1 t2] is [true] when a directed task path
+    [t1 ->* t2] exists ([true] for [t1 = t2]). *)
+
+val op_levels : Graph.t -> int array
+(** Longest-path level of each operation (sources at level 0). With the
+    paper's unit-latency assumption this equals [ASAP - 1]. *)
+
+val critical_path_length : Graph.t -> int
+(** Number of control steps needed by the most parallel schedule:
+    [1 + max level]. *)

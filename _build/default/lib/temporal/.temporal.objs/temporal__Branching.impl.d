@@ -1,0 +1,1 @@
+lib/temporal/branching.ml: Array Format Fun Ilp List Spec Taskgraph Vars

@@ -1,0 +1,1 @@
+lib/temporal/branching.mli: Format Ilp Vars

@@ -1,0 +1,1 @@
+lib/temporal/enumerate.ml: Array Float Fun Hashtbl Hls Int List Option Set Solution Spec Taskgraph

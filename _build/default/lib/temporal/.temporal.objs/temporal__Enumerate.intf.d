@@ -1,0 +1,1 @@
+lib/temporal/enumerate.mli: Solution Spec

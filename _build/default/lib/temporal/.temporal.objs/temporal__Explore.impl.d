@@ -1,0 +1,1 @@
+lib/temporal/explore.ml: Format Formulation List Printf Solution Solver Spec Unix

@@ -1,0 +1,1 @@
+lib/temporal/explore.mli: Branching Format Formulation Hls Solution Taskgraph

@@ -1,0 +1,1 @@
+lib/temporal/formulation.ml: Array Buffer Float Hashtbl Hls Ilp Int List Option Printf Spec Taskgraph Vars

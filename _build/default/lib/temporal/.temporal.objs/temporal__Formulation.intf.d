@@ -1,0 +1,1 @@
+lib/temporal/formulation.mli: Spec Vars

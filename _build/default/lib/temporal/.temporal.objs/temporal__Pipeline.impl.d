@@ -1,0 +1,1 @@
+lib/temporal/pipeline.ml: Format Formulation Hls Ilp List Option Solution Solver Spec Taskgraph Vars

@@ -1,0 +1,1 @@
+lib/temporal/pipeline.mli: Branching Format Formulation Hls Solver Spec Taskgraph

@@ -1,0 +1,1 @@
+lib/temporal/registers.ml: Array Int List Printf Solution Spec Taskgraph

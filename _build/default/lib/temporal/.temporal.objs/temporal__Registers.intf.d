@@ -1,0 +1,1 @@
+lib/temporal/registers.mli: Solution Spec

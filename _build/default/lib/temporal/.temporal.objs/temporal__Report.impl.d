@@ -1,0 +1,1 @@
+lib/temporal/report.ml: Array Buffer Float Fun Hls Int List Printf Registers Set Solution Spec String Taskgraph

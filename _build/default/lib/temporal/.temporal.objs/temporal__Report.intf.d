@@ -1,0 +1,1 @@
+lib/temporal/report.mli: Solution Spec

@@ -1,0 +1,1 @@
+lib/temporal/solution.ml: Array Float Format Fun Hashtbl Hls Ilp Int List Set Spec Taskgraph Vars

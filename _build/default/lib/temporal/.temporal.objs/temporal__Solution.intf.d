@@ -1,0 +1,1 @@
+lib/temporal/solution.mli: Format Spec Vars

@@ -1,0 +1,1 @@
+lib/temporal/solver.ml: Array Branching Enumerate Float Format Hashtbl Ilp Int List Printf Set Solution Spec String Taskgraph Vars

@@ -1,0 +1,1 @@
+lib/temporal/solver.mli: Branching Format Ilp Solution Vars

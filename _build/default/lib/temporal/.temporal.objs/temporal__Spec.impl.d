@@ -1,0 +1,1 @@
+lib/temporal/spec.ml: Array Float Format Hls Int Taskgraph

@@ -1,0 +1,1 @@
+lib/temporal/spec.mli: Format Hls Taskgraph

@@ -1,0 +1,1 @@
+lib/temporal/vars.ml: Array Float Hashtbl Ilp Int List Printf Spec Taskgraph

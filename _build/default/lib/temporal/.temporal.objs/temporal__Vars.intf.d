@@ -1,0 +1,1 @@
+lib/temporal/vars.mli: Hashtbl Ilp Spec Taskgraph

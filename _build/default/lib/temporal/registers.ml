@@ -1,0 +1,57 @@
+module G = Taskgraph.Graph
+
+type usage = {
+  per_partition : (int * int) array;
+  peak : int;
+  spilled_values : int;
+}
+
+let analyze spec sol =
+  let g = spec.Spec.graph in
+  let np = spec.Spec.num_partitions in
+  let ns = Spec.num_steps spec in
+  (* live.(p - 1).(j - 1): same-partition values alive during step j of
+     partition p *)
+  let live = Array.make_matrix np ns 0 in
+  let spilled = ref 0 in
+  for i = 0 to G.num_ops g - 1 do
+    let p = sol.Solution.partition_of.(G.op_task g i) in
+    (* the result exists at the end of the producer's last latency step *)
+    let produced =
+      sol.Solution.op_step.(i)
+      + Spec.instance_latency spec sol.Solution.op_fu.(i)
+      - 1
+    in
+    let same_partition_last, crosses =
+      List.fold_left
+        (fun (last, crosses) consumer ->
+          let pc = sol.Solution.partition_of.(G.op_task g consumer) in
+          if pc = p then (Int.max last sol.Solution.op_step.(consumer), crosses)
+          else (last, true))
+        (produced, false) (G.op_succs g i)
+    in
+    if crosses then incr spilled;
+    (* alive from the step after production to the last local read *)
+    for j = produced + 1 to same_partition_last do
+      if j >= 1 && j <= ns then live.(p - 1).(j - 1) <- live.(p - 1).(j - 1) + 1
+    done
+  done;
+  let per_partition =
+    Array.init np (fun p0 ->
+        (p0 + 1, Array.fold_left Int.max 0 live.(p0)))
+  in
+  let peak = Array.fold_left (fun acc (_, r) -> Int.max acc r) 0 per_partition in
+  { per_partition; peak; spilled_values = !spilled }
+
+let check_capacity spec sol ~registers =
+  let usage = analyze spec sol in
+  let over =
+    Array.to_list usage.per_partition
+    |> List.filter (fun (_, r) -> r > registers)
+  in
+  match over with
+  | [] -> Ok ()
+  | (p, r) :: _ ->
+    Error
+      (Printf.sprintf "partition %d needs %d registers (budget %d)" p r
+         registers)

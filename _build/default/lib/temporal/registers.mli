@@ -1,0 +1,34 @@
+(** Register estimation for synthesized designs.
+
+    The paper's conclusion: "To make our model an effective tool ... we
+    need to add constraints to model the registers and buses used in the
+    design", along the lines of Gebotys' register optimization. This
+    module implements the analysis half of that extension: given a
+    solved design it computes, per partition, the number of registers
+    needed to carry operation results between control steps, and the
+    words parked in the scratch memory across reconfigurations.
+
+    A value produced by operation [i] occupies a register from the step
+    after [step(i)] until the last same-partition consumer reads it;
+    results consumed in a {e later} partition are instead written to the
+    scratch memory (already accounted by eq. 3's bandwidth model — the
+    per-value view here lets the two be cross-checked). *)
+
+type usage = {
+  per_partition : (int * int) array;
+      (** [(partition, registers)] for partitions [1..N]: the maximum
+          number of simultaneously live same-partition values over the
+          partition's control steps. *)
+  peak : int;  (** Maximum register count over all partitions. *)
+  spilled_values : int;
+      (** Operation results consumed in a later partition than their
+          producer's (each occupies scratch memory across at least one
+          reconfiguration). *)
+}
+
+val analyze : Spec.t -> Solution.t -> usage
+
+val check_capacity : Spec.t -> Solution.t -> registers:int -> (unit, string) result
+(** [check_capacity spec sol ~registers] verifies every partition fits
+    within a register budget — the flip-flop-resource check the paper
+    leaves to future work. *)

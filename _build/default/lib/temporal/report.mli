@@ -1,0 +1,22 @@
+(** Designer-facing reports of synthesized designs.
+
+    Renders a solved instance the way a synthesis tool would present
+    it: a control-step Gantt chart per functional unit with the
+    partition boundaries marked, per-partition resource and register
+    summaries, and the reconfiguration data traffic. *)
+
+val gantt : Spec.t -> Solution.t -> string
+(** ASCII chart: one row per functional-unit instance, one column per
+    control step; each cell shows the operation executing there (its id
+    in base 36 to keep columns narrow, ['-'] while a multicycle
+    operation holds the unit, ['.'] when idle). A header row marks which
+    partition owns each step. *)
+
+val summary : Spec.t -> Solution.t -> string
+(** Multi-line textual summary: per partition — tasks, functional units
+    used with their FG total, control steps owned, registers needed
+    (from {!Registers}); plus the scratch-memory traffic at every
+    boundary. *)
+
+val full : Spec.t -> Solution.t -> string
+(** {!summary} followed by {!gantt}. *)

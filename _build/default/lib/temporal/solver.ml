@@ -1,0 +1,226 @@
+module Bb = Ilp.Branch_bound
+
+type outcome =
+  | Feasible of Solution.t
+  | Infeasible_model
+  | Timed_out of Solution.t option
+
+type report = {
+  outcome : outcome;
+  vars : int;
+  constrs : int;
+  stats : Bb.stats;
+  objective : float option;
+}
+
+(* Branch-and-bound completion hook: once every y_tp is integral in the
+   node relaxation, the objective is fully determined by the partition
+   map (eq. 14 depends only on y), and the exact backtracking scheduler
+   either completes it into a full design — an incumbent — or proves no
+   completion exists. When the y variables are furthermore FIXED by the
+   node's bounds, the whole subtree is resolved either way and can be
+   pruned. Results are memoized per partition map. *)
+let scheduler_hook vars =
+  let spec = vars.Vars.spec in
+  let g = spec.Spec.graph in
+  let nt = Taskgraph.Graph.num_tasks g in
+  let cache : (int list, [ `Done of float array option | `Unknown ]) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let tol = 1e-6 in
+  fun ~lp_solution ~is_fixed ->
+    (* Partial-map pruning: tasks whose y variables are all fixed form a
+       partial partition map; the counting lower bound and the scratch
+       memory demand of that partial map are lower bounds for every
+       completion in this subtree, so exceeding the budgets prunes the
+       subtree outright — long before the remaining tasks are decided. *)
+    let partial =
+      Array.mapi
+        (fun _t row ->
+          if Array.for_all (fun (v : Ilp.Lp.var) -> is_fixed (v :> int)) row
+          then begin
+            let p = ref 0 in
+            Array.iteri
+              (fun p0 (v : Ilp.Lp.var) ->
+                if lp_solution.((v :> int)) > 0.5 then p := p0 + 1)
+              row;
+            !p
+          end
+          else 0)
+        vars.Vars.y
+    in
+    let partial_prunes =
+      (Array.exists (fun p -> p > 0) partial
+       && Enumerate.steps_lower_bound spec partial > Spec.num_steps spec)
+      ||
+      (* scratch memory over the decided edges *)
+      let np = spec.Spec.num_partitions in
+      let exceeded = ref false in
+      for p = 2 to np do
+        let demand =
+          List.fold_left
+            (fun acc (t1, t2, bw) ->
+              if
+                partial.(t1) > 0 && partial.(t2) > 0
+                && partial.(t1) < p
+                && p <= partial.(t2)
+              then acc + bw
+              else acc)
+            0
+            (Taskgraph.Graph.task_edges g)
+        in
+        if demand > spec.Spec.scratch then exceeded := true
+      done;
+      !exceeded
+    in
+    if partial_prunes then Ilp.Branch_bound.Hook_prune
+    else
+    let ys_integral =
+      Array.for_all
+        (Array.for_all (fun (v : Ilp.Lp.var) ->
+             Ilp.Branch_bound.fractionality lp_solution.((v :> int)) <= tol))
+        vars.Vars.y
+    in
+    if not ys_integral then Ilp.Branch_bound.Hook_none
+    else begin
+      let part = Array.init nt (Vars.y_value vars lp_solution) in
+      let all_y_fixed =
+        Array.for_all
+          (Array.for_all (fun (v : Ilp.Lp.var) -> is_fixed (v :> int)))
+          vars.Vars.y
+      in
+      let completion =
+        let key = Array.to_list part in
+        match Hashtbl.find_opt cache key with
+        | Some (`Done _ as r) -> r
+        | Some `Unknown when not all_y_fixed -> `Unknown
+        | Some `Unknown | None ->
+          let ok_order =
+            List.for_all
+              (fun (t1, t2, _) -> part.(t1) <= part.(t2))
+              (Taskgraph.Graph.task_edges g)
+          and ok_mem =
+            Solution.memory_peak spec part <= spec.Spec.scratch
+          in
+          let r =
+            if not (ok_order && ok_mem) then `Done None
+            else
+              (* a fixed partition map is worth a thorough search: the
+                 subtree is resolved either way *)
+              let max_backtracks =
+                if all_y_fixed then 5_000_000 else 300_000
+              in
+              match
+                Enumerate.schedule_for_partition ~max_backtracks spec part
+              with
+              | `Schedule (op_step, op_fu) ->
+                let module S = Set.Make (Int) in
+                let used =
+                  Array.fold_left (fun s p -> S.add p s) S.empty part
+                in
+                let sol =
+                  {
+                    Solution.partition_of = Array.copy part;
+                    op_step;
+                    op_fu;
+                    comm_cost = Solution.comm_cost_of_partition spec part;
+                    partitions_used = S.cardinal used;
+                  }
+                in
+                `Done (Some (Solution.to_vector vars sol))
+              | `Infeasible -> `Done None
+              | `Gave_up -> `Unknown
+          in
+          Hashtbl.replace cache key r;
+          r
+      in
+      match completion with
+      | `Done (Some v) ->
+        if all_y_fixed then Ilp.Branch_bound.Hook_incumbent_and_prune v
+        else Ilp.Branch_bound.Hook_incumbent v
+      | `Done None ->
+        if all_y_fixed then Ilp.Branch_bound.Hook_prune
+        else Ilp.Branch_bound.Hook_none
+      | `Unknown -> Ilp.Branch_bound.Hook_none
+    end
+
+let validate_or_fail spec sol =
+  match Solution.validate spec sol with
+  | Ok () -> ()
+  | Error errs ->
+    failwith
+      (Printf.sprintf "Solver.solve: extracted solution invalid: %s"
+         (String.concat "; " errs))
+
+let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
+    ?(node_order = Bb.Depth_first) ?(time_limit = Float.infinity)
+    ?(max_nodes = max_int) ?(validate = true) ?(scheduler_completion = true)
+    ?(presolve = true) vars =
+  let options =
+    {
+      Bb.default_options with
+      Bb.branch_rule = Some (Branching.rule strategy vars);
+      value_order;
+      node_order;
+      time_limit;
+      max_nodes;
+      integral_objective = true;
+      node_hook =
+        (if scheduler_completion then Some (scheduler_hook vars) else None);
+    }
+  in
+  (* Presolve drops redundant rows and tightens bounds without touching
+     variable indices, so the branching rule and the completion hook
+     (both index-based) remain valid; the reported model sizes stay
+     those of the paper's formulation. *)
+  let outcome, stats =
+    if presolve then
+      match Ilp.Presolve.presolve vars.Vars.lp with
+      | Ilp.Presolve.Infeasible _ ->
+        ( Bb.Infeasible,
+          {
+            Bb.nodes = 0;
+            incumbents = 0;
+            pivots = 0;
+            max_depth = 0;
+            elapsed = 0.;
+            root_obj = Float.nan;
+          } )
+      | Ilp.Presolve.Reduced (reduced, _) -> Bb.solve ~options reduced
+    else Bb.solve ~options vars.Vars.lp
+  in
+  let spec = vars.Vars.spec in
+  let mk_solution x =
+    let sol = Solution.extract vars x in
+    if validate then validate_or_fail spec sol;
+    sol
+  in
+  let outcome, objective =
+    match outcome with
+    | Bb.Optimal { obj; x } -> (Feasible (mk_solution x), Some obj)
+    | Bb.Infeasible -> (Infeasible_model, None)
+    | Bb.Unbounded ->
+      (* The objective is a sum of bounded 0-1 variables: unbounded is
+         impossible for a well-formed model. *)
+      failwith "Solver.solve: model reported unbounded"
+    | Bb.Limit_reached { best = Some (obj, x); _ } ->
+      (Timed_out (Some (mk_solution x)), Some obj)
+    | Bb.Limit_reached { best = None; _ } -> (Timed_out None, None)
+  in
+  {
+    outcome;
+    vars = Vars.num_vars vars;
+    constrs = Vars.num_constrs vars;
+    stats;
+    objective;
+  }
+
+let pp_outcome ppf = function
+  | Feasible sol ->
+    Format.fprintf ppf "optimal (comm cost %d, %d partitions)"
+      sol.Solution.comm_cost sol.Solution.partitions_used
+  | Infeasible_model -> Format.fprintf ppf "infeasible"
+  | Timed_out (Some sol) ->
+    Format.fprintf ppf "timed out (incumbent comm cost %d)"
+      sol.Solution.comm_cost
+  | Timed_out None -> Format.fprintf ppf "timed out (no incumbent)"

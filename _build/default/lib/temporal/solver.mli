@@ -1,0 +1,52 @@
+(** End-to-end solve of a formulated model.
+
+    Thin orchestration over {!Ilp.Branch_bound}: installs the chosen
+    branching strategy and the paper's value-1-first exploration order,
+    enables integral-objective pruning (bandwidths are integers), and
+    turns the raw solver vector into a validated {!Solution.t}. *)
+
+type outcome =
+  | Feasible of Solution.t  (** Proven optimal. *)
+  | Infeasible_model
+      (** No partition/schedule satisfies the constraints (the "No"
+          rows of the paper's Tables 3-4). *)
+  | Timed_out of Solution.t option
+      (** Node or time limit; carries the incumbent if any. *)
+
+type report = {
+  outcome : outcome;
+  vars : int;  (** Model size: variables (the paper's "Var" column). *)
+  constrs : int;  (** Model size: constraints ("Const" column). *)
+  stats : Ilp.Branch_bound.stats;
+  objective : float option;  (** Optimal objective when [Feasible]. *)
+}
+
+val solve :
+  ?strategy:Branching.strategy ->
+  ?value_order:Ilp.Branch_bound.value_order ->
+  ?node_order:Ilp.Branch_bound.node_order ->
+  ?time_limit:float ->
+  ?max_nodes:int ->
+  ?validate:bool ->
+  ?scheduler_completion:bool ->
+  ?presolve:bool ->
+  Vars.t ->
+  report
+(** Defaults: paper branching, value 1 first, depth-first, no limits,
+    [validate = true], [scheduler_completion = true]. When [validate] is
+    set and the extracted optimal solution fails {!Solution.validate},
+    raises [Failure] — this is the safety net wired through every test
+    and benchmark.
+
+    [scheduler_completion] installs the exact-scheduler node hook: once
+    a node's partitioning variables are all integral, the design is
+    completed (or refuted) combinatorially instead of by further LP
+    branching. It never changes optimality — eq. 14's objective depends
+    only on the partition map — but typically collapses the search tree
+    by orders of magnitude; ablated in the benchmarks.
+
+    [presolve] (default on) runs {!Ilp.Presolve} before branch and
+    bound: rows drop and bounds tighten while variable indices — and the
+    reported model sizes — stay those of the paper's formulation. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

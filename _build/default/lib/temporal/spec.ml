@@ -1,0 +1,102 @@
+module G = Taskgraph.Graph
+module C = Hls.Component
+
+type t = {
+  graph : G.t;
+  allocation : C.allocation;
+  capacity : int;
+  alpha : float;
+  scratch : int;
+  latency_relax : int;
+  num_partitions : int;
+  schedule : Hls.Schedule.t;
+}
+
+let make ~graph ~allocation ?capacity ?(alpha = 0.7) ?(scratch = 64)
+    ?(latency_relax = 0) ~num_partitions () =
+  if not (C.covers allocation graph) then
+    invalid_arg "Spec.make: allocation does not cover the graph's op kinds";
+  if alpha <= 0. || alpha > 1. then invalid_arg "Spec.make: alpha not in (0,1]";
+  if scratch < 0 then invalid_arg "Spec.make: negative scratch memory";
+  if latency_relax < 0 then invalid_arg "Spec.make: negative latency relax";
+  if num_partitions < 1 then invalid_arg "Spec.make: num_partitions < 1";
+  let capacity =
+    match capacity with
+    | Some c ->
+      if c <= 0 then invalid_arg "Spec.make: capacity <= 0";
+      c
+    | None ->
+      (* Non-binding default: the whole allocation fits one partition. *)
+      1 + Float.to_int (Float.ceil (alpha *. Float.of_int (C.total_fg allocation)))
+  in
+  (* Mobility windows use the optimistic (minimum) latency over the
+     capable units, so every binding's true window is contained in the
+     model's window superset. *)
+  let insts = C.instances allocation in
+  let min_latency i =
+    let kind = G.op_kind graph i in
+    Array.fold_left
+      (fun acc inst ->
+        if C.can_execute inst.C.inst_kind kind then
+          Int.min acc inst.C.inst_kind.C.latency
+        else acc)
+      max_int insts
+  in
+  {
+    graph;
+    allocation;
+    capacity;
+    alpha;
+    scratch;
+    latency_relax;
+    num_partitions;
+    schedule = Hls.Schedule.compute_weighted ~latency:min_latency graph;
+  }
+
+let instances spec = C.instances spec.allocation
+
+let fu_of_op spec i =
+  let kind = G.op_kind spec.graph i in
+  let insts = instances spec in
+  let acc = ref [] in
+  for k = Array.length insts - 1 downto 0 do
+    if C.can_execute insts.(k).C.inst_kind kind then acc := k :: !acc
+  done;
+  !acc
+
+let ops_of_fu spec k =
+  let insts = instances spec in
+  let fu_kind = insts.(k).C.inst_kind in
+  let acc = ref [] in
+  for i = G.num_ops spec.graph - 1 downto 0 do
+    if C.can_execute fu_kind (G.op_kind spec.graph i) then acc := i :: !acc
+  done;
+  !acc
+
+let window spec i =
+  Hls.Schedule.window spec.schedule ~relax:spec.latency_relax i
+
+let num_steps spec =
+  Hls.Schedule.num_steps spec.schedule ~relax:spec.latency_relax
+
+let num_instances spec = Array.length (instances spec)
+
+let fg_of_instance spec k = (instances spec).(k).C.inst_kind.C.fg
+
+let instance_latency spec k = (instances spec).(k).C.inst_kind.C.latency
+
+let instance_pipelined spec k = (instances spec).(k).C.inst_kind.C.pipelined
+
+(* Steps during which instance [k] is busy with an operation issued at
+   [j]: just [j] for a pipelined unit, the full latency otherwise. *)
+let busy_span spec k =
+  if instance_pipelined spec k then 1 else instance_latency spec k
+
+let pp ppf spec =
+  Format.fprintf ppf
+    "@[<v>%a@,F = %a (total FG %d)@,C = %d, alpha = %.2f, Ms = %d, L = %d, N = %d@,\
+     cp = %d steps (%d with relaxation)@]"
+    G.pp_summary spec.graph C.pp_allocation spec.allocation
+    (C.total_fg spec.allocation) spec.capacity spec.alpha spec.scratch
+    spec.latency_relax spec.num_partitions spec.schedule.Hls.Schedule.cp_length
+    (num_steps spec)

@@ -1,0 +1,61 @@
+(** Decision-variable management for the 0-1 model.
+
+    Creates and indexes every variable family of the paper's
+    formulation:
+
+    - [y_tp] — task [t] placed in partition [p] (binary, eq. set 3.1);
+    - [x_ijk] — operation [i] at control step [j] on functional unit [k]
+      (binary); only pairs with [j] in [CS(i)] and [k] in [Fu(i)] exist;
+    - [w_pt1t2] — the edge [(t1, t2)] crosses the boundary of partition
+      [p], for [p] in [2..N] (binary);
+    - [u_pk] — functional unit [k] used in partition [p] (binary);
+    - [o_tk] — task [t] uses functional unit [k] (binary); only created
+      when some operation of [t] can execute on [k];
+    - [c_tj] — task [t] has an operation at step [j] (continuous in
+      [0,1]: it is a derived indicator forced by the binaries, so
+      relaxing it preserves the model's integer solutions while keeping
+      it out of the branching set);
+    - [z_ptk] — linearization product [y_tp * o_tk]; continuous under
+      the Glover-Wolsey linearization, binary under Fortet's;
+    - [s_pj] — (compact control-step exclusion only, see
+      {!Formulation}) partition [p] claims control step [j]
+      (continuous). *)
+
+type t = {
+  spec : Spec.t;
+  lp : Ilp.Lp.t;
+  y : Ilp.Lp.var array array;  (** [y.(t).(p-1)] *)
+  x : (int * int * Ilp.Lp.var) list array;
+      (** [x.(i)] lists [(step, instance, var)] in window order. *)
+  w : (int * int * int, Ilp.Lp.var) Hashtbl.t;  (** keyed [(p, t1, t2)] *)
+  u : Ilp.Lp.var array array;  (** [u.(p-1).(k)] *)
+  o : Ilp.Lp.var option array array;  (** [o.(t).(k)], [None] if impossible *)
+  c : Ilp.Lp.var option array array;  (** [c.(t).(j-1)] *)
+  z : Ilp.Lp.var option array array array;
+      (** [z.(p-1).(t).(k)]; [None] where [o] is [None]. *)
+  s : Ilp.Lp.var array array option;  (** [s.(p-1).(j-1)] *)
+}
+
+val create : z_integer:bool -> with_step_claim:bool -> Spec.t -> t
+(** Builds the [Lp.t] and all variables. [z_integer] selects Fortet-style
+    binary product variables; [with_step_claim] creates the [s_pj]
+    family used by the compact control-step exclusion. *)
+
+val x_var : t -> Taskgraph.Graph.op_id -> int -> int -> Ilp.Lp.var option
+(** [x_var t i j k]: the variable for operation [i] at step [j] on
+    instance [k], if it exists. *)
+
+val w_var : t -> int -> int -> int -> Ilp.Lp.var
+(** [w_var t p t1 t2]; raises [Not_found] on a non-edge or [p < 2]. *)
+
+val y_value : t -> float array -> Taskgraph.Graph.task_id -> int
+(** Partition (1-based) of a task in a solution vector: the [p]
+    maximizing [y_tp] (ties to the smallest [p]). *)
+
+val x_value : t -> float array -> Taskgraph.Graph.op_id -> int * int
+(** [(step, instance)] chosen for an operation: the pair whose variable
+    is largest. *)
+
+val num_vars : t -> int
+
+val num_constrs : t -> int

@@ -1,0 +1,1 @@
+test/test_branch_bound.ml: Alcotest Array Float Ilp List QCheck QCheck_alcotest Taskgraph

@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Array Fun Hls List QCheck QCheck_alcotest Taskgraph

@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Float Ilp List Printf QCheck QCheck_alcotest String Taskgraph

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Hls Ilp List String Taskgraph Temporal

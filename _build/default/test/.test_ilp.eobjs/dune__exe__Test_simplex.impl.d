@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Float Ilp List QCheck QCheck_alcotest Taskgraph

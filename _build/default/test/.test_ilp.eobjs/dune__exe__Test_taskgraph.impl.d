@@ -1,0 +1,1 @@
+test/test_taskgraph.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest String Taskgraph

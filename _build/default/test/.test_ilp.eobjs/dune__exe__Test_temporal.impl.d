@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Array Float Format Hashtbl Hls Ilp List Printf QCheck QCheck_alcotest Result String Taskgraph Temporal

@@ -1,0 +1,8 @@
+  $ ../../bin/tpart.exe graph -g diamond
+  $ ../../bin/tpart.exe graph -g nosuch 2>&1 | head -2
+  $ ../../bin/tpart.exe estimate -g diamond --adders 1 --muls 1 --subs 1
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 | sed 's/(.* nodes.*)/(..)/'
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 2 > /dev/null
+  $ ../../bin/tpart.exe explore -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 --l-max 2 --n-max 3 | sed 's/| [0-9.]*s$/| T/'
+  $ ../../bin/tpart.exe graph -g diamond --save spec.tg
+  $ ../../bin/tpart.exe graph -g file:spec.tg

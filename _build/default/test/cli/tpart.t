@@ -1,0 +1,70 @@
+The graph subcommand prints a summary of a built-in specification:
+
+  $ ../../bin/tpart.exe graph -g diamond
+  diamond: 4 tasks, 5 ops, 4 task edges (bw 10), kinds: add=2 sub=1 mul=2
+  critical path: 4 control steps
+
+Unknown graphs are rejected with a helpful message:
+
+  $ ../../bin/tpart.exe graph -g nosuch 2>&1 | head -2
+  tpart: option '-g': unknown graph "nosuch" (expected paper:1..6, figure1,
+         diamond, chain:N, random:TASKS,OPS,SEED, file:PATH)
+
+The estimator reports a greedy segmentation:
+
+  $ ../../bin/tpart.exe estimate -g diamond --adders 1 --muls 1 --subs 1
+  1 segments (comm 0): [1:0,1,2,3]
+
+Solving a small instance prints the flow trace and the design; the
+device is too small for all three units, forcing two configurations:
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 | sed 's/(.* nodes.*)/(..)/'
+  input: chain3: 3 tasks, 3 ops, 2 task edges (bw 2), kinds: add=2 mul=1
+  estimate: 3 segment(s), greedy comm cost 2
+  N = 3 (pinned)
+  mobility: cp 3 steps, 5 with relaxation
+  model: 64 variables, 149 constraints
+  solve: optimal (..)
+  communication cost: 2 (peak memory 1 / Ms 64)
+  partitions used: 3 of 3
+  partition 1:
+    c0: add0@cs1/add16
+  partition 2:
+    c1: mul1@cs2/mul16
+  partition 3:
+    c2: add2@cs3/add16
+  
+
+An infeasible instance exits with code 1:
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 2 > /dev/null
+  [1]
+
+The explore subcommand sweeps design points and prints the frontier:
+
+  $ ../../bin/tpart.exe explore -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 --l-max 2 --n-max 3 | sed 's/| [0-9.]*s$/| T/'
+   L    N    | result       | partitions | time
+   0    1    | infeasible   | -          | T
+   0    2    | infeasible   | -          | T
+   0    3    | cost 2       | 3          | T
+   1    1    | infeasible   | -          | T
+   1    2    | infeasible   | -          | T
+   1    3    | cost 2       | 3          | T
+   2    1    | infeasible   | -          | T
+   2    2    | infeasible   | -          | T
+   2    3    | cost 2       | 3          | T
+  
+  Pareto frontier (latency relaxation vs communication):
+   L    N    | result       | partitions | time
+   0    3    | cost 2       | 3          | T
+
+Saving and reloading a specification round-trips:
+
+  $ ../../bin/tpart.exe graph -g diamond --save spec.tg
+  diamond: 4 tasks, 5 ops, 4 task edges (bw 10), kinds: add=2 sub=1 mul=2
+  critical path: 4 control steps
+  wrote spec.tg
+
+  $ ../../bin/tpart.exe graph -g file:spec.tg
+  diamond: 4 tasks, 5 ops, 4 task edges (bw 10), kinds: add=2 sub=1 mul=2
+  critical path: 4 control steps

@@ -1,0 +1,239 @@
+(* Tests for the MILP branch and bound: hand-checked knapsacks,
+   exhaustive cross-checks on random small binary models, and the
+   behavior of limits, orders and custom branch rules. *)
+
+module Lp = Ilp.Lp
+module Bb = Ilp.Branch_bound
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let user_obj lp v = Lp.obj_sign lp *. v
+
+let knapsack values weights cap =
+  let lp = Lp.create () in
+  let vars = Array.map (fun _ -> Lp.add_var lp Lp.Binary) values in
+  ignore
+    (Lp.add_constr lp
+       (Array.to_list (Array.mapi (fun i v -> (weights.(i), v)) vars))
+       Lp.Le cap);
+  Lp.set_objective lp ~maximize:true
+    (Array.to_list (Array.mapi (fun i v -> (values.(i), v)) vars));
+  (lp, vars)
+
+let test_knapsack () =
+  let lp, _ = knapsack [| 10.; 6.; 4. |] [| 5.; 4.; 3. |] 8. in
+  match Bb.solve lp with
+  | Bb.Optimal { obj; x }, stats ->
+    check_float "obj" 14. (user_obj lp obj);
+    Alcotest.(check (array (float 1e-6))) "x" [| 1.; 0.; 1. |] x;
+    Alcotest.(check bool) "nodes > 0" true (stats.Bb.nodes >= 1)
+  | o, _ -> Alcotest.failf "unexpected %a" Bb.pp_outcome o
+
+let test_infeasible_milp () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Binary in
+  let y = Lp.add_var lp Lp.Binary in
+  (* x + y = 1 and x + y >= 2: LP infeasible *)
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Eq 1.);
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Ge 2.);
+  (match Bb.solve lp with
+   | Bb.Infeasible, _ -> ()
+   | o, _ -> Alcotest.failf "unexpected %a" Bb.pp_outcome o)
+
+let test_integrality_gap () =
+  (* LP relaxation fractional: x + y <= 1.5 with max x + y -> MILP 1 *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Binary in
+  let y = Lp.add_var lp Lp.Binary in
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Le 1.5);
+  Lp.set_objective lp ~maximize:true [ (1., x); (1., y) ];
+  match Bb.solve lp with
+  | Bb.Optimal { obj; _ }, stats ->
+    check_float "obj" 1. (user_obj lp obj);
+    Alcotest.(check bool) "branched" true (stats.Bb.nodes >= 2);
+    check_float "root relaxation" (-1.5) stats.Bb.root_obj
+  | o, _ -> Alcotest.failf "unexpected %a" Bb.pp_outcome o
+
+let test_general_integer () =
+  (* max 2a + 3b, a <= 3.7, 2a + b <= 7, a,b general integer >= 0, b <= 4 *)
+  let lp = Lp.create () in
+  let a = Lp.add_var lp ~ub:3.7 Lp.Integer in
+  let b = Lp.add_var lp ~ub:4. Lp.Integer in
+  ignore (Lp.add_constr lp [ (2., a); (1., b) ] Lp.Le 7.);
+  Lp.set_objective lp ~maximize:true [ (2., a); (3., b) ];
+  match Bb.solve lp with
+  | Bb.Optimal { obj; x }, _ ->
+    (* b = 4 forced best: 2a + 4 <= 7 -> a = 1; obj = 14 *)
+    check_float "obj" 14. (user_obj lp obj);
+    check_float "a" 1. x.((a :> int));
+    check_float "b" 4. x.((b :> int))
+  | o, _ -> Alcotest.failf "unexpected %a" Bb.pp_outcome o
+
+let test_node_limit () =
+  let lp, _ =
+    knapsack
+      (Array.init 12 (fun i -> Float.of_int (7 + (i mod 5))))
+      (Array.init 12 (fun i -> Float.of_int (3 + (i mod 7))))
+      17.
+  in
+  let options = { Bb.default_options with Bb.max_nodes = 1 } in
+  match Bb.solve ~options lp with
+  | Bb.Limit_reached _, stats ->
+    Alcotest.(check bool) "few nodes" true (stats.Bb.nodes <= 1)
+  | Bb.Optimal _, _ ->
+    (* a 1-node optimum is possible only if the relaxation was integral;
+       with these weights it is not *)
+    Alcotest.fail "expected node limit"
+  | o, _ -> Alcotest.failf "unexpected %a" Bb.pp_outcome o
+
+let test_value_orders_agree () =
+  let lp, _ = knapsack [| 9.; 7.; 5.; 3. |] [| 4.; 3.; 2.; 1. |] 6. in
+  let solve order =
+    let options = { Bb.default_options with Bb.value_order = order } in
+    match Bb.solve ~options lp with
+    | Bb.Optimal { obj; _ }, _ -> user_obj lp obj
+    | o, _ -> Alcotest.failf "unexpected %a" Bb.pp_outcome o
+  in
+  check_float "one-first = zero-first" (solve Bb.One_first) (solve Bb.Zero_first)
+
+let test_node_orders_agree () =
+  let lp, _ = knapsack [| 9.; 7.; 5.; 3.; 8. |] [| 4.; 3.; 2.; 1.; 3. |] 7. in
+  let solve order =
+    let options = { Bb.default_options with Bb.node_order = order } in
+    match Bb.solve ~options lp with
+    | Bb.Optimal { obj; _ }, _ -> user_obj lp obj
+    | o, _ -> Alcotest.failf "unexpected %a" Bb.pp_outcome o
+  in
+  check_float "dfs = best-bound" (solve Bb.Depth_first) (solve Bb.Best_bound)
+
+let test_custom_branch_rule () =
+  (* a rule may pick an unfixed variable even when integral; once the
+     variable is fixed at a node, the solver falls back gracefully *)
+  let lp, vars = knapsack [| 10.; 6.; 4. |] [| 5.; 4.; 3. |] 8. in
+  let bogus =
+    Some
+      (fun ~lp_solution:_ ~is_fixed:_ -> Some ((vars.(0) : Lp.var :> int)))
+  in
+  let options = { Bb.default_options with Bb.branch_rule = bogus } in
+  match Bb.solve ~options lp with
+  | Bb.Optimal { obj; _ }, _ -> check_float "obj" 14. (user_obj lp obj)
+  | o, _ -> Alcotest.failf "unexpected %a" Bb.pp_outcome o
+
+let test_on_incumbent_callback () =
+  let lp, _ = knapsack [| 10.; 6.; 4. |] [| 5.; 4.; 3. |] 8. in
+  let calls = ref [] in
+  let options =
+    {
+      Bb.default_options with
+      Bb.on_incumbent = Some (fun obj _ -> calls := obj :: !calls);
+    }
+  in
+  (match Bb.solve ~options lp with
+   | Bb.Optimal { obj; _ }, _ ->
+     Alcotest.(check bool) "called" true (!calls <> []);
+     (* incumbents improve monotonically; the last equals the optimum *)
+     check_float "last incumbent" obj (List.hd !calls);
+     let rec monotone = function
+       | a :: (b :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+       | _ -> true
+     in
+     Alcotest.(check bool) "monotone" true (monotone !calls)
+   | o, _ -> Alcotest.failf "unexpected %a" Bb.pp_outcome o)
+
+let test_fractionality () =
+  check_float "0.5" 0.5 (Bb.fractionality 0.5);
+  check_float "2.25" 0.25 (Bb.fractionality 2.25);
+  check_float "3.0" 0. (Bb.fractionality 3.);
+  check_float "-1.75" 0.25 (Bb.fractionality (-1.75))
+
+(* -------- exhaustive cross-check on random binary models -------- *)
+
+let brute_force lp n =
+  (* enumerate all 2^n binary points; return best user objective *)
+  let best = ref None in
+  for code = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun j -> Float.of_int ((code lsr j) land 1)) in
+    if Ilp.Feas_check.is_feasible lp x then begin
+      let v = Ilp.Feas_check.objective_value lp x in
+      match !best with
+      | None -> best := Some v
+      | Some b -> if v > b then best := Some v
+    end
+  done;
+  !best
+
+let make_rand_binary seed ~n ~m =
+  let rng = Taskgraph.Prng.create seed in
+  let lp = Lp.create () in
+  let vars = Array.init n (fun _ -> Lp.add_var lp Lp.Binary) in
+  for _ = 1 to m do
+    let terms =
+      Array.to_list vars
+      |> List.filter_map (fun v ->
+             if Taskgraph.Prng.bool rng 0.6 then
+               Some (Float.of_int (Taskgraph.Prng.int_in rng (-3) 4), v)
+             else None)
+    in
+    if terms <> [] then begin
+      let rhs = Float.of_int (Taskgraph.Prng.int_in rng 0 6) in
+      let sense = if Taskgraph.Prng.bool rng 0.8 then Lp.Le else Lp.Ge in
+      ignore (Lp.add_constr lp terms sense rhs)
+    end
+  done;
+  Lp.set_objective lp ~maximize:true
+    (Array.to_list vars
+    |> List.map (fun v -> (Float.of_int (Taskgraph.Prng.int_in rng (-5) 5), v)));
+  lp
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~name:"b&b equals exhaustive enumeration (n<=8)" ~count:120
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let n = 4 + (seed mod 5) in
+      let lp = make_rand_binary seed ~n ~m:5 in
+      let expect = brute_force lp n in
+      match (Bb.solve lp, expect) with
+      | (Bb.Optimal { obj; x }, _), Some b ->
+        Float.abs (user_obj lp obj -. b) <= 1e-6
+        && Ilp.Feas_check.is_feasible lp x
+      | (Bb.Infeasible, _), None -> true
+      | _, _ -> false)
+
+let prop_warm_equals_cold =
+  QCheck.Test.make ~name:"warm-start b&b equals from-scratch b&b" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let lp = make_rand_binary seed ~n:8 ~m:6 in
+      let solve warm =
+        let options = { Bb.default_options with Bb.warm_start = warm } in
+        Bb.solve ~options lp
+      in
+      match (solve true, solve false) with
+      | (Bb.Optimal { obj = a; _ }, _), (Bb.Optimal { obj = b; _ }, _) ->
+        Float.abs (a -. b) <= 1e-6
+      | (Bb.Infeasible, _), (Bb.Infeasible, _) -> true
+      | _, _ -> false)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "branch-bound"
+    [
+      ( "hand-checked",
+        [
+          Alcotest.test_case "knapsack" `Quick test_knapsack;
+          Alcotest.test_case "infeasible" `Quick test_infeasible_milp;
+          Alcotest.test_case "integrality gap" `Quick test_integrality_gap;
+          Alcotest.test_case "general integer" `Quick test_general_integer;
+          Alcotest.test_case "node limit" `Quick test_node_limit;
+          Alcotest.test_case "value orders agree" `Quick
+            test_value_orders_agree;
+          Alcotest.test_case "node orders agree" `Quick test_node_orders_agree;
+          Alcotest.test_case "custom branch rule" `Quick
+            test_custom_branch_rule;
+          Alcotest.test_case "incumbent callback" `Quick
+            test_on_incumbent_callback;
+          Alcotest.test_case "fractionality" `Quick test_fractionality;
+        ] );
+      ( "properties",
+        [ qt prop_matches_brute_force; qt prop_warm_equals_cold ] );
+    ]

@@ -1,0 +1,365 @@
+(* Tests for the HLS substrate: component library and allocations,
+   ASAP/ALAP schedules, the list scheduler and the segment-count
+   estimator. *)
+
+module G = Taskgraph.Graph
+module Ex = Taskgraph.Examples
+module C = Hls.Component
+module S = Hls.Schedule
+module Ls = Hls.List_scheduler
+module Est = Hls.Estimate
+
+(* ---------------- Component ---------------- *)
+
+let test_library_lookup () =
+  let add = C.find C.default_library "add16" in
+  Alcotest.(check bool) "executes add" true (C.can_execute add G.Add);
+  Alcotest.(check bool) "not mul" false (C.can_execute add G.Mul);
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (C.find C.default_library "nosuch"))
+
+let test_alu_dual_op () =
+  let alu = C.find C.default_library "alu16" in
+  Alcotest.(check bool) "alu add" true (C.can_execute alu G.Add);
+  Alcotest.(check bool) "alu sub" true (C.can_execute alu G.Sub);
+  (* two distinct FU kinds implement Add: the exploration the paper
+     highlights over Gebotys' model *)
+  Alcotest.(check bool) "two kinds for add" true
+    (List.length (C.kinds_for C.default_library G.Add) >= 2)
+
+let test_instances_and_fg () =
+  let alloc = C.ams (2, 2, 1) in
+  let insts = C.instances alloc in
+  Alcotest.(check int) "5 instances" 5 (Array.length insts);
+  Alcotest.(check int) "ids dense" 10
+    (Array.fold_left (fun acc i -> acc + i.C.inst_id) 0 insts);
+  Alcotest.(check int) "total fg" (20 + 20 + 60 + 60 + 20) (C.total_fg alloc)
+
+let test_instances_rejects_nonpositive () =
+  Alcotest.check_raises "zero count"
+    (Invalid_argument "Component.instances: count <= 0") (fun () ->
+      ignore (C.instances [ (C.find C.default_library "add16", 0) ]))
+
+let test_covers () =
+  let g = Ex.figure1 () in
+  Alcotest.(check bool) "ams covers" true (C.covers (C.ams (1, 1, 1)) g);
+  Alcotest.(check bool) "no mul" false (C.covers (C.ams (1, 0, 1)) g);
+  (* an ALU covers both add and sub *)
+  let alu_mul =
+    [ (C.find C.default_library "alu16", 1); (C.find C.default_library "mul16", 1) ]
+  in
+  Alcotest.(check bool) "alu+mul covers" true (C.covers alu_mul g)
+
+(* ---------------- Schedule ---------------- *)
+
+let test_asap_alap_chain () =
+  let g = Ex.chain 4 in
+  let s = S.compute g in
+  Alcotest.(check (array int)) "asap" [| 1; 2; 3; 4 |] s.S.asap;
+  Alcotest.(check (array int)) "alap" [| 1; 2; 3; 4 |] s.S.alap;
+  Alcotest.(check int) "cp" 4 s.S.cp_length;
+  Alcotest.(check int) "mobility 0" 0 (S.mobility s 2);
+  Alcotest.(check (pair int int)) "window relax 2" (2, 4) (S.window s ~relax:2 1)
+
+let test_asap_alap_valid_on_examples () =
+  List.iter
+    (fun n ->
+      let g = Ex.paper_graph n in
+      S.check_valid g (S.compute g))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_ops_in_step () =
+  let g = Ex.chain 3 in
+  let s = S.compute g in
+  Alcotest.(check (list int)) "cs-1 of 2 no relax" [ 1 ] (S.ops_in_step s ~relax:0 g 2);
+  (* with relax 1 both op0 (window 1-2) and op1 (2-3) cover step 2 *)
+  Alcotest.(check (list int)) "cs-1 of 2 relax 1" [ 0; 1 ]
+    (S.ops_in_step s ~relax:1 g 2)
+
+let prop_schedule_valid =
+  QCheck.Test.make ~name:"asap/alap valid on random graphs" ~count:100
+    QCheck.(pair (int_range 1 10) (int_bound 10_000))
+    (fun (tasks, seed) ->
+      let g =
+        Taskgraph.Generator.generate
+          (Taskgraph.Generator.default ~tasks ~ops:(tasks * 4) ~seed)
+      in
+      S.check_valid g (S.compute g);
+      true)
+
+(* ---------------- List scheduler ---------------- *)
+
+let test_list_schedule_serializes () =
+  (* single adder: the adds of a 3-add parallel graph serialize *)
+  let b = G.builder () in
+  let t = G.add_task b () in
+  let _o1 = G.add_op b ~task:t G.Add in
+  let _o2 = G.add_op b ~task:t G.Add in
+  let _o3 = G.add_op b ~task:t G.Add in
+  let g = G.build b in
+  match Ls.schedule g (C.ams (1, 0, 0)) with
+  | None -> Alcotest.fail "expected coverage"
+  | Some bdg ->
+    Ls.check_valid g (C.ams (1, 0, 0)) bdg;
+    Alcotest.(check int) "3 steps" 3 (Ls.length bdg);
+    Alcotest.(check (list int)) "one instance" [ 0 ] (Ls.used_instances bdg)
+
+let test_list_schedule_parallelizes () =
+  let b = G.builder () in
+  let t = G.add_task b () in
+  let _ = G.add_op b ~task:t G.Add in
+  let _ = G.add_op b ~task:t G.Add in
+  let g = G.build b in
+  match Ls.schedule g (C.ams (2, 0, 0)) with
+  | None -> Alcotest.fail "coverage"
+  | Some bdg ->
+    Ls.check_valid g (C.ams (2, 0, 0)) bdg;
+    Alcotest.(check int) "1 step" 1 (Ls.length bdg)
+
+let test_list_schedule_no_coverage () =
+  let g = Ex.figure1 () in
+  Alcotest.(check bool) "no multiplier -> None" true
+    (Ls.schedule g (C.ams (2, 0, 1)) = None)
+
+let test_list_schedule_restrict () =
+  let g = Ex.figure1 () in
+  let ops = G.task_ops g 0 in
+  match Ls.schedule ~restrict:ops g (C.ams (1, 1, 1)) with
+  | None -> Alcotest.fail "coverage"
+  | Some bdg ->
+    Ls.check_valid ~restrict:ops g (C.ams (1, 1, 1)) bdg;
+    (* ops outside the set are unscheduled *)
+    List.iter
+      (fun i ->
+        if not (List.mem i ops) then
+          Alcotest.(check int) "outside -1" (-1) bdg.Ls.step.(i))
+      (List.init (G.num_ops g) Fun.id)
+
+let prop_list_schedule_valid =
+  QCheck.Test.make ~name:"list schedules are valid on random graphs"
+    ~count:100
+    QCheck.(pair (int_range 1 8) (int_bound 10_000))
+    (fun (tasks, seed) ->
+      let g =
+        Taskgraph.Generator.generate
+          (Taskgraph.Generator.default ~tasks ~ops:(tasks * 5) ~seed)
+      in
+      let alloc = C.ams (2, 1, 1) in
+      match Ls.schedule g alloc with
+      | None -> QCheck.assume_fail ()
+      | Some bdg ->
+        Ls.check_valid g alloc bdg;
+        (* length is at least the critical path and at least ops/units *)
+        let cp = Taskgraph.Topo.critical_path_length g in
+        Ls.length bdg >= cp)
+
+let prop_more_units_never_slower =
+  QCheck.Test.make ~name:"adding units never lengthens the list schedule"
+    ~count:80
+    QCheck.(pair (int_range 1 8) (int_bound 10_000))
+    (fun (tasks, seed) ->
+      let g =
+        Taskgraph.Generator.generate
+          (Taskgraph.Generator.default ~tasks ~ops:(tasks * 4) ~seed)
+      in
+      match (Ls.schedule g (C.ams (1, 1, 1)), Ls.schedule g (C.ams (3, 3, 3)))
+      with
+      | Some small, Some big -> Ls.length big <= Ls.length small
+      | _ -> QCheck.assume_fail ())
+
+let test_fu_requirements () =
+  let g = Ex.chain 4 in
+  (* a chain never has two concurrent ops *)
+  let req = Ls.fu_requirements g in
+  List.iter (fun (_, n) -> Alcotest.(check int) "1 each" 1 n) req;
+  (* parallel adds need parallel adders *)
+  let b = G.builder () in
+  let t = G.add_task b () in
+  let _ = G.add_op b ~task:t G.Add in
+  let _ = G.add_op b ~task:t G.Add in
+  let g2 = G.build b in
+  match Ls.fu_requirements g2 with
+  | [ (k, n) ] ->
+    Alcotest.(check int) "2 adders" 2 n;
+    Alcotest.(check bool) "cheapest is add16" true (k.C.fu_name = "add16")
+  | _ -> Alcotest.fail "one kind expected"
+
+(* ---------------- Estimate ---------------- *)
+
+let constraints ~capacity ~max_steps = { Est.capacity; alpha = 0.7; max_steps }
+
+let test_estimate_single_segment () =
+  let g = Ex.figure1 () in
+  match
+    Est.estimate g (C.ams (2, 2, 1)) (constraints ~capacity:300 ~max_steps:50)
+  with
+  | Some seg ->
+    Alcotest.(check int) "one segment" 1 (Est.num_segments seg);
+    Alcotest.(check int) "no comm" 0 seg.Est.comm_cost
+  | None -> Alcotest.fail "expected feasible"
+
+let test_estimate_splits_on_capacity () =
+  (* budget 100 FG forces a minimal 1A+1M+1S set whose 10 adds cannot
+     fit the 9-step budget: the estimator must split *)
+  let g = Ex.figure1 () in
+  match
+    Est.estimate g (C.ams (2, 2, 1)) (constraints ~capacity:70 ~max_steps:9)
+  with
+  | Some seg ->
+    Alcotest.(check bool) "multiple segments" true (Est.num_segments seg > 1)
+  | None -> Alcotest.fail "expected feasible"
+
+let test_estimate_infeasible_tiny_capacity () =
+  let g = Ex.figure1 () in
+  Alcotest.(check bool) "infeasible" true
+    (Est.estimate g (C.ams (2, 2, 1)) (constraints ~capacity:10 ~max_steps:50)
+     = None)
+
+let test_comm_cost_of_segments () =
+  let g = Ex.diamond () in
+  (* src | left right join: cut = src->left (2) + src->right (3) *)
+  Alcotest.(check int) "cut" 5
+    (Est.comm_cost_of_segments g [ [ 0 ]; [ 1; 2; 3 ] ]);
+  Alcotest.(check int) "no cut" 0
+    (Est.comm_cost_of_segments g [ [ 0; 1; 2; 3 ] ])
+
+let prop_estimate_segments_fit =
+  QCheck.Test.make ~name:"estimator segments respect the step budget"
+    ~count:60
+    QCheck.(pair (int_range 2 8) (int_bound 10_000))
+    (fun (tasks, seed) ->
+      let g =
+        Taskgraph.Generator.generate
+          (Taskgraph.Generator.default ~tasks ~ops:(tasks * 4) ~seed)
+      in
+      let alloc = C.ams (1, 1, 1) in
+      let cp = Taskgraph.Topo.critical_path_length g in
+      let c = constraints ~capacity:200 ~max_steps:(cp + 3) in
+      match Est.estimate g alloc c with
+      | None -> QCheck.assume_fail ()
+      | Some seg ->
+        List.for_all
+          (fun tasks_of_seg ->
+            let ops = List.concat_map (G.task_ops g) tasks_of_seg in
+            match Ls.schedule ~restrict:ops g alloc with
+            | None -> false
+            | Some b -> Ls.length b <= c.Est.max_steps)
+          seg.Est.segments)
+
+(* ---------------- Multicycle / pipelined units (Section 3.3) -------- *)
+
+let test_weighted_schedule () =
+  (* chain of 3 ops with latency 2 each: issues at 1, 3, 5; cp = 6 *)
+  let g = Ex.chain 3 in
+  let s = S.compute_weighted ~latency:(fun _ -> 2) g in
+  Alcotest.(check (array int)) "asap" [| 1; 3; 5 |] s.S.asap;
+  Alcotest.(check int) "cp covers completion" 6 s.S.cp_length;
+  Alcotest.(check (array int)) "alap" [| 1; 3; 5 |] s.S.alap
+
+let multicycle_alloc ~pipelined =
+  let lib = C.default_library in
+  [ (C.find lib "add16", 1);
+    (C.find lib (if pipelined then "mul16p2" else "mul16seq"), 1) ]
+
+let mul_chain_graph n =
+  let b = G.builder () in
+  let t = G.add_task b () in
+  let ops = Array.init n (fun _ -> G.add_op b ~task:t G.Mul) in
+  for i = 1 to n - 1 do
+    G.add_op_dep b ops.(i - 1) ops.(i)
+  done;
+  G.build b
+
+let mul_parallel_graph n =
+  let b = G.builder () in
+  let t = G.add_task b () in
+  for _ = 1 to n do
+    ignore (G.add_op b ~task:t G.Mul)
+  done;
+  G.build b
+
+let test_pipelined_multiplier_throughput () =
+  (* 3 independent muls on one 2-stage pipelined multiplier: issues at
+     1,2,3; last result at step 4 *)
+  let g = mul_parallel_graph 3 in
+  match Ls.schedule g (multicycle_alloc ~pipelined:true) with
+  | None -> Alcotest.fail "coverage"
+  | Some b ->
+    Ls.check_valid g (multicycle_alloc ~pipelined:true) b;
+    Alcotest.(check int) "length 4" 4 (Ls.length b)
+
+let test_blocking_multiplier_serializes () =
+  (* 3 independent muls on one 3-cycle blocking multiplier: issues at
+     1,4,7; last result at step 9 *)
+  let g = mul_parallel_graph 3 in
+  match Ls.schedule g (multicycle_alloc ~pipelined:false) with
+  | None -> Alcotest.fail "coverage"
+  | Some b ->
+    Ls.check_valid g (multicycle_alloc ~pipelined:false) b;
+    Alcotest.(check int) "length 9" 9 (Ls.length b)
+
+let test_latency_respected_in_chain () =
+  (* dependent muls wait for results regardless of pipelining *)
+  let g = mul_chain_graph 3 in
+  match Ls.schedule g (multicycle_alloc ~pipelined:true) with
+  | None -> Alcotest.fail "coverage"
+  | Some b ->
+    Ls.check_valid g (multicycle_alloc ~pipelined:true) b;
+    Alcotest.(check int) "length 6" 6 (Ls.length b)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "hls"
+    [
+      ( "component",
+        [
+          Alcotest.test_case "library lookup" `Quick test_library_lookup;
+          Alcotest.test_case "alu dual op" `Quick test_alu_dual_op;
+          Alcotest.test_case "instances/fg" `Quick test_instances_and_fg;
+          Alcotest.test_case "nonpositive count" `Quick
+            test_instances_rejects_nonpositive;
+          Alcotest.test_case "covers" `Quick test_covers;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "chain asap/alap" `Quick test_asap_alap_chain;
+          Alcotest.test_case "valid on paper graphs" `Quick
+            test_asap_alap_valid_on_examples;
+          Alcotest.test_case "ops_in_step" `Quick test_ops_in_step;
+          qt prop_schedule_valid;
+        ] );
+      ( "list_scheduler",
+        [
+          Alcotest.test_case "serializes" `Quick test_list_schedule_serializes;
+          Alcotest.test_case "parallelizes" `Quick
+            test_list_schedule_parallelizes;
+          Alcotest.test_case "no coverage" `Quick test_list_schedule_no_coverage;
+          Alcotest.test_case "restrict" `Quick test_list_schedule_restrict;
+          Alcotest.test_case "fu requirements" `Quick test_fu_requirements;
+          qt prop_list_schedule_valid;
+          qt prop_more_units_never_slower;
+        ] );
+      ( "multicycle",
+        [
+          Alcotest.test_case "weighted asap/alap" `Quick
+            test_weighted_schedule;
+          Alcotest.test_case "pipelined throughput" `Quick
+            test_pipelined_multiplier_throughput;
+          Alcotest.test_case "blocking serializes" `Quick
+            test_blocking_multiplier_serializes;
+          Alcotest.test_case "chain waits for results" `Quick
+            test_latency_respected_in_chain;
+        ] );
+      ( "estimate",
+        [
+          Alcotest.test_case "single segment" `Quick
+            test_estimate_single_segment;
+          Alcotest.test_case "splits on capacity" `Quick
+            test_estimate_splits_on_capacity;
+          Alcotest.test_case "tiny capacity infeasible" `Quick
+            test_estimate_infeasible_tiny_capacity;
+          Alcotest.test_case "comm cost of segments" `Quick
+            test_comm_cost_of_segments;
+          qt prop_estimate_segments_fit;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+(* Tests for the MILP presolve: redundancy removal, bound propagation,
+   infeasibility proofs, integer rounding, and the key property that
+   presolve preserves the optimum of random binary models. *)
+
+module Lp = Ilp.Lp
+module P = Ilp.Presolve
+module Bb = Ilp.Branch_bound
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let test_redundant_row_removed () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Binary in
+  let y = Lp.add_var lp Lp.Binary in
+  (* x + y <= 5 can never bind for binaries *)
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Le 5.);
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Le 1.);
+  match P.presolve lp with
+  | P.Reduced (out, stats) ->
+    Alcotest.(check int) "one row left" 1 (Lp.num_constrs out);
+    Alcotest.(check int) "one removed" 1 stats.P.rows_removed
+  | P.Infeasible m -> Alcotest.failf "unexpected infeasible: %s" m
+
+let test_infeasible_detected () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Binary in
+  let y = Lp.add_var lp Lp.Binary in
+  ignore (Lp.add_constr lp ~name:"too_big" [ (1., x); (1., y) ] Lp.Ge 3.);
+  match P.presolve lp with
+  | P.Infeasible m -> Alcotest.(check string) "witness" "too_big" m
+  | P.Reduced _ -> Alcotest.fail "expected infeasible"
+
+let test_singleton_tightens () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~ub:10. Lp.Continuous in
+  ignore (Lp.add_constr lp [ (2., x) ] Lp.Le 6.);
+  match P.presolve lp with
+  | P.Reduced (out, _) ->
+    check_float "ub tightened" 3. (Lp.var_ub out (Lp.var_of_int out 0));
+    (* the row became redundant after tightening and a further pass *)
+    Alcotest.(check int) "row dropped" 0 (Lp.num_constrs out)
+  | P.Infeasible m -> Alcotest.failf "unexpected infeasible: %s" m
+
+let test_integer_rounding () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~ub:9. Lp.Integer in
+  ignore (Lp.add_constr lp [ (2., x) ] Lp.Le 7.);
+  (match P.presolve lp with
+   | P.Reduced (out, _) ->
+     (* 2x <= 7 -> x <= 3.5 -> x <= 3 for integer x *)
+     check_float "floor" 3. (Lp.var_ub out (Lp.var_of_int out 0))
+   | P.Infeasible m -> Alcotest.failf "unexpected infeasible: %s" m);
+  (* Ge side rounds up *)
+  let lp2 = Lp.create () in
+  let y = Lp.add_var lp2 ~ub:9. Lp.Integer in
+  ignore (Lp.add_constr lp2 [ (2., y) ] Lp.Ge 3.);
+  match P.presolve lp2 with
+  | P.Reduced (out, _) ->
+    check_float "ceil" 2. (Lp.var_lb out (Lp.var_of_int out 0))
+  | P.Infeasible m -> Alcotest.failf "unexpected infeasible: %s" m
+
+let test_fixing_by_propagation () =
+  (* x + y >= 2 for binaries fixes both to 1 *)
+  let lp = Lp.create () in
+  let _x = Lp.add_var lp Lp.Binary in
+  let _y = Lp.add_var lp Lp.Binary in
+  ignore
+    (Lp.add_constr lp
+       [ (1., Lp.var_of_int lp 0); (1., Lp.var_of_int lp 1) ]
+       Lp.Ge 2.);
+  match P.presolve lp with
+  | P.Reduced (out, stats) ->
+    check_float "x fixed" 1. (Lp.var_lb out (Lp.var_of_int out 0));
+    check_float "y fixed" 1. (Lp.var_lb out (Lp.var_of_int out 1));
+    Alcotest.(check int) "2 fixed" 2 stats.P.vars_fixed
+  | P.Infeasible m -> Alcotest.failf "unexpected infeasible: %s" m
+
+let test_objective_preserved () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Binary in
+  let y = Lp.add_var lp Lp.Binary in
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Le 1.);
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Le 9.);
+  Lp.set_objective lp ~maximize:true [ (3., x); (2., y) ];
+  match P.presolve lp with
+  | P.Reduced (out, _) ->
+    (match Bb.solve out with
+     | Bb.Optimal { obj; _ }, _ ->
+       check_float "same optimum" 3. (Lp.obj_sign out *. obj)
+     | o, _ -> Alcotest.failf "unexpected %a" Bb.pp_outcome o)
+  | P.Infeasible m -> Alcotest.failf "unexpected infeasible: %s" m
+
+(* property: presolve preserves the MILP optimum on random models *)
+let make_rand_binary seed ~n ~m =
+  let rng = Taskgraph.Prng.create seed in
+  let lp = Lp.create () in
+  let vars = Array.init n (fun _ -> Lp.add_var lp Lp.Binary) in
+  for _ = 1 to m do
+    let terms =
+      Array.to_list vars
+      |> List.filter_map (fun v ->
+             if Taskgraph.Prng.bool rng 0.6 then
+               Some (Float.of_int (Taskgraph.Prng.int_in rng (-3) 4), v)
+             else None)
+    in
+    if terms <> [] then begin
+      let rhs = Float.of_int (Taskgraph.Prng.int_in rng 0 6) in
+      let sense = if Taskgraph.Prng.bool rng 0.8 then Lp.Le else Lp.Ge in
+      ignore (Lp.add_constr lp terms sense rhs)
+    end
+  done;
+  Lp.set_objective lp ~maximize:true
+    (Array.to_list vars
+    |> List.map (fun v -> (Float.of_int (Taskgraph.Prng.int_in rng (-5) 5), v)));
+  lp
+
+let prop_presolve_preserves_optimum =
+  QCheck.Test.make ~name:"presolve preserves the MILP optimum" ~count:120
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let lp = make_rand_binary seed ~n:7 ~m:6 in
+      let direct = Bb.solve lp in
+      match P.presolve lp with
+      | P.Infeasible _ -> (
+        match direct with Bb.Infeasible, _ -> true | _ -> false)
+      | P.Reduced (out, _) -> (
+        let reduced = Bb.solve out in
+        match (direct, reduced) with
+        | (Bb.Optimal { obj = a; _ }, _), (Bb.Optimal { obj = b; _ }, _) ->
+          Float.abs (a -. b) <= 1e-6
+        | (Bb.Infeasible, _), (Bb.Infeasible, _) -> true
+        | _ -> false))
+
+let prop_presolve_never_cuts_feasible_points =
+  QCheck.Test.make ~name:"presolve keeps every feasible binary point"
+    ~count:80
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let n = 6 in
+      let lp = make_rand_binary seed ~n ~m:5 in
+      match P.presolve lp with
+      | P.Infeasible _ ->
+        (* then no binary point may be feasible *)
+        let any = ref false in
+        for code = 0 to (1 lsl n) - 1 do
+          let x = Array.init n (fun j -> Float.of_int ((code lsr j) land 1)) in
+          if Ilp.Feas_check.is_feasible lp x then any := true
+        done;
+        not !any
+      | P.Reduced (out, _) ->
+        (* every point feasible for the original stays feasible *)
+        let ok = ref true in
+        for code = 0 to (1 lsl n) - 1 do
+          let x = Array.init n (fun j -> Float.of_int ((code lsr j) land 1)) in
+          if
+            Ilp.Feas_check.is_feasible lp x
+            && not (Ilp.Feas_check.is_feasible out x)
+          then ok := false
+        done;
+        !ok)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "presolve"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "redundant row" `Quick test_redundant_row_removed;
+          Alcotest.test_case "infeasible" `Quick test_infeasible_detected;
+          Alcotest.test_case "singleton" `Quick test_singleton_tightens;
+          Alcotest.test_case "integer rounding" `Quick test_integer_rounding;
+          Alcotest.test_case "fixing" `Quick test_fixing_by_propagation;
+          Alcotest.test_case "objective preserved" `Quick
+            test_objective_preserved;
+        ] );
+      ( "properties",
+        [ qt prop_presolve_preserves_optimum;
+          qt prop_presolve_never_cuts_feasible_points ] );
+    ]

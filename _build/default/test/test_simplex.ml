@@ -1,0 +1,331 @@
+(* Tests for the bounded-variable simplex: hand-checked LPs, degenerate
+   and pathological cases, and randomized properties (feasibility of the
+   reported optimum, optimality versus sampled feasible points, and
+   warm-start/fresh-solve agreement). *)
+
+module Lp = Ilp.Lp
+module Sx = Ilp.Simplex
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let solve_status lp =
+  let r = Sx.solve lp in
+  r.Sx.status
+
+let user_obj lp (r : Sx.result) = Lp.obj_sign lp *. r.Sx.obj
+
+(* -------- hand-checked LPs -------- *)
+
+let test_basic_max () =
+  (* max 3x + 2y st x + y <= 4; x + 3y <= 6 -> (4, 0), obj 12 *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Continuous in
+  let y = Lp.add_var lp Lp.Continuous in
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Le 4.);
+  ignore (Lp.add_constr lp [ (1., x); (3., y) ] Lp.Le 6.);
+  Lp.set_objective lp ~maximize:true [ (3., x); (2., y) ];
+  let r = Sx.solve lp in
+  Alcotest.(check bool) "optimal" true (r.Sx.status = Sx.Optimal);
+  check_float "obj" 12. (user_obj lp r);
+  check_float "x" 4. r.Sx.x.((x :> int));
+  check_float "y" 0. r.Sx.x.((y :> int))
+
+let test_phase1_eq_ge () =
+  (* min x + y st x + y >= 3; x - y = 1; x <= 2 -> (2, 1), obj 3 *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~ub:2. Lp.Continuous in
+  let y = Lp.add_var lp Lp.Continuous in
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Ge 3.);
+  ignore (Lp.add_constr lp [ (1., x); (-1., y) ] Lp.Eq 1.);
+  Lp.set_objective lp [ (1., x); (1., y) ];
+  let r = Sx.solve lp in
+  Alcotest.(check bool) "optimal" true (r.Sx.status = Sx.Optimal);
+  check_float "obj" 3. r.Sx.obj;
+  check_float "x" 2. r.Sx.x.((x :> int));
+  check_float "y" 1. r.Sx.x.((y :> int))
+
+let test_infeasible () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Continuous in
+  ignore (Lp.add_constr lp [ (1., x) ] Lp.Le 1.);
+  ignore (Lp.add_constr lp [ (1., x) ] Lp.Ge 2.);
+  Alcotest.(check bool) "infeasible" true (solve_status lp = Sx.Infeasible)
+
+let test_unbounded () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Continuous in
+  ignore (Lp.add_constr lp [ (1., x) ] Lp.Ge 0.);
+  Lp.set_objective lp ~maximize:true [ (1., x) ];
+  Alcotest.(check bool) "unbounded" true (solve_status lp = Sx.Unbounded)
+
+let test_bounded_by_var_bounds_only () =
+  (* no constraints at all: optimum at the bound *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~lb:(-3.) ~ub:7. Lp.Continuous in
+  ignore (Lp.add_constr lp [ (1., x) ] Lp.Le 100.);
+  Lp.set_objective lp ~maximize:true [ (1., x) ];
+  let r = Sx.solve lp in
+  check_float "at upper bound" 7. r.Sx.x.((x :> int))
+
+let test_negative_lower_bounds () =
+  (* min x + y with x >= -5, y >= -5, x + y >= -6 -> obj -6 *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~lb:(-5.) Lp.Continuous in
+  let y = Lp.add_var lp ~lb:(-5.) Lp.Continuous in
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Ge (-6.));
+  Lp.set_objective lp [ (1., x); (1., y) ];
+  let r = Sx.solve lp in
+  Alcotest.(check bool) "optimal" true (r.Sx.status = Sx.Optimal);
+  check_float "obj" (-6.) r.Sx.obj
+
+let test_free_variable () =
+  (* free variable pinned by an equality *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~lb:Float.neg_infinity ~ub:Float.infinity Lp.Continuous in
+  let y = Lp.add_var lp ~ub:10. Lp.Continuous in
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Eq 4.);
+  Lp.set_objective lp [ (1., x) ];
+  let r = Sx.solve lp in
+  Alcotest.(check bool) "optimal" true (r.Sx.status = Sx.Optimal);
+  (* min x -> y at its max 10, x = -6 *)
+  check_float "obj" (-6.) r.Sx.obj
+
+let test_degenerate () =
+  (* multiple redundant constraints through one vertex *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Continuous in
+  let y = Lp.add_var lp Lp.Continuous in
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Le 1.);
+  ignore (Lp.add_constr lp [ (2., x); (2., y) ] Lp.Le 2.);
+  ignore (Lp.add_constr lp [ (1., x) ] Lp.Le 1.);
+  ignore (Lp.add_constr lp [ (1., y) ] Lp.Le 1.);
+  Lp.set_objective lp ~maximize:true [ (1., x); (1., y) ];
+  let r = Sx.solve lp in
+  check_float "obj" 1. (user_obj lp r)
+
+let test_equality_fixed_value () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~ub:9. Lp.Continuous in
+  ignore (Lp.add_constr lp [ (2., x) ] Lp.Eq 6.);
+  Lp.set_objective lp ~maximize:true [ (1., x) ];
+  let r = Sx.solve lp in
+  check_float "x pinned" 3. r.Sx.x.((x :> int))
+
+let test_zero_rows_model () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~ub:2. Lp.Continuous in
+  (* A model without constraints still needs at least dimension-0 row
+     handling: add a vacuous row to exercise m >= 1, then none. *)
+  Lp.set_objective lp ~maximize:true [ (1., x) ];
+  let r = Sx.solve lp in
+  check_float "no rows" 2. (user_obj lp r)
+
+(* -------- randomized properties -------- *)
+
+(* Random LP with a known feasible point: x0 random in [0, 5]^n; rows
+   a.x <= a.x0 + slack with a >= 0. Box bounds keep it bounded. *)
+type rand_lp = {
+  lp : Lp.t;
+  x0 : float array;
+}
+
+let make_rand_lp (seed : int) ~n ~m =
+  let rng = Taskgraph.Prng.create seed in
+  let lp = Lp.create () in
+  let vars =
+    Array.init n (fun _ -> Lp.add_var lp ~ub:5. Lp.Continuous)
+  in
+  let x0 = Array.init n (fun _ -> Taskgraph.Prng.float rng *. 5.) in
+  for _ = 1 to m do
+    let terms =
+      Array.to_list vars
+      |> List.filter_map (fun v ->
+             if Taskgraph.Prng.bool rng 0.5 then
+               Some (Float.of_int (Taskgraph.Prng.int_in rng 1 4), v)
+             else None)
+    in
+    if terms <> [] then begin
+      let act =
+        List.fold_left
+          (fun acc ((c : float), (v : Lp.var)) -> acc +. (c *. x0.((v :> int))))
+          0. terms
+      in
+      let slack = Taskgraph.Prng.float rng *. 3. in
+      ignore (Lp.add_constr lp terms Lp.Le (act +. slack))
+    end
+  done;
+  let obj =
+    Array.to_list vars
+    |> List.map (fun v ->
+           (Float.of_int (Taskgraph.Prng.int_in rng (-3) 3), v))
+  in
+  Lp.set_objective lp ~maximize:true obj;
+  { lp; x0 }
+
+let prop_feasible_and_dominates =
+  QCheck.Test.make ~name:"simplex optimum feasible and >= sampled point"
+    ~count:150 QCheck.(int_bound 100_000)
+    (fun seed ->
+      let { lp; x0 } = make_rand_lp seed ~n:6 ~m:8 in
+      let r = Sx.solve lp in
+      match r.Sx.status with
+      | Sx.Optimal ->
+        let feas = Ilp.Feas_check.is_feasible ~tol:1e-5 lp r.Sx.x in
+        let dominates =
+          user_obj lp r +. 1e-5 >= Ilp.Feas_check.objective_value lp x0
+        in
+        feas && dominates
+      | Sx.Unbounded | Sx.Infeasible | Sx.Iter_limit ->
+        (* by construction the model is feasible and bounded *)
+        false)
+
+let prop_warm_start_agrees =
+  QCheck.Test.make
+    ~name:"dual_reopt after bound changes agrees with fresh primal" ~count:100
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let { lp; _ } = make_rand_lp seed ~n:6 ~m:8 in
+      let st = Sx.create lp in
+      let r0 = Sx.primal st in
+      if r0.Sx.status <> Sx.Optimal then false
+      else begin
+        let rng = Taskgraph.Prng.create (seed + 7) in
+        let ok = ref true in
+        for _round = 1 to 5 do
+          (* randomly tighten or restore some variable bounds *)
+          for j = 0 to 5 do
+            if Taskgraph.Prng.bool rng 0.4 then begin
+              let fix = Float.of_int (Taskgraph.Prng.int_in rng 0 3) in
+              Sx.set_var_bounds st j ~lb:fix ~ub:fix
+            end
+            else Sx.set_var_bounds st j ~lb:0. ~ub:5.
+          done;
+          let warm = Sx.dual_reopt st in
+          (* fresh state on the same bounds *)
+          let lp2 = Lp.copy lp in
+          for j = 0 to 5 do
+            let lb, ub = Sx.get_var_bounds st j in
+            Lp.set_bounds lp2 (Lp.var_of_int lp2 j) ~lb ~ub
+          done;
+          let fresh = Sx.solve lp2 in
+          (match (warm.Sx.status, fresh.Sx.status) with
+           | Sx.Optimal, Sx.Optimal ->
+             if Float.abs (warm.Sx.obj -. fresh.Sx.obj) > 1e-5 then ok := false
+           | Sx.Infeasible, Sx.Infeasible -> ()
+           | _, _ -> ok := false)
+        done;
+        !ok
+      end)
+
+(* Mixed-sense random LPs: equalities and >= rows anchored at a known
+   feasible point, plus occasional negative lower bounds. *)
+let make_rand_mixed seed ~n ~m =
+  let rng = Taskgraph.Prng.create seed in
+  let lp = Lp.create () in
+  let vars =
+    Array.init n (fun _ ->
+        if Taskgraph.Prng.bool rng 0.2 then
+          Lp.add_var lp ~lb:(-3.) ~ub:4. Lp.Continuous
+        else Lp.add_var lp ~ub:5. Lp.Continuous)
+  in
+  let x0 =
+    Array.init n (fun j ->
+        let v = Lp.var_of_int lp j in
+        let lo = Lp.var_lb lp v and hi = Lp.var_ub lp v in
+        lo +. (Taskgraph.Prng.float rng *. (hi -. lo)))
+  in
+  for _ = 1 to m do
+    let terms =
+      Array.to_list vars
+      |> List.filter_map (fun v ->
+             if Taskgraph.Prng.bool rng 0.5 then
+               Some (Float.of_int (Taskgraph.Prng.int_in rng (-3) 4), v)
+             else None)
+    in
+    if terms <> [] then begin
+      let act =
+        List.fold_left
+          (fun acc ((c : float), (v : Lp.var)) -> acc +. (c *. x0.((v :> int))))
+          0. terms
+      in
+      match Taskgraph.Prng.int rng 3 with
+      | 0 -> ignore (Lp.add_constr lp terms Lp.Le (act +. (Taskgraph.Prng.float rng *. 3.)))
+      | 1 -> ignore (Lp.add_constr lp terms Lp.Ge (act -. (Taskgraph.Prng.float rng *. 3.)))
+      | _ -> ignore (Lp.add_constr lp terms Lp.Eq act)
+    end
+  done;
+  let obj =
+    Array.to_list vars
+    |> List.map (fun v -> (Float.of_int (Taskgraph.Prng.int_in rng (-3) 3), v))
+  in
+  Lp.set_objective lp ~maximize:true obj;
+  (lp, x0)
+
+let prop_mixed_senses =
+  QCheck.Test.make ~name:"mixed eq/ge/le rows with negative bounds" ~count:150
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let lp, x0 = make_rand_mixed seed ~n:7 ~m:7 in
+      let r = Sx.solve lp in
+      match r.Sx.status with
+      | Sx.Optimal ->
+        Ilp.Feas_check.is_feasible ~tol:1e-5 lp r.Sx.x
+        && user_obj lp r +. 1e-5 >= Ilp.Feas_check.objective_value lp x0
+      | Sx.Unbounded | Sx.Infeasible | Sx.Iter_limit -> false)
+
+let prop_lp_bound_below_milp =
+  QCheck.Test.make ~name:"LP relaxation bounds the MILP optimum" ~count:80
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      (* binary knapsack-ish models *)
+      let rng = Taskgraph.Prng.create seed in
+      let lp = Lp.create () in
+      let n = 7 in
+      let vars = Array.init n (fun _ -> Lp.add_var lp Lp.Binary) in
+      for _ = 1 to 4 do
+        let terms =
+          Array.to_list vars
+          |> List.filter_map (fun v ->
+                 if Taskgraph.Prng.bool rng 0.7 then
+                   Some (Float.of_int (Taskgraph.Prng.int_in rng 1 5), v)
+                 else None)
+        in
+        if terms <> [] then
+          ignore
+            (Lp.add_constr lp terms Lp.Le
+               (Float.of_int (Taskgraph.Prng.int_in rng 3 12)))
+      done;
+      Lp.set_objective lp ~maximize:true
+        (Array.to_list vars
+        |> List.map (fun v -> (Float.of_int (Taskgraph.Prng.int_in rng 1 9), v)));
+      let relax = Sx.solve lp in
+      match (relax.Sx.status, Ilp.Branch_bound.solve lp) with
+      | Sx.Optimal, (Ilp.Branch_bound.Optimal { obj; _ }, _) ->
+        (* both minimization-oriented: relaxation is a lower bound *)
+        relax.Sx.obj <= obj +. 1e-6
+      | _ -> false)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "simplex"
+    [
+      ( "hand-checked",
+        [
+          Alcotest.test_case "basic max" `Quick test_basic_max;
+          Alcotest.test_case "phase1 eq/ge" `Quick test_phase1_eq_ge;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "var bounds only" `Quick
+            test_bounded_by_var_bounds_only;
+          Alcotest.test_case "negative lower bounds" `Quick
+            test_negative_lower_bounds;
+          Alcotest.test_case "free variable" `Quick test_free_variable;
+          Alcotest.test_case "degenerate vertex" `Quick test_degenerate;
+          Alcotest.test_case "equality pins value" `Quick
+            test_equality_fixed_value;
+          Alcotest.test_case "bounds-only model" `Quick test_zero_rows_model;
+        ] );
+      ( "properties",
+        [ qt prop_feasible_and_dominates; qt prop_warm_start_agrees;
+          qt prop_mixed_senses; qt prop_lp_bound_below_milp ] );
+    ]

@@ -1,0 +1,353 @@
+(* Tests for the task-graph substrate: builder validation, topological
+   utilities, the deterministic PRNG, the random generator's guarantees
+   and the paper's example graphs. *)
+
+module G = Taskgraph.Graph
+module Topo = Taskgraph.Topo
+module Gen = Taskgraph.Generator
+module Ex = Taskgraph.Examples
+module Prng = Taskgraph.Prng
+
+(* ---------------- Prng ---------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_ranges () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng 3 9 in
+    Alcotest.(check bool) "in range" true (v >= 3 && v <= 9);
+    let f = Prng.float rng in
+    Alcotest.(check bool) "unit float" true (f >= 0. && f < 1.)
+  done;
+  Alcotest.check_raises "empty range" (Invalid_argument "Prng.int_in: empty range")
+    (fun () -> ignore (Prng.int_in rng 5 4));
+  Alcotest.check_raises "n<=0" (Invalid_argument "Prng.int: n <= 0") (fun () ->
+      ignore (Prng.int rng 0))
+
+let test_prng_split_independent () =
+  let a = Prng.create 1 in
+  let b = Prng.split a in
+  (* Streams should differ (overwhelmingly likely) *)
+  let same = ref true in
+  for _ = 1 to 20 do
+    if Prng.int a 1_000_000 <> Prng.int b 1_000_000 then same := false
+  done;
+  Alcotest.(check bool) "independent" false !same
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create 3 in
+  let a = Array.init 20 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+(* ---------------- Graph builder ---------------- *)
+
+let test_builder_basic () =
+  let g = Ex.diamond () in
+  Alcotest.(check int) "tasks" 4 (G.num_tasks g);
+  Alcotest.(check int) "ops" 5 (G.num_ops g);
+  Alcotest.(check int) "edges" 4 (List.length (G.task_edges g));
+  Alcotest.(check int) "bw total" 10 (G.total_bandwidth g);
+  Alcotest.(check string) "task name" "src" (G.task_name g 0)
+
+let test_builder_rejects_op_cycle () =
+  let b = G.builder () in
+  let t = G.add_task b () in
+  let o1 = G.add_op b ~task:t G.Add in
+  let o2 = G.add_op b ~task:t G.Add in
+  G.add_op_dep b o1 o2;
+  G.add_op_dep b o2 o1;
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "Graph.build: operation graph has a cycle") (fun () ->
+      ignore (G.build b))
+
+let test_builder_rejects_empty_task () =
+  let b = G.builder () in
+  let _t = G.add_task b () in
+  Alcotest.check_raises "empty task"
+    (Invalid_argument "Graph.build: task 0 has no operations") (fun () ->
+      ignore (G.build b))
+
+let test_builder_rejects_self_loop () =
+  let b = G.builder () in
+  let t = G.add_task b () in
+  let o = G.add_op b ~task:t G.Add in
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Graph.add_op_dep: self-loop") (fun () ->
+      G.add_op_dep b o o)
+
+let test_builder_rejects_bw_on_non_edge () =
+  let b = G.builder () in
+  let t1 = G.add_task b () in
+  let t2 = G.add_task b () in
+  ignore (G.add_op b ~task:t1 G.Add);
+  ignore (G.add_op b ~task:t2 G.Add);
+  G.set_bandwidth b t1 t2 3;
+  Alcotest.check_raises "bw non-edge"
+    (Invalid_argument "Graph.build: bandwidth override on non-edge 0 -> 1")
+    (fun () -> ignore (G.build b))
+
+let test_default_bandwidth_counts_crossings () =
+  let b = G.builder () in
+  let t1 = G.add_task b () in
+  let t2 = G.add_task b () in
+  let a1 = G.add_op b ~task:t1 G.Add in
+  let a2 = G.add_op b ~task:t1 G.Mul in
+  let c1 = G.add_op b ~task:t2 G.Sub in
+  G.add_op_dep b a1 c1;
+  G.add_op_dep b a2 c1;
+  let g = G.build b in
+  (match G.task_edges g with
+   | [ (0, 1, bw) ] -> Alcotest.(check int) "bw = crossings" 2 bw
+   | _ -> Alcotest.fail "expected one edge")
+
+let test_preds_succs_consistency () =
+  let g = Ex.figure1 () in
+  List.iter
+    (fun (i1, i2) ->
+      Alcotest.(check bool) "succ listed" true (List.mem i2 (G.op_succs g i1));
+      Alcotest.(check bool) "pred listed" true (List.mem i1 (G.op_preds g i2)))
+    (G.op_deps g)
+
+let test_kind_counts () =
+  let g = Ex.figure1 () in
+  let total =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (G.kind_counts g)
+  in
+  Alcotest.(check int) "kinds sum to ops" (G.num_ops g) total
+
+(* ---------------- Topo ---------------- *)
+
+let is_topo_order_tasks g order =
+  let pos = Array.make (G.num_tasks g) (-1) in
+  List.iteri (fun i t -> pos.(t) <- i) order;
+  List.for_all (fun (t1, t2, _) -> pos.(t1) < pos.(t2)) (G.task_edges g)
+
+let test_task_order () =
+  let g = Ex.figure1 () in
+  let order = Topo.task_order g in
+  Alcotest.(check int) "complete" (G.num_tasks g) (List.length order);
+  Alcotest.(check bool) "topological" true (is_topo_order_tasks g order)
+
+let test_task_priority () =
+  let g = Ex.diamond () in
+  let p = Topo.task_priority g in
+  (* source has priority 1; every edge respects priority order *)
+  Alcotest.(check int) "src first" 1 p.(0);
+  List.iter
+    (fun (t1, t2, _) ->
+      Alcotest.(check bool) "edge priority" true (p.(t1) < p.(t2)))
+    (G.task_edges g)
+
+let test_op_order_topological () =
+  let g = Ex.paper_graph 2 in
+  let order = Topo.op_order g in
+  let pos = Array.make (G.num_ops g) (-1) in
+  List.iteri (fun i o -> pos.(o) <- i) order;
+  List.iter
+    (fun (o1, o2) ->
+      Alcotest.(check bool) "op order" true (pos.(o1) < pos.(o2)))
+    (G.op_deps g)
+
+let test_reachability () =
+  let g = Ex.chain 4 in
+  Alcotest.(check bool) "0 ->* 3" true (Topo.task_reachable g 0 3);
+  Alcotest.(check bool) "3 ->* 0" false (Topo.task_reachable g 3 0);
+  Alcotest.(check bool) "self" true (Topo.task_reachable g 2 2)
+
+let test_levels_and_cp () =
+  let g = Ex.chain 5 in
+  Alcotest.(check int) "chain cp" 5 (Topo.critical_path_length g);
+  let levels = Topo.op_levels g in
+  Alcotest.(check (array int)) "levels" [| 0; 1; 2; 3; 4 |] levels
+
+(* ---------------- Generator ---------------- *)
+
+let test_generator_exact_sizes () =
+  List.iter
+    (fun (n, (tasks, ops)) ->
+      let g = Ex.paper_graph n in
+      Alcotest.(check int) (Printf.sprintf "graph %d tasks" n) tasks
+        (G.num_tasks g);
+      Alcotest.(check int) (Printf.sprintf "graph %d ops" n) ops (G.num_ops g))
+    Ex.paper_sizes
+
+let test_generator_deterministic () =
+  let p = Gen.default ~tasks:8 ~ops:30 ~seed:55 in
+  let g1 = Gen.generate p and g2 = Gen.generate p in
+  Alcotest.(check int) "same edges" (List.length (G.task_edges g1))
+    (List.length (G.task_edges g2));
+  Alcotest.(check bool) "same edge list" true
+    (G.task_edges g1 = G.task_edges g2);
+  Alcotest.(check bool) "same deps" true (G.op_deps g1 = G.op_deps g2)
+
+let test_generator_rejects_bad_params () =
+  Alcotest.check_raises "ops < tasks"
+    (Invalid_argument "Generator.generate: ops < tasks") (fun () ->
+      ignore (Gen.generate (Gen.default ~tasks:5 ~ops:3 ~seed:1)))
+
+let gen_params =
+  QCheck.Gen.(
+    map3
+      (fun tasks extra seed -> (tasks, tasks + extra, seed))
+      (int_range 1 12) (int_range 0 40) (int_range 0 10_000))
+
+let prop_generator_valid =
+  QCheck.Test.make ~name:"generated graphs are valid DAGs at exact size"
+    ~count:150
+    (QCheck.make gen_params)
+    (fun (tasks, ops, seed) ->
+      let g = Gen.generate (Gen.default ~tasks ~ops ~seed) in
+      G.num_tasks g = tasks
+      && G.num_ops g = ops
+      (* every task non-empty *)
+      && List.for_all
+           (fun t -> G.task_ops g t <> [])
+           (List.init tasks Fun.id)
+      (* topological order exists (build would have raised otherwise);
+         all task edges respect some topological order *)
+      && is_topo_order_tasks g (Topo.task_order g)
+      (* bandwidths positive *)
+      && List.for_all (fun (_, _, bw) -> bw >= 1) (G.task_edges g)
+      (* connectivity: every non-first task has an incoming edge *)
+      && List.for_all
+           (fun t -> t = 0 || G.task_preds g t <> [])
+           (List.init tasks Fun.id))
+
+(* ---------------- Dot ---------------- *)
+
+let contains s needle =
+  let nl = String.length needle and sl = String.length s in
+  let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+  go 0
+
+let test_dot_outputs () =
+  let g = Ex.diamond () in
+  let ts = Taskgraph.Dot.task_graph g in
+  Alcotest.(check bool) "digraph" true (contains ts "digraph");
+  Alcotest.(check bool) "bw label" true (contains ts "label=\"4\"");
+  let os = Taskgraph.Dot.op_graph g in
+  Alcotest.(check bool) "cluster" true (contains os "subgraph cluster_t0");
+  let ps = Taskgraph.Dot.op_graph_with_partition g (fun t -> t mod 2) in
+  Alcotest.(check bool) "fill" true (contains ps "fillcolor=")
+
+
+(* ---------------- Serialize ---------------- *)
+
+let graphs_equal g1 g2 =
+  G.num_tasks g1 = G.num_tasks g2
+  && G.num_ops g1 = G.num_ops g2
+  && G.op_deps g1 = G.op_deps g2
+  && G.task_edges g1 = G.task_edges g2
+  && List.init (G.num_ops g1) (G.op_kind g1)
+     = List.init (G.num_ops g2) (G.op_kind g2)
+  && List.init (G.num_ops g1) (G.op_task g1)
+     = List.init (G.num_ops g2) (G.op_task g2)
+
+let test_serialize_roundtrip_examples () =
+  List.iter
+    (fun g ->
+      let g' = Taskgraph.Serialize.of_string (Taskgraph.Serialize.to_string g) in
+      Alcotest.(check bool) (G.name g) true (graphs_equal g g'))
+    [ Ex.figure1 (); Ex.mixer (); Ex.diamond (); Ex.chain 5 ]
+
+let test_serialize_rejects_garbage () =
+  let bad input fragment =
+    match Taskgraph.Serialize.of_string input with
+    | exception Invalid_argument m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S mentions %S" m fragment)
+        true
+        (let fl = String.length fragment and ml = String.length m in
+         let rec go i =
+           i + fl <= ml && (String.sub m i fl = fragment || go (i + 1))
+         in
+         go 0)
+    | _ -> Alcotest.failf "accepted %S" input
+  in
+  bad "" "empty";
+  bad "task a\n" "header";
+  bad "taskgraph g\nop 0 add\n" "task index";
+  bad "taskgraph g\ntask a\nop 0 frob\n" "unknown kind";
+  bad "taskgraph g\ntask a\nop 0 add\nwibble\n" "unknown directive"
+
+let test_serialize_comments_and_blanks () =
+  let g =
+    Taskgraph.Serialize.of_string
+      "# a comment\ntaskgraph g\n\ntask a\nop 0 add\n  # indented comment\n"
+  in
+  Alcotest.(check int) "one op" 1 (G.num_ops g)
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~name:"serialize roundtrip on random graphs" ~count:100
+    QCheck.(pair (int_range 1 10) (int_bound 10_000))
+    (fun (tasks, seed) ->
+      let g =
+        Taskgraph.Generator.generate
+          (Taskgraph.Generator.default ~tasks ~ops:(tasks * 4) ~seed)
+      in
+      graphs_equal g
+        (Taskgraph.Serialize.of_string (Taskgraph.Serialize.to_string g)))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "taskgraph"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle" `Quick test_prng_shuffle_permutes;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "basic" `Quick test_builder_basic;
+          Alcotest.test_case "rejects op cycle" `Quick
+            test_builder_rejects_op_cycle;
+          Alcotest.test_case "rejects empty task" `Quick
+            test_builder_rejects_empty_task;
+          Alcotest.test_case "rejects self loop" `Quick
+            test_builder_rejects_self_loop;
+          Alcotest.test_case "rejects bw on non-edge" `Quick
+            test_builder_rejects_bw_on_non_edge;
+          Alcotest.test_case "default bandwidth" `Quick
+            test_default_bandwidth_counts_crossings;
+          Alcotest.test_case "preds/succs" `Quick test_preds_succs_consistency;
+          Alcotest.test_case "kind counts" `Quick test_kind_counts;
+        ] );
+      ( "topo",
+        [
+          Alcotest.test_case "task order" `Quick test_task_order;
+          Alcotest.test_case "task priority" `Quick test_task_priority;
+          Alcotest.test_case "op order" `Quick test_op_order_topological;
+          Alcotest.test_case "reachability" `Quick test_reachability;
+          Alcotest.test_case "levels and cp" `Quick test_levels_and_cp;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "paper sizes" `Quick test_generator_exact_sizes;
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "bad params" `Quick
+            test_generator_rejects_bad_params;
+          qt prop_generator_valid;
+        ] );
+      ("dot", [ Alcotest.test_case "outputs" `Quick test_dot_outputs ]);
+      ( "serialize",
+        [
+          Alcotest.test_case "roundtrip examples" `Quick
+            test_serialize_roundtrip_examples;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_serialize_rejects_garbage;
+          Alcotest.test_case "comments and blanks" `Quick
+            test_serialize_comments_and_blanks;
+          qt prop_serialize_roundtrip;
+        ] );
+    ]
