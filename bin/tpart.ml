@@ -4,7 +4,8 @@
    Subcommands:
      tpart graph     print a specification summary (optionally DOT)
      tpart estimate  run the greedy list-scheduling segment estimator
-     tpart solve     run the exact ILP flow and print the design *)
+     tpart solve     run the exact ILP flow and print the design
+     tpart analyze   static model analysis and formulation audit *)
 
 open Cmdliner
 
@@ -15,13 +16,14 @@ let parse_graph s =
     Error
       (`Msg
         (Printf.sprintf
-           "unknown graph %S (expected paper:1..6, figure1, diamond, chain:N, \
-            random:TASKS,OPS,SEED, file:PATH)"
+           "unknown graph %S (expected paper:1..6, figure1, diamond, mixer, \
+            chain:N, random:TASKS,OPS,SEED, file:PATH)"
            s))
   in
   match String.split_on_char ':' s with
   | [ "figure1" ] -> Ok (Taskgraph.Examples.figure1 ())
   | [ "diamond" ] -> Ok (Taskgraph.Examples.diamond ())
+  | [ "mixer" ] -> Ok (Taskgraph.Examples.mixer ())
   | [ "paper"; n ] -> (
     match int_of_string_opt n with
     | Some n when n >= 1 && n <= 6 -> Ok (Taskgraph.Examples.paper_graph n)
@@ -189,9 +191,18 @@ let estimate_cmd =
 let report_flag =
   Arg.(value & flag & info [ "report" ] ~doc:"Print the full design report (summary + Gantt chart).")
 
+let lint_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "lint" ]
+        ~doc:
+          "Analyze and audit the formulated model before solving; abort \
+           on error-level findings.")
+
 let solve_cmd =
   let run g a m s capacity alpha scratch latency partitions time_limit strategy
-      no_tighten no_step_cuts fortet dot lp_out report_wanted =
+      no_tighten no_step_cuts fortet dot lp_out report_wanted lint =
     let allocation = Hls.Component.ams (a, m, s) in
     let options =
       {
@@ -205,7 +216,7 @@ let solve_cmd =
     in
     let result =
       Temporal.Pipeline.run ~options ~strategy ~time_limit
-        ?num_partitions:partitions ~graph:g ~allocation ?capacity ~alpha
+        ?num_partitions:partitions ~lint ~graph:g ~allocation ?capacity ~alpha
         ~scratch ~latency_relax:latency ()
     in
     Format.printf "%a@." Temporal.Pipeline.pp result;
@@ -238,7 +249,118 @@ let solve_cmd =
     Term.(
       const run $ graph_arg $ adders $ muls $ subs $ capacity $ alpha $ scratch
       $ latency $ partitions $ time_limit $ strategy $ no_tighten
-      $ no_step_cuts $ fortet $ dot_out $ lp_out $ report_flag)
+      $ no_step_cuts $ fortet $ dot_out $ lp_out $ report_flag $ lint_flag)
+
+(* ---------------- analyze command ---------------- *)
+
+let analyze_cmd =
+  let graph_opt =
+    Arg.(
+      value
+      & opt (some graph_conv) None
+      & info [ "g"; "graph" ] ~docv:"GRAPH"
+          ~doc:
+            "Specification to formulate and audit (same values as \
+             $(b,tpart solve)).")
+  in
+  let from_lp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-lp" ] ~docv:"FILE"
+          ~doc:
+            "Analyze a model in CPLEX-LP format instead of formulating a \
+             graph (generic checks only — no formulation audit).")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report(s) as JSON.")
+  in
+  let run g from_lp a m s capacity alpha scratch latency partitions no_tighten
+      no_step_cuts fortet json =
+    match (g, from_lp) with
+    | None, None | Some _, Some _ ->
+      prerr_endline "tpart analyze: give exactly one of --graph or --from-lp";
+      Cmd.Exit.cli_error
+    | None, Some path ->
+      (match
+         let ic = open_in path in
+         let n = in_channel_length ic in
+         let s = really_input_string ic n in
+         close_in ic;
+         Ilp.Lp_parse.of_string s
+       with
+       | exception Sys_error msg ->
+         Format.eprintf "tpart analyze: %s@." msg;
+         1
+       | exception Invalid_argument msg ->
+         Format.eprintf "tpart analyze: cannot parse %s: %s@." path msg;
+         1
+       | lp ->
+         let report = Ilp.Analyze.analyze lp in
+         if json then print_endline (Ilp.Analyze.to_json report)
+         else Format.printf "%a@." Ilp.Analyze.pp_report report;
+         if Ilp.Analyze.is_clean report then 0 else 1)
+    | Some g, None ->
+      let allocation = Hls.Component.ams (a, m, s) in
+      let options =
+        {
+          Temporal.Formulation.default_options with
+          Temporal.Formulation.tighten = not no_tighten;
+          step_cuts = not no_step_cuts;
+          linearization =
+            (if fortet then Temporal.Formulation.Fortet
+             else Temporal.Formulation.Glover);
+        }
+      in
+      (* Default N the way the pipeline does: list-scheduling estimate,
+         falling back to the trivial one-task-per-partition bound. *)
+      let n =
+        match partitions with
+        | Some n -> n
+        | None ->
+          let probe =
+            Temporal.Spec.make ~graph:g ~allocation ?capacity ~alpha ~scratch
+              ~latency_relax:latency ~num_partitions:1 ()
+          in
+          let c =
+            {
+              Hls.Estimate.capacity = probe.Temporal.Spec.capacity;
+              alpha;
+              max_steps = Temporal.Spec.num_steps probe;
+            }
+          in
+          (match Hls.Estimate.estimate g allocation c with
+           | Some seg -> Hls.Estimate.num_segments seg
+           | None -> Taskgraph.Graph.num_tasks g)
+      in
+      let spec =
+        Temporal.Spec.make ~graph:g ~allocation ?capacity ~alpha ~scratch
+          ~latency_relax:latency ~num_partitions:n ()
+      in
+      let vars = Temporal.Formulation.build ~options spec in
+      let analysis = Ilp.Analyze.analyze vars.Temporal.Vars.lp in
+      let audit = Temporal.Audit.audit_vars ~options vars in
+      if json then
+        Printf.printf "{\"analyze\": %s, \"audit\": %s}\n"
+          (Ilp.Analyze.to_json analysis)
+          (Temporal.Audit.to_json audit)
+      else begin
+        Format.printf "%a@." Ilp.Analyze.pp_report analysis;
+        Format.printf "%a@." Temporal.Audit.pp_report audit
+      end;
+      if Ilp.Analyze.is_clean analysis && Temporal.Audit.is_clean audit then 0
+      else 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static model analysis (no solving): generic structural checks \
+          plus the formulation audit against the paper's closed-form \
+          census.")
+    Term.(
+      const run $ graph_opt $ from_lp $ adders $ muls $ subs $ capacity
+      $ alpha $ scratch $ latency $ partitions $ no_tighten $ no_step_cuts
+      $ fortet $ json_flag)
 
 (* ---------------- explore command ---------------- *)
 
@@ -274,4 +396,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "tpart" ~doc ~version:"1.0.0")
-          [ graph_cmd; estimate_cmd; solve_cmd; explore_cmd ]))
+          [ graph_cmd; estimate_cmd; solve_cmd; analyze_cmd; explore_cmd ]))

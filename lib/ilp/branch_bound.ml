@@ -26,6 +26,7 @@ type options = {
   warm_start : bool;
   node_hook :
     (lp_solution:float array -> is_fixed:(int -> bool) -> hook_result) option;
+  check_model : bool;
 }
 
 let default_options =
@@ -40,6 +41,7 @@ let default_options =
     on_incumbent = None;
     warm_start = true;
     node_hook = None;
+    check_model = false;
   }
 
 type outcome =
@@ -140,6 +142,7 @@ module Heap = struct
 end
 
 let solve ?(options = default_options) lp =
+  if options.check_model then Analyze.assert_clean lp;
   let t0 = Unix.gettimeofday () in
   let n = Lp.num_vars lp in
   let int_vars =

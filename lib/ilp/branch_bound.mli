@@ -62,6 +62,10 @@ type options = {
           a hook must only return [Hook_prune] based on variables that
           are actually fixed, otherwise it would cut off solutions
           still reachable below. *)
+  check_model : bool;
+      (** Run {!Analyze.assert_clean} on the model before searching
+          (default off): {!solve} then raises [Invalid_argument] instead
+          of silently branching on a structurally broken model. *)
 }
 
 val default_options : options

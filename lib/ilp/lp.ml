@@ -70,6 +70,7 @@ let check_var t v =
   if v < 0 || v >= t.nvars then invalid_arg "Lp: variable out of range"
 
 let add_constr t ?name terms sense rhs =
+  if terms = [] then invalid_arg "Lp.add_constr: empty term list";
   List.iter (fun (_, v) -> check_var t v) terms;
   let cap = Array.length t.rows in
   if t.nrows >= cap then begin
@@ -146,6 +147,20 @@ let row t i =
 let row_name t i =
   if i < 0 || i >= t.nrows then invalid_arg "Lp.row_name: out of range";
   t.rows.(i).r_name
+
+let duplicate_row_names t =
+  let seen = Hashtbl.create (2 * t.nrows) in
+  for i = 0 to t.nrows - 1 do
+    let n = t.rows.(i).r_name in
+    Hashtbl.replace seen n (i :: Option.value ~default:[] (Hashtbl.find_opt seen n))
+  done;
+  Hashtbl.fold
+    (fun n rows acc ->
+      match rows with
+      | [] | [ _ ] -> acc
+      | _ -> (n, List.rev rows) :: acc)
+    seen []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
 
 let iter_rows t f =
   for i = 0 to t.nrows - 1 do

@@ -38,7 +38,9 @@ val add_var :
 
 val add_constr : t -> ?name:string -> linear -> sense -> float -> int
 (** [add_constr t terms sense rhs] adds the constraint
-    [terms sense rhs] and returns its row index. *)
+    [terms sense rhs] and returns its row index. Raises
+    [Invalid_argument] on an empty term list: an empty row is either
+    vacuous or unsatisfiable, and always a generator bug. *)
 
 val set_objective : t -> ?maximize:bool -> linear -> unit
 (** Sets the objective (default: minimize). Internally everything is
@@ -82,6 +84,12 @@ val row : t -> int -> linear * sense * float
 val row_name : t -> int -> string
 
 val iter_rows : t -> (int -> linear -> sense -> float -> unit) -> unit
+
+val duplicate_row_names : t -> (string * int list) list
+(** Row names borne by more than one row, with their row indices in
+    ascending order (sorted by first occurrence). {!Temporal} audits
+    match rows by name, so duplicates make a model unauditable;
+    {!Analyze} reports them as warnings. *)
 
 val var_of_int : t -> int -> var
 (** Recover a handle from a dense index. Raises [Invalid_argument] when

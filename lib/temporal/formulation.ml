@@ -399,9 +399,10 @@ let build ?(options = default_options) spec =
        cstr
          ~name:(Printf.sprintf "cut_opcount_p%d" p)
          (List.map (fun sv -> (Float.of_int nf, sv)) steps
-         @ List.init nt (fun t ->
-               ( Float.of_int (-(List.length (G.task_ops g t))),
-                 vars.Vars.y.(t).(p - 1) )))
+         @ (List.init nt (fun t ->
+                ( Float.of_int (-(List.length (G.task_ops g t))),
+                  vars.Vars.y.(t).(p - 1) ))
+           |> List.filter (fun (c, _) -> c <> 0.)))
          Lp.Ge 0.;
        (* per kind *)
        List.iter
@@ -415,8 +416,9 @@ let build ?(options = default_options) spec =
              ~name:
                (Printf.sprintf "cut_%s_p%d" (G.op_kind_to_string kind) p)
              (List.map (fun sv -> (Float.of_int cap, sv)) steps
-             @ List.init nt (fun t ->
-                   (Float.of_int (-ops_of_kind t), vars.Vars.y.(t).(p - 1))))
+             @ (List.init nt (fun t ->
+                    (Float.of_int (-ops_of_kind t), vars.Vars.y.(t).(p - 1)))
+               |> List.filter (fun (c, _) -> c <> 0.)))
              Lp.Ge 0.)
          kinds
      done

@@ -8,7 +8,7 @@ type result = {
   trace : string list;
 }
 
-let run ?options ?strategy ?time_limit ?max_nodes ?num_partitions ~graph
+let run ?options ?strategy ?time_limit ?max_nodes ?num_partitions ?lint ~graph
     ~allocation ?capacity ?alpha ?scratch ?latency_relax () =
   let trace = ref [] in
   let log fmt = Format.kasprintf (fun s -> trace := s :: !trace) fmt in
@@ -54,7 +54,10 @@ let run ?options ?strategy ?time_limit ?max_nodes ?num_partitions ~graph
   log "model: %d variables, %d constraints" (Vars.num_vars vars)
     (Vars.num_constrs vars);
   (* Stage 4-5: solve, extract, validate *)
-  let report = Solver.solve ?strategy ?time_limit ?max_nodes vars in
+  let report =
+    Solver.solve ?strategy ?time_limit ?max_nodes ?lint
+      ?lint_options:options vars
+  in
   log "solve: %s (%d nodes, %.2fs)"
     (Format.asprintf "%a" Solver.pp_outcome report.Solver.outcome)
     report.Solver.stats.Ilp.Branch_bound.nodes

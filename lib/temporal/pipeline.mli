@@ -25,6 +25,7 @@ val run :
   ?time_limit:float ->
   ?max_nodes:int ->
   ?num_partitions:int ->
+  ?lint:bool ->
   graph:Taskgraph.Graph.t ->
   allocation:Hls.Component.allocation ->
   ?capacity:int ->
@@ -36,6 +37,7 @@ val run :
 (** Runs the full flow. When [num_partitions] is omitted, N is taken
     from the estimation stage (and the estimate must exist — otherwise
     the flow falls back to [N = number of tasks], the trivial upper
-    bound). *)
+    bound). [lint] forwards to {!Solver.solve}: analyze and audit the
+    formulated model, failing fast on error-level findings. *)
 
 val pp : Format.formatter -> result -> unit

@@ -152,10 +152,34 @@ let validate_or_fail spec sol =
       (Printf.sprintf "Solver.solve: extracted solution invalid: %s"
          (String.concat "; " errs))
 
+(* Strict mode: run the generic model analysis and the formulation audit
+   before spending any solve time, and refuse to proceed past
+   error-level findings. Warnings are left to [tpart analyze]. *)
+let lint_or_fail ?options vars =
+  let issues = ref [] in
+  let add s = issues := s :: !issues in
+  let report = Ilp.Analyze.analyze vars.Vars.lp in
+  List.iter
+    (fun d -> add (Format.asprintf "%a" Ilp.Analyze.pp_diagnostic d))
+    (Ilp.Analyze.errors report);
+  let audit = Audit.audit_vars ?options vars in
+  List.iter
+    (fun (f : Audit.finding) -> add (Printf.sprintf "error[%s]: %s" f.code f.message))
+    (Audit.errors audit);
+  match List.rev !issues with
+  | [] -> ()
+  | issues ->
+    failwith
+      (Printf.sprintf "Solver.solve: model failed lint (%d error%s):\n%s"
+         (List.length issues)
+         (if List.length issues = 1 then "" else "s")
+         (String.concat "\n" issues))
+
 let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
     ?(node_order = Bb.Depth_first) ?(time_limit = Float.infinity)
     ?(max_nodes = max_int) ?(validate = true) ?(scheduler_completion = true)
-    ?(presolve = true) vars =
+    ?(presolve = true) ?(lint = false) ?lint_options vars =
+  if lint then lint_or_fail ?options:lint_options vars;
   let options =
     {
       Bb.default_options with

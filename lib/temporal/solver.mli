@@ -30,6 +30,8 @@ val solve :
   ?validate:bool ->
   ?scheduler_completion:bool ->
   ?presolve:bool ->
+  ?lint:bool ->
+  ?lint_options:Formulation.options ->
   Vars.t ->
   report
 (** Defaults: paper branching, value 1 first, depth-first, no limits,
@@ -37,6 +39,13 @@ val solve :
     set and the extracted optimal solution fails {!Solution.validate},
     raises [Failure] — this is the safety net wired through every test
     and benchmark.
+
+    [lint] (default off) runs {!Ilp.Analyze.analyze} and {!Audit.audit}
+    on the model before solving and raises [Failure] listing every
+    error-level finding — fail fast instead of branching on a broken
+    model. [lint_options] tells the audit which {!Formulation.options}
+    the model was built with (defaults to
+    {!Formulation.default_options}).
 
     [scheduler_completion] installs the exact-scheduler node hook: once
     a node's partitioning variables are all integral, the design is

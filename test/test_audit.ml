@@ -1,0 +1,172 @@
+(* Tests for Temporal.Audit: the formulation-shape auditor, checked on
+   clean builds across option presets and on seeded model mutations. *)
+
+module Lp = Ilp.Lp
+module F = Temporal.Formulation
+module Audit = Temporal.Audit
+
+let presets =
+  [
+    ("default", F.default_options);
+    ("base", F.base_options);
+    ("tightened", F.tightened_options);
+    ("fortet", { F.tightened_options with F.linearization = F.Fortet });
+    ("literal", { F.base_options with F.literal_cs_exclusion = true });
+  ]
+
+let graphs () =
+  [
+    ("figure1", Taskgraph.Examples.figure1 ());
+    ("diamond", Taskgraph.Examples.diamond ());
+    ("chain3", Taskgraph.Examples.chain 3);
+    ("mixer", Taskgraph.Examples.mixer ());
+  ]
+
+let spec_of g ~n =
+  Temporal.Spec.make ~graph:g
+    ~allocation:(Hls.Component.ams (2, 2, 1))
+    ~capacity:70 ~scratch:30 ~latency_relax:1 ~num_partitions:n ()
+
+let finding_codes r =
+  List.map (fun (f : Audit.finding) -> f.Audit.code) (Audit.errors r)
+
+(* Rebuild the model with every row except [victim]: same variables in
+   the same order, so indices keep their meaning. *)
+let strip_row lp victim =
+  let lp' = Lp.create ~name:(Lp.name lp) () in
+  for j = 0 to Lp.num_vars lp - 1 do
+    let v = Lp.var_of_int lp j in
+    ignore
+      (Lp.add_var lp' ~name:(Lp.var_name lp v) ~lb:(Lp.var_lb lp v)
+         ~ub:(Lp.var_ub lp v) (Lp.var_kind lp v))
+  done;
+  let removed = ref 0 in
+  Lp.iter_rows lp (fun i terms sense rhs ->
+      if Lp.row_name lp i = victim then incr removed
+      else
+        ignore
+          (Lp.add_constr lp' ~name:(Lp.row_name lp i)
+             (List.map
+                (fun (c, (v : Lp.var)) -> (c, Lp.var_of_int lp' (v :> int)))
+                terms)
+             sense rhs));
+  Alcotest.(check int) (Printf.sprintf "removed %s" victim) 1 !removed;
+  lp'
+
+let test_clean_across_presets () =
+  List.iter
+    (fun (gname, g) ->
+      List.iter
+        (fun n ->
+          let spec = spec_of g ~n in
+          List.iter
+            (fun (pname, options) ->
+              let vars = F.build ~options spec in
+              let r = Audit.audit_vars ~options vars in
+              let label what =
+                Printf.sprintf "%s n=%d %s %s" gname n pname what
+              in
+              Alcotest.(check (list string)) (label "errors") []
+                (finding_codes r);
+              Alcotest.(check int)
+                (label "var census")
+                (Temporal.Vars.num_vars vars)
+                r.Audit.census.Audit.total_vars;
+              Alcotest.(check int)
+                (label "row census")
+                (Temporal.Vars.num_constrs vars)
+                r.Audit.census.Audit.total_rows)
+            presets)
+        [ 1; 2; 3 ])
+    (graphs ())
+
+let test_missing_row_detected () =
+  let spec = spec_of (Taskgraph.Examples.diamond ()) ~n:2 in
+  let options = F.default_options in
+  let vars = F.build ~options spec in
+  let tampered = strip_row vars.Temporal.Vars.lp "uniq_t0" in
+  let r = Audit.audit ~options spec tampered in
+  Alcotest.(check bool) "not clean" false (Audit.is_clean r);
+  let messages =
+    List.map (fun (f : Audit.finding) -> f.Audit.message) (Audit.errors r)
+  in
+  Alcotest.(check bool) "missing-row finding" true
+    (List.mem "missing-row" (finding_codes r));
+  Alcotest.(check bool) "names the victim row" true
+    (List.exists
+       (fun m ->
+         let n = String.length "uniq_t0" and h = String.length m in
+         let rec go i = i + n <= h && (String.sub m i n = "uniq_t0" || go (i + 1)) in
+         go 0)
+       messages)
+
+let test_unexpected_tightening_rows () =
+  (* built with the tightening cuts, audited as if without: every cut28/
+     cut29 row is unexpected and the row census disagrees *)
+  let spec = spec_of (Taskgraph.Examples.diamond ()) ~n:2 in
+  let vars = F.build ~options:F.tightened_options spec in
+  let r = Audit.audit_vars ~options:F.base_options vars in
+  let codes = finding_codes r in
+  Alcotest.(check bool) "unexpected-row" true (List.mem "unexpected-row" codes);
+  Alcotest.(check bool) "row-census" true (List.mem "row-census" codes)
+
+let test_linearization_kind_checked () =
+  (* Glover build audited as Fortet: the z variables must be flagged as
+     having the wrong integrality *)
+  let spec = spec_of (Taskgraph.Examples.diamond ()) ~n:2 in
+  let vars = F.build ~options:F.tightened_options spec in
+  let fortet = { F.tightened_options with F.linearization = F.Fortet } in
+  let r = Audit.audit_vars ~options:fortet vars in
+  Alcotest.(check bool) "variable-kind" true
+    (List.mem "variable-kind" (finding_codes r))
+
+let test_census_standalone () =
+  let spec = spec_of (Taskgraph.Examples.figure1 ()) ~n:3 in
+  List.iter
+    (fun (pname, options) ->
+      let c = Audit.census ~options spec in
+      let vars = F.build ~options spec in
+      Alcotest.(check int)
+        (pname ^ " vars") (Temporal.Vars.num_vars vars) c.Audit.total_vars;
+      Alcotest.(check int)
+        (pname ^ " rows")
+        (Temporal.Vars.num_constrs vars)
+        c.Audit.total_rows;
+      Alcotest.(check int)
+        (pname ^ " family sum")
+        c.Audit.total_vars
+        (List.fold_left (fun a (_, n) -> a + n) 0 c.Audit.var_families))
+    presets
+
+let test_json_shape () =
+  let spec = spec_of (Taskgraph.Examples.chain 3) ~n:2 in
+  let vars = F.build spec in
+  let j = Audit.to_json (Audit.audit_vars vars) in
+  let contains needle =
+    let n = String.length needle and h = String.length j in
+    let rec go i = i + n <= h && (String.sub j i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "findings key" true (contains "\"findings\":[]");
+  Alcotest.(check bool) "census keys" true
+    (contains "\"var_census\"" && contains "\"row_census\"")
+
+let () =
+  Alcotest.run "audit"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "all presets, all graphs" `Quick
+            test_clean_across_presets;
+          Alcotest.test_case "census standalone" `Quick test_census_standalone;
+          Alcotest.test_case "json" `Quick test_json_shape;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "missing uniq row" `Quick test_missing_row_detected;
+          Alcotest.test_case "unexpected tightening rows" `Quick
+            test_unexpected_tightening_rows;
+          Alcotest.test_case "linearization kind" `Quick
+            test_linearization_kind_checked;
+        ] );
+    ]
