@@ -200,9 +200,20 @@ let lint_flag =
           "Analyze and audit the formulated model before solving; abort \
            on error-level findings.")
 
+let stats_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print LP-engine statistics after solving: basis \
+           factorizations, fill-in, eta updates, refactorization \
+           triggers, and FTRAN/BTRAN solve times.")
+
 let solve_cmd =
   let run g a m s capacity alpha scratch latency partitions time_limit strategy
-      no_tighten no_step_cuts fortet dot lp_out report_wanted lint =
+      no_tighten no_step_cuts fortet dot lp_out report_wanted lint
+      stats_wanted =
     let allocation = Hls.Component.ams (a, m, s) in
     let options =
       {
@@ -220,6 +231,10 @@ let solve_cmd =
         ~scratch ~latency_relax:latency ()
     in
     Format.printf "%a@." Temporal.Pipeline.pp result;
+    if stats_wanted then
+      Format.printf "lp-stats: %a@." Ilp.Simplex.pp_stats
+        result.Temporal.Pipeline.report.Temporal.Solver.stats
+          .Ilp.Branch_bound.lp_stats;
     (match lp_out with
      | Some path ->
        let vars =
@@ -249,7 +264,8 @@ let solve_cmd =
     Term.(
       const run $ graph_arg $ adders $ muls $ subs $ capacity $ alpha $ scratch
       $ latency $ partitions $ time_limit $ strategy $ no_tighten
-      $ no_step_cuts $ fortet $ dot_out $ lp_out $ report_flag $ lint_flag)
+      $ no_step_cuts $ fortet $ dot_out $ lp_out $ report_flag $ lint_flag
+      $ stats_flag)
 
 (* ---------------- analyze command ---------------- *)
 

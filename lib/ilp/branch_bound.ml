@@ -27,6 +27,7 @@ type options = {
   node_hook :
     (lp_solution:float array -> is_fixed:(int -> bool) -> hook_result) option;
   check_model : bool;
+  lp_backend : Simplex.backend;
 }
 
 let default_options =
@@ -42,6 +43,7 @@ let default_options =
     warm_start = true;
     node_hook = None;
     check_model = false;
+    lp_backend = Simplex.Sparse_lu;
   }
 
 type outcome =
@@ -57,6 +59,7 @@ type stats = {
   max_depth : int;
   elapsed : float;
   root_obj : float;
+  lp_stats : Simplex.stats;
 }
 
 let fractionality v =
@@ -151,7 +154,7 @@ let solve ?(options = default_options) lp =
   let objective = Lp.objective lp in
   let root_lb = Array.init n (fun j -> Lp.var_lb lp (Lp.var_of_int lp j)) in
   let root_ub = Array.init n (fun j -> Lp.var_ub lp (Lp.var_of_int lp j)) in
-  let st = Simplex.create lp in
+  let st = Simplex.create ~backend:options.lp_backend lp in
   let pivots0 = Simplex.total_pivots st in
   let nodes = ref 0 in
   let incumbents = ref 0 in
@@ -289,9 +292,21 @@ let solve ?(options = default_options) lp =
                     !nodes)
           end
         in
+        (* A limit-hit relaxation is still usable when its residual norms
+           certify the basic solution is primal and dual feasible within
+           tolerance: by weak duality its objective is then within
+           roundoff of the LP optimum, so it serves as the node bound
+           (with a safety margin, applied below). Without that
+           certificate the objective is garbage and the only sound move
+           is to stop. *)
+        let usable_limit =
+          res.Simplex.status = Simplex.Iter_limit
+          && res.Simplex.primal_res <= 1e-6
+          && res.Simplex.dual_res <= 1e-6
+        in
         match res.Simplex.status with
         | Simplex.Infeasible -> ()
-        | Simplex.Iter_limit ->
+        | Simplex.Iter_limit when not usable_limit ->
           (* persistent numerical trouble: stop soundly with the best
              incumbent and a conservative bound *)
           Log.warn (fun f ->
@@ -307,8 +322,14 @@ let solve ?(options = default_options) lp =
              continue (branching cannot repair an unbounded LP). *)
           unbounded := true;
           result := Some Unbounded
-        | Simplex.Optimal ->
-          let obj = res.Simplex.obj and x = res.Simplex.x in
+        | Simplex.Optimal | Simplex.Iter_limit ->
+          (* Iter_limit only reaches here residual-certified; relax its
+             objective by a margin so near-optimality cannot prune a
+             subtree the true LP bound would keep open. *)
+          let margin =
+            if res.Simplex.status = Simplex.Iter_limit then 1e-5 else 0.
+          in
+          let obj = res.Simplex.obj -. margin and x = res.Simplex.x in
           let is_fixed j =
             let lo, hi =
               List.fold_left
@@ -422,6 +443,7 @@ let solve ?(options = default_options) lp =
       max_depth = !max_depth;
       elapsed;
       root_obj = !root_obj;
+      lp_stats = Simplex.stats st;
     }
   in
   (Option.get !result, stats)

@@ -66,6 +66,9 @@ type options = {
       (** Run {!Analyze.assert_clean} on the model before searching
           (default off): {!solve} then raises [Invalid_argument] instead
           of silently branching on a structurally broken model. *)
+  lp_backend : Simplex.backend;
+      (** Basis representation used by the node LP solver (default
+          {!Simplex.Sparse_lu}). *)
 }
 
 val default_options : options
@@ -88,6 +91,10 @@ type stats = {
   max_depth : int;
   elapsed : float;  (** Wall-clock seconds. *)
   root_obj : float;  (** Root LP relaxation value ([nan] if infeasible). *)
+  lp_stats : Simplex.stats;
+      (** LP-engine counters accumulated over every node relaxation
+          (factorizations, eta updates, refactorization triggers,
+          FTRAN/BTRAN time). *)
 }
 
 val solve : ?options:options -> Lp.t -> outcome * stats

@@ -16,6 +16,7 @@ val check : ?tol:float -> Lp.t -> float array -> violation list
     model. *)
 
 val is_feasible : ?tol:float -> Lp.t -> float array -> bool
+(** [is_feasible lp x] is [check lp x = []]. *)
 
 val objective_value : Lp.t -> float array -> float
 (** Objective at [x] in the user's orientation (maximization models

@@ -1,0 +1,262 @@
+exception Singular
+
+(* Tolerances: [abs_tol] is the smallest pivot magnitude accepted by the
+   factorization; [tau] the threshold-pivoting factor trading Markowitz
+   freedom against stability; [drop_tol] the magnitude below which a
+   computed Schur-complement entry is treated as an exact cancellation. *)
+let abs_tol = 1e-11
+let tau = 0.1
+let drop_tol = 1e-13
+
+type eta = {
+  e_r : int;  (* pivot slot *)
+  e_diag : float;  (* w_r *)
+  e_idx : int array;  (* slots i <> r with w_i <> 0 *)
+  e_val : float array;
+}
+
+type t = {
+  m : int;
+  (* Elimination history in pivot order. Step k eliminated matrix row
+     [lp_row.(k)] and basis slot [u_q.(k)] with pivot [u_diag.(k)];
+     [l_idx/l_val.(k)] are the below-pivot multipliers (by matrix row),
+     [u_idx/u_val.(k)] the pivot-row entries in later slots (by slot). *)
+  lp_row : int array;
+  u_q : int array;
+  u_diag : float array;
+  l_idx : int array array;
+  l_val : float array array;
+  u_idx : int array array;
+  u_val : float array array;
+  fill : int;  (* stored entries of L + U, diagonal included *)
+  scratch : float array;
+  mutable etas : eta array;
+  mutable neta : int;
+}
+
+let size lu = lu.m
+let eta_count lu = lu.neta
+let fill lu = lu.fill
+
+let factor (a : Sparse.Csc.mat) (basis : int array) =
+  let m = Array.length basis in
+  if a.Sparse.Csc.nrows <> m then invalid_arg "Lu.factor: dimension mismatch";
+  (* Active submatrix as dual hash maps: per-slot row->value columns and
+     per-row slot sets, kept consistent through elimination. *)
+  let cols : (int, float) Hashtbl.t array =
+    Array.init m (fun _ -> Hashtbl.create 8)
+  in
+  let rows : (int, unit) Hashtbl.t array =
+    Array.init m (fun _ -> Hashtbl.create 8)
+  in
+  for j = 0 to m - 1 do
+    Sparse.Csc.iter_col a basis.(j) (fun i v ->
+        Hashtbl.replace cols.(j) i v;
+        Hashtbl.replace rows.(i) j ())
+  done;
+  let col_active = Array.make m true in
+  let lp_row = Array.make m 0 and u_q = Array.make m 0 in
+  let u_diag = Array.make m 0. in
+  let l_idx = Array.make m [||] and l_val = Array.make m [||] in
+  let u_idx = Array.make m [||] and u_val = Array.make m [||] in
+  let fill = ref m in
+  for step = 0 to m - 1 do
+    (* Threshold Markowitz: among entries no smaller than [tau] times
+       their column's max, minimize (col_nnz-1)*(row_nnz-1); stop early
+       on a zero-cost (singleton-extending) pivot. *)
+    let best_cost = ref max_int and best_mag = ref 0. in
+    let best = ref None in
+    (try
+       for j = 0 to m - 1 do
+         if col_active.(j) && Hashtbl.length cols.(j) > 0 then begin
+           let cnt_j = Hashtbl.length cols.(j) in
+           let colmax =
+             Hashtbl.fold
+               (fun _ v acc -> Float.max (Float.abs v) acc)
+               cols.(j) 0.
+           in
+           if colmax >= abs_tol then begin
+             Hashtbl.iter
+               (fun i v ->
+                 let av = Float.abs v in
+                 if av >= tau *. colmax && av >= abs_tol then begin
+                   let cost = (cnt_j - 1) * (Hashtbl.length rows.(i) - 1) in
+                   if
+                     cost < !best_cost
+                     || (cost = !best_cost && av > !best_mag)
+                   then begin
+                     best_cost := cost;
+                     best_mag := av;
+                     best := Some (i, j, v)
+                   end
+                 end)
+               cols.(j);
+             if !best_cost = 0 then raise Exit
+           end
+         end
+       done
+     with Exit -> ());
+    match !best with
+    | None -> raise Singular
+    | Some (p, q, v) ->
+      lp_row.(step) <- p;
+      u_q.(step) <- q;
+      u_diag.(step) <- v;
+      (* harvest the L column and U row *)
+      let lent = ref [] in
+      Hashtbl.iter
+        (fun r w -> if r <> p then lent := (r, w /. v) :: !lent)
+        cols.(q);
+      let uent = ref [] in
+      Hashtbl.iter
+        (fun c () ->
+          if c <> q then
+            match Hashtbl.find_opt cols.(c) p with
+            | Some w -> uent := (c, w) :: !uent
+            | None -> assert false)
+        rows.(p);
+      (* detach the pivot column and row from the active structure *)
+      Hashtbl.iter (fun r _ -> Hashtbl.remove rows.(r) q) cols.(q);
+      Hashtbl.iter (fun c () -> Hashtbl.remove cols.(c) p) rows.(p);
+      Hashtbl.reset cols.(q);
+      Hashtbl.reset rows.(p);
+      col_active.(q) <- false;
+      (* rank-1 Schur-complement update with fill-in *)
+      List.iter
+        (fun (r, l) ->
+          List.iter
+            (fun (c, u) ->
+              let delta = -.l *. u in
+              match Hashtbl.find_opt cols.(c) r with
+              | Some old ->
+                let nv = old +. delta in
+                if Float.abs nv <= drop_tol then begin
+                  Hashtbl.remove cols.(c) r;
+                  Hashtbl.remove rows.(r) c
+                end
+                else Hashtbl.replace cols.(c) r nv
+              | None ->
+                if Float.abs delta > drop_tol then begin
+                  Hashtbl.replace cols.(c) r delta;
+                  Hashtbl.replace rows.(r) c ()
+                end)
+            !uent)
+        !lent;
+      l_idx.(step) <- Array.of_list (List.map fst !lent);
+      l_val.(step) <- Array.of_list (List.map snd !lent);
+      u_idx.(step) <- Array.of_list (List.map fst !uent);
+      u_val.(step) <- Array.of_list (List.map snd !uent);
+      fill := !fill + List.length !lent + List.length !uent
+  done;
+  {
+    m;
+    lp_row;
+    u_q;
+    u_diag;
+    l_idx;
+    l_val;
+    u_idx;
+    u_val;
+    fill = !fill;
+    scratch = Array.make m 0.;
+    etas = [||];
+    neta = 0;
+  }
+
+let ftran lu b =
+  let m = lu.m in
+  (* apply L^-1 in pivot order *)
+  for k = 0 to m - 1 do
+    let t = b.(lu.lp_row.(k)) in
+    if t <> 0. then begin
+      let idx = lu.l_idx.(k) and vl = lu.l_val.(k) in
+      for n = 0 to Array.length idx - 1 do
+        b.(idx.(n)) <- b.(idx.(n)) -. (vl.(n) *. t)
+      done
+    end
+  done;
+  (* back-substitute U: x indexed by slot, built in scratch *)
+  let x = lu.scratch in
+  for k = m - 1 downto 0 do
+    let s = ref b.(lu.lp_row.(k)) in
+    let idx = lu.u_idx.(k) and vl = lu.u_val.(k) in
+    for n = 0 to Array.length idx - 1 do
+      s := !s -. (vl.(n) *. x.(idx.(n)))
+    done;
+    x.(lu.u_q.(k)) <- !s /. lu.u_diag.(k)
+  done;
+  Array.blit x 0 b 0 m;
+  (* product-form etas, oldest first *)
+  for e = 0 to lu.neta - 1 do
+    let eta = lu.etas.(e) in
+    let t = b.(eta.e_r) /. eta.e_diag in
+    if t <> 0. then
+      for n = 0 to Array.length eta.e_idx - 1 do
+        b.(eta.e_idx.(n)) <- b.(eta.e_idx.(n)) -. (eta.e_val.(n) *. t)
+      done;
+    b.(eta.e_r) <- t
+  done
+
+let btran lu c =
+  let m = lu.m in
+  (* eta transposes, newest first: c_r <- (c_r - ((w . c) - c_r)) / w_r
+     folded as c_r - (w.c - c_r)/w_r *)
+  for e = lu.neta - 1 downto 0 do
+    let eta = lu.etas.(e) in
+    let d = ref (eta.e_diag *. c.(eta.e_r)) in
+    for n = 0 to Array.length eta.e_idx - 1 do
+      d := !d +. (eta.e_val.(n) *. c.(eta.e_idx.(n)))
+    done;
+    c.(eta.e_r) <- c.(eta.e_r) -. ((!d -. c.(eta.e_r)) /. eta.e_diag)
+  done;
+  (* forward-substitute U^T: input by slot (copied to scratch), output by
+     matrix row written back into c *)
+  let s = lu.scratch in
+  Array.blit c 0 s 0 m;
+  for k = 0 to m - 1 do
+    let t = s.(lu.u_q.(k)) /. lu.u_diag.(k) in
+    c.(lu.lp_row.(k)) <- t;
+    if t <> 0. then begin
+      let idx = lu.u_idx.(k) and vl = lu.u_val.(k) in
+      for n = 0 to Array.length idx - 1 do
+        s.(idx.(n)) <- s.(idx.(n)) -. (vl.(n) *. t)
+      done
+    end
+  done;
+  (* apply the transposed elimination steps in reverse pivot order *)
+  for k = m - 1 downto 0 do
+    let p = lu.lp_row.(k) in
+    let acc = ref c.(p) in
+    let idx = lu.l_idx.(k) and vl = lu.l_val.(k) in
+    for n = 0 to Array.length idx - 1 do
+      acc := !acc -. (vl.(n) *. c.(idx.(n)))
+    done;
+    c.(p) <- !acc
+  done
+
+let update lu ~w ~r =
+  let piv = w.(r) in
+  if Float.abs piv < abs_tol then raise Singular;
+  let n = ref 0 in
+  for i = 0 to lu.m - 1 do
+    if i <> r && Float.abs w.(i) > drop_tol then incr n
+  done;
+  let e_idx = Array.make !n 0 and e_val = Array.make !n 0. in
+  let k = ref 0 in
+  for i = 0 to lu.m - 1 do
+    if i <> r && Float.abs w.(i) > drop_tol then begin
+      e_idx.(!k) <- i;
+      e_val.(!k) <- w.(i);
+      incr k
+    end
+  done;
+  if lu.neta = Array.length lu.etas then begin
+    let cap = Int.max 16 (2 * lu.neta) in
+    let etas =
+      Array.make cap { e_r = 0; e_diag = 1.; e_idx = [||]; e_val = [||] }
+    in
+    Array.blit lu.etas 0 etas 0 lu.neta;
+    lu.etas <- etas
+  end;
+  lu.etas.(lu.neta) <- { e_r = r; e_diag = piv; e_idx; e_val };
+  lu.neta <- lu.neta + 1

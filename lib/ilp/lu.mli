@@ -1,0 +1,62 @@
+(** Sparse LU factorization of a simplex basis, with eta-file updates.
+
+    A {!t} represents the basis matrix [B] whose columns are
+    [a.(basis.(0)) .. a.(basis.(m-1))] of a CSC constraint matrix, as an
+    LU factorization computed with threshold Markowitz pivoting (the
+    pivot minimizes the Markowitz fill bound
+    [(col_nnz - 1) * (row_nnz - 1)] among entries within a factor
+    [tau = 0.1] of their column's largest magnitude), plus a product-form
+    {e eta file} appended by {!update} after each basis exchange.
+
+    Index conventions, matching {!Simplex}: a {e row} is a constraint
+    index of the LP; a {e slot} is a position in the basis array (the
+    basic variable of slot [i] is [basis.(i)]). {!ftran} maps a
+    row-indexed right-hand side to a slot-indexed solution; {!btran} maps
+    a slot-indexed cost vector to a row-indexed multiplier vector.
+
+    The factorization is exact up to a drop tolerance of [1e-13] on
+    cancelled Schur-complement entries; accumulated eta-file error is the
+    caller's concern ({!Simplex} refactorizes on an eta-length bound and
+    on residual checks). Solves share one internal scratch buffer: a [t]
+    must not be used from multiple domains. *)
+
+type t
+
+exception Singular
+(** The basis is numerically singular: no acceptable pivot (magnitude
+    [>= 1e-11]) remains, or {!update} was given a pivot below that
+    threshold. *)
+
+val factor : Sparse.Csc.mat -> int array -> t
+(** [factor a basis] factorizes the [m x m] basis matrix, where
+    [m = Array.length basis] and each [basis.(j)] names a column of
+    [a]. The eta file starts empty. Raises {!Singular}; raises
+    [Invalid_argument] when [a]'s row dimension differs from [m]. *)
+
+val ftran : t -> float array -> unit
+(** [ftran lu b] solves [B x = b] in place: on entry [b] is a dense
+    right-hand side indexed by row; on exit it holds [x] indexed by
+    slot. Applies L, U, then the eta file oldest-first. *)
+
+val btran : t -> float array -> unit
+(** [btran lu c] solves [B^T y = c] in place: on entry [c] is indexed
+    by slot (a basic-cost vector); on exit it holds [y] indexed by row
+    (simplex multipliers). Applies the eta file newest-first, then U^T
+    and L^T. *)
+
+val update : t -> w:float array -> r:int -> unit
+(** [update lu ~w ~r] appends a product-form eta for a basis exchange
+    in slot [r], where [w] is the {e transformed} entering column
+    ([ftran] of the entering column, slot-indexed). After the update,
+    {!ftran}/{!btran} solve against the new basis. Raises {!Singular}
+    when [|w.(r)|] is below the pivot tolerance. *)
+
+val size : t -> int
+(** Basis dimension [m]. *)
+
+val eta_count : t -> int
+(** Number of etas appended since {!factor}. *)
+
+val fill : t -> int
+(** Stored entries of [L] and [U] (diagonal included) — the fill-in
+    measure reported by solver statistics. *)

@@ -4,32 +4,108 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type status = Optimal | Infeasible | Unbounded | Iter_limit
 
-type result = { status : status; obj : float; x : float array; iterations : int }
+type result = {
+  status : status;
+  obj : float;
+  x : float array;
+  iterations : int;
+  primal_res : float;
+  dual_res : float;
+}
+
+type backend = Dense | Sparse_lu
+
+type stats = {
+  factorizations : int;
+  fill : int;
+  etas : int;
+  refactor_eta : int;
+  refactor_numeric : int;
+  refactor_residual : int;
+  ftran_seconds : float;
+  btran_seconds : float;
+  pivots : int;
+}
+
+let empty_stats =
+  {
+    factorizations = 0;
+    fill = 0;
+    etas = 0;
+    refactor_eta = 0;
+    refactor_numeric = 0;
+    refactor_residual = 0;
+    ftran_seconds = 0.;
+    btran_seconds = 0.;
+    pivots = 0;
+  }
+
+let add_stats a b =
+  {
+    factorizations = a.factorizations + b.factorizations;
+    fill = Int.max a.fill b.fill;
+    etas = a.etas + b.etas;
+    refactor_eta = a.refactor_eta + b.refactor_eta;
+    refactor_numeric = a.refactor_numeric + b.refactor_numeric;
+    refactor_residual = a.refactor_residual + b.refactor_residual;
+    ftran_seconds = a.ftran_seconds +. b.ftran_seconds;
+    btran_seconds = a.btran_seconds +. b.btran_seconds;
+    pivots = a.pivots + b.pivots;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "factorizations=%d fill=%d etas=%d refactors(eta/numeric/residual)=%d/%d/%d \
+     ftran=%.3fs btran=%.3fs pivots=%d"
+    s.factorizations s.fill s.etas s.refactor_eta s.refactor_numeric
+    s.refactor_residual s.ftran_seconds s.btran_seconds s.pivots
 
 type vstat = Basic | At_lower | At_upper | Free_zero
+
+(* Basis representation: a dense explicit inverse maintained by
+   product-form row operations, or a sparse LU factorization with an
+   eta file (see {!Lu}). *)
+type lu_box = { mutable lu : Lu.t option }
+
+type repr =
+  | Rdense of float array array  (* binv: dense m x m basis inverse *)
+  | Rsparse of lu_box
 
 type state = {
   m : int;  (* rows *)
   nstruct : int;  (* structural columns *)
   ncols : int;  (* nstruct + m slacks + m artificials *)
-  cols : Sparse.t array;
+  mat : Sparse.Csc.mat;  (* all columns, CSC *)
   lb : float array;
   ub : float array;
   cost : float array;  (* phase-II minimization costs *)
   rhs : float array;
-  basis : int array;  (* row -> basic column *)
-  pos : int array;  (* column -> row when basic, -1 otherwise *)
+  basis : int array;  (* slot -> basic column *)
+  pos : int array;  (* column -> slot when basic, -1 otherwise *)
   stat : vstat array;
-  binv : float array array;  (* dense m x m basis inverse *)
-  xb : float array;  (* values of basic variables, per row *)
+  repr : repr;
+  xb : float array;  (* values of basic variables, per slot *)
   y : float array;  (* workspace: simplex multipliers *)
   w : float array;  (* workspace: transformed entering column *)
   tmp : float array;  (* workspace *)
+  aux : float array;  (* workspace (dense ftran target, residual checks) *)
+  rho : float array;  (* workspace: B^-1 row for dual pricing *)
+  cand : int array;  (* partial-pricing candidate list *)
+  mutable ncand : int;
   mutable total_pivots : int;
   mutable refactors : int;
   mutable bland : bool;  (* anti-cycling mode *)
   mutable degen_streak : int;
   mutable pivots_since_refactor : int;
+  (* statistics *)
+  mutable n_factor : int;
+  mutable last_fill : int;
+  mutable n_etas : int;
+  mutable rf_eta : int;
+  mutable rf_numeric : int;
+  mutable rf_residual : int;
+  mutable t_ftran : float;
+  mutable t_btran : float;
 }
 
 (* Tolerances. The models we target have small integer coefficients, so
@@ -38,12 +114,29 @@ let ftol = 1e-7 (* primal feasibility *)
 let dtol = 1e-7 (* dual feasibility / pricing *)
 let ptol = 1e-9 (* smallest acceptable pivot *)
 let degen_switch = 60 (* degenerate pivots before switching to Bland *)
-let refactor_period = 400 (* pivots between basis re-inversions *)
+let refactor_period = 400 (* dense: pivots between basis re-inversions *)
+let eta_limit = 64 (* sparse: eta-file length triggering refactorization *)
+let res_tol = 1e-6 (* basic-solution residual triggering refactorization *)
 
 let num_rows st = st.m
 let num_structural st = st.nstruct
 let total_pivots st = st.total_pivots
 let refactorizations st = st.refactors
+
+let backend st = match st.repr with Rdense _ -> Dense | Rsparse _ -> Sparse_lu
+
+let stats st =
+  {
+    factorizations = st.n_factor;
+    fill = st.last_fill;
+    etas = st.n_etas;
+    refactor_eta = st.rf_eta;
+    refactor_numeric = st.rf_numeric;
+    refactor_residual = st.rf_residual;
+    ftran_seconds = st.t_ftran;
+    btran_seconds = st.t_btran;
+    pivots = st.total_pivots;
+  }
 
 let pp_status ppf = function
   | Optimal -> Format.fprintf ppf "optimal"
@@ -54,7 +147,9 @@ let pp_status ppf = function
 let slack_col st i = st.nstruct + i
 let art_col st i = st.nstruct + st.m + i
 
-let create lp =
+let now () = Unix.gettimeofday ()
+
+let create ?(backend = Sparse_lu) lp =
   let m = Lp.num_constrs lp in
   let nstruct = Lp.num_vars lp in
   let ncols = nstruct + m + m in
@@ -101,11 +196,21 @@ let create lp =
   let cost = Array.make ncols 0. in
   let obj = Lp.objective lp in
   Array.blit obj 0 cost 0 nstruct;
+  let repr =
+    match backend with
+    | Dense ->
+      Rdense
+        (Array.init m (fun i ->
+             let r = Array.make m 0. in
+             r.(i) <- 1.;
+             r))
+    | Sparse_lu -> Rsparse { lu = None }
+  in
   {
     m;
     nstruct;
     ncols;
-    cols;
+    mat = Sparse.Csc.of_columns ~nrows:m cols;
     lb;
     ub;
     cost;
@@ -113,19 +218,28 @@ let create lp =
     basis = Array.init m (fun i -> nstruct + i);
     pos = Array.make ncols (-1);
     stat = Array.make ncols At_lower;
-    binv = Array.init m (fun i ->
-        let r = Array.make m 0. in
-        r.(i) <- 1.;
-        r);
+    repr;
     xb = Array.make m 0.;
     y = Array.make m 0.;
     w = Array.make m 0.;
     tmp = Array.make m 0.;
+    aux = Array.make m 0.;
+    rho = Array.make m 0.;
+    cand = Array.make (Int.max 16 (ncols / 10)) 0;
+    ncand = 0;
     total_pivots = 0;
     refactors = 0;
     bland = false;
     degen_streak = 0;
     pivots_since_refactor = 0;
+    n_factor = 0;
+    last_fill = 0;
+    n_etas = 0;
+    rf_eta = 0;
+    rf_numeric = 0;
+    rf_residual = 0;
+    t_ftran = 0.;
+    t_btran = 0.;
   }
 
 let set_var_bounds st j ~lb ~ub =
@@ -157,108 +271,210 @@ let default_stat st j =
   else if Float.is_finite st.ub.(j) then At_upper
   else Free_zero
 
-(* xb <- Binv * (rhs - sum of nonbasic columns at their values) *)
-let compute_xb st =
+(* -------------------------------------------------------------------- *)
+(* Basis-representation kernels                                          *)
+(* -------------------------------------------------------------------- *)
+
+exception Singular_basis
+
+(* Factorize (or re-invert) the current basis from scratch. *)
+let fresh_factor st =
+  st.n_factor <- st.n_factor + 1;
+  match st.repr with
+  | Rdense binv ->
+    let m = st.m in
+    let a = Array.init m (fun _ -> Array.make m 0.) in
+    for i = 0 to m - 1 do
+      (* dense column i of the basis into column i of [a] *)
+      Sparse.Csc.iter_col st.mat st.basis.(i) (fun r v -> a.(r).(i) <- v);
+      let row = binv.(i) in
+      Array.fill row 0 m 0.;
+      row.(i) <- 1.
+    done;
+    (* Gauss-Jordan with partial pivoting, applying the same row
+       operations to the identity accumulated in binv. *)
+    for c = 0 to m - 1 do
+      let piv_row = ref c and piv_v = ref (Float.abs a.(c).(c)) in
+      for r = c + 1 to m - 1 do
+        let v = Float.abs a.(r).(c) in
+        if v > !piv_v then begin
+          piv_row := r;
+          piv_v := v
+        end
+      done;
+      if !piv_v < 1e-11 then raise Singular_basis;
+      if !piv_row <> c then begin
+        (* Row swaps are ordinary row operations applied to both sides of
+           [B | I]: the left side still reduces to exactly I, so neither
+           the basis ordering nor xb is affected. *)
+        let swap arr =
+          let t = arr.(c) in
+          arr.(c) <- arr.(!piv_row);
+          arr.(!piv_row) <- t
+        in
+        swap a;
+        swap binv
+      end;
+      let p = a.(c).(c) in
+      Vec.scale (1. /. p) a.(c);
+      Vec.scale (1. /. p) binv.(c);
+      for r = 0 to m - 1 do
+        if r <> c then begin
+          let f = a.(r).(c) in
+          if f <> 0. then begin
+            Vec.axpy ~alpha:(-.f) ~x:a.(c) ~y:a.(r);
+            Vec.axpy ~alpha:(-.f) ~x:binv.(c) ~y:binv.(r)
+          end
+        end
+      done
+    done
+  | Rsparse box -> (
+    match Lu.factor st.mat st.basis with
+    | lu ->
+      box.lu <- Some lu;
+      st.last_fill <- Lu.fill lu
+    | exception Lu.Singular -> raise Singular_basis)
+
+let lu_of st box =
+  match box.lu with
+  | Some lu -> lu
+  | None ->
+    fresh_factor st;
+    Option.get box.lu
+
+(* w <- Binv * column j *)
+let ftran_col st j =
+  let t0 = now () in
+  (match st.repr with
+   | Rdense binv ->
+     Vec.fill st.w 0.;
+     Sparse.Csc.iter_col st.mat j (fun r a ->
+         for i = 0 to st.m - 1 do
+           st.w.(i) <- st.w.(i) +. (a *. binv.(i).(r))
+         done)
+   | Rsparse box ->
+     let lu = lu_of st box in
+     Vec.fill st.w 0.;
+     Sparse.Csc.iter_col st.mat j (fun r a -> st.w.(r) <- a);
+     Lu.ftran lu st.w);
+  st.t_ftran <- st.t_ftran +. (now () -. t0)
+
+(* xb <- Binv * (rhs - sum of nonbasic columns at their values).
+   With the LU backend, a residual check on the recomputed basic
+   solution triggers refactorization when the eta file has degraded. *)
+let rec compute_xb st =
   Array.blit st.rhs 0 st.tmp 0 st.m;
   for j = 0 to st.ncols - 1 do
     if st.stat.(j) <> Basic then begin
       let v = nb_value st j in
-      if v <> 0. then Sparse.add_to_dense ~scale:(-.v) st.cols.(j) st.tmp
+      if v <> 0. then Sparse.Csc.add_col_to_dense ~scale:(-.v) st.mat j st.tmp
     end
   done;
-  for i = 0 to st.m - 1 do
-    st.xb.(i) <- Vec.dot st.binv.(i) st.tmp
-  done
+  let t0 = now () in
+  (match st.repr with
+   | Rdense binv ->
+     for i = 0 to st.m - 1 do
+       st.xb.(i) <- Vec.dot binv.(i) st.tmp
+     done;
+     st.t_ftran <- st.t_ftran +. (now () -. t0)
+   | Rsparse box ->
+     let lu = lu_of st box in
+     Array.blit st.tmp 0 st.xb 0 st.m;
+     Lu.ftran lu st.xb;
+     st.t_ftran <- st.t_ftran +. (now () -. t0);
+     if Lu.eta_count lu > 0 then begin
+       (* residual || B xb - tmp ||_inf against the eta-updated solve *)
+       Vec.fill st.aux 0.;
+       for i = 0 to st.m - 1 do
+         if st.xb.(i) <> 0. then
+           Sparse.Csc.add_col_to_dense ~scale:st.xb.(i) st.mat st.basis.(i)
+             st.aux
+       done;
+       let res = ref 0. in
+       for i = 0 to st.m - 1 do
+         let d = Float.abs (st.aux.(i) -. st.tmp.(i)) in
+         if d > !res then res := d
+       done;
+       let scale = 1. +. Vec.nrm_inf st.tmp in
+       if !res > res_tol *. scale then begin
+         st.rf_residual <- st.rf_residual + 1;
+         refactor st
+       end
+     end)
 
-(* y <- c_B * Binv for the given cost vector *)
-let compute_y st costs =
-  Vec.fill st.y 0.;
-  for k = 0 to st.m - 1 do
-    let c = costs.(st.basis.(k)) in
-    if c <> 0. then Vec.axpy ~alpha:c ~x:st.binv.(k) ~y:st.y
-  done
-
-let reduced_cost st costs j = costs.(j) -. Sparse.dot_dense st.cols.(j) st.y
-
-(* w <- Binv * column j *)
-let ftran st j =
-  Vec.fill st.w 0.;
-  Sparse.iter
-    (fun r a ->
-      for i = 0 to st.m - 1 do
-        st.w.(i) <- st.w.(i) +. (a *. st.binv.(i).(r))
-      done)
-    st.cols.(j)
-
-(* Rebuild Binv by Gauss-Jordan inversion of the basis matrix, then
-   recompute xb. Used as a numerical safeguard. *)
-exception Singular_basis
-
-let refactor st =
+(* Rebuild the factorization from the current basis, then recompute xb.
+   Used as a numerical safeguard and by the periodic refresh. *)
+and refactor st =
   st.refactors <- st.refactors + 1;
   st.pivots_since_refactor <- 0;
-  let m = st.m in
-  let a = Array.init m (fun _ -> Array.make m 0.) in
-  for i = 0 to m - 1 do
-    (* dense column i of the basis into column i of [a] *)
-    Sparse.iter (fun r v -> a.(r).(i) <- v) st.cols.(st.basis.(i));
-    let row = st.binv.(i) in
-    Array.fill row 0 m 0.;
-    row.(i) <- 1.
-  done;
-  (* Gauss-Jordan with partial pivoting, applying the same row operations
-     to the identity accumulated in st.binv. *)
-  for c = 0 to m - 1 do
-    let piv_row = ref c and piv_v = ref (Float.abs a.(c).(c)) in
-    for r = c + 1 to m - 1 do
-      let v = Float.abs a.(r).(c) in
-      if v > !piv_v then begin
-        piv_row := r;
-        piv_v := v
-      end
-    done;
-    if !piv_v < 1e-11 then raise Singular_basis;
-    if !piv_row <> c then begin
-      (* Row swaps are ordinary row operations applied to both sides of
-         [B | I]: the left side still reduces to exactly I, so neither
-         the basis ordering nor xb is affected. *)
-      let swap arr =
-        let t = arr.(c) in
-        arr.(c) <- arr.(!piv_row);
-        arr.(!piv_row) <- t
-      in
-      swap a;
-      swap st.binv
-    end;
-    let p = a.(c).(c) in
-    Vec.scale (1. /. p) a.(c);
-    Vec.scale (1. /. p) st.binv.(c);
-    for r = 0 to m - 1 do
-      if r <> c then begin
-        let f = a.(r).(c) in
-        if f <> 0. then begin
-          Vec.axpy ~alpha:(-.f) ~x:a.(c) ~y:a.(r);
-          Vec.axpy ~alpha:(-.f) ~x:st.binv.(c) ~y:st.binv.(r)
-        end
-      end
-    done
-  done;
-  for i = 0 to m - 1 do
+  fresh_factor st;
+  for i = 0 to st.m - 1 do
     st.pos.(st.basis.(i)) <- i
   done;
   compute_xb st
 
-(* Apply the product-form update for entering column whose transformed
-   column is in st.w, pivoting on row r. *)
-let update_binv st r =
-  let piv = st.w.(r) in
-  Vec.scale (1. /. piv) st.binv.(r);
-  for i = 0 to st.m - 1 do
-    if i <> r then begin
-      let f = st.w.(i) in
-      if f <> 0. then Vec.axpy ~alpha:(-.f) ~x:st.binv.(r) ~y:st.binv.(i)
-    end
-  done
+(* y <- c_B * Binv for the given cost vector (i.e. solve B^T y = c_B) *)
+let compute_y st costs =
+  let t0 = now () in
+  (match st.repr with
+   | Rdense binv ->
+     Vec.fill st.y 0.;
+     for k = 0 to st.m - 1 do
+       let c = costs.(st.basis.(k)) in
+       if c <> 0. then Vec.axpy ~alpha:c ~x:binv.(k) ~y:st.y
+     done
+   | Rsparse box ->
+     let lu = lu_of st box in
+     for k = 0 to st.m - 1 do
+       st.y.(k) <- costs.(st.basis.(k))
+     done;
+     Lu.btran lu st.y);
+  st.t_btran <- st.t_btran +. (now () -. t0)
+
+let reduced_cost st costs j =
+  costs.(j) -. Sparse.Csc.dot_col_dense st.mat j st.y
+
+(* Row r of Binv (the dual pricing vector rho = e_r^T B^-1). The dense
+   backend returns its internal row without copying; the LU backend
+   solves B^T rho = e_r into a workspace. *)
+let dual_row st r =
+  match st.repr with
+  | Rdense binv -> binv.(r)
+  | Rsparse box ->
+    let lu = lu_of st box in
+    let t0 = now () in
+    Vec.fill st.rho 0.;
+    st.rho.(r) <- 1.;
+    Lu.btran lu st.rho;
+    st.t_btran <- st.t_btran +. (now () -. t0);
+    st.rho
+
+(* Apply the basis-exchange update for an entering column whose
+   transformed column is in st.w, pivoting in slot r. *)
+let update_factor st r =
+  match st.repr with
+  | Rdense binv ->
+    let piv = st.w.(r) in
+    Vec.scale (1. /. piv) binv.(r);
+    for i = 0 to st.m - 1 do
+      if i <> r then begin
+        let f = st.w.(i) in
+        if f <> 0. then Vec.axpy ~alpha:(-.f) ~x:binv.(r) ~y:binv.(i)
+      end
+    done
+  | Rsparse box -> (
+    let lu = lu_of st box in
+    match Lu.update lu ~w:st.w ~r with
+    | () -> st.n_etas <- st.n_etas + 1
+    | exception Lu.Singular -> raise Singular_basis)
+
+(* Has the representation accumulated enough updates to warrant a
+   periodic refresh? *)
+let due_refresh st =
+  match st.repr with
+  | Rdense _ -> st.pivots_since_refactor >= refactor_period
+  | Rsparse { lu = Some lu } -> Lu.eta_count lu >= eta_limit
+  | Rsparse { lu = None } -> false
 
 let objective_value st costs =
   let acc = ref 0. in
@@ -267,39 +483,174 @@ let objective_value st costs =
   done;
   !acc
 
-let extract_x st =
-  Array.init st.nstruct (fun j -> col_value st j)
+let extract_x st = Array.init st.nstruct (fun j -> col_value st j)
 
 (* -------------------------------------------------------------------- *)
-(* Primal simplex iterations                                             *)
+(* Residual norms of the current basic solution                          *)
+(* -------------------------------------------------------------------- *)
+
+(* Primal residual: worst row violation of the full solution (structural
+   + slack + artificial values) plus worst bound violation of a basic
+   variable. Dual residual: the most favorable pricing score over the
+   nonbasic columns at the phase-II costs — 0 means dual feasible. Both
+   are computed from the raw constraint matrix, so a degraded basis
+   representation cannot hide its own error. *)
+let residual_norms st =
+  let primal =
+    let acc = ref 0. in
+    Array.blit st.rhs 0 st.aux 0 st.m;
+    for j = 0 to st.ncols - 1 do
+      let v = col_value st j in
+      if v <> 0. then Sparse.Csc.add_col_to_dense ~scale:(-.v) st.mat j st.aux
+    done;
+    for i = 0 to st.m - 1 do
+      let d = Float.abs st.aux.(i) in
+      if d > !acc then acc := d
+    done;
+    for i = 0 to st.m - 1 do
+      let k = st.basis.(i) in
+      let v = st.xb.(i) in
+      let viol = Float.max (st.lb.(k) -. v) (v -. st.ub.(k)) in
+      if viol > !acc then acc := viol
+    done;
+    !acc
+  in
+  let dual =
+    match compute_y st st.cost with
+    | () ->
+      let acc = ref 0. in
+      for j = 0 to st.ncols - 1 do
+        if st.stat.(j) <> Basic && not (is_fixed st j) then begin
+          let d = reduced_cost st st.cost j in
+          let score =
+            match st.stat.(j) with
+            | At_lower -> -.d
+            | At_upper -> d
+            | Free_zero -> Float.abs d
+            | Basic -> 0.
+          in
+          if score > !acc then acc := score
+        end
+      done;
+      !acc
+    | exception Singular_basis -> Float.infinity
+  in
+  (primal, dual)
+
+let mk_result st status ~iterations =
+  let x = extract_x st in
+  let primal_res, dual_res =
+    match residual_norms st with
+    | r -> r
+    | exception Singular_basis -> (Float.infinity, Float.infinity)
+  in
+  let obj =
+    match status with
+    | Optimal | Iter_limit -> objective_value st st.cost
+    | Unbounded -> Float.neg_infinity
+    | Infeasible -> Float.nan
+  in
+  { status; obj; x; iterations; primal_res; dual_res }
+
+(* -------------------------------------------------------------------- *)
+(* Pricing                                                               *)
 (* -------------------------------------------------------------------- *)
 
 type price_choice = { pc_col : int; pc_d : float }
 
-let price st costs =
-  compute_y st costs;
-  let best = ref None and best_score = ref dtol in
+let price_score st costs j =
+  let d = reduced_cost st costs j in
+  let score =
+    match st.stat.(j) with
+    | At_lower -> -.d
+    | At_upper -> d
+    | Free_zero -> Float.abs d
+    | Basic -> 0.
+  in
+  (d, score)
+
+(* Bland's rule: first eligible column by index (anti-cycling). *)
+let price_bland st costs =
+  let best = ref None in
   (try
      for j = 0 to st.ncols - 1 do
        if st.stat.(j) <> Basic && not (is_fixed st j) then begin
-         let d = reduced_cost st costs j in
-         let score =
-           match st.stat.(j) with
-           | At_lower -> -.d
-           | At_upper -> d
-           | Free_zero -> Float.abs d
-           | Basic -> 0.
-         in
-         if score > !best_score then begin
+         let d, score = price_score st costs j in
+         if score > dtol then begin
            best := Some { pc_col = j; pc_d = d };
-           best_score := score;
-           (* Bland's rule: take the first eligible column. *)
-           if st.bland then raise Exit
+           raise Exit
          end
        end
      done
    with Exit -> ());
   !best
+
+(* Major pricing pass: scan every column, return the best candidate and
+   rebuild the candidate list with the highest-scoring columns. *)
+let price_major st costs =
+  let best = ref None and best_score = ref dtol in
+  let cands = ref [] and ncands = ref 0 in
+  for j = 0 to st.ncols - 1 do
+    if st.stat.(j) <> Basic && not (is_fixed st j) then begin
+      let d, score = price_score st costs j in
+      if score > dtol then begin
+        cands := (score, j) :: !cands;
+        incr ncands;
+        if score > !best_score then begin
+          best := Some { pc_col = j; pc_d = d };
+          best_score := score
+        end
+      end
+    end
+  done;
+  let cap = Array.length st.cand in
+  let picked =
+    if !ncands <= cap then !cands
+    else
+      (* keep only the highest-scoring columns *)
+      let sorted =
+        List.sort (fun (a, _) (b, _) -> Float.compare b a) !cands
+      in
+      List.filteri (fun i _ -> i < cap) sorted
+  in
+  st.ncand <- 0;
+  List.iter
+    (fun (_, j) ->
+      st.cand.(st.ncand) <- j;
+      st.ncand <- st.ncand + 1)
+    picked;
+  !best
+
+(* Partial pricing: price only the candidate list (minor pass), falling
+   back to a full scan when the list runs dry. Optimality is only ever
+   declared by a full scan. *)
+let price st costs =
+  compute_y st costs;
+  if st.bland then price_bland st costs
+  else begin
+    let best = ref None and best_score = ref dtol in
+    let nkeep = ref 0 in
+    for idx = 0 to st.ncand - 1 do
+      let j = st.cand.(idx) in
+      if st.stat.(j) <> Basic && not (is_fixed st j) then begin
+        let d, score = price_score st costs j in
+        if score > dtol then begin
+          st.cand.(!nkeep) <- j;
+          incr nkeep;
+          if score > !best_score then begin
+            best := Some { pc_col = j; pc_d = d };
+            best_score := score
+          end
+        end
+      end
+    done;
+    st.ncand <- !nkeep;
+    match !best with Some _ as b -> b | None -> price_major st costs
+  end
+
+(* -------------------------------------------------------------------- *)
+(* Primal simplex iterations                                             *)
+(* -------------------------------------------------------------------- *)
 
 type ratio_outcome =
   | Flip of float (* step of a bound flip of the entering column *)
@@ -360,7 +711,7 @@ let primal_loop st costs max_iters =
           | Free_zero -> if d < 0. then 1. else -1.
           | Basic -> assert false
         in
-        ftran st j;
+        ftran_col st j;
         (match ratio_test st j sigma with
          | Unbounded_dir -> outcome := Some Unbounded
          | Flip t ->
@@ -380,14 +731,16 @@ let primal_loop st costs max_iters =
              st.xb.(i) <- st.xb.(i) -. (sigma *. t *. st.w.(i))
            done;
            let leaving = st.basis.(r) in
-           (* Numerical safeguard: degenerate tiny pivots can poison Binv. *)
+           (* Numerical safeguard: degenerate tiny pivots can poison the
+              factorization. *)
            if Float.abs st.w.(r) < ptol then begin
+             st.rf_numeric <- st.rf_numeric + 1;
              refactor st;
-             (* retry this iteration with a clean inverse *)
+             (* retry this iteration with a clean factorization *)
              ()
            end
            else begin
-             update_binv st r;
+             update_factor st r;
              st.basis.(r) <- j;
              st.pos.(j) <- r;
              st.pos.(leaving) <- -1;
@@ -397,7 +750,10 @@ let primal_loop st costs max_iters =
              incr iters;
              st.total_pivots <- st.total_pivots + 1;
              st.pivots_since_refactor <- st.pivots_since_refactor + 1;
-             if st.pivots_since_refactor >= refactor_period then refactor st;
+             if due_refresh st then begin
+               st.rf_eta <- st.rf_eta + 1;
+               refactor st
+             end;
              if t <= 1e-9 then begin
                st.degen_streak <- st.degen_streak + 1;
                if st.degen_streak > degen_switch then st.bland <- true
@@ -428,14 +784,24 @@ let reset_to_slack_basis st =
     st.lb.(a) <- 0.;
     st.ub.(a) <- 0.;
     st.stat.(a) <- At_lower;
-    st.pos.(a) <- -1;
-    let row = st.binv.(i) in
-    Array.fill row 0 st.m 0.;
-    row.(i) <- 1.
+    st.pos.(a) <- -1
   done;
+  (match st.repr with
+   | Rdense binv ->
+     for i = 0 to st.m - 1 do
+       let row = binv.(i) in
+       Array.fill row 0 st.m 0.;
+       row.(i) <- 1.
+     done
+   | Rsparse box ->
+     (* the slack basis is a permutation-free identity: factor it fresh
+        (cheap: every column is a singleton) *)
+     box.lu <- None;
+     fresh_factor st);
   st.bland <- false;
   st.degen_streak <- 0;
   st.pivots_since_refactor <- 0;
+  st.ncand <- 0;
   compute_xb st
 
 let rec primal_guarded ~max_iters ~attempt st =
@@ -445,7 +811,14 @@ let rec primal_guarded ~max_iters ~attempt st =
        basis; give up gracefully if it persists *)
     Log.warn (fun f -> f "singular basis; restarting primal from scratch");
     if attempt >= 1 then
-      { status = Iter_limit; obj = Float.nan; x = extract_x st; iterations = 0 }
+      {
+        status = Iter_limit;
+        obj = Float.nan;
+        x = extract_x st;
+        iterations = 0;
+        primal_res = Float.infinity;
+        dual_res = Float.infinity;
+      }
     else primal_guarded ~max_iters ~attempt:(attempt + 1) st
 
 and primal_once ~max_iters st =
@@ -481,6 +854,9 @@ and primal_once ~max_iters st =
       need_phase1 := true
     end
   done;
+  (* the artificial and slack columns of a row are the same unit vector,
+     so swapping them leaves the factorized basis matrix unchanged *)
+  st.ncand <- 0;
   let iters1 = ref 0 in
   let feasible = ref true in
   if !need_phase1 then begin
@@ -495,6 +871,7 @@ and primal_once ~max_iters st =
       let infeas =
         if infeas > 1e-6 && st.pivots_since_refactor > 0 then begin
           (* guard against drift-faked infeasibility *)
+          st.rf_numeric <- st.rf_numeric + 1;
           refactor st;
           let _, it = primal_loop st phase1_cost max_iters in
           iters1 := !iters1 + it;
@@ -511,16 +888,16 @@ and primal_once ~max_iters st =
         st.lb.(a) <- 0.;
         st.ub.(a) <- 0.;
         if st.stat.(a) <> Basic then st.stat.(a) <- At_lower
-      done
+      done;
+      st.ncand <- 0
   end;
   if (not !feasible) && !iters1 >= max_iters then
-    { status = Iter_limit; obj = Float.nan; x = extract_x st; iterations = !iters1 }
-  else if not !feasible then
-    { status = Infeasible; obj = Float.nan; x = extract_x st; iterations = !iters1 }
+    mk_result st Iter_limit ~iterations:!iters1
+  else if not !feasible then mk_result st Infeasible ~iterations:!iters1
   else begin
+    st.ncand <- 0;
     let status, it2 = primal_loop st st.cost (max_iters - !iters1) in
-    let obj = objective_value st st.cost in
-    { status; obj; x = extract_x st; iterations = !iters1 + it2 }
+    mk_result st status ~iterations:(!iters1 + it2)
   end
 
 (* -------------------------------------------------------------------- *)
@@ -578,12 +955,12 @@ let dual_loop st max_iters =
       | None -> outcome := Some `Primal_feasible
       | Some (r, above) -> (
         compute_y st st.cost;
-        let rho = st.binv.(r) in
+        let rho = dual_row st r in
         let best = ref None and best_ratio = ref Float.infinity in
         let best_alpha = ref 0. in
         for j = 0 to st.ncols - 1 do
           if st.stat.(j) <> Basic && not (is_fixed st j) then begin
-            let alpha = Sparse.dot_dense st.cols.(j) rho in
+            let alpha = Sparse.Csc.dot_col_dense st.mat j rho in
             let eligible =
               if above then
                 match st.stat.(j) with
@@ -617,10 +994,11 @@ let dual_loop st max_iters =
         | None ->
           (* No direction can repair the violated row: the current
              nonbasic values already extremize the basic value, so the
-             problem is primal infeasible. Accumulated product-form
-             error can fake this certificate, so re-derive it from a
-             fresh factorization before trusting it. *)
+             problem is primal infeasible. Accumulated update error can
+             fake this certificate, so re-derive it from a fresh
+             factorization before trusting it. *)
           if st.pivots_since_refactor > 0 then begin
+            st.rf_numeric <- st.rf_numeric + 1;
             refactor st;
             incr iters
           end
@@ -628,9 +1006,10 @@ let dual_loop st max_iters =
         | Some j ->
           let k = st.basis.(r) in
           let bound = if above then st.ub.(k) else st.lb.(k) in
-          ftran st j;
+          ftran_col st j;
           let alpha = st.w.(r) in
           if Float.abs alpha < ptol then begin
+            st.rf_numeric <- st.rf_numeric + 1;
             refactor st;
             incr iters (* retry after refactorization *)
           end
@@ -640,7 +1019,7 @@ let dual_loop st max_iters =
             for i = 0 to st.m - 1 do
               st.xb.(i) <- st.xb.(i) -. (theta *. st.w.(i))
             done;
-            update_binv st r;
+            update_factor st r;
             st.basis.(r) <- j;
             st.pos.(j) <- r;
             st.pos.(k) <- -1;
@@ -650,7 +1029,10 @@ let dual_loop st max_iters =
             incr iters;
             st.total_pivots <- st.total_pivots + 1;
             st.pivots_since_refactor <- st.pivots_since_refactor + 1;
-            if st.pivots_since_refactor >= refactor_period then refactor st
+            if due_refresh st then begin
+              st.rf_eta <- st.rf_eta + 1;
+              refactor st
+            end
           end)
   done;
   (Option.get !outcome, !iters)
@@ -660,6 +1042,7 @@ let primal ?(max_iters = 200_000) st = primal_guarded ~max_iters ~attempt:0 st
 let dual_reopt ?(max_iters = 200_000) st =
   match
     (revalidate_nonbasic st;
+     st.ncand <- 0;
      compute_xb st;
      let dual_cap = Int.min max_iters (1000 + (30 * st.m)) in
      dual_loop st dual_cap)
@@ -667,8 +1050,7 @@ let dual_reopt ?(max_iters = 200_000) st =
   | exception Singular_basis ->
     Log.warn (fun f -> f "singular basis in warm start; primal restart");
     primal ~max_iters st
-  | `Infeasible, it ->
-    { status = Infeasible; obj = Float.nan; x = extract_x st; iterations = it }
+  | `Infeasible, it -> mk_result st Infeasible ~iterations:it
   | `Stalled, _ ->
     Log.debug (fun f -> f "dual re-optimization stalled; primal restart");
     primal ~max_iters st
@@ -682,15 +1064,8 @@ let dual_reopt ?(max_iters = 200_000) st =
       primal ~max_iters st
     | status, it2 ->
     (match status with
-     | Optimal ->
-       { status = Optimal; obj = objective_value st st.cost;
-         x = extract_x st; iterations = it1 + it2 }
-     | Unbounded ->
-       { status = Unbounded; obj = Float.neg_infinity;
-         x = extract_x st; iterations = it1 + it2 }
-     | Iter_limit ->
-       { status = Iter_limit; obj = Float.nan; x = extract_x st;
-         iterations = it1 + it2 }
+     | Optimal | Unbounded | Iter_limit ->
+       mk_result st status ~iterations:(it1 + it2)
      | Infeasible -> assert false (* primal_loop never returns Infeasible *)))
 
-let solve ?max_iters lp = primal ?max_iters (create lp)
+let solve ?backend ?max_iters lp = primal ?max_iters (create ?backend lp)

@@ -1,14 +1,26 @@
-(** Bounded-variable simplex solver for linear programs.
+(** Bounded-variable revised simplex solver for linear programs.
 
     Solves the LP relaxation of an {!Lp.t} (integrality markers are
-    ignored). The implementation is a revised simplex with an explicit
-    dense basis inverse and product-form updates:
+    ignored). The implementation is a revised simplex with two
+    interchangeable basis representations (see {!backend}):
+
+    - the default {e sparse} backend keeps the constraint matrix in
+      compressed sparse column form ({!Sparse.Csc}) and the basis as a
+      Markowitz-pivoted LU factorization with a product-form eta file
+      ({!Lu}), refactorized when the eta file grows past a bound or a
+      residual check fails;
+    - the legacy {e dense} backend maintains an explicit basis inverse
+      with product-form row updates, kept as a cross-check and baseline.
+
+    Common machinery, independent of the backend:
 
     - variable bounds are handled implicitly (no explicit bound rows),
       which keeps the row count equal to the number of constraints;
     - phase I uses one-signed artificial variables minimizing total
       infeasibility;
-    - Dantzig pricing with an automatic switch to Bland's rule under
+    - Dantzig pricing over a partial-pricing candidate list (full scans
+      only when the list runs dry — optimality is only ever declared by
+      a full scan), with an automatic switch to Bland's rule under
       degeneracy (anti-cycling);
     - a dual-simplex re-optimization loop supports warm starts after
       bound changes, which is what {!Branch_bound} uses between nodes.
@@ -25,16 +37,67 @@ type status =
 
 type result = {
   status : status;
-  obj : float;  (** Minimization-oriented objective value at [x]. *)
+  obj : float;
+      (** Minimization-oriented objective value at [x]. For {!Iter_limit}
+          this is the (possibly meaningless) objective of the last basic
+          solution — check {!primal_res}/{!dual_res} before trusting it.
+          [nan] for {!Infeasible}. *)
   x : float array;  (** Structural variable values, indexed by [(var :> int)]. *)
   iterations : int;  (** Simplex pivots performed by this call. *)
+  primal_res : float;
+      (** Inf-norm primal residual of the returned solution: worst row
+          violation plus worst bound violation of a basic variable,
+          measured against the raw constraint matrix (so representation
+          drift cannot hide). [0.] up to roundoff at a true optimum. *)
+  dual_res : float;
+      (** Most favorable pricing score over nonbasic columns at the
+          phase-II costs; [0.] means dual feasible. Together with a tiny
+          {!primal_res} this certifies [obj] is near the LP optimum even
+          when [status = Iter_limit] (weak duality). *)
 }
+
+type backend =
+  | Dense  (** Explicit dense basis inverse (legacy baseline). *)
+  | Sparse_lu  (** Sparse LU + eta file (default). *)
+
+type stats = {
+  factorizations : int;  (** Fresh basis factorizations / re-inversions. *)
+  fill : int;
+      (** Stored L+U entries of the most recent sparse factorization
+          (0 under the dense backend). *)
+  etas : int;  (** Cumulative eta-file updates appended. *)
+  refactor_eta : int;  (** Refactorizations triggered by eta-file length. *)
+  refactor_numeric : int;
+      (** Refactorizations triggered by tiny pivots or certificate
+          verification. *)
+  refactor_residual : int;
+      (** Refactorizations triggered by the basic-solution residual
+          check. *)
+  ftran_seconds : float;  (** Wall time spent in forward solves. *)
+  btran_seconds : float;  (** Wall time spent in transposed solves. *)
+  pivots : int;  (** Cumulative simplex pivots. *)
+}
+
+val empty_stats : stats
+(** All-zero statistics; the identity of {!add_stats}. *)
+
+val add_stats : stats -> stats -> stats
+(** Componentwise accumulation ([fill] takes the max). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One-line [key=value] rendering of the counters. *)
 
 type state
 
-val create : Lp.t -> state
-(** Builds solver storage for the model. Later mutations of the [Lp.t]
-    are not observed except through {!set_var_bounds}. *)
+val create : ?backend:backend -> Lp.t -> state
+(** Builds solver storage for the model (default backend {!Sparse_lu}).
+    Later mutations of the [Lp.t] are not observed except through
+    {!set_var_bounds}. *)
+
+val backend : state -> backend
+
+val stats : state -> stats
+(** Cumulative statistics across all solves on this state. *)
 
 val num_rows : state -> int
 
@@ -59,13 +122,14 @@ val dual_reopt : ?max_iters:int -> state -> result
     the warm start goes numerically bad. Calling it on a fresh state is
     valid and equivalent to {!primal}. *)
 
-val solve : ?max_iters:int -> Lp.t -> result
+val solve : ?backend:backend -> ?max_iters:int -> Lp.t -> result
 (** [solve lp] is [primal (create lp)]: one-shot LP relaxation solve. *)
 
 val total_pivots : state -> int
 (** Cumulative pivot count across all solves on this state. *)
 
 val refactorizations : state -> int
-(** Number of basis re-inversions triggered by numerical safeguards. *)
+(** Number of basis refactorizations, whatever the trigger (periodic,
+    numerical safeguard, or residual check). *)
 
 val pp_status : Format.formatter -> status -> unit

@@ -76,3 +76,55 @@ let pp ppf v =
       Format.fprintf ppf "%d:%g" i v.value.(k))
     v.idx;
   Format.fprintf ppf "}"
+
+module Csc = struct
+  type mat = {
+    nrows : int;
+    ncols : int;
+    colptr : int array;
+    rowind : int array;
+    values : float array;
+  }
+
+  let of_columns ~nrows cols =
+    let ncols = Array.length cols in
+    let colptr = Array.make (ncols + 1) 0 in
+    for j = 0 to ncols - 1 do
+      colptr.(j + 1) <- colptr.(j) + Array.length cols.(j).idx
+    done;
+    let total = colptr.(ncols) in
+    let rowind = Array.make total 0 in
+    let values = Array.make total 0. in
+    for j = 0 to ncols - 1 do
+      let base = colptr.(j) in
+      let v = cols.(j) in
+      for k = 0 to Array.length v.idx - 1 do
+        if v.idx.(k) >= nrows then
+          invalid_arg "Sparse.Csc.of_columns: row index out of range";
+        rowind.(base + k) <- v.idx.(k);
+        values.(base + k) <- v.value.(k)
+      done
+    done;
+    { nrows; ncols; colptr; rowind; values }
+
+  let nnz m = m.colptr.(m.ncols)
+
+  let col_nnz m j = m.colptr.(j + 1) - m.colptr.(j)
+
+  let iter_col m j f =
+    for k = m.colptr.(j) to m.colptr.(j + 1) - 1 do
+      f m.rowind.(k) m.values.(k)
+    done
+
+  let dot_col_dense m j d =
+    let acc = ref 0. in
+    for k = m.colptr.(j) to m.colptr.(j + 1) - 1 do
+      acc := !acc +. (m.values.(k) *. d.(m.rowind.(k)))
+    done;
+    !acc
+
+  let add_col_to_dense ?(scale = 1.) m j d =
+    for k = m.colptr.(j) to m.colptr.(j + 1) - 1 do
+      d.(m.rowind.(k)) <- d.(m.rowind.(k)) +. (scale *. m.values.(k))
+    done
+end

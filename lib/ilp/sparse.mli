@@ -9,6 +9,7 @@ type t = private {
 }
 
 val empty : t
+(** The all-zero vector (no stored entries). *)
 
 val of_assoc : (int * float) list -> t
 (** [of_assoc l] builds a sparse vector from (index, coefficient) pairs.
@@ -30,11 +31,58 @@ val add_to_dense : ?scale:float -> t -> float array -> unit
     [scale = 1.]). *)
 
 val iter : (int -> float -> unit) -> t -> unit
+(** [iter f v] applies [f index value] over stored entries, in
+    increasing index order. *)
 
 val fold : (int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold f v init] folds over stored entries in increasing index
+    order. *)
 
 val to_list : t -> (int * float) list
+(** Stored (index, value) pairs in increasing index order. *)
 
 val map_values : (float -> float) -> t -> t
+(** [map_values f v] applies [f] to every stored coefficient, re-merging
+    and re-filtering the result as {!of_assoc} does. *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints as [{i:v; i:v; ...}]. *)
+
+(** Compressed sparse column (CSC) matrices.
+
+    The storage format of the simplex constraint matrix: all columns
+    packed into three parallel arrays, so a column scan is a contiguous
+    sweep with no per-column indirection or allocation. Built once from
+    {!t} columns at solver-creation time and never mutated. *)
+module Csc : sig
+  type mat = private {
+    nrows : int;  (** Row dimension (rows may be empty). *)
+    ncols : int;  (** Number of stored columns. *)
+    colptr : int array;
+        (** Length [ncols + 1]; column [j] occupies the index range
+            [colptr.(j) .. colptr.(j+1) - 1] of {!rowind}/{!values}. *)
+    rowind : int array;  (** Row index of each entry, sorted per column. *)
+    values : float array;  (** Coefficient of each entry, non-zero. *)
+  }
+
+  val of_columns : nrows:int -> t array -> mat
+  (** [of_columns ~nrows cols] packs sparse columns into CSC form.
+      Raises [Invalid_argument] if an entry's row index is [>= nrows]. *)
+
+  val nnz : mat -> int
+  (** Total stored entries. *)
+
+  val col_nnz : mat -> int -> int
+  (** Stored entries of one column. *)
+
+  val iter_col : mat -> int -> (int -> float -> unit) -> unit
+  (** [iter_col m j f] applies [f row value] over column [j]'s entries. *)
+
+  val dot_col_dense : mat -> int -> float array -> float
+  (** [dot_col_dense m j d] is the inner product of column [j] with a
+      dense vector indexed by row. *)
+
+  val add_col_to_dense : ?scale:float -> mat -> int -> float array -> unit
+  (** [add_col_to_dense ~scale m j d] performs
+      [d <- d + scale * column j] (default [scale = 1.]). *)
+end

@@ -9,8 +9,10 @@ val create : int -> t
 (** [create n] is a zero vector of length [n]. *)
 
 val copy : t -> t
+(** Fresh copy (allocates). *)
 
 val of_list : float list -> t
+(** Dense vector with the given entries (allocates). *)
 
 val dot : t -> t -> float
 (** [dot a b] is the inner product. Raises [Invalid_argument] on length
@@ -33,5 +35,7 @@ val max_abs_index : t -> int
     [Invalid_argument] on the empty vector. *)
 
 val fill : t -> float -> unit
+(** [fill x v] sets every entry of [x] to [v] in place. *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints as [[v0; v1; ...]] with [%g] entries. *)

@@ -178,7 +178,8 @@ let lint_or_fail ?options vars =
 let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
     ?(node_order = Bb.Depth_first) ?(time_limit = Float.infinity)
     ?(max_nodes = max_int) ?(validate = true) ?(scheduler_completion = true)
-    ?(presolve = true) ?(lint = false) ?lint_options vars =
+    ?(presolve = true) ?(lint = false) ?lint_options
+    ?(lp_backend = Ilp.Simplex.Sparse_lu) vars =
   if lint then lint_or_fail ?options:lint_options vars;
   let options =
     {
@@ -191,6 +192,7 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
       integral_objective = true;
       node_hook =
         (if scheduler_completion then Some (scheduler_hook vars) else None);
+      lp_backend;
     }
   in
   (* Presolve drops redundant rows and tightens bounds without touching
@@ -209,6 +211,7 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
             max_depth = 0;
             elapsed = 0.;
             root_obj = Float.nan;
+            lp_stats = Ilp.Simplex.empty_stats;
           } )
       | Ilp.Presolve.Reduced (reduced, _) -> Bb.solve ~options reduced
     else Bb.solve ~options vars.Vars.lp

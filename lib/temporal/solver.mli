@@ -32,6 +32,7 @@ val solve :
   ?presolve:bool ->
   ?lint:bool ->
   ?lint_options:Formulation.options ->
+  ?lp_backend:Ilp.Simplex.backend ->
   Vars.t ->
   report
 (** Defaults: paper branching, value 1 first, depth-first, no limits,
@@ -56,6 +57,10 @@ val solve :
 
     [presolve] (default on) runs {!Ilp.Presolve} before branch and
     bound: rows drop and bounds tighten while variable indices — and the
-    reported model sizes — stay those of the paper's formulation. *)
+    reported model sizes — stay those of the paper's formulation.
+
+    [lp_backend] selects the simplex basis representation for node
+    relaxations (default {!Ilp.Simplex.Sparse_lu}); the dense baseline
+    is kept for cross-checks and benchmarking. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -35,6 +35,15 @@ device is too small for all three units, forcing two configurations:
     c2: add2@cs3/add16
   
 
+The --stats flag reports the LP engine's work: basis factorizations,
+LU fill-in, eta updates, the refactorization triggers, and solve times
+(numbers masked — they vary with the machine):
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 | grep lp-stats | sed 's/[0-9][0-9]*\(\.[0-9]*\)\?/N/g'
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --stats | grep lp-stats | sed 's/[0-9][0-9]*\(\.[0-9]*\)\?/N/g'
+  lp-stats: factorizations=N fill=N etas=N refactors(eta/numeric/residual)=N/N/N ftran=Ns btran=Ns pivots=N
+
 An infeasible instance exits with code 1:
 
   $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 2 > /dev/null

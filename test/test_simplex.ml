@@ -273,6 +273,62 @@ let prop_mixed_senses =
         && user_obj lp r +. 1e-5 >= Ilp.Feas_check.objective_value lp x0
       | Sx.Unbounded | Sx.Infeasible | Sx.Iter_limit -> false)
 
+(* The dense explicit-inverse backend and the sparse LU backend must be
+   observationally identical: same status, same objective (to roundoff),
+   and both residual-clean at an optimum. *)
+let prop_dense_sparse_agree =
+  QCheck.Test.make ~name:"dense and sparse backends agree" ~count:150
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let lp, _ = make_rand_mixed seed ~n:8 ~m:9 in
+      let rd = Sx.solve ~backend:Sx.Dense lp in
+      let rs = Sx.solve ~backend:Sx.Sparse_lu lp in
+      rd.Sx.status = rs.Sx.status
+      &&
+      match rd.Sx.status with
+      | Sx.Optimal ->
+        Float.abs (rd.Sx.obj -. rs.Sx.obj) <= 1e-9
+        && rs.Sx.primal_res <= 1e-6
+        && rs.Sx.dual_res <= 1e-6
+        && rd.Sx.primal_res <= 1e-6
+        && rd.Sx.dual_res <= 1e-6
+      | Sx.Infeasible | Sx.Unbounded | Sx.Iter_limit -> true)
+
+let prop_dense_sparse_warm_agree =
+  QCheck.Test.make
+    ~name:"dense and sparse warm starts agree through bound changes"
+    ~count:60
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let { lp; _ } = make_rand_lp seed ~n:7 ~m:9 in
+      let std = Sx.create ~backend:Sx.Dense lp in
+      let sts = Sx.create ~backend:Sx.Sparse_lu lp in
+      ignore (Sx.primal std);
+      ignore (Sx.primal sts);
+      let rng = Taskgraph.Prng.create (seed + 13) in
+      let ok = ref true in
+      for _round = 1 to 5 do
+        for j = 0 to 6 do
+          if Taskgraph.Prng.bool rng 0.4 then begin
+            let fix = Float.of_int (Taskgraph.Prng.int_in rng 0 3) in
+            Sx.set_var_bounds std j ~lb:fix ~ub:fix;
+            Sx.set_var_bounds sts j ~lb:fix ~ub:fix
+          end
+          else begin
+            Sx.set_var_bounds std j ~lb:0. ~ub:5.;
+            Sx.set_var_bounds sts j ~lb:0. ~ub:5.
+          end
+        done;
+        let rd = Sx.dual_reopt std in
+        let rs = Sx.dual_reopt sts in
+        match (rd.Sx.status, rs.Sx.status) with
+        | Sx.Optimal, Sx.Optimal ->
+          if Float.abs (rd.Sx.obj -. rs.Sx.obj) > 1e-9 then ok := false
+        | Sx.Infeasible, Sx.Infeasible -> ()
+        | _, _ -> ok := false
+      done;
+      !ok)
+
 let prop_lp_bound_below_milp =
   QCheck.Test.make ~name:"LP relaxation bounds the MILP optimum" ~count:80
     QCheck.(int_bound 100_000)
@@ -327,5 +383,6 @@ let () =
         ] );
       ( "properties",
         [ qt prop_feasible_and_dominates; qt prop_warm_start_agrees;
-          qt prop_mixed_senses; qt prop_lp_bound_below_milp ] );
+          qt prop_mixed_senses; qt prop_dense_sparse_agree;
+          qt prop_dense_sparse_warm_agree; qt prop_lp_bound_below_milp ] );
     ]
