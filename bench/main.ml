@@ -46,12 +46,12 @@ type run_row = {
 }
 
 let run_spec ?(options = F.tightened_options) ?(strategy = Temporal.Branching.Paper)
-    ?(scheduler_completion = true) ?limit spec =
+    ?(scheduler_completion = true) ?limit ?(jobs = 1) spec =
   let limit = match limit with Some l -> Float.min l !time_limit | None -> !time_limit in
   let vars = F.build ~options spec in
   let t0 = Unix.gettimeofday () in
   let report =
-    Solver.solve ~strategy ~scheduler_completion ~time_limit:limit vars
+    Solver.solve ~strategy ~scheduler_completion ~time_limit:limit ~jobs vars
   in
   let seconds = Unix.gettimeofday () -. t0 in
   let feasible =
@@ -381,6 +381,140 @@ let sparse () =
     points
 
 (* ------------------------------------------------------------------ *)
+(* Parallel branch and bound: 1/2/4/8 worker domains                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Rows are accumulated here so that --json can dump them together with
+   the host description at the end of the run. *)
+type parallel_row = {
+  p_graph : int;
+  p_n : int;
+  p_l : int;
+  p_jobs : int;
+  p_seconds : float;
+  p_nodes : int;
+  p_steals : int;
+  p_handoffs : int;
+  p_solved : bool;
+  p_speedup : float;
+}
+
+let parallel_rows : parallel_row list ref = ref []
+
+let parallel () =
+  section
+    "Parallel branch and bound: worker domains vs sequential search\n\
+     (tightened model, paper branching, scheduler-completion hook OFF so\n\
+     the trees are large enough to feed the worker pool; fixed per-run\n\
+     wall-clock budget. On a single-core host the speedup column measures\n\
+     scheduling overhead, not parallelism -- see EXPERIMENTS.md)";
+  Format.printf "  host: %d core(s) recommended by the runtime@.@."
+    (Domain.recommended_domain_count ());
+  let budget = 20. in
+  let points =
+    [
+      (* one design point per paper graph, from Table 4 *)
+      (1, 3, (2, 2, 1), 1);
+      (2, 4, (3, 2, 2), 1);
+      (3, 3, (2, 2, 2), 1);
+      (4, 2, (2, 2, 2), 1);
+      (5, 2, (2, 2, 2), 1);
+      (6, 2, (2, 2, 2), 1);
+    ]
+  in
+  Format.printf " %-6s %-3s %-3s %-4s | %-10s %-7s %-8s | %-6s %-8s | %-8s | %s@."
+    "graph" "N" "L" "jobs" "runtime(s)" "nodes" "nodes/s" "steals" "handoffs"
+    "speedup" "result";
+  List.iter
+    (fun (gno, n, ams, l) ->
+      let g = Ex.paper_graph gno in
+      let run jobs =
+        let vars = F.build ~options:F.tightened_options (spec_of g ~ams ~n ~l) in
+        let t0 = Unix.gettimeofday () in
+        let report =
+          Solver.solve ~scheduler_completion:false ~time_limit:budget ~jobs vars
+        in
+        (Unix.gettimeofday () -. t0, report)
+      in
+      let base_time = ref nan and base_rate = ref nan and base_solved = ref false in
+      List.iter
+        (fun jobs ->
+          let seconds, report = run jobs in
+          let stats = report.Solver.stats in
+          let nodes = stats.Ilp.Branch_bound.nodes in
+          let sum f =
+            Array.fold_left (fun acc w -> acc + f w) 0
+              stats.Ilp.Branch_bound.workers
+          in
+          let steals = sum (fun w -> w.Ilp.Branch_bound.w_steals) in
+          let handoffs = sum (fun w -> w.Ilp.Branch_bound.w_handoffs) in
+          let solved =
+            match report.Solver.outcome with
+            | Solver.Feasible _ | Solver.Infeasible_model -> true
+            | Solver.Timed_out _ -> false
+          in
+          (* wall-clock speedup when both this run and the jobs=1 baseline
+             finished; otherwise the runs hit the same budget, so the
+             node-throughput ratio is the honest number (marked with ~) *)
+          let rate = float_of_int nodes /. seconds in
+          if jobs = 1 then begin
+            base_time := seconds;
+            base_rate := rate;
+            base_solved := solved
+          end;
+          let speedup, approx =
+            if solved && !base_solved then (!base_time /. seconds, false)
+            else (rate /. !base_rate, true)
+          in
+          parallel_rows :=
+            {
+              p_graph = gno; p_n = n; p_l = l; p_jobs = jobs;
+              p_seconds = seconds; p_nodes = nodes; p_steals = steals;
+              p_handoffs = handoffs; p_solved = solved;
+              p_speedup = speedup;
+            }
+            :: !parallel_rows;
+          Format.printf
+            " %-6d %-3d %-3d %-4d | %-10.2f %-7d %-8.0f | %-6d %-8d | %6.2f%s | %s@."
+            gno n l jobs seconds nodes rate steals handoffs speedup
+            (if approx then "~" else " ")
+            (match report.Solver.outcome with
+             | Solver.Feasible sol ->
+               Printf.sprintf "cost %d" sol.Sol.comm_cost
+             | Solver.Infeasible_model -> "infeasible"
+             | Solver.Timed_out _ -> "timeout"))
+        [ 1; 2; 4; 8 ])
+    points
+
+(* JSON report: host description + the parallel rows, hand-rolled so the
+   bench stays free of external dependencies. *)
+let write_json path =
+  let oc = open_out path in
+  let row r =
+    Printf.sprintf
+      "    { \"graph\": %d, \"n\": %d, \"l\": %d, \"jobs\": %d, \
+       \"seconds\": %.3f, \"nodes\": %d, \"steals\": %d, \"handoffs\": %d, \
+       \"solved\": %b, \"speedup\": %.3f }"
+      r.p_graph r.p_n r.p_l r.p_jobs r.p_seconds r.p_nodes r.p_steals
+      r.p_handoffs r.p_solved r.p_speedup
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"host\": {\n\
+    \    \"cores\": %d,\n\
+    \    \"ocaml\": %S,\n\
+    \    \"word_size\": %d,\n\
+    \    \"os_type\": %S,\n\
+    \    \"backend\": \"sparse_lu\"\n\
+    \  },\n\
+    \  \"parallel\": [\n%s\n  ]\n}\n"
+    (Domain.recommended_domain_count ())
+    Sys.ocaml_version Sys.word_size Sys.os_type
+    (String.concat ",\n" (List.rev_map row !parallel_rows));
+  close_out oc;
+  Format.printf "@.json report written to %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Lint: static analysis + formulation audit timings                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -489,6 +623,14 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   if quick then time_limit := 30.;
+  let rec extract_json = function
+    | "--json" :: path :: rest -> (Some path, rest)
+    | a :: rest ->
+      let p, r = extract_json rest in
+      (p, a :: r)
+    | [] -> (None, [])
+  in
+  let json_path, args = extract_json args in
   let args = List.filter (fun a -> a <> "--quick" && a <> "all") args in
   let all = args = [] in
   let want name = all || List.mem name args in
@@ -505,6 +647,8 @@ let () =
   if want "table4" then table4 ();
   if want "ablation" then ablation ();
   if want "sparse" then sparse ();
+  if want "parallel" then parallel ();
   if want "lint" then lint ();
   if want "micro" then micro ();
+  Option.iter write_json json_path;
   Format.printf "@.total bench wall-clock: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -208,12 +208,42 @@ let stats_flag =
         ~doc:
           "Print LP-engine statistics after solving: basis \
            factorizations, fill-in, eta updates, refactorization \
-           triggers, and FTRAN/BTRAN solve times.")
+           triggers, and FTRAN/BTRAN solve times. With --jobs > 1, also \
+           one line per worker domain (nodes, steals, handoffs, idle \
+           time).")
+
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None -> Error (`Msg "expected a worker count >= 1")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt jobs_conv 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for the branch-and-bound search (default 1 = \
+           sequential). Each worker owns a private simplex engine; the \
+           incumbent is shared.")
+
+let deterministic_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "deterministic" ]
+        ~doc:
+          "With --jobs > 1: reproducible node counts (static work \
+           distribution, local-only pruning) at the price of weaker \
+           pruning.")
 
 let solve_cmd =
   let run g a m s capacity alpha scratch latency partitions time_limit strategy
       no_tighten no_step_cuts fortet dot lp_out report_wanted lint
-      stats_wanted =
+      stats_wanted jobs deterministic =
     let allocation = Hls.Component.ams (a, m, s) in
     let options =
       {
@@ -227,14 +257,21 @@ let solve_cmd =
     in
     let result =
       Temporal.Pipeline.run ~options ~strategy ~time_limit
-        ?num_partitions:partitions ~lint ~graph:g ~allocation ?capacity ~alpha
-        ~scratch ~latency_relax:latency ()
+        ?num_partitions:partitions ~lint ~jobs ~deterministic ~graph:g
+        ~allocation ?capacity ~alpha ~scratch ~latency_relax:latency ()
     in
     Format.printf "%a@." Temporal.Pipeline.pp result;
-    if stats_wanted then
-      Format.printf "lp-stats: %a@." Ilp.Simplex.pp_stats
+    if stats_wanted then begin
+      let stats =
         result.Temporal.Pipeline.report.Temporal.Solver.stats
-          .Ilp.Branch_bound.lp_stats;
+      in
+      Format.printf "lp-stats: %a@." Ilp.Simplex.pp_stats
+        stats.Ilp.Branch_bound.lp_stats;
+      Array.iteri
+        (fun i w ->
+          Format.printf "worker %d: %a@." i Ilp.Branch_bound.pp_worker_stats w)
+        stats.Ilp.Branch_bound.workers
+    end;
     (match lp_out with
      | Some path ->
        let vars =
@@ -265,7 +302,7 @@ let solve_cmd =
       const run $ graph_arg $ adders $ muls $ subs $ capacity $ alpha $ scratch
       $ latency $ partitions $ time_limit $ strategy $ no_tighten
       $ no_step_cuts $ fortet $ dot_out $ lp_out $ report_flag $ lint_flag
-      $ stats_flag)
+      $ stats_flag $ jobs_arg $ deterministic_flag)
 
 (* ---------------- analyze command ---------------- *)
 
@@ -387,10 +424,10 @@ let explore_cmd =
   let n_max =
     Arg.(value & opt int 3 & info [ "n-max" ] ~docv:"N" ~doc:"Largest partition bound to sweep.")
   in
-  let run g a m s capacity alpha scratch time_limit l_max n_max =
+  let run g a m s capacity alpha scratch time_limit l_max n_max jobs =
     let allocation = Hls.Component.ams (a, m, s) in
     let points =
-      Temporal.Explore.sweep ~time_limit_per_point:time_limit ~graph:g
+      Temporal.Explore.sweep ~time_limit_per_point:time_limit ~jobs ~graph:g
         ~allocation ?capacity ~alpha ~scratch ~latency_range:(0, l_max)
         ~partition_range:(1, n_max) ()
     in
@@ -405,7 +442,7 @@ let explore_cmd =
        ~doc:"Sweep (L, N) design points and print the trade-off frontier.")
     Term.(
       const run $ graph_arg $ adders $ muls $ subs $ capacity $ alpha $ scratch
-      $ time_limit $ l_max $ n_max)
+      $ time_limit $ l_max $ n_max $ jobs_arg)
 
 let () =
   let doc = "optimal temporal partitioning and synthesis for reconfigurable architectures" in

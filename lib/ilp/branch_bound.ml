@@ -28,6 +28,8 @@ type options = {
     (lp_solution:float array -> is_fixed:(int -> bool) -> hook_result) option;
   check_model : bool;
   lp_backend : Simplex.backend;
+  jobs : int;
+  deterministic : bool;
 }
 
 let default_options =
@@ -44,6 +46,8 @@ let default_options =
     node_hook = None;
     check_model = false;
     lp_backend = Simplex.Sparse_lu;
+    jobs = 1;
+    deterministic = false;
   }
 
 type outcome =
@@ -51,6 +55,30 @@ type outcome =
   | Infeasible
   | Unbounded
   | Limit_reached of { best : (float * float array) option; bound : float }
+
+type worker_stats = {
+  w_nodes : int;
+  w_incumbents : int;
+  w_steals : int;
+  w_handoffs : int;
+  w_idle : float;
+  w_pivots : int;
+}
+
+let zero_worker =
+  {
+    w_nodes = 0;
+    w_incumbents = 0;
+    w_steals = 0;
+    w_handoffs = 0;
+    w_idle = 0.;
+    w_pivots = 0;
+  }
+
+let pp_worker_stats ppf w =
+  Format.fprintf ppf
+    "nodes=%d incumbents=%d steals=%d handoffs=%d idle=%.3fs pivots=%d"
+    w.w_nodes w.w_incumbents w.w_steals w.w_handoffs w.w_idle w.w_pivots
 
 type stats = {
   nodes : int;
@@ -60,6 +88,7 @@ type stats = {
   elapsed : float;
   root_obj : float;
   lp_stats : Simplex.stats;
+  workers : worker_stats array;
 }
 
 let fractionality v =
@@ -144,76 +173,355 @@ module Heap = struct
     !acc
 end
 
-let solve ?(options = default_options) lp =
-  if options.check_model then Analyze.assert_clean lp;
-  let t0 = Unix.gettimeofday () in
-  let n = Lp.num_vars lp in
-  let int_vars =
-    List.map (fun (v : Lp.var) -> (v :> int)) (Lp.integer_vars lp)
-  in
-  let objective = Lp.objective lp in
-  let root_lb = Array.init n (fun j -> Lp.var_lb lp (Lp.var_of_int lp j)) in
-  let root_ub = Array.init n (fun j -> Lp.var_ub lp (Lp.var_of_int lp j)) in
-  let st = Simplex.create ~backend:options.lp_backend lp in
-  let pivots0 = Simplex.total_pivots st in
-  let nodes = ref 0 in
-  let incumbents = ref 0 in
-  let max_depth = ref 0 in
-  let best : (float * float array) option ref = ref None in
-  let root_obj = ref Float.nan in
-  (* Pruning cutoff given the current incumbent. *)
-  let cutoff () =
-    match !best with
-    | None -> Float.infinity
-    | Some (obj, _) ->
-      if options.integral_objective then obj -. 1. +. 1e-6 else obj -. 1e-6
-  in
-  let is_integral x =
-    List.for_all (fun j -> fractionality x.(j) <= options.int_tol) int_vars
-  in
-  let choose_branch x ~is_fixed =
-    let fallback () =
-      let best_j = ref (-1) and best_f = ref options.int_tol in
-      List.iter
-        (fun j ->
-          let f = fractionality x.(j) in
-          if f > !best_f then begin
-            best_j := j;
-            best_f := f
-          end)
-        int_vars;
-      if !best_j < 0 then None else Some !best_j
-    in
-    match options.branch_rule with
-    | None -> fallback ()
-    | Some rule -> (
-      (* A custom rule may branch on an unfixed variable even when it is
-         integral in the relaxation — fixing it still partitions the
-         search space, and problem-specific hooks can then resolve the
-         fully-fixed subtrees combinatorially. *)
-      match rule ~lp_solution:x ~is_fixed with
-      | Some j when not (is_fixed j) -> Some j
-      | Some _ | None -> fallback ())
-  in
-  (* Apply a node's bounds to the solver: root bounds overwritten by the
-     node's fixes (most recent first, so apply in reverse). *)
-  let apply_bounds fixes =
-    for j = 0 to n - 1 do
-      Simplex.set_var_bounds st j ~lb:root_lb.(j) ~ub:root_ub.(j)
-    done;
+(* Problem data shared (read-only) by every search context. *)
+type env = {
+  opts : options;
+  lp : Lp.t;
+  nvars : int;
+  int_vars : int list;
+  objective : float array;
+  root_lb : float array;
+  root_ub : float array;
+  t0 : float;
+  deadline : float;  (* absolute [Mono] time; [infinity] when unlimited *)
+}
+
+(* The shared incumbent. [best_obj] is read lock-free on the pruning
+   fast path; the authoritative solution and both user callbacks are
+   protected by [user_lock], which guarantees callbacks never run
+   concurrently and improvements are globally monotone. *)
+type incumbent = {
+  best_obj : float Atomic.t;  (* [infinity] while no incumbent exists *)
+  user_lock : Mutex.t;
+  mutable best : (float * float array) option;
+  mutable n_incumbents : int;
+}
+
+let new_incumbent () =
+  {
+    best_obj = Atomic.make Float.infinity;
+    user_lock = Mutex.create ();
+    best = None;
+    n_incumbents = 0;
+  }
+
+(* One search context per driving domain: its own simplex engine, its
+   own push target, its own counters. [det] switches pruning to the
+   context-local bound [local_best] so node counts cannot depend on
+   cross-domain timing. *)
+type ctx = {
+  env : env;
+  inc : incumbent;
+  st : Simplex.state;
+  push : node -> unit;
+  det : bool;
+  set_root : bool;  (* this context solves the root relaxation *)
+  bump : unit -> int;  (* global node counter; returns the new total *)
+  mutable first_solve : bool;
+  mutable local_best : float;
+  mutable k_nodes : int;
+  mutable k_incumbents : int;
+  mutable k_max_depth : int;
+  mutable k_root_obj : float;
+}
+
+let best_seen ctx =
+  if ctx.det then ctx.local_best else Atomic.get ctx.inc.best_obj
+
+(* Pruning cutoff given the current incumbent ([infinity] when none —
+   the subtractions below leave infinities alone). *)
+let cutoff ctx =
+  let b = best_seen ctx in
+  if ctx.env.opts.integral_objective then b -. 1. +. 1e-6 else b -. 1e-6
+
+let is_integral env x =
+  List.for_all (fun j -> fractionality x.(j) <= env.opts.int_tol) env.int_vars
+
+let choose_branch env x ~is_fixed =
+  let fallback () =
+    let best_j = ref (-1) and best_f = ref env.opts.int_tol in
     List.iter
-      (fun (j, lo, hi) -> Simplex.set_var_bounds st j ~lb:lo ~ub:hi)
-      (List.rev fixes)
+      (fun j ->
+        let f = fractionality x.(j) in
+        if f > !best_f then begin
+          best_j := j;
+          best_f := f
+        end)
+      env.int_vars;
+    if !best_j < 0 then None else Some !best_j
   in
+  match env.opts.branch_rule with
+  | None -> fallback ()
+  | Some rule -> (
+    (* A custom rule may branch on an unfixed variable even when it is
+       integral in the relaxation — fixing it still partitions the
+       search space, and problem-specific hooks can then resolve the
+       fully-fixed subtrees combinatorially. *)
+    match rule ~lp_solution:x ~is_fixed with
+    | Some j when not (is_fixed j) -> Some j
+    | Some _ | None -> fallback ())
+
+(* Install an incumbent; must be called with [inc.user_lock] held.
+   Returns whether the global best actually improved (a concurrent
+   worker may have installed a better one since the caller's check). *)
+let install ctx obj x ~callback =
+  let inc = ctx.inc in
+  let improves =
+    match inc.best with None -> true | Some (b, _) -> obj < b -. 1e-9
+  in
+  if improves then begin
+    inc.best <- Some (obj, Array.copy x);
+    Atomic.set inc.best_obj obj;
+    inc.n_incumbents <- inc.n_incumbents + 1;
+    if callback then
+      match ctx.env.opts.on_incumbent with
+      | Some f -> f obj x
+      | None -> ()
+  end;
+  improves
+
+let locked_install ?(locked = false) ctx obj x ~callback =
+  if locked then install ctx obj x ~callback
+  else Mutex.protect ctx.inc.user_lock (fun () -> install ctx obj x ~callback)
+
+(* Full acceptance path: feasibility-checked, fires [on_incumbent].
+   [locked] marks calls made from inside [run_hook], which already
+   holds the user lock (it is not reentrant). *)
+let accept_incumbent ?(locked = false) ctx ~node_no ~depth x =
+  let obj =
+    Array.fold_left ( +. ) 0.
+      (Array.mapi (fun j c -> c *. x.(j)) ctx.env.objective)
+  in
+  if obj < best_seen ctx -. 1e-9 then begin
+    (* Guard against solver drift: an incumbent must satisfy the
+       original rows and root bounds. *)
+    if Feas_check.is_feasible ~tol:1e-5 ctx.env.lp x then begin
+      if ctx.det && obj < ctx.local_best then ctx.local_best <- obj;
+      if locked_install ~locked ctx obj x ~callback:true then begin
+        ctx.k_incumbents <- ctx.k_incumbents + 1;
+        Log.info (fun f ->
+            f "incumbent %g at node %d depth %d" obj node_no depth)
+      end
+    end
+    else
+      Log.warn (fun f ->
+          f "discarded numerically infeasible incumbent at node %d" node_no)
+  end
+
+(* Loose acceptance used when every integer variable is integral within
+   the branching tolerance: no feasibility re-check, no callback
+   (mirrors the historical sequential behavior exactly). *)
+let accept_loose ctx obj x =
+  if obj < best_seen ctx -. 1e-9 then begin
+    if ctx.det && obj < ctx.local_best then ctx.local_best <- obj;
+    if locked_install ctx obj x ~callback:false then
+      ctx.k_incumbents <- ctx.k_incumbents + 1
+  end
+
+(* Node hook: a problem-specific completion heuristic may inject a full
+   incumbent and/or prune this subtree. The whole hook invocation runs
+   under the user lock, so hooks and incumbent callbacks are mutually
+   serialized across workers. *)
+let run_hook ctx ~node_no ~depth x ~is_fixed =
+  match ctx.env.opts.node_hook with
+  | None -> false
+  | Some hook ->
+    Mutex.protect ctx.inc.user_lock (fun () ->
+        match hook ~lp_solution:x ~is_fixed with
+        | Hook_none -> false
+        | Hook_incumbent v ->
+          accept_incumbent ~locked:true ctx ~node_no ~depth v;
+          false
+        | Hook_prune -> true
+        | Hook_incumbent_and_prune v ->
+          accept_incumbent ~locked:true ctx ~node_no ~depth v;
+          true)
+
+type step =
+  | Step_ok  (* children pushed, pruned, or incumbent installed *)
+  | Step_unbounded
+  | Step_numeric  (* uncertified iteration limit: stop soundly *)
+
+(* Evaluate one node on [ctx]'s engine: bound setup, (warm) LP solve,
+   hook, incumbent tests, branching. Drivers decide what a step result
+   means for the overall search. *)
+let process_node ctx node =
+  let env = ctx.env in
+  let opts = env.opts in
+  let nno = ctx.bump () in
+  ctx.k_nodes <- ctx.k_nodes + 1;
+  if node.depth > ctx.k_max_depth then ctx.k_max_depth <- node.depth;
+  (* Apply the node's bounds: root bounds overwritten by the node's
+     fixes (most recent first, so apply in reverse). *)
+  for j = 0 to env.nvars - 1 do
+    Simplex.set_var_bounds ctx.st j ~lb:env.root_lb.(j) ~ub:env.root_ub.(j)
+  done;
+  List.iter
+    (fun (j, lo, hi) -> Simplex.set_var_bounds ctx.st j ~lb:lo ~ub:hi)
+    (List.rev node.fixes);
+  let res =
+    if ctx.first_solve || not opts.warm_start then Simplex.primal ctx.st
+    else Simplex.dual_reopt ctx.st
+  in
+  ctx.first_solve <- false;
+  let res =
+    match res.Simplex.status with
+    | Simplex.Iter_limit ->
+      Log.warn (fun f -> f "node %d hit the pivot limit; restarting" nno);
+      Simplex.primal ctx.st
+    | _ -> res
+  in
+  if ctx.set_root && ctx.k_nodes = 1 then
+    ctx.k_root_obj <-
+      (match res.Simplex.status with
+       | Simplex.Optimal -> res.Simplex.obj
+       | _ -> Float.nan);
+  (* A limit-hit relaxation is still usable when its residual norms
+     certify the basic solution is primal and dual feasible within
+     tolerance: by weak duality its objective is then within roundoff
+     of the LP optimum, so it serves as the node bound (with a safety
+     margin, applied below). Without that certificate the objective is
+     garbage and the only sound move is to stop. *)
+  let usable_limit =
+    res.Simplex.status = Simplex.Iter_limit
+    && res.Simplex.primal_res <= 1e-6
+    && res.Simplex.dual_res <= 1e-6
+  in
+  match res.Simplex.status with
+  | Simplex.Infeasible -> Step_ok
+  | Simplex.Iter_limit when not usable_limit ->
+    Log.warn (fun f -> f "node %d unsolvable numerically; reporting limit" nno);
+    Step_numeric
+  | Simplex.Unbounded ->
+    (* An unbounded relaxation at the root of an all-binary model means
+       the MILP itself is unbounded or infeasible (branching cannot
+       repair an unbounded LP). *)
+    Step_unbounded
+  | Simplex.Optimal | Simplex.Iter_limit ->
+    (* Iter_limit only reaches here residual-certified; relax its
+       objective by a margin so near-optimality cannot prune a subtree
+       the true LP bound would keep open. *)
+    let margin = if res.Simplex.status = Simplex.Iter_limit then 1e-5 else 0. in
+    let obj = res.Simplex.obj -. margin and x = res.Simplex.x in
+    let is_fixed j =
+      let lo, hi =
+        List.fold_left
+          (fun (l, h) (j', lo, hi) -> if j' = j then (lo, hi) else (l, h))
+          (env.root_lb.(j), env.root_ub.(j))
+          (List.rev node.fixes)
+      in
+      hi -. lo <= 1e-9
+    in
+    let hook_says_prune =
+      run_hook ctx ~node_no:nno ~depth:node.depth x ~is_fixed
+    in
+    if hook_says_prune then Step_ok
+    else if obj >= cutoff ctx then Step_ok (* dominated *)
+    else begin
+      if is_integral env x then
+        accept_incumbent ctx ~node_no:nno ~depth:node.depth x;
+      if obj >= cutoff ctx then Step_ok (* the fresh incumbent closed it *)
+      else
+        match choose_branch env x ~is_fixed with
+        | None ->
+          (* All integer variables integral within a looser tolerance
+             than is_integral used: accept as incumbent. *)
+          accept_loose ctx obj x;
+          Step_ok
+        | Some j ->
+          let v = x.(j) in
+          (* Current node bounds for j (fixes override the root). *)
+          let lo_j, hi_j =
+            List.fold_left
+              (fun (l, h) (j', lo, hi) -> if j' = j then (lo, hi) else (l, h))
+              (env.root_lb.(j), env.root_ub.(j))
+              (List.rev node.fixes)
+          in
+          let child lo hi =
+            {
+              fixes = (j, lo, hi) :: node.fixes;
+              depth = node.depth + 1;
+              n_bound = obj;
+            }
+          in
+          (if fractionality v <= opts.int_tol then begin
+             (* Branching on an integral value (a rule may resolve
+                unfixed variables): children are the fixed point and
+                the complement interval(s) — floor/ceil would reproduce
+                the parent. *)
+             let vi = Float.round v in
+             let others =
+               (if vi -. 1. >= lo_j then [ child lo_j (vi -. 1.) ] else [])
+               @ if vi +. 1. <= hi_j then [ child (vi +. 1.) hi_j ] else []
+             in
+             match opts.node_order with
+             | Depth_first ->
+               (* push the fixed child last so the dive continues
+                  through the current relaxation's value *)
+               List.iter ctx.push others;
+               ctx.push (child vi vi)
+             | Best_bound ->
+               ctx.push (child vi vi);
+               List.iter ctx.push others
+           end
+           else begin
+             let down = child lo_j (Float.floor v)
+             and up = child (Float.ceil v) hi_j in
+             match (opts.node_order, opts.value_order) with
+             | Depth_first, One_first ->
+               (* stack: push the preferred child last so it pops first *)
+               ctx.push down;
+               ctx.push up
+             | Depth_first, Zero_first ->
+               ctx.push up;
+               ctx.push down
+             | Best_bound, One_first ->
+               ctx.push up;
+               ctx.push down
+             | Best_bound, Zero_first ->
+               ctx.push down;
+               ctx.push up
+           end);
+          Step_ok
+    end
+
+let make_env options lp t0 =
+  let n = Lp.num_vars lp in
+  {
+    opts = options;
+    lp;
+    nvars = n;
+    int_vars =
+      List.map (fun (v : Lp.var) -> (v :> int)) (Lp.integer_vars lp);
+    objective = Lp.objective lp;
+    root_lb = Array.init n (fun j -> Lp.var_lb lp (Lp.var_of_int lp j));
+    root_ub = Array.init n (fun j -> Lp.var_ub lp (Lp.var_of_int lp j));
+    t0;
+    deadline = t0 +. options.time_limit;
+  }
+
+let finitize b = if Float.is_finite b then b else Float.neg_infinity
+
+let root_node = { fixes = []; depth = 0; n_bound = Float.neg_infinity }
+
+(* ------------------------------------------------------------------ *)
+(* Sequential driver (jobs = 1): the historical search, node for node. *)
+
+let solve_sequential env =
+  let opts = env.opts in
+  let st = Simplex.create ~backend:opts.lp_backend env.lp in
+  let pivots0 = Simplex.total_pivots st in
+  let inc = new_incumbent () in
+  let nodes = ref 0 in
   let stack : node list ref = ref [] in
   let heap : node Heap.t = Heap.create () in
   let push node =
-    match options.node_order with
+    match opts.node_order with
     | Depth_first -> stack := node :: !stack
     | Best_bound -> Heap.push heap node.n_bound node
   in
   let pop () =
-    match options.node_order with
+    match opts.node_order with
     | Depth_first -> (
       match !stack with
       | [] -> None
@@ -231,219 +539,333 @@ let solve ?(options = default_options) lp =
     let from_heap = Heap.fold Float.min Float.infinity heap in
     Float.min from_stack from_heap
   in
-  push { fixes = []; depth = 0; n_bound = Float.neg_infinity };
+  let ctx =
+    {
+      env;
+      inc;
+      st;
+      push;
+      det = false;
+      set_root = true;
+      bump =
+        (fun () ->
+          incr nodes;
+          !nodes);
+      first_solve = true;
+      local_best = Float.infinity;
+      k_nodes = 0;
+      k_incumbents = 0;
+      k_max_depth = 0;
+      k_root_obj = Float.nan;
+    }
+  in
+  push root_node;
   let result = ref None in
   let unbounded = ref false in
+  let limit node =
+    (* Drain: report the incumbent and the best open bound. *)
+    let bound = Float.min (open_bound ()) node.n_bound in
+    Limit_reached { best = inc.best; bound = finitize bound }
+  in
   while !result = None do
     match pop () with
     | None ->
       result :=
         Some
-          (match !best with
+          (match inc.best with
            | Some (obj, x) -> Optimal { obj; x }
            | None -> if !unbounded then Unbounded else Infeasible)
     | Some node ->
-      let elapsed = Unix.gettimeofday () -. t0 in
-      if !nodes >= options.max_nodes || elapsed > options.time_limit then begin
-        (* Drain: report the incumbent and the best open bound. *)
-        let bound = Float.min (open_bound ()) node.n_bound in
-        let bound = if Float.is_finite bound then bound else Float.neg_infinity in
-        result := Some (Limit_reached { best = !best; bound })
-      end
-      else if node.n_bound >= cutoff () then () (* pruned by bound *)
-      else begin
-        incr nodes;
-        if node.depth > !max_depth then max_depth := node.depth;
-        apply_bounds node.fixes;
-        let res =
-          if !nodes = 1 || not options.warm_start then Simplex.primal st
-          else Simplex.dual_reopt st
-        in
-        let res =
-          match res.Simplex.status with
-          | Simplex.Iter_limit ->
-            Log.warn (fun f -> f "node %d hit the pivot limit; restarting" !nodes);
-            Simplex.primal st
-          | _ -> res
-        in
-        if !nodes = 1 then root_obj := (match res.Simplex.status with
-            | Simplex.Optimal -> res.Simplex.obj
-            | _ -> Float.nan);
-        let accept_incumbent x =
-          let obj = Array.fold_left ( +. ) 0. (Array.mapi (fun j c -> c *. x.(j)) objective) in
-          let improves =
-            match !best with None -> true | Some (b, _) -> obj < b -. 1e-9
-          in
-          if improves then begin
-            (* Guard against solver drift: an incumbent must satisfy
-               the original rows and root bounds. *)
-            if Feas_check.is_feasible ~tol:1e-5 lp x then begin
-              best := Some (obj, Array.copy x);
-              incr incumbents;
-              (match options.on_incumbent with
-               | Some f -> f obj x
-               | None -> ());
-              Log.info (fun f ->
-                  f "incumbent %g at node %d depth %d" obj !nodes node.depth)
-            end
-            else
-              Log.warn (fun f ->
-                  f "discarded numerically infeasible incumbent at node %d"
-                    !nodes)
-          end
-        in
-        (* A limit-hit relaxation is still usable when its residual norms
-           certify the basic solution is primal and dual feasible within
-           tolerance: by weak duality its objective is then within
-           roundoff of the LP optimum, so it serves as the node bound
-           (with a safety margin, applied below). Without that
-           certificate the objective is garbage and the only sound move
-           is to stop. *)
-        let usable_limit =
-          res.Simplex.status = Simplex.Iter_limit
-          && res.Simplex.primal_res <= 1e-6
-          && res.Simplex.dual_res <= 1e-6
-        in
-        match res.Simplex.status with
-        | Simplex.Infeasible -> ()
-        | Simplex.Iter_limit when not usable_limit ->
-          (* persistent numerical trouble: stop soundly with the best
-             incumbent and a conservative bound *)
-          Log.warn (fun f ->
-              f "node %d unsolvable numerically; reporting limit" !nodes);
-          let bound = Float.min (open_bound ()) node.n_bound in
-          let bound =
-            if Float.is_finite bound then bound else Float.neg_infinity
-          in
-          result := Some (Limit_reached { best = !best; bound })
-        | Simplex.Unbounded ->
-          (* An unbounded relaxation at the root of an all-binary model
-             means the MILP itself is unbounded or infeasible; record and
-             continue (branching cannot repair an unbounded LP). *)
+      if !nodes >= opts.max_nodes || Mono.now () > env.deadline then
+        result := Some (limit node)
+      else if node.n_bound >= cutoff ctx then () (* pruned by bound *)
+      else (
+        match process_node ctx node with
+        | Step_ok -> ()
+        | Step_unbounded ->
           unbounded := true;
           result := Some Unbounded
-        | Simplex.Optimal | Simplex.Iter_limit ->
-          (* Iter_limit only reaches here residual-certified; relax its
-             objective by a margin so near-optimality cannot prune a
-             subtree the true LP bound would keep open. *)
-          let margin =
-            if res.Simplex.status = Simplex.Iter_limit then 1e-5 else 0.
-          in
-          let obj = res.Simplex.obj -. margin and x = res.Simplex.x in
-          let is_fixed j =
-            let lo, hi =
-              List.fold_left
-                (fun (l, h) (j', lo, hi) ->
-                  if j' = j then (lo, hi) else (l, h))
-                (root_lb.(j), root_ub.(j))
-                (List.rev node.fixes)
-            in
-            hi -. lo <= 1e-9
-          in
-          (* Node hook: a problem-specific completion heuristic may
-             inject a full incumbent and/or prune this subtree. *)
-          let hook_says_prune =
-            match options.node_hook with
-            | None -> false
-            | Some hook ->
-              (match hook ~lp_solution:x ~is_fixed with
-               | Hook_none -> false
-               | Hook_incumbent v ->
-                 accept_incumbent v;
-                 false
-               | Hook_prune -> true
-               | Hook_incumbent_and_prune v ->
-                 accept_incumbent v;
-                 true)
-          in
-          if hook_says_prune then ()
-          else if obj >= cutoff () then () (* dominated *)
-          else begin
-            if is_integral x then accept_incumbent x;
-            if
-              (match !best with
-               | Some (b, _) -> obj >= (if options.integral_objective then b -. 1. +. 1e-6 else b -. 1e-6)
-               | None -> false)
-            then () (* the fresh incumbent closed this node *)
-            else
-            match choose_branch x ~is_fixed with
-            | None ->
-              (* All integer variables integral within a looser tolerance
-                 than is_integral used: accept as incumbent. *)
-              let improves =
-                match !best with None -> true | Some (b, _) -> obj < b -. 1e-9
-              in
-              if improves then begin
-                best := Some (obj, Array.copy x);
-                incr incumbents
-              end
-            | Some j ->
-              let v = x.(j) in
-              let lo_j, hi_j = (root_lb.(j), root_ub.(j)) in
-              (* Current node bounds for j (fixes override the root). *)
-              let lo_j, hi_j =
-                List.fold_left
-                  (fun (l, h) (j', lo, hi) -> if j' = j then (lo, hi) else (l, h))
-                  (lo_j, hi_j) (List.rev node.fixes)
-              in
-              let child lo hi =
-                {
-                  fixes = (j, lo, hi) :: node.fixes;
-                  depth = node.depth + 1;
-                  n_bound = obj;
-                }
-              in
-              if fractionality v <= options.int_tol then begin
-                (* Branching on an integral value (a rule may resolve
-                   unfixed variables): children are the fixed point and
-                   the complement interval(s) — floor/ceil would
-                   reproduce the parent. *)
-                let vi = Float.round v in
-                let others =
-                  (if vi -. 1. >= lo_j then [ child lo_j (vi -. 1.) ] else [])
-                  @ if vi +. 1. <= hi_j then [ child (vi +. 1.) hi_j ] else []
-                in
-                (match options.node_order with
-                 | Depth_first ->
-                   (* push the fixed child last so the dive continues
-                      through the current relaxation's value *)
-                   List.iter push others;
-                   push (child vi vi)
-                 | Best_bound ->
-                   push (child vi vi);
-                   List.iter push others)
-              end
-              else begin
-                let down = child lo_j (Float.floor v)
-                and up = child (Float.ceil v) hi_j in
-                match (options.node_order, options.value_order) with
-                | Depth_first, One_first ->
-                  (* stack: push the preferred child last so it pops first *)
-                  push down;
-                  push up
-                | Depth_first, Zero_first ->
-                  push up;
-                  push down
-                | Best_bound, One_first ->
-                  push up;
-                  push down
-                | Best_bound, Zero_first ->
-                  push down;
-                  push up
-              end
-          end
-      end
+        | Step_numeric -> result := Some (limit node))
   done;
-  let elapsed = Unix.gettimeofday () -. t0 in
   let stats =
     {
       nodes = !nodes;
-      incumbents = !incumbents;
+      incumbents = inc.n_incumbents;
       pivots = Simplex.total_pivots st - pivots0;
-      max_depth = !max_depth;
-      elapsed;
-      root_obj = !root_obj;
+      max_depth = ctx.k_max_depth;
+      elapsed = Mono.elapsed_since env.t0;
+      root_obj = ctx.k_root_obj;
       lp_stats = Simplex.stats st;
+      workers = [||];
     }
   in
   (Option.get !result, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel driver (jobs > 1). Phase 1 seeds a frontier sequentially on
+   the caller's engine; phase 2 spawns one domain per worker, each with
+   its own simplex engine, running depth-first on a private deque and
+   donating shallow subtrees through the shared pool when it runs
+   hungry. Deterministic mode skips the pool: seeds are dealt
+   round-robin and pruning uses only context-local bounds, so node
+   counts cannot depend on cross-domain timing. *)
+
+type wret = {
+  r_ws : worker_stats;
+  r_lp : Simplex.stats;
+  r_piv : int;
+  r_maxd : int;
+  r_open : float;  (* min bound over this worker's leftover open nodes *)
+}
+
+let solve_parallel env =
+  let opts = env.opts in
+  let jobs = opts.jobs in
+  let st0 = Simplex.create ~backend:opts.lp_backend env.lp in
+  let pivots0 = Simplex.total_pivots st0 in
+  let inc = new_incumbent () in
+  let nodes = Atomic.make 0 in
+  let bump () = Atomic.fetch_and_add nodes 1 + 1 in
+  (* 0 = running; 1 = node/time limit; 2 = unbounded; 3 = numeric. *)
+  let stop_flag = Atomic.make 0 in
+  let flag_stop code = ignore (Atomic.compare_and_set stop_flag 0 code) in
+  let over_limit () =
+    Atomic.get nodes >= opts.max_nodes || Mono.now () > env.deadline
+  in
+  (* Phase 1: depth-first seeding until the frontier can feed the crew. *)
+  let seed_dq : node Pool.Deque.t = Pool.Deque.create () in
+  let seed_ctx =
+    {
+      env;
+      inc;
+      st = st0;
+      push = (fun nd -> Pool.Deque.push seed_dq nd);
+      det = false;
+      set_root = true;
+      bump;
+      first_solve = true;
+      local_best = Float.infinity;
+      k_nodes = 0;
+      k_incumbents = 0;
+      k_max_depth = 0;
+      k_root_obj = Float.nan;
+    }
+  in
+  Pool.Deque.push seed_dq root_node;
+  let target = 4 * jobs in
+  while
+    Atomic.get stop_flag = 0
+    &&
+    let l = Pool.Deque.length seed_dq in
+    l > 0 && l < target
+  do
+    match Pool.Deque.pop seed_dq with
+    | None -> assert false
+    | Some node ->
+      if over_limit () then begin
+        Pool.Deque.push seed_dq node;
+        flag_stop 1
+      end
+      else if node.n_bound >= cutoff seed_ctx then ()
+      else (
+        match process_node seed_ctx node with
+        | Step_ok -> ()
+        | Step_unbounded -> flag_stop 2
+        | Step_numeric ->
+          (* subtree stays open: keep it for the bound report *)
+          Pool.Deque.push seed_dq node;
+          flag_stop 3)
+  done;
+  let seeds = Pool.Deque.to_list seed_dq in
+  let spawn_workers = Atomic.get stop_flag = 0 && seeds <> [] in
+  let pool : node Pool.t option =
+    if spawn_workers && not opts.deterministic then begin
+      let p = Pool.create ~workers:jobs in
+      (* bottom-first, so the pool pops the deepest seed first *)
+      List.iter (Pool.push p) (List.rev seeds);
+      Some p
+    end
+    else None
+  in
+  let det_best0 = Atomic.get inc.best_obj in
+  let failure : exn option Atomic.t = Atomic.make None in
+  let worker wi () =
+    let my_seeds =
+      if opts.deterministic then
+        List.filteri (fun i _ -> i mod jobs = wi) seeds
+      else []
+    in
+    let local : node Pool.Deque.t = Pool.Deque.create () in
+    List.iter (Pool.Deque.push local) (List.rev my_seeds);
+    let st = Simplex.create ~backend:opts.lp_backend env.lp in
+    let steals = ref 0 and handoffs = ref 0 and idle = ref 0. in
+    let ctx =
+      {
+        env;
+        inc;
+        st;
+        push = (fun nd -> Pool.Deque.push local nd);
+        det = opts.deterministic;
+        set_root = false;
+        bump;
+        first_solve = true;
+        local_best =
+          (if opts.deterministic then det_best0 else Float.infinity);
+        k_nodes = 0;
+        k_incumbents = 0;
+        k_max_depth = 0;
+        k_root_obj = Float.nan;
+      }
+    in
+    let handle node =
+      if Atomic.get stop_flag <> 0 then Pool.Deque.push local node
+      else if over_limit () then begin
+        flag_stop 1;
+        Option.iter Pool.stop pool;
+        Pool.Deque.push local node
+      end
+      else if node.n_bound >= cutoff ctx then ()
+      else
+        match process_node ctx node with
+        | Step_ok -> (
+          match pool with
+          | Some p when Pool.Deque.length local > 1 && Pool.hungry p -> (
+            (* donate the bottom of the deque: the shallowest, largest
+               open subtree this worker holds *)
+            match Pool.Deque.pop_bottom local with
+            | Some nd ->
+              Pool.push p nd;
+              incr handoffs
+            | None -> ())
+          | _ -> ())
+        | Step_unbounded ->
+          flag_stop 2;
+          Option.iter Pool.stop pool
+        | Step_numeric ->
+          flag_stop 3;
+          Option.iter Pool.stop pool;
+          Pool.Deque.push local node
+    in
+    let rec drive () =
+      if Atomic.get stop_flag <> 0 then ()
+      else
+        match Pool.Deque.pop local with
+        | Some node ->
+          handle node;
+          drive ()
+        | None -> (
+          match pool with
+          | None -> () (* deterministic: private work is all there is *)
+          | Some p -> (
+            let t = Mono.now () in
+            match Pool.take p with
+            | None -> idle := !idle +. Mono.elapsed_since t
+            | Some node ->
+              idle := !idle +. Mono.elapsed_since t;
+              incr steals;
+              handle node;
+              drive ()))
+    in
+    (try drive ()
+     with e ->
+       ignore (Atomic.compare_and_set failure None (Some e));
+       flag_stop 3;
+       Option.iter Pool.stop pool);
+    let r_open =
+      Pool.Deque.fold (fun acc nd -> Float.min acc nd.n_bound) Float.infinity local
+    in
+    {
+      r_ws =
+        {
+          w_nodes = ctx.k_nodes;
+          w_incumbents = ctx.k_incumbents;
+          w_steals = !steals;
+          w_handoffs = !handoffs;
+          w_idle = !idle;
+          w_pivots = Simplex.total_pivots st;
+        };
+      r_lp = Simplex.stats st;
+      r_piv = Simplex.total_pivots st;
+      r_maxd = ctx.k_max_depth;
+      r_open;
+    }
+  in
+  let rets =
+    if spawn_workers then begin
+      let domains = Array.init jobs (fun wi -> Domain.spawn (worker wi)) in
+      Array.map Domain.join domains
+    end
+    else
+      (* the search ended (or hit a limit) during seeding *)
+      Array.init jobs (fun _ ->
+          {
+            r_ws = zero_worker;
+            r_lp = Simplex.empty_stats;
+            r_piv = 0;
+            r_maxd = 0;
+            r_open = Float.infinity;
+          })
+  in
+  (match Atomic.get failure with Some e -> raise e | None -> ());
+  (* Best bound over everything still open: leftover pool items, the
+     workers' leftover private deques, and — when the workers never ran
+     — the seed frontier itself. *)
+  let open_acc = ref Float.infinity in
+  (match pool with
+   | Some p ->
+     List.iter
+       (fun (nd : node) -> open_acc := Float.min !open_acc nd.n_bound)
+       (Pool.drain p)
+   | None ->
+     if not spawn_workers then
+       open_acc :=
+         Pool.Deque.fold (fun acc nd -> Float.min acc nd.n_bound) !open_acc seed_dq);
+  Array.iter (fun r -> open_acc := Float.min !open_acc r.r_open) rets;
+  let lp_stats =
+    Array.fold_left
+      (fun acc r -> Simplex.add_stats acc r.r_lp)
+      (Simplex.stats st0) rets
+  in
+  let pivots =
+    Array.fold_left
+      (fun acc r -> acc + r.r_piv)
+      (Simplex.total_pivots st0 - pivots0)
+      rets
+  in
+  let max_depth =
+    Array.fold_left (fun acc r -> Int.max acc r.r_maxd) seed_ctx.k_max_depth
+      rets
+  in
+  let outcome =
+    match Atomic.get stop_flag with
+    | 2 -> Unbounded
+    | 0 -> (
+      match inc.best with
+      | Some (obj, x) -> Optimal { obj; x }
+      | None -> Infeasible)
+    | _ (* 1 = limit, 3 = numeric *) ->
+      Limit_reached { best = inc.best; bound = finitize !open_acc }
+  in
+  let stats =
+    {
+      nodes = Atomic.get nodes;
+      incumbents = inc.n_incumbents;
+      pivots;
+      max_depth;
+      elapsed = Mono.elapsed_since env.t0;
+      root_obj = seed_ctx.k_root_obj;
+      lp_stats;
+      workers = Array.map (fun r -> r.r_ws) rets;
+    }
+  in
+  (outcome, stats)
+
+let solve ?(options = default_options) lp =
+  if options.jobs < 1 then invalid_arg "Branch_bound.solve: jobs < 1";
+  if options.check_model then Analyze.assert_clean lp;
+  let t0 = Mono.now () in
+  if options.jobs = 1 then solve_sequential (make_env options lp t0)
+  else
+    (* Workers run depth-first off the shared frontier; a global
+       best-bound order cannot be maintained across domains. *)
+    solve_parallel (make_env { options with node_order = Depth_first } lp t0)

@@ -69,6 +69,29 @@ type options = {
   lp_backend : Simplex.backend;
       (** Basis representation used by the node LP solver (default
           {!Simplex.Sparse_lu}). *)
+  jobs : int;
+      (** Worker domains for the tree search (default [1]). [jobs = 1]
+          is the exact historical sequential search — same node counts,
+          same visit order. With [jobs > 1] the search first seeds a
+          frontier sequentially, then spawns [jobs] domains, each with
+          its {e own} {!Simplex} engine (ownership is enforced, see
+          {!Simplex}), running depth-first on a private deque and
+          sharing work through a common pool. The incumbent is shared:
+          a lock-free best objective for pruning plus a locked solution
+          slot. [node_order] is coerced to {!Depth_first} when
+          [jobs > 1]; [max_nodes] becomes a soft target (workers may
+          overshoot by up to one node each). {!solve} raises
+          [Invalid_argument] when [jobs < 1]. *)
+  deterministic : bool;
+      (** Only meaningful with [jobs > 1]: deal the seed frontier
+          round-robin to the workers, disable work stealing, and prune
+          each worker against its {e locally} discovered incumbents
+          only. Runs that finish without hitting a limit then visit a
+          machine-independent, reproducible set of nodes
+          ([stats.nodes] is stable run to run) at the price of weaker
+          pruning. The reported optimum is unchanged either way; only
+          which of several equally-optimal solutions is returned may
+          differ. Default [false]. *)
 }
 
 val default_options : options
@@ -84,6 +107,18 @@ type outcome =
       (** Node or time limit hit. [best] is the incumbent so far;
           [bound] is a valid global lower bound. *)
 
+type worker_stats = {
+  w_nodes : int;  (** Nodes this worker evaluated. *)
+  w_incumbents : int;  (** Improving incumbents this worker installed. *)
+  w_steals : int;  (** Nodes acquired from the shared pool. *)
+  w_handoffs : int;  (** Nodes this worker donated to the pool. *)
+  w_idle : float;  (** Seconds spent blocked waiting for work. *)
+  w_pivots : int;  (** Simplex pivots on this worker's engine. *)
+}
+
+val pp_worker_stats : Format.formatter -> worker_stats -> unit
+(** One-line [key=value] rendering. *)
+
 type stats = {
   nodes : int;  (** LP relaxations solved. *)
   incumbents : int;  (** Number of improving integer solutions found. *)
@@ -94,7 +129,12 @@ type stats = {
   lp_stats : Simplex.stats;
       (** LP-engine counters accumulated over every node relaxation
           (factorizations, eta updates, refactorization triggers,
-          FTRAN/BTRAN time). *)
+          FTRAN/BTRAN time); summed across the seeding engine and every
+          worker engine when [jobs > 1]. *)
+  workers : worker_stats array;
+      (** One row per worker domain when [jobs > 1] (all-zero rows when
+          the search already finished during sequential seeding); empty
+          for [jobs = 1]. *)
 }
 
 val solve : ?options:options -> Lp.t -> outcome * stats

@@ -17,6 +17,7 @@ type eta = {
 
 type t = {
   m : int;
+  owner : int;  (* id of the creating domain; solves are owner-only *)
   (* Elimination history in pivot order. Step k eliminated matrix row
      [lp_row.(k)] and basis slot [u_q.(k)] with pivot [u_diag.(k)];
      [l_idx/l_val.(k)] are the below-pivot multipliers (by matrix row),
@@ -37,6 +38,17 @@ type t = {
 let size lu = lu.m
 let eta_count lu = lu.neta
 let fill lu = lu.fill
+
+(* Ownership is structural: the scratch buffer and the eta file are
+   unsynchronized, so any cross-domain use is a data race. The stamp
+   makes the former comment-only warning an immediate error. *)
+let check_owner lu op =
+  if (Domain.self () :> int) <> lu.owner then
+    invalid_arg
+      (Printf.sprintf
+         "Lu.%s: factorization owned by domain %d used from domain %d" op
+         lu.owner
+         (Domain.self () :> int))
 
 let factor (a : Sparse.Csc.mat) (basis : int array) =
   let m = Array.length basis in
@@ -150,6 +162,7 @@ let factor (a : Sparse.Csc.mat) (basis : int array) =
   done;
   {
     m;
+    owner = (Domain.self () :> int);
     lp_row;
     u_q;
     u_diag;
@@ -164,6 +177,7 @@ let factor (a : Sparse.Csc.mat) (basis : int array) =
   }
 
 let ftran lu b =
+  check_owner lu "ftran";
   let m = lu.m in
   (* apply L^-1 in pivot order *)
   for k = 0 to m - 1 do
@@ -198,6 +212,7 @@ let ftran lu b =
   done
 
 let btran lu c =
+  check_owner lu "btran";
   let m = lu.m in
   (* eta transposes, newest first: c_r <- (c_r - ((w . c) - c_r)) / w_r
      folded as c_r - (w.c - c_r)/w_r *)
@@ -235,6 +250,7 @@ let btran lu c =
   done
 
 let update lu ~w ~r =
+  check_owner lu "update";
   let piv = w.(r) in
   if Float.abs piv < abs_tol then raise Singular;
   let n = ref 0 in

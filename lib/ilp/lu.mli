@@ -17,8 +17,15 @@
     The factorization is exact up to a drop tolerance of [1e-13] on
     cancelled Schur-complement entries; accumulated eta-file error is the
     caller's concern ({!Simplex} refactorizes on an eta-length bound and
-    on residual checks). Solves share one internal scratch buffer: a [t]
-    must not be used from multiple domains. *)
+    on residual checks).
+
+    {b Single-domain ownership is enforced, not advisory}: solves share
+    one internal scratch buffer and a mutable eta file, so a [t] is
+    stamped with the id of the domain that ran {!factor}, and
+    {!ftran}/{!btran}/{!update} raise [Invalid_argument] when called
+    from any other domain. Parallel search gives each worker domain its
+    own {!Simplex} engine (hence its own [t]); see
+    [Branch_bound.options.jobs]. *)
 
 type t
 
@@ -36,7 +43,8 @@ val factor : Sparse.Csc.mat -> int array -> t
 val ftran : t -> float array -> unit
 (** [ftran lu b] solves [B x = b] in place: on entry [b] is a dense
     right-hand side indexed by row; on exit it holds [x] indexed by
-    slot. Applies L, U, then the eta file oldest-first. *)
+    slot. Applies L, U, then the eta file oldest-first. Raises
+    [Invalid_argument] from a domain other than the factoring one. *)
 
 val btran : t -> float array -> unit
 (** [btran lu c] solves [B^T y = c] in place: on entry [c] is indexed

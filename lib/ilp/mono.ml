@@ -1,0 +1,14 @@
+(* The floor holds the largest timestamp handed out so far. CAS on a
+   boxed float is sound here: the expected value passed to
+   [compare_and_set] is the very box read by [get], so the physical
+   equality the primitive uses is exactly the check we need. *)
+let floor = Atomic.make neg_infinity
+
+let rec now () =
+  let t = Unix.gettimeofday () in
+  let last = Atomic.get floor in
+  if t <= last then last
+  else if Atomic.compare_and_set floor last t then t
+  else now ()
+
+let elapsed_since t0 = Float.max 0. (now () -. t0)

@@ -1,0 +1,19 @@
+(** Shared monotonicized wall clock.
+
+    [now] reads the system wall clock but never moves backwards: every
+    call returns a value no smaller than any value previously returned
+    {e on any domain}. Deadlines computed as [now () +. budget] can
+    therefore be compared against later [now ()] readings from worker
+    domains without a wall-clock step (NTP adjustment, VM migration)
+    turning a finite budget into a premature or never-firing limit.
+
+    The monotonic floor is kept in an [Atomic.t], so the clock is safe
+    to read concurrently from multiple domains. Resolution and drift
+    are those of [Unix.gettimeofday]. *)
+
+val now : unit -> float
+(** Current time in seconds. Non-decreasing across all domains of the
+    process. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] is [now () -. t0], clamped to [>= 0.]. *)

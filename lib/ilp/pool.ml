@@ -1,0 +1,168 @@
+module Deque = struct
+  (* Growable ring buffer. [head] indexes the bottom (oldest) element;
+     [size] elements follow circularly. *)
+  type 'a t = { mutable buf : 'a option array; mutable head : int; mutable size : int }
+
+  let create () = { buf = Array.make 16 None; head = 0; size = 0 }
+
+  let length d = d.size
+
+  let is_empty d = d.size = 0
+
+  let grow d =
+    let cap = Array.length d.buf in
+    let nbuf = Array.make (2 * cap) None in
+    for i = 0 to d.size - 1 do
+      nbuf.(i) <- d.buf.((d.head + i) mod cap)
+    done;
+    d.buf <- nbuf;
+    d.head <- 0
+
+  let push d x =
+    if d.size = Array.length d.buf then grow d;
+    let cap = Array.length d.buf in
+    d.buf.((d.head + d.size) mod cap) <- Some x;
+    d.size <- d.size + 1
+
+  let pop d =
+    if d.size = 0 then None
+    else begin
+      let cap = Array.length d.buf in
+      let i = (d.head + d.size - 1) mod cap in
+      let x = d.buf.(i) in
+      d.buf.(i) <- None;
+      d.size <- d.size - 1;
+      x
+    end
+
+  let pop_bottom d =
+    if d.size = 0 then None
+    else begin
+      let x = d.buf.(d.head) in
+      d.buf.(d.head) <- None;
+      d.head <- (d.head + 1) mod Array.length d.buf;
+      d.size <- d.size - 1;
+      x
+    end
+
+  let fold f init d =
+    let cap = Array.length d.buf in
+    let acc = ref init in
+    for i = 0 to d.size - 1 do
+      match d.buf.((d.head + i) mod cap) with
+      | Some x -> acc := f !acc x
+      | None -> assert false
+    done;
+    !acc
+
+  let to_list d = fold (fun acc x -> x :: acc) [] d
+end
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  dq : 'a Deque.t;
+  workers : int;
+  mutable waiting : int;
+  mutable is_stopped : bool;
+}
+
+let create ~workers =
+  if workers < 1 then invalid_arg "Pool.create: workers < 1";
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    dq = Deque.create ();
+    workers;
+    waiting = 0;
+    is_stopped = false;
+  }
+
+let with_lock p f =
+  Mutex.lock p.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock p.lock) f
+
+let push p x =
+  with_lock p (fun () ->
+      Deque.push p.dq x;
+      Condition.signal p.nonempty)
+
+let take p =
+  with_lock p (fun () ->
+      let rec await () =
+        if p.is_stopped then None
+        else
+          match Deque.pop p.dq with
+          | Some _ as item -> item
+          | None ->
+            p.waiting <- p.waiting + 1;
+            if p.waiting = p.workers then begin
+              (* Everyone is here and the pool is empty: no worker holds
+                 local work that could feed it again. Latch and release. *)
+              p.is_stopped <- true;
+              p.waiting <- p.waiting - 1;
+              Condition.broadcast p.nonempty;
+              None
+            end
+            else begin
+              Condition.wait p.nonempty p.lock;
+              p.waiting <- p.waiting - 1;
+              await ()
+            end
+      in
+      await ())
+
+let try_take p =
+  with_lock p (fun () -> if p.is_stopped then None else Deque.pop p.dq)
+
+let stop p =
+  with_lock p (fun () ->
+      p.is_stopped <- true;
+      Condition.broadcast p.nonempty)
+
+let stopped p = with_lock p (fun () -> p.is_stopped)
+
+let hungry p =
+  with_lock p (fun () -> p.waiting > 0 && Deque.is_empty p.dq)
+
+let drain p =
+  with_lock p (fun () ->
+      let rec go acc =
+        match Deque.pop p.dq with None -> acc | Some x -> go (x :: acc)
+      in
+      go [])
+
+let map ~jobs f arr =
+  let n = Array.length arr in
+  let jobs = Int.min jobs n in
+  if jobs <= 1 || n < 2 then Array.map f arr
+  else begin
+    let pool = create ~workers:jobs in
+    for i = n - 1 downto 0 do
+      push pool i
+    done;
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        match take pool with
+        | None -> ()
+        | Some i ->
+          (match f arr.(i) with
+           | y -> results.(i) <- Some y
+           | exception e ->
+             ignore (Atomic.compare_and_set failure None (Some e));
+             stop pool);
+          loop ()
+      in
+      loop ()
+    in
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map
+      (function
+        | Some y -> y
+        | None -> failwith "Pool.map: worker left a result slot empty")
+      results
+  end

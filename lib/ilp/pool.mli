@@ -1,0 +1,91 @@
+(** Work-sharing pool for domain-parallel search.
+
+    Two layers:
+
+    - {!Deque}: a plain, unsynchronized double-ended queue. Workers use
+      one privately as their depth-first stack ([push]/[pop] at the
+      top) and donate from the {e bottom} — the shallowest, largest
+      subtrees — when the shared pool runs dry.
+    - {!t}: a mutex/condition-protected deque of work items shared by a
+      fixed crew of workers, with global termination detection (all
+      workers blocked on an empty pool) and an early-cutoff switch
+      ({!stop}).
+
+    {!map} builds a parallel map over independent items on top of the
+    pool; {!Branch_bound} drives the pool directly with dynamically
+    generated tree nodes. *)
+
+module Deque : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val length : 'a t -> int
+
+  val is_empty : 'a t -> bool
+
+  val push : 'a t -> 'a -> unit
+  (** Push at the top. *)
+
+  val pop : 'a t -> 'a option
+  (** Pop from the top (LIFO with respect to {!push}). *)
+
+  val pop_bottom : 'a t -> 'a option
+  (** Pop from the bottom — the {e oldest} item. *)
+
+  val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+  val to_list : 'a t -> 'a list
+  (** Top to bottom. *)
+end
+
+type 'a t
+
+val create : workers:int -> 'a t
+(** A pool serving exactly [workers] cooperating workers (the count is
+    what termination detection is based on, so every worker must
+    eventually either hold local work or block in {!take}). Raises
+    [Invalid_argument] when [workers < 1]. *)
+
+val push : 'a t -> 'a -> unit
+(** Add work and wake one blocked worker. Callable from any domain,
+    including non-workers (e.g. a seeding phase before the workers
+    start). *)
+
+val take : 'a t -> 'a option
+(** Blocking acquisition; the heart of the worker loop. Returns
+    [Some item] (most recently pushed first), or [None] when the search
+    is over: either {!stop} was called, or every worker of the crew is
+    simultaneously blocked here with the pool empty — at that point no
+    item can ever appear again, so the pool latches into the stopped
+    state and releases everyone. A worker that received [None] must not
+    call {!take} again. *)
+
+val try_take : 'a t -> 'a option
+(** Non-blocking {!take}: [None] when the pool is empty or stopped. *)
+
+val stop : 'a t -> unit
+(** Early cutoff (limits, errors): latch the pool into the stopped
+    state and wake all blocked workers. Items still queued are kept and
+    can be inspected with {!drain}. Idempotent. *)
+
+val stopped : 'a t -> bool
+
+val hungry : 'a t -> bool
+(** [true] when the pool is empty and at least one worker is blocked in
+    {!take} — the signal that a worker holding surplus local work
+    should donate. A racy hint by design: acting on a stale answer only
+    costs one extra (or one missed) donation. *)
+
+val drain : 'a t -> 'a list
+(** Remove and return all queued items. Meaningful after the workers
+    have finished (limit accounting of the open nodes). *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f arr] applies [f] to every element on [min jobs
+    (Array.length arr)] domains fed from a pool of indices, preserving
+    order of results. [jobs <= 1] (or fewer than two items) degrades to
+    plain sequential [Array.map] on the calling domain. If any
+    application raises, the first exception (in completion order) is
+    re-raised on the caller after all workers have stopped. [f] must be
+    safe to call from a fresh domain. *)

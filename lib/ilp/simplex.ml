@@ -72,6 +72,7 @@ type repr =
   | Rsparse of lu_box
 
 type state = {
+  owner : int;  (* creating domain id: all solver storage is unshared *)
   m : int;  (* rows *)
   nstruct : int;  (* structural columns *)
   ncols : int;  (* nstruct + m slacks + m artificials *)
@@ -117,6 +118,20 @@ let degen_switch = 60 (* degenerate pivots before switching to Bland *)
 let refactor_period = 400 (* dense: pivots between basis re-inversions *)
 let eta_limit = 64 (* sparse: eta-file length triggering refactorization *)
 let res_tol = 1e-6 (* basic-solution residual triggering refactorization *)
+
+(* Structural single-domain ownership (mirrors {!Lu.check_owner}): the
+   workspaces, the basis and the statistics counters are unsynchronized
+   mutable state, so any cross-domain call is a data race. Checked at
+   the solver entry points; the per-pivot paths are covered by the LU
+   stamp. *)
+let check_owner st op =
+  if (Domain.self () :> int) <> st.owner then
+    invalid_arg
+      (Printf.sprintf
+         "Simplex.%s: engine owned by domain %d used from domain %d \
+          (parallel search must create one engine per worker)"
+         op st.owner
+         (Domain.self () :> int))
 
 let num_rows st = st.m
 let num_structural st = st.nstruct
@@ -207,6 +222,7 @@ let create ?(backend = Sparse_lu) lp =
     | Sparse_lu -> Rsparse { lu = None }
   in
   {
+    owner = (Domain.self () :> int);
     m;
     nstruct;
     ncols;
@@ -243,6 +259,7 @@ let create ?(backend = Sparse_lu) lp =
   }
 
 let set_var_bounds st j ~lb ~ub =
+  check_owner st "set_var_bounds";
   if j < 0 || j >= st.nstruct then invalid_arg "Simplex.set_var_bounds: range";
   if lb > ub then invalid_arg "Simplex.set_var_bounds: lb > ub";
   st.lb.(j) <- lb;
@@ -1037,9 +1054,12 @@ let dual_loop st max_iters =
   done;
   (Option.get !outcome, !iters)
 
-let primal ?(max_iters = 200_000) st = primal_guarded ~max_iters ~attempt:0 st
+let primal ?(max_iters = 200_000) st =
+  check_owner st "primal";
+  primal_guarded ~max_iters ~attempt:0 st
 
 let dual_reopt ?(max_iters = 200_000) st =
+  check_owner st "dual_reopt";
   match
     (revalidate_nonbasic st;
      st.ncand <- 0;

@@ -25,9 +25,15 @@
     - a dual-simplex re-optimization loop supports warm starts after
       bound changes, which is what {!Branch_bound} uses between nodes.
 
-    A {!state} owns all solver storage. Bounds of structural variables
-    may be changed between solves ({!set_var_bounds}); the constraint
-    matrix, senses and right-hand sides are fixed at {!create} time. *)
+    A {!state} owns all solver storage and is {b bound to the domain
+    that created it}: the engine is stamped with the creating domain's
+    id and {!primal}, {!dual_reopt} and {!set_var_bounds} raise
+    [Invalid_argument] from any other domain (the {!Lu} kernel carries
+    the same stamp on its per-pivot paths). Parallel branch and bound
+    creates one engine per worker domain. Bounds of structural
+    variables may be changed between solves ({!set_var_bounds}); the
+    constraint matrix, senses and right-hand sides are fixed at
+    {!create} time. *)
 
 type status =
   | Optimal
@@ -92,7 +98,8 @@ type state
 val create : ?backend:backend -> Lp.t -> state
 (** Builds solver storage for the model (default backend {!Sparse_lu}).
     Later mutations of the [Lp.t] are not observed except through
-    {!set_var_bounds}. *)
+    {!set_var_bounds}. The returned engine is owned by the calling
+    domain (see the module preamble). *)
 
 val backend : state -> backend
 

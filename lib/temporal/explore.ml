@@ -5,34 +5,40 @@ type point = {
   seconds : float;
 }
 
-let sweep ?options ?strategy ?(time_limit_per_point = 120.) ~graph ~allocation
-    ?capacity ?alpha ?scratch ~latency_range:(l_lo, l_hi)
+let sweep ?options ?strategy ?(time_limit_per_point = 120.) ?(jobs = 1) ~graph
+    ~allocation ?capacity ?alpha ?scratch ~latency_range:(l_lo, l_hi)
     ~partition_range:(n_lo, n_hi) () =
   if l_lo < 0 || l_hi < l_lo then invalid_arg "Explore.sweep: latency range";
   if n_lo < 1 || n_hi < n_lo then invalid_arg "Explore.sweep: partition range";
-  let points = ref [] in
-  for l = l_lo to l_hi do
-    for n = n_lo to n_hi do
-      let spec =
-        Spec.make ~graph ~allocation ?capacity ?alpha ?scratch
-          ~latency_relax:l ~num_partitions:n ()
-      in
-      let vars = Formulation.build ?options spec in
-      let t0 = Unix.gettimeofday () in
-      let report =
-        Solver.solve ?strategy ~time_limit:time_limit_per_point vars
-      in
-      let seconds = Unix.gettimeofday () -. t0 in
-      let outcome =
-        match report.Solver.outcome with
-        | Solver.Feasible sol -> `Optimal sol
-        | Solver.Infeasible_model -> `Infeasible
-        | Solver.Timed_out _ -> `Timeout
-      in
-      points := { latency_relax = l; num_partitions = n; outcome; seconds } :: !points
-    done
-  done;
-  List.rev !points
+  if jobs < 1 then invalid_arg "Explore.sweep: jobs < 1";
+  let grid =
+    Array.init
+      ((l_hi - l_lo + 1) * (n_hi - n_lo + 1))
+      (fun k ->
+        (l_lo + (k / (n_hi - n_lo + 1)), n_lo + (k mod (n_hi - n_lo + 1))))
+  in
+  (* The (L, N) points are independent solves, so they parallelize with
+     the same pool the tree search uses — one sequential solver per
+     point, [jobs] points in flight. Results come back in grid order
+     whatever the completion order. *)
+  let solve_point (l, n) =
+    let spec =
+      Spec.make ~graph ~allocation ?capacity ?alpha ?scratch ~latency_relax:l
+        ~num_partitions:n ()
+    in
+    let vars = Formulation.build ?options spec in
+    let t0 = Ilp.Mono.now () in
+    let report = Solver.solve ?strategy ~time_limit:time_limit_per_point vars in
+    let seconds = Ilp.Mono.elapsed_since t0 in
+    let outcome =
+      match report.Solver.outcome with
+      | Solver.Feasible sol -> `Optimal sol
+      | Solver.Infeasible_model -> `Infeasible
+      | Solver.Timed_out _ -> `Timeout
+    in
+    { latency_relax = l; num_partitions = n; outcome; seconds }
+  in
+  Array.to_list (Ilp.Pool.map ~jobs solve_point grid)
 
 let pareto points =
   let optimal =

@@ -17,6 +17,7 @@ val sweep :
   ?options:Formulation.options ->
   ?strategy:Branching.strategy ->
   ?time_limit_per_point:float ->
+  ?jobs:int ->
   graph:Taskgraph.Graph.t ->
   allocation:Hls.Component.allocation ->
   ?capacity:int ->
@@ -26,8 +27,12 @@ val sweep :
   partition_range:int * int ->
   unit ->
   point list
-(** Solves every (L, N) combination in the inclusive ranges, in
-    increasing (L, N) order. Default per-point limit: 120 s. *)
+(** Solves every (L, N) combination in the inclusive ranges; the result
+    list is always in increasing (L, N) order. Default per-point limit:
+    120 s. [jobs] (default 1) solves that many design points
+    concurrently, one worker domain per point — each point's own tree
+    search stays sequential, and the per-point time limit is unchanged.
+    Raises [Invalid_argument] when [jobs < 1]. *)
 
 val pareto : point list -> point list
 (** The non-dominated optimal points: a point dominates another when it

@@ -8,8 +8,9 @@ type result = {
   trace : string list;
 }
 
-let run ?options ?strategy ?time_limit ?max_nodes ?num_partitions ?lint ~graph
-    ~allocation ?capacity ?alpha ?scratch ?latency_relax () =
+let run ?options ?strategy ?time_limit ?max_nodes ?num_partitions ?lint ?jobs
+    ?deterministic ~graph ~allocation ?capacity ?alpha ?scratch ?latency_relax
+    () =
   let trace = ref [] in
   let log fmt = Format.kasprintf (fun s -> trace := s :: !trace) fmt in
   log "input: %s" (Format.asprintf "%a" G.pp_summary graph);
@@ -55,7 +56,7 @@ let run ?options ?strategy ?time_limit ?max_nodes ?num_partitions ?lint ~graph
     (Vars.num_constrs vars);
   (* Stage 4-5: solve, extract, validate *)
   let report =
-    Solver.solve ?strategy ?time_limit ?max_nodes ?lint
+    Solver.solve ?strategy ?time_limit ?max_nodes ?lint ?jobs ?deterministic
       ?lint_options:options vars
   in
   log "solve: %s (%d nodes, %.2fs)"

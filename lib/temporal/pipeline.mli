@@ -26,6 +26,8 @@ val run :
   ?max_nodes:int ->
   ?num_partitions:int ->
   ?lint:bool ->
+  ?jobs:int ->
+  ?deterministic:bool ->
   graph:Taskgraph.Graph.t ->
   allocation:Hls.Component.allocation ->
   ?capacity:int ->
@@ -37,7 +39,9 @@ val run :
 (** Runs the full flow. When [num_partitions] is omitted, N is taken
     from the estimation stage (and the estimate must exist — otherwise
     the flow falls back to [N = number of tasks], the trivial upper
-    bound). [lint] forwards to {!Solver.solve}: analyze and audit the
-    formulated model, failing fast on error-level findings. *)
+    bound). [lint], [jobs] and [deterministic] forward to
+    {!Solver.solve}: lint analyzes and audits the formulated model,
+    failing fast on error-level findings; [jobs] runs the solve stage
+    on that many worker domains. *)
 
 val pp : Format.formatter -> result -> unit

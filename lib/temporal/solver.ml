@@ -179,7 +179,8 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
     ?(node_order = Bb.Depth_first) ?(time_limit = Float.infinity)
     ?(max_nodes = max_int) ?(validate = true) ?(scheduler_completion = true)
     ?(presolve = true) ?(lint = false) ?lint_options
-    ?(lp_backend = Ilp.Simplex.Sparse_lu) vars =
+    ?(lp_backend = Ilp.Simplex.Sparse_lu) ?(jobs = 1) ?(deterministic = false)
+    vars =
   if lint then lint_or_fail ?options:lint_options vars;
   let options =
     {
@@ -193,6 +194,8 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
       node_hook =
         (if scheduler_completion then Some (scheduler_hook vars) else None);
       lp_backend;
+      jobs;
+      deterministic;
     }
   in
   (* Presolve drops redundant rows and tightens bounds without touching
@@ -212,6 +215,7 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
             elapsed = 0.;
             root_obj = Float.nan;
             lp_stats = Ilp.Simplex.empty_stats;
+            workers = [||];
           } )
       | Ilp.Presolve.Reduced (reduced, _) -> Bb.solve ~options reduced
     else Bb.solve ~options vars.Vars.lp

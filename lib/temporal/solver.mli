@@ -33,6 +33,8 @@ val solve :
   ?lint:bool ->
   ?lint_options:Formulation.options ->
   ?lp_backend:Ilp.Simplex.backend ->
+  ?jobs:int ->
+  ?deterministic:bool ->
   Vars.t ->
   report
 (** Defaults: paper branching, value 1 first, depth-first, no limits,
@@ -61,6 +63,14 @@ val solve :
 
     [lp_backend] selects the simplex basis representation for node
     relaxations (default {!Ilp.Simplex.Sparse_lu}); the dense baseline
-    is kept for cross-checks and benchmarking. *)
+    is kept for cross-checks and benchmarking.
+
+    [jobs] (default [1]) runs the branch-and-bound tree search on that
+    many worker domains, each with its own simplex engine; [jobs = 1]
+    is the exact sequential search. [deterministic] (with [jobs > 1])
+    trades pruning strength for run-to-run reproducible node counts.
+    The scheduler-completion hook is safe under parallel search: node
+    hooks are serialized by the solver, so its internal memo table is
+    never accessed concurrently. See {!Ilp.Branch_bound.options}. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -44,6 +44,15 @@ LU fill-in, eta updates, the refactorization triggers, and solve times
   $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --stats | grep lp-stats | sed 's/[0-9][0-9]*\(\.[0-9]*\)\?/N/g'
   lp-stats: factorizations=N fill=N etas=N refactors(eta/numeric/residual)=N/N/N ftran=Ns btran=Ns pivots=N
 
+With --jobs N the branch-and-bound search runs on N worker domains and
+--stats reports one row per worker (numbers masked — node distribution
+across workers is timing-dependent):
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --jobs 2 --stats | grep -E 'worker|optimal' | sed 's/[0-9][0-9]*\(\.[0-9]*\)\?/N/g'
+  solve: optimal (comm cost N, N partitions) (N nodes, Ns)
+  worker N: nodes=N incumbents=N steals=N handoffs=N idle=Ns pivots=N
+  worker N: nodes=N incumbents=N steals=N handoffs=N idle=Ns pivots=N
+
 An infeasible instance exits with code 1:
 
   $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 2 > /dev/null

@@ -214,6 +214,122 @@ let prop_warm_equals_cold =
       | (Bb.Infeasible, _), (Bb.Infeasible, _) -> true
       | _, _ -> false)
 
+(* -------- parallel search (jobs > 1) -------- *)
+
+(* Big enough that the search outlives the sequential seeding phase and
+   nodes actually flow through the worker domains. *)
+let parallel_knapsack () =
+  knapsack
+    (Array.init 18 (fun i -> Float.of_int (5 + ((i * 7) mod 11))))
+    (Array.init 18 (fun i -> Float.of_int (2 + ((i * 5) mod 9))))
+    31.
+
+let test_parallel_matches_sequential () =
+  let lp, _ = parallel_knapsack () in
+  let solve jobs =
+    let options = { Bb.default_options with Bb.jobs } in
+    Bb.solve ~options lp
+  in
+  match (solve 1, solve 4) with
+  | (Bb.Optimal { obj = a; _ }, s1), (Bb.Optimal { obj = b; _ }, s4) ->
+    check_float "same optimum" a b;
+    Alcotest.(check int) "no workers sequential" 0 (Array.length s1.Bb.workers);
+    Alcotest.(check int) "one row per worker" 4 (Array.length s4.Bb.workers)
+  | (o1, _), (o4, _) ->
+    Alcotest.failf "unexpected %a / %a" Bb.pp_outcome o1 Bb.pp_outcome o4
+
+let test_parallel_infeasible () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Binary in
+  let y = Lp.add_var lp Lp.Binary in
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Eq 1.);
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Ge 2.);
+  let options = { Bb.default_options with Bb.jobs = 4 } in
+  match Bb.solve ~options lp with
+  | Bb.Infeasible, _ -> ()
+  | o, _ -> Alcotest.failf "unexpected %a" Bb.pp_outcome o
+
+let test_parallel_bad_jobs () =
+  let lp, _ = knapsack [| 1. |] [| 1. |] 1. in
+  Alcotest.check_raises "jobs < 1" (Invalid_argument "Branch_bound.solve: jobs < 1")
+    (fun () ->
+      ignore (Bb.solve ~options:{ Bb.default_options with Bb.jobs = 0 } lp))
+
+let test_deterministic_reproducible () =
+  let lp, _ = parallel_knapsack () in
+  let solve () =
+    let options =
+      { Bb.default_options with Bb.jobs = 3; Bb.deterministic = true }
+    in
+    Bb.solve ~options lp
+  in
+  match (solve (), solve ()) with
+  | (Bb.Optimal { obj = a; _ }, s1), (Bb.Optimal { obj = b; _ }, s2) ->
+    check_float "same optimum" a b;
+    Alcotest.(check int) "same node count" s1.Bb.nodes s2.Bb.nodes
+  | (o1, _), (o2, _) ->
+    Alcotest.failf "unexpected %a / %a" Bb.pp_outcome o1 Bb.pp_outcome o2
+
+let test_parallel_incumbent_serialized () =
+  (* The incumbent callback must never run concurrently with itself and
+     must only see strictly improving objectives, even with 4 workers
+     racing. The reentrancy flag would trip if two domains overlapped
+     inside the callback. *)
+  let lp, _ = parallel_knapsack () in
+  let in_callback = Atomic.make false in
+  let overlaps = Atomic.make 0 in
+  let tears = Atomic.make 0 in
+  let last = ref Float.infinity (* protected by the solver's user lock *) in
+  let on_incumbent obj _x =
+    if not (Atomic.compare_and_set in_callback false true) then
+      Atomic.incr overlaps;
+    if obj >= !last -. 1e-9 then Atomic.incr tears;
+    last := obj;
+    Domain.cpu_relax ();
+    Atomic.set in_callback false
+  in
+  let options =
+    {
+      Bb.default_options with
+      Bb.jobs = 4;
+      Bb.on_incumbent = Some on_incumbent;
+    }
+  in
+  match Bb.solve ~options lp with
+  | Bb.Optimal _, stats ->
+    Alcotest.(check int) "no concurrent callbacks" 0 (Atomic.get overlaps);
+    Alcotest.(check int) "strictly improving sequence" 0 (Atomic.get tears);
+    Alcotest.(check bool) "incumbents seen" true (stats.Bb.incumbents >= 1)
+  | o, _ -> Alcotest.failf "unexpected %a" Bb.pp_outcome o
+
+let test_parallel_node_limit () =
+  let lp, _ = parallel_knapsack () in
+  let options = { Bb.default_options with Bb.jobs = 4; Bb.max_nodes = 30 } in
+  match Bb.solve ~options lp with
+  | Bb.Limit_reached { bound; _ }, stats ->
+    (* soft target: every worker may overshoot by at most one node *)
+    Alcotest.(check bool) "near the limit" true (stats.Bb.nodes <= 30 + 5);
+    Alcotest.(check bool) "bound is finite or -inf" true
+      (Float.is_finite bound || bound = Float.neg_infinity)
+  | Bb.Optimal _, stats ->
+    (* legal only if the whole tree fit under the limit *)
+    Alcotest.(check bool) "finished under limit" true (stats.Bb.nodes <= 30 + 5)
+  | o, _ -> Alcotest.failf "unexpected %a" Bb.pp_outcome o
+
+let prop_parallel_matches_sequential =
+  QCheck.Test.make ~name:"parallel b&b equals sequential b&b" ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let lp = make_rand_binary seed ~n:9 ~m:6 in
+      let solve jobs =
+        Bb.solve ~options:{ Bb.default_options with Bb.jobs } lp
+      in
+      match (solve 1, solve 3) with
+      | (Bb.Optimal { obj = a; _ }, _), (Bb.Optimal { obj = b; _ }, _) ->
+        Float.abs (a -. b) <= 1e-6
+      | (Bb.Infeasible, _), (Bb.Infeasible, _) -> true
+      | _, _ -> false)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "branch-bound"
@@ -234,6 +350,22 @@ let () =
             test_on_incumbent_callback;
           Alcotest.test_case "fractionality" `Quick test_fractionality;
         ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "matches sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "infeasible" `Quick test_parallel_infeasible;
+          Alcotest.test_case "jobs < 1 rejected" `Quick test_parallel_bad_jobs;
+          Alcotest.test_case "deterministic reproducible" `Quick
+            test_deterministic_reproducible;
+          Alcotest.test_case "incumbent callbacks serialized" `Quick
+            test_parallel_incumbent_serialized;
+          Alcotest.test_case "node limit" `Quick test_parallel_node_limit;
+        ] );
       ( "properties",
-        [ qt prop_matches_brute_force; qt prop_warm_equals_cold ] );
+        [
+          qt prop_matches_brute_force;
+          qt prop_warm_equals_cold;
+          qt prop_parallel_matches_sequential;
+        ] );
     ]

@@ -1,0 +1,164 @@
+(* Tests for the work-sharing pool underneath the parallel branch and
+   bound: deque semantics, the parallel map, and the pool's termination
+   protocol (empty-pool latch, early cutoff, hunger signalling). *)
+
+module Pool = Ilp.Pool
+module Deque = Ilp.Pool.Deque
+
+(* ---------------- Deque ---------------- *)
+
+let test_deque_lifo () =
+  let d = Deque.create () in
+  Alcotest.(check bool) "empty" true (Deque.is_empty d);
+  List.iter (Deque.push d) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Deque.length d);
+  Alcotest.(check (option int)) "pop top" (Some 3) (Deque.pop d);
+  Alcotest.(check (option int)) "pop next" (Some 2) (Deque.pop d);
+  Deque.push d 4;
+  Alcotest.(check (option int)) "pop pushed" (Some 4) (Deque.pop d);
+  Alcotest.(check (option int)) "pop last" (Some 1) (Deque.pop d);
+  Alcotest.(check (option int)) "pop empty" None (Deque.pop d)
+
+let test_deque_bottom () =
+  let d = Deque.create () in
+  List.iter (Deque.push d) [ 1; 2; 3 ];
+  (* bottom is the oldest element — what a worker donates *)
+  Alcotest.(check (option int)) "bottom" (Some 1) (Deque.pop_bottom d);
+  Alcotest.(check (option int)) "top" (Some 3) (Deque.pop d);
+  Alcotest.(check (option int)) "middle" (Some 2) (Deque.pop_bottom d);
+  Alcotest.(check (option int)) "empty" None (Deque.pop_bottom d)
+
+let test_deque_growth () =
+  (* push far past the initial capacity, with interleaved bottom pops so
+     the ring wraps around *)
+  let d = Deque.create () in
+  let expect = Queue.create () in
+  for i = 0 to 199 do
+    Deque.push d i;
+    Queue.push i expect;
+    if i mod 3 = 0 then begin
+      match Deque.pop_bottom d with
+      | Some v -> Alcotest.(check int) "fifo bottom" (Queue.pop expect) v
+      | None -> Alcotest.fail "unexpected empty"
+    end
+  done;
+  Alcotest.(check (list int))
+    "to_list is top to bottom" (Deque.to_list d)
+    (List.rev (List.of_seq (Queue.to_seq expect)));
+  Alcotest.(check int) "fold counts all" (Deque.length d)
+    (Deque.fold (fun acc _ -> acc + 1) 0 d)
+
+(* ---------------- map ---------------- *)
+
+let test_map_order () =
+  let arr = Array.init 100 (fun i -> i) in
+  let sq = Pool.map ~jobs:4 (fun x -> x * x) arr in
+  Alcotest.(check (array int)) "order preserved" (Array.map (fun x -> x * x) arr) sq
+
+let test_map_degenerate () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.map ~jobs:4 succ [||]);
+  Alcotest.(check (array int)) "single" [| 8 |] (Pool.map ~jobs:4 succ [| 7 |]);
+  Alcotest.(check (array int))
+    "jobs=1 sequential" [| 2; 3 |]
+    (Pool.map ~jobs:1 succ [| 1; 2 |]);
+  Alcotest.(check (array int))
+    "jobs > length" [| 2; 3; 4 |]
+    (Pool.map ~jobs:64 succ [| 1; 2; 3 |])
+
+exception Boom
+
+let test_map_exception () =
+  let arr = Array.init 20 (fun i -> i) in
+  Alcotest.check_raises "first failure re-raised" Boom (fun () ->
+      ignore (Pool.map ~jobs:3 (fun x -> if x = 13 then raise Boom else x) arr))
+
+(* ---------------- pool protocol ---------------- *)
+
+let test_take_lifo_and_latch () =
+  (* a crew of one: the single worker drains the pool, and the next take
+     must latch (sole worker waiting + empty pool = global termination)
+     rather than block forever *)
+  let p = Pool.create ~workers:1 in
+  Pool.push p 1;
+  Pool.push p 2;
+  Alcotest.(check (option int)) "lifo 1" (Some 2) (Pool.take p);
+  Alcotest.(check (option int)) "lifo 2" (Some 1) (Pool.take p);
+  Alcotest.(check (option int)) "latched" None (Pool.take p);
+  Alcotest.(check bool) "stopped" true (Pool.stopped p)
+
+let test_empty_steal_termination () =
+  (* every worker blocks on an empty pool: all must be released with
+     None instead of deadlocking *)
+  let p = Pool.create ~workers:3 in
+  let results =
+    Array.init 3 (fun _ -> Domain.spawn (fun () -> Pool.take p))
+    |> Array.map Domain.join
+  in
+  Array.iter
+    (fun r -> Alcotest.(check (option int)) "released empty" None r)
+    results;
+  Alcotest.(check bool) "latched stopped" true (Pool.stopped p)
+
+let test_stop_keeps_items () =
+  let p = Pool.create ~workers:2 in
+  List.iter (Pool.push p) [ 10; 20; 30 ];
+  Pool.stop p;
+  Alcotest.(check (option int)) "take after stop" None (Pool.take p);
+  Alcotest.(check (option int)) "try_take after stop" None (Pool.try_take p);
+  Alcotest.(check (list int))
+    "drain recovers queued items" [ 10; 20; 30 ]
+    (List.sort compare (Pool.drain p));
+  Pool.stop p (* idempotent *)
+
+let test_early_cutoff_unblocks () =
+  (* a worker blocked in take is released by stop from another domain *)
+  let p = Pool.create ~workers:2 in
+  let d = Domain.spawn (fun () -> Pool.take p) in
+  (* wait until the worker is actually parked, then cut the search off *)
+  while not (Pool.hungry p) do
+    Domain.cpu_relax ()
+  done;
+  Pool.stop p;
+  Alcotest.(check (option int)) "released by stop" None (Domain.join d)
+
+let test_hungry_signal () =
+  let p = Pool.create ~workers:2 in
+  Alcotest.(check bool) "not hungry when idle-free" false (Pool.hungry p);
+  let d = Domain.spawn (fun () -> Pool.take p) in
+  while not (Pool.hungry p) do
+    Domain.cpu_relax ()
+  done;
+  (* a donation feeds the parked worker and clears the hunger *)
+  Pool.push p 42;
+  Alcotest.(check (option int)) "donated item received" (Some 42)
+    (Domain.join d);
+  Alcotest.(check bool) "fed" false (Pool.hungry p);
+  Pool.stop p
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "deque",
+        [
+          Alcotest.test_case "lifo" `Quick test_deque_lifo;
+          Alcotest.test_case "bottom" `Quick test_deque_bottom;
+          Alcotest.test_case "growth" `Quick test_deque_growth;
+        ] );
+      ( "map",
+        [
+          Alcotest.test_case "order" `Quick test_map_order;
+          Alcotest.test_case "degenerate" `Quick test_map_degenerate;
+          Alcotest.test_case "exception" `Quick test_map_exception;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "take lifo + latch" `Quick
+            test_take_lifo_and_latch;
+          Alcotest.test_case "empty-steal termination" `Quick
+            test_empty_steal_termination;
+          Alcotest.test_case "stop keeps items" `Quick test_stop_keeps_items;
+          Alcotest.test_case "early cutoff unblocks" `Quick
+            test_early_cutoff_unblocks;
+          Alcotest.test_case "hungry signal" `Quick test_hungry_signal;
+        ] );
+    ]
