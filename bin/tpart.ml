@@ -95,13 +95,17 @@ let strategy =
     Arg.enum
       [ ("paper", Temporal.Branching.Paper);
         ("most-fractional", Temporal.Branching.Most_fractional);
-        ("first-fractional", Temporal.Branching.First_fractional) ]
+        ("first-fractional", Temporal.Branching.First_fractional);
+        ("pseudocost", Temporal.Branching.Pseudocost) ]
   in
   Arg.(
     value
     & opt strategy_conv Temporal.Branching.Paper
-    & info [ "strategy" ] ~docv:"RULE"
-        ~doc:"Branching rule: $(b,paper), $(b,most-fractional) or $(b,first-fractional).")
+    & info [ "strategy"; "branching" ] ~docv:"RULE"
+        ~doc:
+          "Branching rule: $(b,paper), $(b,most-fractional), \
+           $(b,first-fractional) or $(b,pseudocost) (reliability \
+           branching seeded by the paper rule).")
 
 let no_tighten =
   Arg.(value & flag & info [ "no-tighten" ] ~doc:"Drop the Section 6 tightening cuts (eqs. 28-32).")
@@ -240,10 +244,84 @@ let deterministic_flag =
            distribution, local-only pruning) at the price of weaker \
            pruning.")
 
+let rc_fix_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "rc-fix" ]
+        ~doc:
+          "Reduced-cost fixing: after each certified node relaxation, \
+           fix 0-1 variables the LP duals prove cannot move in a \
+           better-than-incumbent solution.")
+
+let propagate_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "propagate" ]
+        ~doc:
+          "Per-node domain propagation: cascade each branching decision \
+           through the touched rows (and the cut pool) before solving \
+           the node LP.")
+
+let cuts_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "cuts" ]
+        ~doc:
+          "Root cut-and-branch: separate lifted cover cuts (knapsack \
+           rows) and clique cuts (one-hot rows) to strengthen every \
+           node relaxation.")
+
+let solve_json_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit a machine-readable JSON summary (outcome, model size, \
+           node counts, deduction statistics) instead of the text \
+           report.")
+
+let json_of_result result =
+  let r = result.Temporal.Pipeline.report in
+  let s = r.Temporal.Solver.stats in
+  let d = s.Ilp.Branch_bound.deductions in
+  let outcome, comm =
+    match r.Temporal.Solver.outcome with
+    | Temporal.Solver.Feasible sol ->
+      ("optimal", string_of_int sol.Temporal.Solution.comm_cost)
+    | Temporal.Solver.Infeasible_model -> ("infeasible", "null")
+    | Temporal.Solver.Timed_out (Some sol) ->
+      ("timeout", string_of_int sol.Temporal.Solution.comm_cost)
+    | Temporal.Solver.Timed_out None -> ("timeout", "null")
+  in
+  let fam (f : Ilp.Branch_bound.cut_family_stats) =
+    Printf.sprintf
+      "{\"separated\": %d, \"active\": %d, \"evicted\": %d}"
+      f.Ilp.Branch_bound.cf_separated f.Ilp.Branch_bound.cf_active
+      f.Ilp.Branch_bound.cf_evicted
+  in
+  Printf.sprintf
+    "{\"outcome\": \"%s\", \"comm_cost\": %s, \"vars\": %d, \"constrs\": \
+     %d, \"nodes\": %d, \"incumbents\": %d, \"max_depth\": %d, \
+     \"deductions\": {\"rc_fixed\": %d, \"prop_fixings\": %d, \
+     \"prop_prunes\": %d, \"prop_local_hits\": %d, \"cut_rounds\": %d, \
+     \"cover\": %s, \"clique\": %s, \"pc_branchings\": %d}}"
+    outcome comm r.Temporal.Solver.vars r.Temporal.Solver.constrs
+    s.Ilp.Branch_bound.nodes s.Ilp.Branch_bound.incumbents
+    s.Ilp.Branch_bound.max_depth d.Ilp.Branch_bound.rc_fixed
+    d.Ilp.Branch_bound.prop_fixings d.Ilp.Branch_bound.prop_prunes
+    d.Ilp.Branch_bound.prop_local_hits d.Ilp.Branch_bound.cut_rounds_run
+    (fam d.Ilp.Branch_bound.cover_cuts)
+    (fam d.Ilp.Branch_bound.clique_cuts)
+    d.Ilp.Branch_bound.pc_branchings
+
 let solve_cmd =
   let run g a m s capacity alpha scratch latency partitions time_limit strategy
       no_tighten no_step_cuts fortet dot lp_out report_wanted lint
-      stats_wanted jobs deterministic =
+      stats_wanted jobs deterministic rc_fixing propagate cuts json =
     let allocation = Hls.Component.ams (a, m, s) in
     let options =
       {
@@ -257,16 +335,20 @@ let solve_cmd =
     in
     let result =
       Temporal.Pipeline.run ~options ~strategy ~time_limit
-        ?num_partitions:partitions ~lint ~jobs ~deterministic ~graph:g
-        ~allocation ?capacity ~alpha ~scratch ~latency_relax:latency ()
+        ?num_partitions:partitions ~lint ~jobs ~deterministic ~rc_fixing
+        ~propagate ~cuts ~graph:g ~allocation ?capacity ~alpha ~scratch
+        ~latency_relax:latency ()
     in
-    Format.printf "%a@." Temporal.Pipeline.pp result;
-    if stats_wanted then begin
+    if json then print_endline (json_of_result result)
+    else Format.printf "%a@." Temporal.Pipeline.pp result;
+    if stats_wanted && not json then begin
       let stats =
         result.Temporal.Pipeline.report.Temporal.Solver.stats
       in
       Format.printf "lp-stats: %a@." Ilp.Simplex.pp_stats
         stats.Ilp.Branch_bound.lp_stats;
+      Format.printf "deductions: %a@." Ilp.Branch_bound.pp_deductions
+        stats.Ilp.Branch_bound.deductions;
       Array.iteri
         (fun i w ->
           Format.printf "worker %d: %a@." i Ilp.Branch_bound.pp_worker_stats w)
@@ -302,7 +384,8 @@ let solve_cmd =
       const run $ graph_arg $ adders $ muls $ subs $ capacity $ alpha $ scratch
       $ latency $ partitions $ time_limit $ strategy $ no_tighten
       $ no_step_cuts $ fortet $ dot_out $ lp_out $ report_flag $ lint_flag
-      $ stats_flag $ jobs_arg $ deterministic_flag)
+      $ stats_flag $ jobs_arg $ deterministic_flag $ rc_fix_flag
+      $ propagate_flag $ cuts_flag $ solve_json_flag)
 
 (* ---------------- analyze command ---------------- *)
 

@@ -30,6 +30,13 @@ type options = {
   lp_backend : Simplex.backend;
   jobs : int;
   deterministic : bool;
+  rc_fixing : bool;
+  propagate : bool;
+  cuts : bool;
+  cut_rounds : int;
+  cut_max_age : int;
+  pseudocost : bool;
+  pc_reliability : int;
 }
 
 let default_options =
@@ -48,6 +55,13 @@ let default_options =
     lp_backend = Simplex.Sparse_lu;
     jobs = 1;
     deterministic = false;
+    rc_fixing = false;
+    propagate = false;
+    cuts = false;
+    cut_rounds = 8;
+    cut_max_age = 3;
+    pseudocost = false;
+    pc_reliability = 1;
   }
 
 type outcome =
@@ -80,6 +94,42 @@ let pp_worker_stats ppf w =
     "nodes=%d incumbents=%d steals=%d handoffs=%d idle=%.3fs pivots=%d"
     w.w_nodes w.w_incumbents w.w_steals w.w_handoffs w.w_idle w.w_pivots
 
+type cut_family_stats = { cf_separated : int; cf_active : int; cf_evicted : int }
+
+type deduction_stats = {
+  rc_fixed : int;
+  prop_fixings : int;
+  prop_prunes : int;
+  prop_local_hits : int;
+  cut_rounds_run : int;
+  cover_cuts : cut_family_stats;
+  clique_cuts : cut_family_stats;
+  pc_branchings : int;
+}
+
+let zero_family = { cf_separated = 0; cf_active = 0; cf_evicted = 0 }
+
+let empty_deductions =
+  {
+    rc_fixed = 0;
+    prop_fixings = 0;
+    prop_prunes = 0;
+    prop_local_hits = 0;
+    cut_rounds_run = 0;
+    cover_cuts = zero_family;
+    clique_cuts = zero_family;
+    pc_branchings = 0;
+  }
+
+let pp_deductions ppf d =
+  Format.fprintf ppf
+    "rc_fixed=%d prop_fixings=%d prop_prunes=%d prop_local_hits=%d \
+     cut_rounds=%d cover=%d/%d/%d clique=%d/%d/%d pc_branchings=%d"
+    d.rc_fixed d.prop_fixings d.prop_prunes d.prop_local_hits d.cut_rounds_run
+    d.cover_cuts.cf_separated d.cover_cuts.cf_active d.cover_cuts.cf_evicted
+    d.clique_cuts.cf_separated d.clique_cuts.cf_active
+    d.clique_cuts.cf_evicted d.pc_branchings
+
 type stats = {
   nodes : int;
   incumbents : int;
@@ -89,7 +139,21 @@ type stats = {
   root_obj : float;
   lp_stats : Simplex.stats;
   workers : worker_stats array;
+  deductions : deduction_stats;
 }
+
+let empty_stats =
+  {
+    nodes = 0;
+    incumbents = 0;
+    pivots = 0;
+    max_depth = 0;
+    elapsed = 0.;
+    root_obj = Float.nan;
+    lp_stats = Simplex.empty_stats;
+    workers = [||];
+    deductions = empty_deductions;
+  }
 
 let fractionality v =
   let f = v -. Float.round v in
@@ -97,8 +161,19 @@ let fractionality v =
 
 (* A node is the list of bound fixings on the path from the root, most
    recent first. [n_bound] is the LP objective of its parent: a valid
-   lower bound before the node itself is solved. *)
-type node = { fixes : (int * float * float) list; depth : int; n_bound : float }
+   lower bound before the node itself is solved. [fresh] counts the
+   entries at the head of [fixes] added when the node was created (the
+   branching decision plus inherited deductions): those variables seed
+   the node's incremental propagation. [br] records the branching step
+   that created the node (variable, up direction, fractional distance)
+   for the pseudo-cost tables. *)
+type node = {
+  fixes : (int * float * float) list;
+  depth : int;
+  n_bound : float;
+  fresh : int;
+  br : (int * bool * float) option;
+}
 
 let pp_outcome ppf = function
   | Optimal { obj; _ } -> Format.fprintf ppf "optimal (obj = %g)" obj
@@ -173,6 +248,59 @@ module Heap = struct
     !acc
 end
 
+(* Node-deduction state shared by every search context of one solve.
+   The counters are atomics (workers bump them concurrently); the
+   propagation kernel and the cut pool are read-only after setup. The
+   root reduced-cost snapshot is only touched by the driver that owns
+   the root arrays (sequential search, or the seeding phase), before
+   any worker domain exists. *)
+type dstate = {
+  d_prop : Propagate.t option;  (* rows + pool cuts, for node propagation *)
+  d_cuts : (Cuts.pool * int * int * int) option;
+      (* pool, rounds run, active cover cuts, active clique cuts *)
+  d_rc_fixed : int Atomic.t;
+  d_prop_fixings : int Atomic.t;
+  d_prop_prunes : int Atomic.t;
+  d_prop_local : int Atomic.t;
+  d_pc_branchings : int Atomic.t;
+  mutable d_root_rc : (float * float array) option;
+      (* root LP objective and reduced costs, for incumbent-driven
+         re-fixing of the root bounds *)
+  mutable d_rc_cutoff : float;  (* cutoff the root fixing last used *)
+}
+
+let deduction_totals ded =
+  let pool_s =
+    Option.map (fun (pool, _, _, _) -> Cuts.pool_stats pool) ded.d_cuts
+  in
+  {
+    rc_fixed = Atomic.get ded.d_rc_fixed;
+    prop_fixings = Atomic.get ded.d_prop_fixings;
+    prop_prunes = Atomic.get ded.d_prop_prunes;
+    prop_local_hits = Atomic.get ded.d_prop_local;
+    cut_rounds_run =
+      (match ded.d_cuts with Some (_, r, _, _) -> r | None -> 0);
+    cover_cuts =
+      (match (pool_s, ded.d_cuts) with
+       | Some s, Some (_, _, ac, _) ->
+         {
+           cf_separated = s.Cuts.separated_cover;
+           cf_active = ac;
+           cf_evicted = s.Cuts.evicted_cover;
+         }
+       | _ -> zero_family);
+    clique_cuts =
+      (match (pool_s, ded.d_cuts) with
+       | Some s, Some (_, _, _, aq) ->
+         {
+           cf_separated = s.Cuts.separated_clique;
+           cf_active = aq;
+           cf_evicted = s.Cuts.evicted_clique;
+         }
+       | _ -> zero_family);
+    pc_branchings = Atomic.get ded.d_pc_branchings;
+  }
+
 (* Problem data shared (read-only) by every search context. *)
 type env = {
   opts : options;
@@ -184,6 +312,7 @@ type env = {
   root_ub : float array;
   t0 : float;
   deadline : float;  (* absolute [Mono] time; [infinity] when unlimited *)
+  ded : dstate;
 }
 
 (* The shared incumbent. [best_obj] is read lock-free on the pruning
@@ -223,7 +352,22 @@ type ctx = {
   mutable k_incumbents : int;
   mutable k_max_depth : int;
   mutable k_root_obj : float;
+  (* Pseudo-cost tables, context-local: each worker learns from its own
+     subtree, so deterministic-mode node counts cannot depend on
+     cross-domain timing. Empty arrays when pseudo-cost is off. *)
+  pc_up_sum : float array;
+  pc_up_cnt : int array;
+  pc_down_sum : float array;
+  pc_down_cnt : int array;
 }
+
+let pc_tables env =
+  if env.opts.pseudocost then
+    ( Array.make env.nvars 0.,
+      Array.make env.nvars 0,
+      Array.make env.nvars 0.,
+      Array.make env.nvars 0 )
+  else ([||], [||], [||], [||])
 
 let best_seen ctx =
   if ctx.det then ctx.local_best else Atomic.get ctx.inc.best_obj
@@ -237,7 +381,26 @@ let cutoff ctx =
 let is_integral env x =
   List.for_all (fun j -> fractionality x.(j) <= env.opts.int_tol) env.int_vars
 
-let choose_branch env x ~is_fixed =
+(* Record one observed LP degradation from branching [node.br]: the
+   per-unit objective increase feeds the pseudo-cost average of the
+   branched variable in the branching direction. *)
+let pc_observe ctx node obj =
+  match node.br with
+  | Some (j, up, dist) when ctx.env.opts.pseudocost ->
+    let degr = Float.max 0. (obj -. node.n_bound) in
+    let unit = degr /. Float.max dist 1e-6 in
+    if up then begin
+      ctx.pc_up_sum.(j) <- ctx.pc_up_sum.(j) +. unit;
+      ctx.pc_up_cnt.(j) <- ctx.pc_up_cnt.(j) + 1
+    end
+    else begin
+      ctx.pc_down_sum.(j) <- ctx.pc_down_sum.(j) +. unit;
+      ctx.pc_down_cnt.(j) <- ctx.pc_down_cnt.(j) + 1
+    end
+  | _ -> ()
+
+let choose_branch ctx x ~is_fixed =
+  let env = ctx.env in
   let fallback () =
     let best_j = ref (-1) and best_f = ref env.opts.int_tol in
     List.iter
@@ -250,16 +413,56 @@ let choose_branch env x ~is_fixed =
       env.int_vars;
     if !best_j < 0 then None else Some !best_j
   in
-  match env.opts.branch_rule with
-  | None -> fallback ()
-  | Some rule -> (
-    (* A custom rule may branch on an unfixed variable even when it is
-       integral in the relaxation — fixing it still partitions the
-       search space, and problem-specific hooks can then resolve the
-       fully-fixed subtrees combinatorially. *)
-    match rule ~lp_solution:x ~is_fixed with
-    | Some j when not (is_fixed j) -> Some j
-    | Some _ | None -> fallback ())
+  let structured () =
+    match env.opts.branch_rule with
+    | None -> fallback ()
+    | Some rule -> (
+      (* A custom rule may branch on an unfixed variable even when it is
+         integral in the relaxation — fixing it still partitions the
+         search space, and problem-specific hooks can then resolve the
+         fully-fixed subtrees combinatorially. *)
+      match rule ~lp_solution:x ~is_fixed with
+      | Some j when not (is_fixed j) -> Some j
+      | Some _ | None -> fallback ())
+  in
+  if not env.opts.pseudocost then structured ()
+  else begin
+    (* Reliability branching: among the fractional candidates whose
+       pseudo-cost averages have enough observations in both directions,
+       pick the largest product score. Until a candidate qualifies the
+       structured rule (the paper's y -> u order) decides, which is what
+       initializes the tables in the first place. *)
+    let r = Int.max 1 env.opts.pc_reliability in
+    let best_j = ref (-1) and best_s = ref Float.neg_infinity in
+    List.iter
+      (fun j ->
+        let f = x.(j) -. Float.floor x.(j) in
+        if
+          fractionality x.(j) > env.opts.int_tol
+          && (not (is_fixed j))
+          && ctx.pc_up_cnt.(j) >= r
+          && ctx.pc_down_cnt.(j) >= r
+        then begin
+          let up =
+            ctx.pc_up_sum.(j)
+            /. Float.of_int ctx.pc_up_cnt.(j)
+            *. (1. -. f)
+          and down =
+            ctx.pc_down_sum.(j) /. Float.of_int ctx.pc_down_cnt.(j) *. f
+          in
+          let s = Float.max up 1e-6 *. Float.max down 1e-6 in
+          if s > !best_s +. 1e-12 then begin
+            best_s := s;
+            best_j := j
+          end
+        end)
+      env.int_vars;
+    if !best_j >= 0 then begin
+      Atomic.incr ctx.env.ded.d_pc_branchings;
+      Some !best_j
+    end
+    else structured ()
+  end
 
 (* Install an incumbent; must be called with [inc.user_lock] held.
    Returns whether the global best actually improved (a concurrent
@@ -342,151 +545,381 @@ type step =
   | Step_unbounded
   | Step_numeric  (* uncertified iteration limit: stop soundly *)
 
-(* Evaluate one node on [ctx]'s engine: bound setup, (warm) LP solve,
-   hook, incumbent tests, branching. Drivers decide what a step result
-   means for the overall search. *)
+(* Re-run root reduced-cost fixing against an improved incumbent: pure
+   arithmetic on the root duals saved by the root solve, mutating the
+   root bound arrays in place. Only called from single-domain drivers
+   (the sequential search and the parallel seeding phase), never
+   concurrently with worker domains. *)
+let refix_root ctx =
+  let env = ctx.env in
+  if env.opts.rc_fixing then
+    match env.ded.d_root_rc with
+    | None -> ()
+    | Some (robj, dj) ->
+      let c = cutoff ctx in
+      if c < env.ded.d_rc_cutoff -. 1e-12 then begin
+        env.ded.d_rc_cutoff <- c;
+        let n = ref 0 in
+        List.iter
+          (fun j ->
+            let lo = env.root_lb.(j) and hi = env.root_ub.(j) in
+            if hi -. lo > 1e-9 && hi -. lo <= 1. +. 1e-9 then begin
+              let d = dj.(j) in
+              if d > 1e-9 && robj +. d >= c +. 1e-9 then begin
+                env.root_ub.(j) <- lo;
+                incr n
+              end
+              else if d < -1e-9 && robj -. d >= c +. 1e-9 then begin
+                env.root_lb.(j) <- hi;
+                incr n
+              end
+            end)
+          env.int_vars;
+        if !n > 0 then begin
+          ignore (Atomic.fetch_and_add env.ded.d_rc_fixed !n);
+          Log.debug (fun f -> f "root reduced-cost fixing: %d variables" !n)
+        end
+      end
+
+(* Evaluate one node on [ctx]'s engine: bound setup, domain
+   propagation, (warm) LP solve, hook, incumbent tests, reduced-cost
+   fixing, branching. Drivers decide what a step result means for the
+   overall search. *)
 let process_node ctx node =
   let env = ctx.env in
   let opts = env.opts in
   let nno = ctx.bump () in
   ctx.k_nodes <- ctx.k_nodes + 1;
   if node.depth > ctx.k_max_depth then ctx.k_max_depth <- node.depth;
-  (* Apply the node's bounds: root bounds overwritten by the node's
-     fixes (most recent first, so apply in reverse). *)
-  for j = 0 to env.nvars - 1 do
-    Simplex.set_var_bounds ctx.st j ~lb:env.root_lb.(j) ~ub:env.root_ub.(j)
-  done;
+  (* The node's bounds: root bounds overwritten by the node's fixes
+     (most recent first, so apply in reverse). *)
+  let lb = Array.copy env.root_lb and ub = Array.copy env.root_ub in
   List.iter
-    (fun (j, lo, hi) -> Simplex.set_var_bounds ctx.st j ~lb:lo ~ub:hi)
+    (fun (j, lo, hi) ->
+      lb.(j) <- lo;
+      ub.(j) <- hi)
     (List.rev node.fixes);
-  let res =
-    if ctx.first_solve || not opts.warm_start then Simplex.primal ctx.st
-    else Simplex.dual_reopt ctx.st
-  in
-  ctx.first_solve <- false;
-  let res =
-    match res.Simplex.status with
-    | Simplex.Iter_limit ->
-      Log.warn (fun f -> f "node %d hit the pivot limit; restarting" nno);
-      Simplex.primal ctx.st
-    | _ -> res
-  in
-  if ctx.set_root && ctx.k_nodes = 1 then
-    ctx.k_root_obj <-
-      (match res.Simplex.status with
-       | Simplex.Optimal -> res.Simplex.obj
-       | _ -> Float.nan);
-  (* A limit-hit relaxation is still usable when its residual norms
-     certify the basic solution is primal and dual feasible within
-     tolerance: by weak duality its objective is then within roundoff
-     of the LP optimum, so it serves as the node bound (with a safety
-     margin, applied below). Without that certificate the objective is
-     garbage and the only sound move is to stop. *)
-  let usable_limit =
-    res.Simplex.status = Simplex.Iter_limit
-    && res.Simplex.primal_res <= 1e-6
-    && res.Simplex.dual_res <= 1e-6
-  in
-  match res.Simplex.status with
-  | Simplex.Infeasible -> Step_ok
-  | Simplex.Iter_limit when not usable_limit ->
-    Log.warn (fun f -> f "node %d unsolvable numerically; reporting limit" nno);
-    Step_numeric
-  | Simplex.Unbounded ->
-    (* An unbounded relaxation at the root of an all-binary model means
-       the MILP itself is unbounded or infeasible (branching cannot
-       repair an unbounded LP). *)
-    Step_unbounded
-  | Simplex.Optimal | Simplex.Iter_limit ->
-    (* Iter_limit only reaches here residual-certified; relax its
-       objective by a margin so near-optimality cannot prune a subtree
-       the true LP bound would keep open. *)
-    let margin = if res.Simplex.status = Simplex.Iter_limit then 1e-5 else 0. in
-    let obj = res.Simplex.obj -. margin and x = res.Simplex.x in
-    let is_fixed j =
-      let lo, hi =
-        List.fold_left
-          (fun (l, h) (j', lo, hi) -> if j' = j then (lo, hi) else (l, h))
-          (env.root_lb.(j), env.root_ub.(j))
-          (List.rev node.fixes)
+  (* Per-node propagation: cascade the fresh bound changes through the
+     rows touching them (pool cuts ride along as local rows) before
+     paying for any LP pivot. A conflict prunes the node outright. *)
+  let propagation =
+    match env.ded.d_prop with
+    | Some prop when opts.propagate -> (
+      let seeds =
+        if node.fresh = 0 then None
+        else
+          Some
+            (List.filteri (fun i _ -> i < node.fresh) node.fixes
+            |> List.map (fun (j, _, _) -> j))
       in
-      hi -. lo <= 1e-9
+      match Propagate.run prop ~lb ~ub ?seeds () with
+      | Propagate.Ok d ->
+        if d.Propagate.fixes <> [] then
+          ignore
+            (Atomic.fetch_and_add env.ded.d_prop_fixings
+               (List.length d.Propagate.fixes));
+        if d.Propagate.local_hits > 0 then
+          ignore
+            (Atomic.fetch_and_add env.ded.d_prop_local d.Propagate.local_hits);
+        Some d.Propagate.fixes
+      | Propagate.Empty_domain _ | Propagate.Conflict _ ->
+        Atomic.incr env.ded.d_prop_prunes;
+        None)
+    | _ -> Some []
+  in
+  match propagation with
+  | None ->
+    Log.debug (fun f -> f "node %d pruned by propagation" nno);
+    Step_ok
+  | Some prop_fixes ->
+    for j = 0 to env.nvars - 1 do
+      Simplex.set_var_bounds ctx.st j ~lb:lb.(j) ~ub:ub.(j)
+    done;
+    let res =
+      if ctx.first_solve || not opts.warm_start then Simplex.primal ctx.st
+      else Simplex.dual_reopt ctx.st
     in
-    let hook_says_prune =
-      run_hook ctx ~node_no:nno ~depth:node.depth x ~is_fixed
+    ctx.first_solve <- false;
+    let res =
+      match res.Simplex.status with
+      | Simplex.Iter_limit ->
+        Log.warn (fun f -> f "node %d hit the pivot limit; restarting" nno);
+        Simplex.primal ctx.st
+      | _ -> res
     in
-    if hook_says_prune then Step_ok
-    else if obj >= cutoff ctx then Step_ok (* dominated *)
-    else begin
-      if is_integral env x then
-        accept_incumbent ctx ~node_no:nno ~depth:node.depth x;
-      if obj >= cutoff ctx then Step_ok (* the fresh incumbent closed it *)
-      else
-        match choose_branch env x ~is_fixed with
-        | None ->
-          (* All integer variables integral within a looser tolerance
-             than is_integral used: accept as incumbent. *)
-          accept_loose ctx obj x;
-          Step_ok
-        | Some j ->
-          let v = x.(j) in
-          (* Current node bounds for j (fixes override the root). *)
-          let lo_j, hi_j =
-            List.fold_left
-              (fun (l, h) (j', lo, hi) -> if j' = j then (lo, hi) else (l, h))
-              (env.root_lb.(j), env.root_ub.(j))
-              (List.rev node.fixes)
-          in
-          let child lo hi =
-            {
-              fixes = (j, lo, hi) :: node.fixes;
-              depth = node.depth + 1;
-              n_bound = obj;
-            }
-          in
-          (if fractionality v <= opts.int_tol then begin
-             (* Branching on an integral value (a rule may resolve
-                unfixed variables): children are the fixed point and
-                the complement interval(s) — floor/ceil would reproduce
-                the parent. *)
-             let vi = Float.round v in
-             let others =
-               (if vi -. 1. >= lo_j then [ child lo_j (vi -. 1.) ] else [])
-               @ if vi +. 1. <= hi_j then [ child (vi +. 1.) hi_j ] else []
+    if ctx.set_root && ctx.k_nodes = 1 then
+      ctx.k_root_obj <-
+        (match res.Simplex.status with
+         | Simplex.Optimal -> res.Simplex.obj
+         | _ -> Float.nan);
+    (* A limit-hit relaxation is still usable when its residual norms
+       certify the basic solution is primal and dual feasible within
+       tolerance: by weak duality its objective is then within roundoff
+       of the LP optimum, so it serves as the node bound (with a safety
+       margin, applied below). Without that certificate the objective is
+       garbage and the only sound move is to stop. *)
+    let usable_limit =
+      res.Simplex.status = Simplex.Iter_limit
+      && res.Simplex.primal_res <= 1e-6
+      && res.Simplex.dual_res <= 1e-6
+    in
+    (match res.Simplex.status with
+     | Simplex.Infeasible -> Step_ok
+     | Simplex.Iter_limit when not usable_limit ->
+       Log.warn (fun f ->
+           f "node %d unsolvable numerically; reporting limit" nno);
+       Step_numeric
+     | Simplex.Unbounded ->
+       (* An unbounded relaxation at the root of an all-binary model
+          means the MILP itself is unbounded or infeasible (branching
+          cannot repair an unbounded LP). *)
+       Step_unbounded
+     | Simplex.Optimal | Simplex.Iter_limit ->
+       (* Iter_limit only reaches here residual-certified; relax its
+          objective by a margin so near-optimality cannot prune a
+          subtree the true LP bound would keep open. *)
+       let margin =
+         if res.Simplex.status = Simplex.Iter_limit then 1e-5 else 0.
+       in
+       let obj = res.Simplex.obj -. margin and x = res.Simplex.x in
+       pc_observe ctx node obj;
+       let is_fixed j = ub.(j) -. lb.(j) <= 1e-9 in
+       let hook_says_prune =
+         run_hook ctx ~node_no:nno ~depth:node.depth x ~is_fixed
+       in
+       if hook_says_prune then Step_ok
+       else if obj >= cutoff ctx then Step_ok (* dominated *)
+       else begin
+         if is_integral env x then
+           accept_incumbent ctx ~node_no:nno ~depth:node.depth x;
+         if obj >= cutoff ctx then Step_ok (* the fresh incumbent closed it *)
+         else begin
+           (* Reduced-cost fixing: at a certified LP optimum with
+              objective [obj], a nonbasic 0-1 variable whose reduced
+              cost alone moves the objective past the cutoff when the
+              variable leaves its bound can be fixed there for the
+              whole subtree. The duals come free with the LP result. *)
+           let rc_fixes =
+             if
+               opts.rc_fixing
+               && Array.length res.Simplex.dj > 0
+               && Float.is_finite (best_seen ctx)
+             then begin
+               let c = cutoff ctx in
+               let acc = ref [] in
+               List.iter
+                 (fun j ->
+                   let span = ub.(j) -. lb.(j) in
+                   if span > 1e-9 && span <= 1. +. 1e-9 then begin
+                     let d = res.Simplex.dj.(j) in
+                     if d > 1e-9 && obj +. d >= c +. 1e-9 then begin
+                       ub.(j) <- lb.(j);
+                       acc := (j, lb.(j), lb.(j)) :: !acc
+                     end
+                     else if d < -1e-9 && obj -. d >= c +. 1e-9 then begin
+                       lb.(j) <- ub.(j);
+                       acc := (j, ub.(j), ub.(j)) :: !acc
+                     end
+                   end)
+                 env.int_vars;
+               if !acc <> [] then
+                 ignore
+                   (Atomic.fetch_and_add env.ded.d_rc_fixed
+                      (List.length !acc));
+               !acc
+             end
+             else []
+           in
+           (* Save the root duals once so incumbent improvements can
+              re-fix at the root later ({!refix_root}). *)
+           if
+             opts.rc_fixing && ctx.set_root && node.fixes = []
+             && Array.length res.Simplex.dj > 0
+           then env.ded.d_root_rc <- Some (obj, Array.copy res.Simplex.dj);
+           match choose_branch ctx x ~is_fixed with
+           | None ->
+             (* All integer variables integral within a looser tolerance
+                than is_integral used: accept as incumbent. *)
+             accept_loose ctx obj x;
+             Step_ok
+           | Some j ->
+             let v = x.(j) in
+             (* Current node bounds for j (deductions included). *)
+             let lo_j = lb.(j) and hi_j = ub.(j) in
+             let deduced = rc_fixes @ prop_fixes in
+             let nfresh = 1 + List.length deduced in
+             let child ~br lo hi =
+               {
+                 fixes = ((j, lo, hi) :: deduced) @ node.fixes;
+                 depth = node.depth + 1;
+                 n_bound = obj;
+                 fresh = nfresh;
+                 br;
+               }
              in
-             match opts.node_order with
-             | Depth_first ->
-               (* push the fixed child last so the dive continues
-                  through the current relaxation's value *)
-               List.iter ctx.push others;
-               ctx.push (child vi vi)
-             | Best_bound ->
-               ctx.push (child vi vi);
-               List.iter ctx.push others
-           end
-           else begin
-             let down = child lo_j (Float.floor v)
-             and up = child (Float.ceil v) hi_j in
-             match (opts.node_order, opts.value_order) with
-             | Depth_first, One_first ->
-               (* stack: push the preferred child last so it pops first *)
-               ctx.push down;
-               ctx.push up
-             | Depth_first, Zero_first ->
-               ctx.push up;
-               ctx.push down
-             | Best_bound, One_first ->
-               ctx.push up;
-               ctx.push down
-             | Best_bound, Zero_first ->
-               ctx.push down;
-               ctx.push up
-           end);
-          Step_ok
-    end
+             (if fractionality v <= opts.int_tol then begin
+                (* Branching on an integral value (a rule may resolve
+                   unfixed variables): children are the fixed point and
+                   the complement interval(s) — floor/ceil would
+                   reproduce the parent. *)
+                let vi = Float.round v in
+                let others =
+                  (if vi -. 1. >= lo_j then [ child ~br:None lo_j (vi -. 1.) ]
+                   else [])
+                  @
+                  if vi +. 1. <= hi_j then [ child ~br:None (vi +. 1.) hi_j ]
+                  else []
+                in
+                match opts.node_order with
+                | Depth_first ->
+                  (* push the fixed child last so the dive continues
+                     through the current relaxation's value *)
+                  List.iter ctx.push others;
+                  ctx.push (child ~br:None vi vi)
+                | Best_bound ->
+                  ctx.push (child ~br:None vi vi);
+                  List.iter ctx.push others
+              end
+              else begin
+                let down =
+                  child
+                    ~br:(Some (j, false, v -. Float.floor v))
+                    lo_j (Float.floor v)
+                and up =
+                  child
+                    ~br:(Some (j, true, Float.ceil v -. v))
+                    (Float.ceil v) hi_j
+                in
+                match (opts.node_order, opts.value_order) with
+                | Depth_first, One_first ->
+                  (* stack: push the preferred child last so it pops
+                     first *)
+                  ctx.push down;
+                  ctx.push up
+                | Depth_first, Zero_first ->
+                  ctx.push up;
+                  ctx.push down
+                | Best_bound, One_first ->
+                  ctx.push up;
+                  ctx.push down
+                | Best_bound, Zero_first ->
+                  ctx.push down;
+                  ctx.push up
+              end);
+             Step_ok
+         end
+       end)
 
-let make_env options lp t0 =
+(* Root cut-and-branch: alternate LP solves with cover/clique
+   separation, keeping violated cuts as extra [<=] rows. The CSC matrix
+   is immutable, so each round rebuilds the strengthened LP — cheap at
+   the root, and the reason pool cuts reach search nodes only as
+   propagation rows. Active cuts slack at the current optimum age; past
+   [cut_max_age] they are evicted so the relaxation stays small (they
+   remain in the pool). Separation order and everything else here is a
+   deterministic function of the model. *)
+let max_cuts_per_round = 32
+
+let cut_and_branch opts lp t0 =
+  let pool = Cuts.create_pool () in
+  (* Root cutting must leave time for the search: cap the loop at a
+     quarter of the time limit so a large model's LP re-solves cannot
+     consume the whole budget before the first node is processed. *)
+  let cut_budget = 0.25 *. opts.time_limit in
+  let int_vars =
+    List.map (fun (v : Lp.var) -> (v :> int)) (Lp.integer_vars lp)
+  in
+  let with_cuts active =
+    let out = Lp.copy lp in
+    List.iter
+      (fun (c : Cuts.cut) ->
+        ignore
+          (Lp.add_constr out ~name:c.Cuts.name
+             (Array.to_list
+                (Array.mapi
+                   (fun k j -> (c.Cuts.coef.(k), Lp.var_of_int out j))
+                   c.Cuts.idx))
+             Lp.Le c.Cuts.rhs))
+      active;
+    out
+  in
+  let active = ref [] in
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while
+    !continue_ && !rounds < opts.cut_rounds
+    && Mono.elapsed_since t0 <= cut_budget
+  do
+    let res = Simplex.solve ~backend:opts.lp_backend (with_cuts !active) in
+    if res.Simplex.status <> Simplex.Optimal then continue_ := false
+    else if
+      List.for_all
+        (fun j -> fractionality res.Simplex.x.(j) <= opts.int_tol)
+        int_vars
+    then continue_ := false
+    else begin
+      let keep, evict =
+        List.partition
+          (fun (c : Cuts.cut) ->
+            if Cuts.violation c res.Simplex.x < -1e-7 then
+              c.Cuts.age <- c.Cuts.age + 1
+            else c.Cuts.age <- 0;
+            c.Cuts.age <= opts.cut_max_age)
+          !active
+      in
+      if evict <> [] then Cuts.note_evicted pool evict;
+      active := keep;
+      let fresh =
+        Cuts.pool_add pool (List.map snd (Cuts.separate lp ~x:res.Simplex.x))
+      in
+      if fresh = [] then continue_ := false
+      else begin
+        active :=
+          !active @ List.filteri (fun i _ -> i < max_cuts_per_round) fresh;
+        incr rounds
+      end
+    end
+  done;
+  (with_cuts !active, pool, !active, !rounds)
+
+let make_env options lp t0 ~cuts_info =
   let n = Lp.num_vars lp in
+  let prop =
+    if options.propagate then begin
+      let extra =
+        match cuts_info with
+        | None -> []
+        | Some (pool, active, _) ->
+          let active_names = List.map (fun c -> c.Cuts.name) active in
+          Cuts.pool_snapshot pool
+          |> List.filter (fun c -> not (List.mem c.Cuts.name active_names))
+          |> List.map Cuts.to_propagate_row
+      in
+      Some (Propagate.of_lp ~extra lp)
+    end
+    else None
+  in
+  let ded =
+    {
+      d_prop = prop;
+      d_cuts =
+        (match cuts_info with
+         | None -> None
+         | Some (pool, active, rounds) ->
+           let count fam =
+             List.length
+               (List.filter (fun c -> c.Cuts.family = fam) active)
+           in
+           Some (pool, rounds, count Cuts.Cover, count Cuts.Clique));
+      d_rc_fixed = Atomic.make 0;
+      d_prop_fixings = Atomic.make 0;
+      d_prop_prunes = Atomic.make 0;
+      d_prop_local = Atomic.make 0;
+      d_pc_branchings = Atomic.make 0;
+      d_root_rc = None;
+      d_rc_cutoff = Float.infinity;
+    }
+  in
   {
     opts = options;
     lp;
@@ -498,11 +931,13 @@ let make_env options lp t0 =
     root_ub = Array.init n (fun j -> Lp.var_ub lp (Lp.var_of_int lp j));
     t0;
     deadline = t0 +. options.time_limit;
+    ded;
   }
 
 let finitize b = if Float.is_finite b then b else Float.neg_infinity
 
-let root_node = { fixes = []; depth = 0; n_bound = Float.neg_infinity }
+let root_node =
+  { fixes = []; depth = 0; n_bound = Float.neg_infinity; fresh = 0; br = None }
 
 (* ------------------------------------------------------------------ *)
 (* Sequential driver (jobs = 1): the historical search, node for node. *)
@@ -539,6 +974,7 @@ let solve_sequential env =
     let from_heap = Heap.fold Float.min Float.infinity heap in
     Float.min from_stack from_heap
   in
+  let pc_up_sum, pc_up_cnt, pc_down_sum, pc_down_cnt = pc_tables env in
   let ctx =
     {
       env;
@@ -557,6 +993,10 @@ let solve_sequential env =
       k_incumbents = 0;
       k_max_depth = 0;
       k_root_obj = Float.nan;
+      pc_up_sum;
+      pc_up_cnt;
+      pc_down_sum;
+      pc_down_cnt;
     }
   in
   push root_node;
@@ -576,6 +1016,7 @@ let solve_sequential env =
            | Some (obj, x) -> Optimal { obj; x }
            | None -> if !unbounded then Unbounded else Infeasible)
     | Some node ->
+      refix_root ctx;
       if !nodes >= opts.max_nodes || Mono.now () > env.deadline then
         result := Some (limit node)
       else if node.n_bound >= cutoff ctx then () (* pruned by bound *)
@@ -597,6 +1038,7 @@ let solve_sequential env =
       root_obj = ctx.k_root_obj;
       lp_stats = Simplex.stats st;
       workers = [||];
+      deductions = deduction_totals env.ded;
     }
   in
   (Option.get !result, stats)
@@ -634,6 +1076,7 @@ let solve_parallel env =
   in
   (* Phase 1: depth-first seeding until the frontier can feed the crew. *)
   let seed_dq : node Pool.Deque.t = Pool.Deque.create () in
+  let s_up_sum, s_up_cnt, s_down_sum, s_down_cnt = pc_tables env in
   let seed_ctx =
     {
       env;
@@ -649,6 +1092,10 @@ let solve_parallel env =
       k_incumbents = 0;
       k_max_depth = 0;
       k_root_obj = Float.nan;
+      pc_up_sum = s_up_sum;
+      pc_up_cnt = s_up_cnt;
+      pc_down_sum = s_down_sum;
+      pc_down_cnt = s_down_cnt;
     }
   in
   Pool.Deque.push seed_dq root_node;
@@ -662,6 +1109,7 @@ let solve_parallel env =
     match Pool.Deque.pop seed_dq with
     | None -> assert false
     | Some node ->
+      refix_root seed_ctx;
       if over_limit () then begin
         Pool.Deque.push seed_dq node;
         flag_stop 1
@@ -699,6 +1147,9 @@ let solve_parallel env =
     List.iter (Pool.Deque.push local) (List.rev my_seeds);
     let st = Simplex.create ~backend:opts.lp_backend env.lp in
     let steals = ref 0 and handoffs = ref 0 and idle = ref 0. in
+    (* Worker-private pseudo-cost tables: no sharing, no timing
+       dependence — deterministic-mode node counts stay reproducible. *)
+    let w_up_sum, w_up_cnt, w_down_sum, w_down_cnt = pc_tables env in
     let ctx =
       {
         env;
@@ -715,6 +1166,10 @@ let solve_parallel env =
         k_incumbents = 0;
         k_max_depth = 0;
         k_root_obj = Float.nan;
+        pc_up_sum = w_up_sum;
+        pc_up_cnt = w_up_cnt;
+        pc_down_sum = w_down_sum;
+        pc_down_cnt = w_down_cnt;
       }
     in
     let handle node =
@@ -856,6 +1311,7 @@ let solve_parallel env =
       root_obj = seed_ctx.k_root_obj;
       lp_stats;
       workers = Array.map (fun r -> r.r_ws) rets;
+      deductions = deduction_totals env.ded;
     }
   in
   (outcome, stats)
@@ -864,8 +1320,23 @@ let solve ?(options = default_options) lp =
   if options.jobs < 1 then invalid_arg "Branch_bound.solve: jobs < 1";
   if options.check_model then Analyze.assert_clean lp;
   let t0 = Mono.now () in
-  if options.jobs = 1 then solve_sequential (make_env options lp t0)
+  (* Root cut-and-branch runs on the calling domain before any search
+     state exists; the search then operates on the strengthened model.
+     The pool is shared read-only with every worker through the
+     propagation kernel. *)
+  let lp, cuts_info =
+    if options.cuts then begin
+      let lp', pool, active, rounds = cut_and_branch options lp t0 in
+      Log.info (fun f ->
+          f "cut-and-branch: %d rounds, %d active cuts" rounds
+            (List.length active));
+      (lp', Some (pool, active, rounds))
+    end
+    else (lp, None)
+  in
+  if options.jobs = 1 then solve_sequential (make_env options lp t0 ~cuts_info)
   else
     (* Workers run depth-first off the shared frontier; a global
        best-bound order cannot be maintained across domains. *)
-    solve_parallel (make_env { options with node_order = Depth_first } lp t0)
+    solve_parallel
+      (make_env { options with node_order = Depth_first } lp t0 ~cuts_info)

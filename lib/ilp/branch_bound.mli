@@ -91,7 +91,52 @@ type options = {
           ([stats.nodes] is stable run to run) at the price of weaker
           pruning. The reported optimum is unchanged either way; only
           which of several equally-optimal solutions is returned may
-          differ. Default [false]. *)
+          differ. The node-deduction machinery preserves this contract:
+          cut separation runs once, sequentially, before any domain is
+          spawned, and pseudo-cost tables are worker-local. Default
+          [false]. *)
+  rc_fixing : bool;
+      (** Reduced-cost fixing (default off). After every certified node
+          LP solve, any unfixed 0-1 variable whose reduced cost alone
+          would push the objective past the incumbent cutoff if the
+          variable left its bound is fixed at that bound for the whole
+          subtree. The root duals are kept so an improving incumbent
+          re-fixes at the root as well ({!stats} row
+          [deductions.rc_fixed]); root re-fixing happens on the
+          sequential driver (or the seeding phase under [jobs > 1]). *)
+  propagate : bool;
+      (** Per-node domain propagation (default off). Runs the
+          activity-based bound-tightening kernel of {!Propagate}
+          incrementally at every node, seeded with the bound changes
+          that created the node, before any LP pivot. A propagation
+          conflict prunes the node without touching the LP; deduced
+          fixings are inherited by the node's children. *)
+  cuts : bool;
+      (** Root cut-and-branch (default off). Separates lifted cover
+          cuts from knapsack rows and clique cuts from the one-hot
+          (GUB) rows at the root relaxation for up to [cut_rounds]
+          rounds; surviving cuts strengthen the LP every node solves,
+          and the full pool additionally reaches each node as local
+          propagation rows when [propagate] is also on. *)
+  cut_rounds : int;
+      (** Root separation rounds when [cuts] (default 8). Rounds also
+          stop once a quarter of [time_limit] has elapsed, so root
+          cutting on a large model cannot starve the search itself. *)
+  cut_max_age : int;
+      (** Consecutive rounds a cut may stay slack before being evicted
+          from the active LP (default 3). Evicted cuts remain in the
+          pool. *)
+  pseudocost : bool;
+      (** Reliability (pseudo-cost) branching (default off). Branching
+          degradations observed from parent-to-child LP objectives feed
+          per-variable, per-direction averages; once a fractional
+          candidate has [pc_reliability] observations both ways, the
+          largest product score picks the branching variable. Until
+          then the configured [branch_rule] (the paper's y -> u order)
+          decides. Tables are context-local (per worker). *)
+  pc_reliability : int;
+      (** Observations per direction before a variable's pseudo-costs
+          are trusted (default 1). *)
 }
 
 val default_options : options
@@ -119,6 +164,29 @@ type worker_stats = {
 val pp_worker_stats : Format.formatter -> worker_stats -> unit
 (** One-line [key=value] rendering. *)
 
+type cut_family_stats = {
+  cf_separated : int;  (** Cuts of this family ever added to the pool. *)
+  cf_active : int;  (** Cuts in the final strengthened LP. *)
+  cf_evicted : int;  (** Cuts aged out of the active LP. *)
+}
+
+type deduction_stats = {
+  rc_fixed : int;  (** Variables fixed by reduced cost (nodes + root). *)
+  prop_fixings : int;  (** Bound fixings deduced by node propagation. *)
+  prop_prunes : int;  (** Nodes pruned by propagation before any pivot. *)
+  prop_local_hits : int;
+      (** Propagation deductions that fired on a pool-cut (local) row. *)
+  cut_rounds_run : int;  (** Root separation rounds actually executed. *)
+  cover_cuts : cut_family_stats;
+  clique_cuts : cut_family_stats;
+  pc_branchings : int;  (** Branchings decided by pseudo-cost score. *)
+}
+
+val empty_deductions : deduction_stats
+
+val pp_deductions : Format.formatter -> deduction_stats -> unit
+(** One-line [key=value] rendering ([family=sep/active/evicted]). *)
+
 type stats = {
   nodes : int;  (** LP relaxations solved. *)
   incumbents : int;  (** Number of improving integer solutions found. *)
@@ -135,7 +203,14 @@ type stats = {
       (** One row per worker domain when [jobs > 1] (all-zero rows when
           the search already finished during sequential seeding); empty
           for [jobs = 1]. *)
+  deductions : deduction_stats;
+      (** Node-deduction counters (all zero when the corresponding
+          options are off). *)
 }
+
+val empty_stats : stats
+(** All-zero statistics ([root_obj = nan]), for reporting searches that
+    never ran (e.g. presolve proved infeasibility). *)
 
 val solve : ?options:options -> Lp.t -> outcome * stats
 (** Solves the mixed-integer model. The [Lp.t] is not mutated. *)

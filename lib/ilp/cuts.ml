@@ -1,0 +1,343 @@
+let src = Logs.Src.create "ilp.cuts" ~doc:"Cutting planes"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type family = Cover | Clique
+
+let family_to_string = function Cover -> "cover" | Clique -> "clique"
+
+(* All cuts are [<=] rows over binary structural variables. [age] counts
+   consecutive root rounds (or pool sweeps) the cut was slack; it is
+   mutable bookkeeping owned by whoever holds the pool lock. *)
+type cut = {
+  idx : int array;  (* sorted ascending *)
+  coef : float array;
+  rhs : float;
+  family : family;
+  name : string;
+  mutable age : int;
+}
+
+type pool = {
+  lock : Mutex.t;
+  mutable cuts : cut list;  (* newest first *)
+  seen : (string, unit) Hashtbl.t;
+  mutable next_id : int;
+  mutable separated_cover : int;
+  mutable separated_clique : int;
+  mutable evicted_cover : int;
+  mutable evicted_clique : int;
+}
+
+let create_pool () =
+  {
+    lock = Mutex.create ();
+    cuts = [];
+    seen = Hashtbl.create 64;
+    next_id = 0;
+    separated_cover = 0;
+    separated_clique = 0;
+    evicted_cover = 0;
+    evicted_clique = 0;
+  }
+
+let signature ~family ~idx ~coef ~rhs =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (family_to_string family);
+  Array.iteri
+    (fun k j -> Buffer.add_string b (Printf.sprintf ";%d:%g" j coef.(k)))
+    idx;
+  Buffer.add_string b (Printf.sprintf "<=%g" rhs);
+  Buffer.contents b
+
+let violation cut x =
+  let acc = ref (-.cut.rhs) in
+  Array.iteri (fun k j -> acc := !acc +. (cut.coef.(k) *. x.(j))) cut.idx;
+  !acc
+
+(* -------------------------------------------------------------------- *)
+(* Separation                                                            *)
+(* -------------------------------------------------------------------- *)
+
+let sep_eps = 1e-4
+
+(* A variable usable in 0-1 cuts: integer kind with bounds inside
+   [0, 1]. (Presolve re-declares binaries as [Integer], so kind alone is
+   not enough.) *)
+let is_binary lp v =
+  Lp.is_integer_var lp v && Lp.var_lb lp v >= -1e-9 && Lp.var_ub lp v <= 1. +. 1e-9
+
+(* Lifted (extended) cover cuts from knapsack rows.
+
+   For a row [sum a_j x_j <= b] with [a_j > 0] over binaries, a cover
+   [C] has [sum_C a_j > b], giving the valid cut [sum_C x_j <= |C|-1].
+   The greedy separator minimizes [sum_C (1 - x_j)] (the cut is violated
+   iff that sum is < 1) by taking items in increasing [(1 - x_j) / a_j].
+   The cover is then made minimal (dropping small items keeps it a
+   cover) and extended by every item with [a_j >= max_C a_j], which
+   strengthens the cut without weakening validity. *)
+let separate_covers lp ~x =
+  let out = ref [] in
+  (* Structural knapsack detection, not {!Analyze.classify_row}: presolve
+     re-declares binaries as [Integer], which demotes its row classes, and
+     the checks below subsume the classification anyway. *)
+  Lp.iter_rows lp (fun i terms sense rhs ->
+      (* normalize to <= with positive coefficients *)
+      let flip = match sense with Lp.Ge -> -1. | Lp.Le -> 1. | Lp.Eq -> 0. in
+      if flip <> 0. then begin
+          let terms =
+            List.map (fun (c, v) -> (flip *. c, v)) terms
+            |> List.filter (fun (c, _) -> Float.abs c > 1e-12)
+          in
+          let b = flip *. rhs in
+          if
+            List.for_all (fun (c, v) -> c > 0. && is_binary lp v) terms
+            && List.fold_left (fun acc (c, _) -> acc +. c) 0. terms > b +. 1e-9
+          then begin
+            let items =
+              List.map (fun (c, v) -> (c, (v : Lp.var :> int))) terms
+              |> List.sort (fun (a1, j1) (a2, j2) ->
+                     let s1 = (1. -. x.(j1)) /. a1
+                     and s2 = (1. -. x.(j2)) /. a2 in
+                     if s1 = s2 then compare j1 j2 else compare s1 s2)
+            in
+            (* greedy cover *)
+            let cover = ref [] and acc = ref 0. in
+            List.iter
+              (fun (a, j) ->
+                if !acc <= b +. 1e-9 then begin
+                  cover := (a, j) :: !cover;
+                  acc := !acc +. a
+                end)
+              items;
+            if !acc > b +. 1e-9 then begin
+              (* make it minimal: drop the smallest items while the rest
+                 still overflows the capacity *)
+              let by_a = List.sort compare !cover in
+              let rec trim acc = function
+                | (a, _) :: rest when acc -. a > b +. 1e-9 -> trim (acc -. a) rest
+                | l -> l
+              in
+              let cover = trim !acc by_a in
+              let k = List.length cover in
+              let lhs =
+                List.fold_left (fun s (_, j) -> s +. x.(j)) 0. cover
+              in
+              if lhs > Float.of_int (k - 1) +. sep_eps then begin
+                let a_max =
+                  List.fold_left (fun m (a, _) -> Float.max m a) 0. cover
+                in
+                let in_cover = List.map snd cover in
+                let ext =
+                  List.filter_map
+                    (fun (a, j) ->
+                      if a >= a_max -. 1e-12 && not (List.mem j in_cover) then
+                        Some j
+                      else None)
+                    items
+                in
+                let idx =
+                  Array.of_list (List.sort compare (in_cover @ ext))
+                in
+                let cut =
+                  {
+                    idx;
+                    coef = Array.make (Array.length idx) 1.;
+                    rhs = Float.of_int (k - 1);
+                    family = Cover;
+                    name = Printf.sprintf "cover_r%d" i;
+                    age = 0;
+                  }
+                in
+                out := (violation cut x, cut) :: !out
+              end
+            end
+          end
+        end);
+  !out
+
+(* Clique cuts from the one-hot (GUB) rows.
+
+   Every set-partitioning / set-packing row makes its support pairwise
+   conflicting: at most one member can be 1. The conflict graph merges
+   these edges across rows, so a clique that straddles several rows
+   yields [sum_clique x_j <= 1] — a cut no single row implies. The
+   separator grows cliques greedily from variables ordered by fractional
+   value (descending, index ascending: deterministic), and keeps those
+   violated by more than [sep_eps] that are not contained in one
+   original row. *)
+let separate_cliques lp ~x =
+  let module IS = Set.Make (Int) in
+  let adj : (int, IS.t ref) Hashtbl.t = Hashtbl.create 64 in
+  let rows_of : (int, IS.t ref) Hashtbl.t = Hashtbl.create 64 in
+  let touch tbl j =
+    match Hashtbl.find_opt tbl j with
+    | Some r -> r
+    | None ->
+      let r = ref IS.empty in
+      Hashtbl.add tbl j r;
+      r
+  in
+  (* One-hot rows are detected structurally (all-ones over binaries,
+     [<= 1] or [= 1]) rather than via {!Analyze.classify_row}, whose
+     set-partitioning/packing classes require the [Binary] kind that
+     presolve rewrites to [Integer]. *)
+  Lp.iter_rows lp (fun i terms sense rhs ->
+      let gub =
+        (sense = Lp.Le || sense = Lp.Eq)
+        && Float.abs (rhs -. 1.) <= 1e-9
+        && List.length terms >= 2
+        && List.for_all
+             (fun (c, v) -> Float.abs (c -. 1.) <= 1e-9 && is_binary lp v)
+             terms
+      in
+      if gub then begin
+        let support = List.map (fun (_, v) -> (v : Lp.var :> int)) terms in
+        List.iter
+          (fun j ->
+            let r = touch rows_of j in
+            r := IS.add i !r;
+            let a = touch adj j in
+            List.iter (fun j' -> if j' <> j then a := IS.add j' !a) support)
+          support
+      end);
+  let conflicts j j' =
+    match Hashtbl.find_opt adj j with
+    | Some a -> IS.mem j' !a
+    | None -> false
+  in
+  (* candidates: fractionally active conflict-graph vertices *)
+  let cands =
+    Hashtbl.fold (fun j _ acc -> if x.(j) > sep_eps then j :: acc else acc) adj []
+    |> List.sort (fun j1 j2 ->
+           if x.(j1) = x.(j2) then compare j1 j2 else compare x.(j2) x.(j1))
+  in
+  let out = ref [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun seed ->
+      let clique = ref [ seed ] and weight = ref x.(seed) in
+      List.iter
+        (fun u ->
+          if u <> seed && List.for_all (fun v -> conflicts u v) !clique then begin
+            clique := u :: !clique;
+            weight := !weight +. x.(u)
+          end)
+        cands;
+      if !weight > 1. +. sep_eps && List.length !clique >= 2 then begin
+        let members = List.sort compare !clique in
+        (* skip cliques contained in one original GUB row *)
+        let common =
+          List.fold_left
+            (fun acc j ->
+              let rows =
+                match Hashtbl.find_opt rows_of j with
+                | Some r -> !r
+                | None -> IS.empty
+              in
+              match acc with
+              | None -> Some rows
+              | Some s -> Some (IS.inter s rows))
+            None members
+        in
+        let dominated =
+          match common with Some s -> not (IS.is_empty s) | None -> true
+        in
+        let key = String.concat "," (List.map string_of_int members) in
+        if (not dominated) && not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          let idx = Array.of_list members in
+          let cut =
+            {
+              idx;
+              coef = Array.make (Array.length idx) 1.;
+              rhs = 1.;
+              family = Clique;
+              name = Printf.sprintf "clique_%d" (Hashtbl.length seen);
+              age = 0;
+            }
+          in
+          out := (violation cut x, cut) :: !out
+        end
+      end)
+    cands;
+  !out
+
+(* Both separators, as (violation, cut) sorted most-violated first with
+   a deterministic tie-break on the (sorted) support. *)
+let separate lp ~x =
+  let scored = separate_covers lp ~x @ separate_cliques lp ~x in
+  List.sort
+    (fun (v1, c1) (v2, c2) ->
+      if v1 <> v2 then compare v2 v1 else compare c1.idx c2.idx)
+    scored
+
+(* -------------------------------------------------------------------- *)
+(* The pool                                                              *)
+(* -------------------------------------------------------------------- *)
+
+let pool_add pool cuts =
+  Mutex.protect pool.lock (fun () ->
+      List.filter_map
+        (fun c ->
+          let sig_ = signature ~family:c.family ~idx:c.idx ~coef:c.coef ~rhs:c.rhs in
+          if Hashtbl.mem pool.seen sig_ then None
+          else begin
+            Hashtbl.add pool.seen sig_ ();
+            pool.next_id <- pool.next_id + 1;
+            let c = { c with name = Printf.sprintf "%s_c%d" c.name pool.next_id } in
+            pool.cuts <- c :: pool.cuts;
+            (match c.family with
+             | Cover -> pool.separated_cover <- pool.separated_cover + 1
+             | Clique -> pool.separated_clique <- pool.separated_clique + 1);
+            Some c
+          end)
+        cuts)
+
+let pool_snapshot pool = Mutex.protect pool.lock (fun () -> pool.cuts)
+
+let note_evicted pool cuts =
+  Mutex.protect pool.lock (fun () ->
+      List.iter
+        (fun c ->
+          match c.family with
+          | Cover -> pool.evicted_cover <- pool.evicted_cover + 1
+          | Clique -> pool.evicted_clique <- pool.evicted_clique + 1)
+        cuts)
+
+type pool_stats = {
+  separated_cover : int;
+  separated_clique : int;
+  evicted_cover : int;
+  evicted_clique : int;
+  pool_size : int;
+}
+
+let pool_stats pool =
+  Mutex.protect pool.lock (fun () ->
+      {
+        separated_cover = pool.separated_cover;
+        separated_clique = pool.separated_clique;
+        evicted_cover = pool.evicted_cover;
+        evicted_clique = pool.evicted_clique;
+        pool_size = List.length pool.cuts;
+      })
+
+(* A pool cut as a propagation row for node-local activation. *)
+let to_propagate_row c =
+  Propagate.make_row ~local:true ~name:c.name
+    (Array.to_list (Array.mapi (fun k j -> (c.coef.(k), j)) c.idx))
+    Lp.Le c.rhs
+
+let pp_cut ppf c =
+  Format.fprintf ppf "%s: %s <= %g" c.name
+    (String.concat " + "
+       (Array.to_list
+          (Array.mapi
+             (fun k j ->
+               if c.coef.(k) = 1. then Printf.sprintf "x%d" j
+               else Printf.sprintf "%g x%d" c.coef.(k) j)
+             c.idx)))
+    c.rhs
+
+let _ = Log.debug

@@ -1,0 +1,85 @@
+(** Cutting planes for 0-1 models: separation and a shared pool.
+
+    Two cut families, detected structurally from the rows themselves
+    (not via {!Analyze.classify_row}, whose binary-kind requirement
+    presolved models no longer meet):
+
+    - {e lifted cover cuts} from knapsack rows [sum a_j x_j <= b]: a
+      cover [C] (a set of items that overflows the capacity) yields
+      [sum_C x_j <= |C| - 1], strengthened by extension with every item
+      at least as heavy as the heaviest cover member;
+    - {e clique cuts} from the one-hot (GUB) rows: merging the pairwise
+      conflicts of all set-partitioning / set-packing rows into one
+      conflict graph, a clique that straddles several rows gives
+      [sum x_j <= 1], which no single row implies.
+
+    Separation is deterministic: candidate orders and tie-breaks depend
+    only on the model and the fractional point, never on hashing order
+    or timing, so cut-and-branch runs are reproducible (the
+    [--deterministic] contract of {!Branch_bound}).
+
+    The {!pool} is a mutex-protected store shared by worker domains
+    under [jobs > 1]: separated cuts are deduplicated by signature,
+    survive as node-local propagation rows ({!to_propagate_row}), and
+    are evicted from the active LP by age so relaxations stay small. *)
+
+type family = Cover | Clique
+
+val family_to_string : family -> string
+
+type cut = {
+  idx : int array;  (** Structural variable indices, sorted ascending. *)
+  coef : float array;
+  rhs : float;  (** All cuts are [coef . x <= rhs] rows. *)
+  family : family;
+  name : string;
+  mutable age : int;
+      (** Consecutive rounds the cut has been slack; owned by the pool
+          maintenance in {!Branch_bound}. *)
+}
+
+val violation : cut -> float array -> float
+(** [violation c x] is [coef . x - rhs] at the point [x]: positive means
+    the cut is violated there. *)
+
+val separate : Lp.t -> x:float array -> (float * cut) list
+(** All violated cover and clique cuts at the fractional point [x],
+    paired with their violation and sorted most-violated first (ties
+    broken on the support, deterministically). *)
+
+val separate_covers : Lp.t -> x:float array -> (float * cut) list
+val separate_cliques : Lp.t -> x:float array -> (float * cut) list
+
+(** {1 The shared pool} *)
+
+type pool
+
+val create_pool : unit -> pool
+
+val pool_add : pool -> cut list -> cut list
+(** Adds the cuts that are not already present (signature-based
+    deduplication), renaming each with a pool-unique suffix. Returns the
+    genuinely new (renamed) cuts, in input order. Thread-safe. *)
+
+val pool_snapshot : pool -> cut list
+(** Current pool contents, newest first. Thread-safe. *)
+
+val note_evicted : pool -> cut list -> unit
+(** Records cuts dropped from the active LP (they stay in the pool for
+    node-local propagation). Thread-safe. *)
+
+type pool_stats = {
+  separated_cover : int;
+  separated_clique : int;
+  evicted_cover : int;
+  evicted_clique : int;
+  pool_size : int;
+}
+
+val pool_stats : pool -> pool_stats
+
+val to_propagate_row : cut -> Propagate.row
+(** The cut as a [local] propagation row, for node-level activation
+    through {!Propagate}. *)
+
+val pp_cut : Format.formatter -> cut -> unit

@@ -15,97 +15,45 @@ let tol = 1e-9
 
 exception Infeasible_row of string
 
-(* Minimum and maximum activity of [terms] under current bounds. *)
-let activity_range lp terms =
-  List.fold_left
-    (fun (lo, hi) (c, v) ->
-      let lb = Lp.var_lb lp v and ub = Lp.var_ub lp v in
-      if c >= 0. then (lo +. (c *. lb), hi +. (c *. ub))
-      else (lo +. (c *. ub), hi +. (c *. lb)))
-    (0., 0.) terms
-
 let presolve ?(max_passes = 10) lp0 =
   let lp = Lp.copy lp0 in
+  let n = Lp.num_vars lp in
+  let prop = Propagate.of_lp lp in
+  let lb = Array.init n (fun j -> Lp.var_lb lp (Lp.var_of_int lp j)) in
+  let ub = Array.init n (fun j -> Lp.var_ub lp (Lp.var_of_int lp j)) in
   let removed = Array.make (Lp.num_constrs lp) false in
   let rows_removed = ref 0 in
   let bounds_tightened = ref 0 in
   let passes = ref 0 in
-  (* Tighten one variable's bound; round inward for integer variables.
-     Returns true when the bound actually moved. *)
-  let tighten v ~lb ~ub =
-    let old_lb = Lp.var_lb lp v and old_ub = Lp.var_ub lp v in
-    let lb, ub =
-      if Lp.is_integer_var lp v then
-        ( (if Float.is_finite lb then Float.ceil (lb -. 1e-6) else lb),
-          if Float.is_finite ub then Float.floor (ub +. 1e-6) else ub )
-      else (lb, ub)
-    in
-    let new_lb = Float.max old_lb lb and new_ub = Float.min old_ub ub in
-    if new_lb > new_ub +. tol then
-      raise
-        (Infeasible_row
-           (Printf.sprintf "variable %s: empty domain [%g, %g]"
-              (Lp.var_name lp v) new_lb new_ub));
-    let moved = new_lb > old_lb +. tol || new_ub < old_ub -. tol in
-    if moved then begin
-      Lp.set_bounds lp v ~lb:new_lb ~ub:(Float.max new_lb new_ub);
-      incr bounds_tightened
-    end;
-    moved
-  in
-  let process_row i terms sense rhs =
-    let lo, hi = activity_range lp terms in
-    (* infeasibility / redundancy *)
-    (match sense with
+  (* One presolve pass: per live row, infeasibility and redundancy by
+     activity bounds, then the shared deduction step of {!Propagate}.
+     Removed rows stop propagating, exactly as before the kernel was
+     factored out. *)
+  let process_row i =
+    let row = Propagate.row prop i in
+    let lo, hi = Propagate.activity row ~lb ~ub in
+    let rhs = row.Propagate.rhs in
+    (match row.Propagate.sense with
      | Lp.Le ->
-       if lo > rhs +. 1e-7 then
-         raise (Infeasible_row (Lp.row_name lp i));
+       if lo > rhs +. 1e-7 then raise (Infeasible_row row.Propagate.name);
        if hi <= rhs +. tol then begin
          removed.(i) <- true;
          incr rows_removed
        end
      | Lp.Ge ->
-       if hi < rhs -. 1e-7 then raise (Infeasible_row (Lp.row_name lp i));
+       if hi < rhs -. 1e-7 then raise (Infeasible_row row.Propagate.name);
        if lo >= rhs -. tol then begin
          removed.(i) <- true;
          incr rows_removed
        end
      | Lp.Eq ->
        if lo > rhs +. 1e-7 || hi < rhs -. 1e-7 then
-         raise (Infeasible_row (Lp.row_name lp i)));
+         raise (Infeasible_row row.Propagate.name));
     if not removed.(i) then begin
-      (* bound propagation: residual activity of the other terms *)
       let changed = ref false in
-      List.iter
-        (fun (c, v) ->
-          if Float.abs c > tol then begin
-            let lb = Lp.var_lb lp v and ub = Lp.var_ub lp v in
-            let lo_rest = lo -. (if c >= 0. then c *. lb else c *. ub) in
-            (* upper-side constraint: activity <= rhs (Le and Eq) *)
-            if sense = Lp.Le || sense = Lp.Eq then
-              if Float.is_finite lo_rest then begin
-                let limit = (rhs -. lo_rest) /. c in
-                if c > 0. then begin
-                  if tighten v ~lb:Float.neg_infinity ~ub:limit then
-                    changed := true
-                end
-                else if tighten v ~lb:limit ~ub:Float.infinity then
-                  changed := true
-              end;
-            (* lower-side constraint: activity >= rhs (Ge and Eq) *)
-            if sense = Lp.Ge || sense = Lp.Eq then begin
-              let hi_rest = lo +. hi -. lo -. (if c >= 0. then c *. ub else c *. lb) in
-              if Float.is_finite hi_rest then begin
-                let limit = (rhs -. hi_rest) /. c in
-                if c > 0. then begin
-                  if tighten v ~lb:limit ~ub:Float.infinity then changed := true
-                end
-                else if tighten v ~lb:Float.neg_infinity ~ub:limit then
-                  changed := true
-              end
-            end
-          end)
-        terms;
+      Propagate.step prop i ~lb ~ub ~on_change:(fun _ ->
+          changed := true;
+          incr bounds_tightened);
       !changed
     end
     else false
@@ -115,9 +63,16 @@ let presolve ?(max_passes = 10) lp0 =
     while !continue && !passes < max_passes do
       incr passes;
       continue := false;
-      Lp.iter_rows lp (fun i terms sense rhs ->
-          if not removed.(i) then
-            if process_row i terms sense rhs then continue := true)
+      for i = 0 to Lp.num_constrs lp - 1 do
+        if not removed.(i) then if process_row i then continue := true
+      done
+    done;
+    (* write the tightened bounds back into the model copy *)
+    for j = 0 to n - 1 do
+      let v = Lp.var_of_int lp j in
+      if
+        lb.(j) > Lp.var_lb lp v +. tol || ub.(j) < Lp.var_ub lp v -. tol
+      then Lp.set_bounds lp v ~lb:lb.(j) ~ub:ub.(j)
     done;
     (* rebuild without the removed rows *)
     let out = Lp.create ~name:(Lp.name lp) () in
@@ -172,4 +127,10 @@ let presolve ?(max_passes = 10) lp0 =
           vars_fixed;
           passes = !passes;
         } )
-  with Infeasible_row name -> Infeasible name
+  with
+  | Infeasible_row name -> Infeasible name
+  | Propagate.Conflict_row name -> Infeasible name
+  | Propagate.Empty j ->
+    let v = Lp.var_of_int lp j in
+    Infeasible
+      (Printf.sprintf "variable %s: empty domain" (Lp.var_name lp v))

@@ -1,0 +1,92 @@
+(** Activity-based bound propagation over a fixed row set.
+
+    The deduction kernel shared by {!Presolve} (run to a fixpoint over
+    every row at the root) and {!Branch_bound} (run incrementally at
+    each node, seeded with the variables whose bounds the branching
+    decision just changed). A {!t} holds the rows, the row->variable
+    adjacency, and the integrality markers — all immutable after
+    {!of_lp}, so one value is safely shared read-only across worker
+    domains. The mutable bound arrays belong to the caller.
+
+    The per-row deduction is the classic activity argument: with
+    [lo <= a.x <= hi] the row's minimum/maximum activity under current
+    bounds, a [<=] row whose [lo] exceeds the right-hand side is a
+    conflict, and the residual activity of the other terms implies a
+    bound on each variable, rounded inward for integer variables. *)
+
+type row = {
+  idx : int array;  (** Structural variable indices. *)
+  coef : float array;
+  sense : Lp.sense;
+  rhs : float;
+  local : bool;
+      (** Marks rows that are not part of the model proper — cut-pool
+          rows activated locally at search nodes. Deductions made from
+          them are counted separately ({!deductions.local_hits}). *)
+  name : string;  (** For conflict reporting. *)
+}
+
+type t
+
+val make_row :
+  ?local:bool -> name:string -> (float * int) list -> Lp.sense -> float -> row
+(** Builds a row from (coefficient, variable-index) terms; terms with a
+    negligible coefficient are dropped. *)
+
+val of_lp : ?extra:row list -> Lp.t -> t
+(** Captures every row of the model (in row order, so conflict names
+    match {!Lp.row_name}) followed by [extra] rows (e.g. pool cuts),
+    and builds the variable->rows adjacency once. *)
+
+val num_rows : t -> int
+
+val row : t -> int -> row
+
+val activity : row -> lb:float array -> ub:float array -> float * float
+(** Minimum and maximum activity of a row under the given bounds (the
+    kernel {!Presolve} uses for redundancy/infeasibility checks). *)
+
+val step :
+  t -> int -> lb:float array -> ub:float array -> on_change:(int -> unit) -> unit
+(** One deduction pass over row [i]: raises on conflict (caught by
+    {!run}; {!Presolve} wraps it likewise), otherwise tightens [lb]/[ub]
+    in place and reports each moved variable to [on_change]. The
+    activity range is evaluated once at entry, so deductions within one
+    step match one historical presolve pass over that row exactly.
+
+    @raise Empty when a variable's domain closes.
+    @raise Conflict_row on an infeasible row. *)
+
+exception Empty of int
+exception Conflict_row of string
+
+type deductions = {
+  fixes : (int * float * float) list;
+      (** Final bounds of every variable that moved, in first-moved
+          order — suitable for appending to a branch-and-bound node's
+          fix list. *)
+  local_hits : int;  (** Deduction steps that fired on a [local] row. *)
+  steps : int;  (** Row evaluations performed. *)
+}
+
+type outcome =
+  | Ok of deductions
+  | Empty_domain of int  (** Variable whose domain became empty. *)
+  | Conflict of string  (** Name of the violated row. *)
+
+val run :
+  t ->
+  lb:float array ->
+  ub:float array ->
+  ?seeds:int list ->
+  ?max_steps:int ->
+  unit ->
+  outcome
+(** Worklist propagation to a fixpoint, mutating [lb]/[ub] in place.
+    [seeds] are variable indices whose bounds just changed: only rows
+    over them are enqueued initially, and tightening a variable enqueues
+    its rows — branch decisions cascade without touching unrelated rows.
+    When [seeds] is omitted every row is enqueued (the presolve mode).
+    [max_steps] (default [max 256 (64 * num_rows)]) bounds total row
+    evaluations; the bounds reached when the budget runs out are still
+    valid, just not necessarily a fixpoint. *)

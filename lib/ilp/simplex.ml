@@ -11,6 +11,7 @@ type result = {
   iterations : int;
   primal_res : float;
   dual_res : float;
+  dj : float array;
 }
 
 type backend = Dense | Sparse_lu
@@ -561,13 +562,22 @@ let mk_result st status ~iterations =
     | r -> r
     | exception Singular_basis -> (Float.infinity, Float.infinity)
   in
+  (* [residual_norms] left the phase-II duals in [st.y] whenever the
+     dual residual is finite, so structural reduced costs come almost
+     for free here (basic columns price to zero by definition). *)
+  let dj =
+    if Float.is_finite dual_res then
+      Array.init st.nstruct (fun j ->
+          if st.stat.(j) = Basic then 0. else reduced_cost st st.cost j)
+    else [||]
+  in
   let obj =
     match status with
     | Optimal | Iter_limit -> objective_value st st.cost
     | Unbounded -> Float.neg_infinity
     | Infeasible -> Float.nan
   in
-  { status; obj; x; iterations; primal_res; dual_res }
+  { status; obj; x; iterations; primal_res; dual_res; dj }
 
 (* -------------------------------------------------------------------- *)
 (* Pricing                                                               *)
@@ -835,6 +845,7 @@ let rec primal_guarded ~max_iters ~attempt st =
         iterations = 0;
         primal_res = Float.infinity;
         dual_res = Float.infinity;
+        dj = [||];
       }
     else primal_guarded ~max_iters ~attempt:(attempt + 1) st
 

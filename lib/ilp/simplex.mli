@@ -60,6 +60,13 @@ type result = {
           phase-II costs; [0.] means dual feasible. Together with a tiny
           {!primal_res} this certifies [obj] is near the LP optimum even
           when [status = Iter_limit] (weak duality). *)
+  dj : float array;
+      (** Reduced costs of the structural columns at the phase-II costs
+          (length {!num_structural}; [0.] for basic columns). At a dual
+          feasible point a nonbasic-at-lower column has [dj >= 0] and a
+          nonbasic-at-upper column [dj <= 0] (up to tolerance), which is
+          what reduced-cost fixing in {!Branch_bound} consumes. Empty
+          when the duals could not be computed ({!dual_res} infinite). *)
 }
 
 type backend =

@@ -9,8 +9,8 @@ type result = {
 }
 
 let run ?options ?strategy ?time_limit ?max_nodes ?num_partitions ?lint ?jobs
-    ?deterministic ~graph ~allocation ?capacity ?alpha ?scratch ?latency_relax
-    () =
+    ?deterministic ?rc_fixing ?propagate ?cuts ~graph ~allocation ?capacity
+    ?alpha ?scratch ?latency_relax () =
   let trace = ref [] in
   let log fmt = Format.kasprintf (fun s -> trace := s :: !trace) fmt in
   log "input: %s" (Format.asprintf "%a" G.pp_summary graph);
@@ -57,7 +57,7 @@ let run ?options ?strategy ?time_limit ?max_nodes ?num_partitions ?lint ?jobs
   (* Stage 4-5: solve, extract, validate *)
   let report =
     Solver.solve ?strategy ?time_limit ?max_nodes ?lint ?jobs ?deterministic
-      ?lint_options:options vars
+      ?rc_fixing ?propagate ?cuts ?lint_options:options vars
   in
   log "solve: %s (%d nodes, %.2fs)"
     (Format.asprintf "%a" Solver.pp_outcome report.Solver.outcome)

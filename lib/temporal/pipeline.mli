@@ -28,6 +28,9 @@ val run :
   ?lint:bool ->
   ?jobs:int ->
   ?deterministic:bool ->
+  ?rc_fixing:bool ->
+  ?propagate:bool ->
+  ?cuts:bool ->
   graph:Taskgraph.Graph.t ->
   allocation:Hls.Component.allocation ->
   ?capacity:int ->
@@ -42,6 +45,7 @@ val run :
     bound). [lint], [jobs] and [deterministic] forward to
     {!Solver.solve}: lint analyzes and audits the formulated model,
     failing fast on error-level findings; [jobs] runs the solve stage
-    on that many worker domains. *)
+    on that many worker domains. [rc_fixing], [propagate] and [cuts]
+    enable the solver's node deductions (all default off). *)
 
 val pp : Format.formatter -> result -> unit

@@ -180,7 +180,7 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
     ?(max_nodes = max_int) ?(validate = true) ?(scheduler_completion = true)
     ?(presolve = true) ?(lint = false) ?lint_options
     ?(lp_backend = Ilp.Simplex.Sparse_lu) ?(jobs = 1) ?(deterministic = false)
-    vars =
+    ?(rc_fixing = false) ?(propagate = false) ?(cuts = false) vars =
   if lint then lint_or_fail ?options:lint_options vars;
   let options =
     {
@@ -196,6 +196,10 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
       lp_backend;
       jobs;
       deterministic;
+      rc_fixing;
+      propagate;
+      cuts;
+      pseudocost = strategy = Branching.Pseudocost;
     }
   in
   (* Presolve drops redundant rows and tightens bounds without touching
@@ -205,18 +209,7 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
   let outcome, stats =
     if presolve then
       match Ilp.Presolve.presolve vars.Vars.lp with
-      | Ilp.Presolve.Infeasible _ ->
-        ( Bb.Infeasible,
-          {
-            Bb.nodes = 0;
-            incumbents = 0;
-            pivots = 0;
-            max_depth = 0;
-            elapsed = 0.;
-            root_obj = Float.nan;
-            lp_stats = Ilp.Simplex.empty_stats;
-            workers = [||];
-          } )
+      | Ilp.Presolve.Infeasible _ -> (Bb.Infeasible, Bb.empty_stats)
       | Ilp.Presolve.Reduced (reduced, _) -> Bb.solve ~options reduced
     else Bb.solve ~options vars.Vars.lp
   in

@@ -35,6 +35,9 @@ val solve :
   ?lp_backend:Ilp.Simplex.backend ->
   ?jobs:int ->
   ?deterministic:bool ->
+  ?rc_fixing:bool ->
+  ?propagate:bool ->
+  ?cuts:bool ->
   Vars.t ->
   report
 (** Defaults: paper branching, value 1 first, depth-first, no limits,
@@ -71,6 +74,14 @@ val solve :
     trades pruning strength for run-to-run reproducible node counts.
     The scheduler-completion hook is safe under parallel search: node
     hooks are serialized by the solver, so its internal memo table is
-    never accessed concurrently. See {!Ilp.Branch_bound.options}. *)
+    never accessed concurrently. See {!Ilp.Branch_bound.options}.
+
+    [rc_fixing], [propagate] and [cuts] (all default off, preserving
+    the paper-faithful search node for node) enable the solver's node
+    deductions: reduced-cost fixing, per-node domain propagation, and
+    root cut-and-branch with a shared cut pool. Choosing the
+    {!Branching.Pseudocost} strategy additionally turns on reliability
+    branching inside the solver. See {!Ilp.Branch_bound.options} and
+    the "Node deductions" section of [docs/SOLVER.md]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -214,6 +214,40 @@ let prop_warm_equals_cold =
       | (Bb.Infeasible, _), (Bb.Infeasible, _) -> true
       | _, _ -> false)
 
+(* -------- historical default-config behavior -------- *)
+
+(* The node-deduction options (rc_fixing / propagate / cuts /
+   pseudocost) must be invisible when off: the default configuration has
+   to reproduce the search tree of the pre-deduction solver node for
+   node. These counts were recorded on that solver; a change here means
+   the paper-faithful default drifted. *)
+let test_default_node_counts_frozen () =
+  List.iter
+    (fun (seed, nodes, obj) ->
+      let lp = make_rand_binary seed ~n:16 ~m:12 in
+      match Bb.solve lp with
+      | Bb.Optimal { obj = o; _ }, stats ->
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d node count" seed)
+          nodes stats.Bb.nodes;
+        check_float (Printf.sprintf "seed %d objective" seed) obj
+          (user_obj lp o)
+      | o, _ -> Alcotest.failf "seed %d: unexpected %a" seed Bb.pp_outcome o)
+    [ (21, 69, 1.); (25, 47, 10.); (33, 41, 5.); (59, 69, 20.) ]
+
+let test_default_deductions_idle () =
+  (* with everything off, no deduction counter may move *)
+  let lp = make_rand_binary 21 ~n:16 ~m:12 in
+  match Bb.solve lp with
+  | Bb.Optimal _, stats ->
+    let d = stats.Bb.deductions in
+    Alcotest.(check int) "rc fixings" 0 d.Bb.rc_fixed;
+    Alcotest.(check int) "propagation fixings" 0 d.Bb.prop_fixings;
+    Alcotest.(check int) "propagation prunes" 0 d.Bb.prop_prunes;
+    Alcotest.(check int) "cut rounds" 0 d.Bb.cut_rounds_run;
+    Alcotest.(check int) "pc branchings" 0 d.Bb.pc_branchings
+  | o, _ -> Alcotest.failf "unexpected %a" Bb.pp_outcome o
+
 (* -------- parallel search (jobs > 1) -------- *)
 
 (* Big enough that the search outlives the sequential seeding phase and
@@ -349,6 +383,13 @@ let () =
           Alcotest.test_case "incumbent callback" `Quick
             test_on_incumbent_callback;
           Alcotest.test_case "fractionality" `Quick test_fractionality;
+        ] );
+      ( "historical",
+        [
+          Alcotest.test_case "default node counts frozen" `Quick
+            test_default_node_counts_frozen;
+          Alcotest.test_case "deduction counters idle by default" `Quick
+            test_default_deductions_idle;
         ] );
       ( "parallel",
         [

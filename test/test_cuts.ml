@@ -1,0 +1,210 @@
+(* Tests for the cutting-plane machinery: cover and clique separation on
+   hand-built models, pool deduplication and eviction accounting, and the
+   properties that separated cuts never exclude a feasible integral point
+   and that cut-and-branch reaches the same optimum as the plain solve. *)
+
+module Lp = Ilp.Lp
+module C = Ilp.Cuts
+module Bb = Ilp.Branch_bound
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_cover_separation () =
+  (* 2x1 + 2x2 + 2x3 <= 3: any two items overflow, so {x1,x2} is a
+     cover; at (0.75, 0.75, 0) the cut x1 + x2 <= 1 is violated by 0.5
+     and extends (equal weights) to x1 + x2 + x3 <= 1. *)
+  let lp = Lp.create () in
+  let vs = Array.init 3 (fun _ -> Lp.add_var lp Lp.Binary) in
+  ignore
+    (Lp.add_constr lp
+       [ (2., vs.(0)); (2., vs.(1)); (2., vs.(2)) ]
+       Lp.Le 3.);
+  let x = [| 0.75; 0.75; 0. |] in
+  match C.separate lp ~x with
+  | [ (viol, cut) ] ->
+    check_float "violation" 0.5 viol;
+    Alcotest.(check (array int)) "extended support" [| 0; 1; 2 |] cut.C.idx;
+    check_float "rhs |C|-1" 1. cut.C.rhs
+  | l -> Alcotest.failf "expected exactly one cover cut, got %d" (List.length l)
+
+let test_cover_respects_sense () =
+  (* the Ge orientation of the same knapsack must separate identically *)
+  let lp = Lp.create () in
+  let vs = Array.init 3 (fun _ -> Lp.add_var lp Lp.Binary) in
+  ignore
+    (Lp.add_constr lp
+       [ (-2., vs.(0)); (-2., vs.(1)); (-2., vs.(2)) ]
+       Lp.Ge (-3.));
+  let x = [| 0.75; 0.75; 0. |] in
+  Alcotest.(check int) "one cut" 1 (List.length (C.separate lp ~x))
+
+let test_clique_separation () =
+  (* pairwise conflicts from three one-hot rows; the triangle
+     x1 + x2 + x3 <= 1 straddles all three and is violated at
+     (0.5, 0.5, 0.5). No single row implies it. *)
+  let lp = Lp.create () in
+  let vs = Array.init 3 (fun _ -> Lp.add_var lp Lp.Binary) in
+  ignore (Lp.add_constr lp [ (1., vs.(0)); (1., vs.(1)) ] Lp.Le 1.);
+  ignore (Lp.add_constr lp [ (1., vs.(1)); (1., vs.(2)) ] Lp.Le 1.);
+  ignore (Lp.add_constr lp [ (1., vs.(0)); (1., vs.(2)) ] Lp.Le 1.);
+  let x = [| 0.5; 0.5; 0.5 |] in
+  match C.separate lp ~x with
+  | [ (viol, cut) ] ->
+    check_float "violation" 0.5 viol;
+    Alcotest.(check (array int)) "triangle" [| 0; 1; 2 |] cut.C.idx;
+    Alcotest.(check bool) "clique family" true (cut.C.family = C.Clique)
+  | l ->
+    Alcotest.failf "expected exactly one clique cut, got %d" (List.length l)
+
+let test_clique_skips_single_row () =
+  (* a clique fully inside one GUB row is the row itself — the clique
+     separator never emits it, even at an infeasible fractional point. *)
+  let lp = Lp.create () in
+  let vs = Array.init 3 (fun _ -> Lp.add_var lp Lp.Binary) in
+  ignore
+    (Lp.add_constr lp [ (1., vs.(0)); (1., vs.(1)); (1., vs.(2)) ] Lp.Le 1.);
+  Alcotest.(check int) "no clique cut" 0
+    (List.length (C.separate_cliques lp ~x:[| 0.6; 0.6; 0.6 |]));
+  (* and at a point satisfying the row, no family separates anything *)
+  Alcotest.(check int) "nothing at a feasible point" 0
+    (List.length (C.separate lp ~x:[| 0.5; 0.5; 0. |]))
+
+let test_pool_dedup () =
+  let lp = Lp.create () in
+  let vs = Array.init 3 (fun _ -> Lp.add_var lp Lp.Binary) in
+  ignore (Lp.add_constr lp [ (1., vs.(0)); (1., vs.(1)) ] Lp.Le 1.);
+  ignore (Lp.add_constr lp [ (1., vs.(1)); (1., vs.(2)) ] Lp.Le 1.);
+  ignore (Lp.add_constr lp [ (1., vs.(0)); (1., vs.(2)) ] Lp.Le 1.);
+  let x = [| 0.5; 0.5; 0.5 |] in
+  let cuts = List.map snd (C.separate lp ~x) in
+  let pool = C.create_pool () in
+  let fresh1 = C.pool_add pool cuts in
+  let fresh2 = C.pool_add pool cuts in
+  Alcotest.(check int) "first add keeps all" (List.length cuts)
+    (List.length fresh1);
+  Alcotest.(check int) "second add is a no-op" 0 (List.length fresh2);
+  let s = C.pool_stats pool in
+  Alcotest.(check int) "pool size" (List.length cuts) s.C.pool_size;
+  Alcotest.(check int) "separated once" (List.length cuts) s.C.separated_clique
+
+let test_pool_eviction_stats () =
+  let pool = C.create_pool () in
+  let cut =
+    {
+      C.idx = [| 0; 1 |];
+      coef = [| 1.; 1. |];
+      rhs = 1.;
+      family = C.Cover;
+      name = "cover_r0";
+      age = 0;
+    }
+  in
+  (match C.pool_add pool [ cut ] with
+   | [ c ] -> C.note_evicted pool [ c ]
+   | _ -> Alcotest.fail "pool rejected a fresh cut");
+  let s = C.pool_stats pool in
+  Alcotest.(check int) "evicted cover" 1 s.C.evicted_cover
+
+let test_propagate_row_bridge () =
+  (* an inactive pool cut becomes a local propagation row *)
+  let cut =
+    {
+      C.idx = [| 2; 5 |];
+      coef = [| 1.; 1. |];
+      rhs = 1.;
+      family = C.Clique;
+      name = "clique_c7";
+      age = 0;
+    }
+  in
+  let row = C.to_propagate_row cut in
+  Alcotest.(check bool) "local" true row.Ilp.Propagate.local;
+  Alcotest.(check (array int)) "support" [| 2; 5 |] row.Ilp.Propagate.idx;
+  check_float "rhs" 1. row.Ilp.Propagate.rhs
+
+(* Same random-model family as test_presolve.ml. *)
+let make_rand_binary seed ~n ~m =
+  let rng = Taskgraph.Prng.create seed in
+  let lp = Lp.create () in
+  let vars = Array.init n (fun _ -> Lp.add_var lp Lp.Binary) in
+  for _ = 1 to m do
+    let terms =
+      Array.to_list vars
+      |> List.filter_map (fun v ->
+             if Taskgraph.Prng.bool rng 0.6 then
+               Some (Float.of_int (Taskgraph.Prng.int_in rng (-3) 4), v)
+             else None)
+    in
+    if terms <> [] then begin
+      let rhs = Float.of_int (Taskgraph.Prng.int_in rng 0 6) in
+      let sense = if Taskgraph.Prng.bool rng 0.8 then Lp.Le else Lp.Ge in
+      ignore (Lp.add_constr lp terms sense rhs)
+    end
+  done;
+  Lp.set_objective lp ~maximize:true
+    (Array.to_list vars
+    |> List.map (fun v -> (Float.of_int (Taskgraph.Prng.int_in rng (-5) 5), v)));
+  lp
+
+let prop_cuts_valid_for_integral_points =
+  QCheck.Test.make
+    ~name:"separated cuts never exclude a feasible integral point" ~count:120
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let n = 6 in
+      let lp = make_rand_binary seed ~n ~m:5 in
+      let res = Ilp.Simplex.solve lp in
+      res.Ilp.Simplex.status <> Ilp.Simplex.Optimal
+      ||
+      let cuts = C.separate lp ~x:res.Ilp.Simplex.x in
+      let ok = ref true in
+      for code = 0 to (1 lsl n) - 1 do
+        let x = Array.init n (fun j -> Float.of_int ((code lsr j) land 1)) in
+        if Ilp.Feas_check.is_feasible lp x then
+          List.iter
+            (fun (_, c) -> if C.violation c x > 1e-9 then ok := false)
+            cuts
+      done;
+      !ok)
+
+let prop_cut_and_branch_preserves_optimum =
+  QCheck.Test.make ~name:"cut-and-branch reaches the plain-solve optimum"
+    ~count:80
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let lp = make_rand_binary seed ~n:10 ~m:8 in
+      let base = Bb.solve lp in
+      let with_cuts =
+        Bb.solve ~options:{ Bb.default_options with Bb.cuts = true } lp
+      in
+      match (base, with_cuts) with
+      | (Bb.Optimal { obj = a; _ }, _), (Bb.Optimal { obj = b; x }, _) ->
+        Float.abs (a -. b) <= 1e-6 && Ilp.Feas_check.is_feasible lp x
+      | (Bb.Infeasible, _), (Bb.Infeasible, _) -> true
+      | _ -> false)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "cuts"
+    [
+      ( "separation",
+        [
+          Alcotest.test_case "cover" `Quick test_cover_separation;
+          Alcotest.test_case "cover (Ge)" `Quick test_cover_respects_sense;
+          Alcotest.test_case "clique" `Quick test_clique_separation;
+          Alcotest.test_case "clique dominance" `Quick
+            test_clique_skips_single_row;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "dedup" `Quick test_pool_dedup;
+          Alcotest.test_case "eviction stats" `Quick test_pool_eviction_stats;
+          Alcotest.test_case "propagate bridge" `Quick
+            test_propagate_row_bridge;
+        ] );
+      ( "properties",
+        [
+          qt prop_cuts_valid_for_integral_points;
+          qt prop_cut_and_branch_preserves_optimum;
+        ] );
+    ]

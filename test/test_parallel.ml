@@ -73,6 +73,37 @@ let test_deterministic_mode () =
     a.Solver.stats.Ilp.Branch_bound.nodes
     b.Solver.stats.Ilp.Branch_bound.nodes
 
+let test_deterministic_mode_with_deductions () =
+  (* the full deduction stack must stay inside the deterministic
+     contract: cut separation runs sequentially before the workers
+     spawn, pseudo-cost tables are worker-local, and propagation /
+     reduced-cost fixes depend only on the node — so repeated runs give
+     identical node counts and verdicts. *)
+  let spec = mk ~n:2 ~l:1 (Ex.figure1 ()) in
+  let solve () =
+    Solver.solve ~scheduler_completion:false ~jobs:3 ~deterministic:true
+      ~strategy:Temporal.Branching.Pseudocost ~rc_fixing:true ~propagate:true
+      ~cuts:true (F.build spec)
+  in
+  let a = solve () and b = solve () in
+  Alcotest.(check bool) "same verdict" true (objective_of a = objective_of b);
+  Alcotest.(check int) "reproducible node count"
+    a.Solver.stats.Ilp.Branch_bound.nodes
+    b.Solver.stats.Ilp.Branch_bound.nodes;
+  let d1 = a.Solver.stats.Ilp.Branch_bound.deductions
+  and d2 = b.Solver.stats.Ilp.Branch_bound.deductions in
+  Alcotest.(check int) "reproducible propagation fixings"
+    d1.Ilp.Branch_bound.prop_fixings d2.Ilp.Branch_bound.prop_fixings;
+  Alcotest.(check int) "reproducible rc fixings" d1.Ilp.Branch_bound.rc_fixed
+    d2.Ilp.Branch_bound.rc_fixed;
+  (* deductions-on must agree with the plain deterministic solve *)
+  let plain =
+    Solver.solve ~scheduler_completion:false ~jobs:3 ~deterministic:true
+      (F.build spec)
+  in
+  Alcotest.(check bool) "same verdict as plain solve" true
+    (objective_of a = objective_of plain)
+
 let test_worker_stats_shape () =
   let spec = mk ~n:2 ~l:1 (Ex.figure1 ()) in
   let r = Solver.solve ~jobs:3 (F.build spec) in
@@ -123,6 +154,8 @@ let () =
             test_examples_without_hook;
           Alcotest.test_case "deterministic mode" `Quick
             test_deterministic_mode;
+          Alcotest.test_case "deterministic mode, deductions on" `Quick
+            test_deterministic_mode_with_deductions;
           Alcotest.test_case "worker stats shape" `Quick
             test_worker_stats_shape;
         ] );

@@ -131,6 +131,34 @@ let prop_presolve_preserves_optimum =
         | (Bb.Infeasible, _), (Bb.Infeasible, _) -> true
         | _ -> false))
 
+(* Stronger than objective equality: the vector solved on the REDUCED
+   model must be feasible for the ORIGINAL model variable by variable,
+   and score the same there (optima need not be unique, so vectors are
+   compared through the original model, not bitwise). The same shape is
+   applied to propagation and cuts in test_propagate.ml / test_cuts.ml. *)
+let prop_presolve_preserves_solutions =
+  QCheck.Test.make
+    ~name:"presolved solutions stay feasible and optimal per variable"
+    ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let lp = make_rand_binary seed ~n:8 ~m:7 in
+      match P.presolve lp with
+      | P.Infeasible _ -> true (* covered by the feasible-points property *)
+      | P.Reduced (out, _) -> (
+        match (Bb.solve lp, Bb.solve out) with
+        | (Bb.Optimal { obj = a; x = xa }, _), (Bb.Optimal { obj = b; x = xb }, _)
+          ->
+          Float.abs (a -. b) <= 1e-6
+          && Array.length xa = Array.length xb
+          && Ilp.Feas_check.is_feasible lp xb
+          && Float.abs
+               (Ilp.Feas_check.objective_value lp xa
+               -. Ilp.Feas_check.objective_value lp xb)
+             <= 1e-6
+        | (Bb.Infeasible, _), (Bb.Infeasible, _) -> true
+        | _ -> false))
+
 let prop_presolve_never_cuts_feasible_points =
   QCheck.Test.make ~name:"presolve keeps every feasible binary point"
     ~count:80
@@ -175,5 +203,6 @@ let () =
         ] );
       ( "properties",
         [ qt prop_presolve_preserves_optimum;
+          qt prop_presolve_preserves_solutions;
           qt prop_presolve_never_cuts_feasible_points ] );
     ]

@@ -1,0 +1,230 @@
+(* Tests for the activity-propagation kernel shared by presolve and the
+   per-node deductions of branch and bound: single-row deduction steps,
+   conflict/empty-domain detection, seeded incremental runs, local (cut
+   pool) rows, and the property that a propagate-enabled solve preserves
+   both the optimum and solution feasibility on random binary models. *)
+
+module Lp = Ilp.Lp
+module Pr = Ilp.Propagate
+module Bb = Ilp.Branch_bound
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let binary_bounds lp =
+  let n = Lp.num_vars lp in
+  ( Array.init n (fun j -> Lp.var_lb lp (Lp.var_of_int lp j)),
+    Array.init n (fun j -> Lp.var_ub lp (Lp.var_of_int lp j)) )
+
+let test_activity () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Binary in
+  let y = Lp.add_var lp Lp.Binary in
+  ignore (Lp.add_constr lp [ (2., x); (-3., y) ] Lp.Le 1.);
+  let prop = Pr.of_lp lp in
+  let lb, ub = binary_bounds lp in
+  let lo, hi = Pr.activity (Pr.row prop 0) ~lb ~ub in
+  check_float "min activity" (-3.) lo;
+  check_float "max activity" 2. hi
+
+let test_step_fixes_integer () =
+  (* 2x + 3y <= 4 with x fixed at 1 forces y <= 2/3, i.e. y = 0. *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Binary in
+  let y = Lp.add_var lp Lp.Binary in
+  ignore (Lp.add_constr lp [ (2., x); (3., y) ] Lp.Le 4.);
+  let prop = Pr.of_lp lp in
+  let lb, ub = binary_bounds lp in
+  lb.((x : Lp.var :> int)) <- 1.;
+  let moved = ref [] in
+  Pr.step prop 0 ~lb ~ub ~on_change:(fun j -> moved := j :: !moved);
+  Alcotest.(check (list int)) "y moved" [ (y : Lp.var :> int) ] !moved;
+  check_float "y ub" 0. ub.((y : Lp.var :> int))
+
+let test_conflict () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Binary in
+  let y = Lp.add_var lp Lp.Binary in
+  ignore (Lp.add_constr lp ~name:"cap" [ (1., x); (1., y) ] Lp.Ge 3.);
+  let prop = Pr.of_lp lp in
+  let lb, ub = binary_bounds lp in
+  (match Pr.run prop ~lb ~ub () with
+   | Pr.Conflict name -> Alcotest.(check string) "witness row" "cap" name
+   | Pr.Ok _ | Pr.Empty_domain _ -> Alcotest.fail "expected conflict")
+
+let test_empty_domain () =
+  (* x >= 1 and x <= 0 close x's domain. *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Binary in
+  let y = Lp.add_var lp Lp.Binary in
+  ignore (Lp.add_constr lp [ (1., x); (0.5, y) ] Lp.Ge 1.4);
+  ignore (Lp.add_constr lp [ (1., x); (-0.5, y) ] Lp.Le 0.1);
+  let prop = Pr.of_lp lp in
+  let lb, ub = binary_bounds lp in
+  match Pr.run prop ~lb ~ub () with
+  | Pr.Empty_domain _ | Pr.Conflict _ -> ()
+  | Pr.Ok _ -> Alcotest.fail "expected an infeasibility proof"
+
+let test_seeded_cascade () =
+  (* chain: x + y >= 1, y + z <= 1. Fixing x = 0 seeds row 0, which
+     fixes y = 1, which cascades into row 1 and fixes z = 0. *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Binary in
+  let y = Lp.add_var lp Lp.Binary in
+  let z = Lp.add_var lp Lp.Binary in
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Ge 1.);
+  ignore (Lp.add_constr lp [ (1., y); (1., z) ] Lp.Le 1.);
+  let prop = Pr.of_lp lp in
+  let lb, ub = binary_bounds lp in
+  ub.((x : Lp.var :> int)) <- 0.;
+  match Pr.run prop ~lb ~ub ~seeds:[ (x : Lp.var :> int) ] () with
+  | Pr.Ok d ->
+    check_float "y fixed at 1" 1. lb.((y : Lp.var :> int));
+    check_float "z fixed at 0" 0. ub.((z : Lp.var :> int));
+    Alcotest.(check int) "two deduced fixes" 2 (List.length d.Pr.fixes)
+  | Pr.Empty_domain _ | Pr.Conflict _ -> Alcotest.fail "unexpected infeasible"
+
+let test_local_row_hits () =
+  (* a pool cut attached as an extra local row produces a deduction
+     counted in [local_hits]. *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Binary in
+  let y = Lp.add_var lp Lp.Binary in
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Le 2.);
+  let cut =
+    Pr.make_row ~local:true ~name:"clique_c1"
+      [ (1., (x : Lp.var :> int)); (1., (y : Lp.var :> int)) ]
+      Lp.Le 1.
+  in
+  let prop = Pr.of_lp ~extra:[ cut ] lp in
+  let lb, ub = binary_bounds lp in
+  lb.((x : Lp.var :> int)) <- 1.;
+  match Pr.run prop ~lb ~ub ~seeds:[ (x : Lp.var :> int) ] () with
+  | Pr.Ok d ->
+    check_float "y forced off by the cut" 0. ub.((y : Lp.var :> int));
+    Alcotest.(check bool) "local hit counted" true (d.Pr.local_hits >= 1)
+  | Pr.Empty_domain _ | Pr.Conflict _ -> Alcotest.fail "unexpected infeasible"
+
+(* Same random-model family as test_presolve.ml: presolve, propagation
+   and the cut machinery are all audited against one generator. *)
+let make_rand_binary seed ~n ~m =
+  let rng = Taskgraph.Prng.create seed in
+  let lp = Lp.create () in
+  let vars = Array.init n (fun _ -> Lp.add_var lp Lp.Binary) in
+  for _ = 1 to m do
+    let terms =
+      Array.to_list vars
+      |> List.filter_map (fun v ->
+             if Taskgraph.Prng.bool rng 0.6 then
+               Some (Float.of_int (Taskgraph.Prng.int_in rng (-3) 4), v)
+             else None)
+    in
+    if terms <> [] then begin
+      let rhs = Float.of_int (Taskgraph.Prng.int_in rng 0 6) in
+      let sense = if Taskgraph.Prng.bool rng 0.8 then Lp.Le else Lp.Ge in
+      ignore (Lp.add_constr lp terms sense rhs)
+    end
+  done;
+  Lp.set_objective lp ~maximize:true
+    (Array.to_list vars
+    |> List.map (fun v -> (Float.of_int (Taskgraph.Prng.int_in rng (-5) 5), v)));
+  lp
+
+let objective_value lp x =
+  let obj = Lp.objective lp in
+  let acc = ref 0. in
+  Array.iteri (fun j c -> acc := !acc +. (c *. x.(j))) obj;
+  Lp.obj_sign lp *. !acc
+
+(* The deduction-stack counterpart of presolve's preservation property:
+   solving with a deduction option on must reach the same optimum as the
+   paper-faithful default, and its solution vector must be feasible for
+   the ORIGINAL model with the same per-variable objective value
+   (optima need not be unique, so vectors are compared through the
+   model, not bitwise). *)
+let prop_solve_preserved ~name opts =
+  QCheck.Test.make ~name ~count:80
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let lp = make_rand_binary seed ~n:10 ~m:8 in
+      let base = Bb.solve lp in
+      let dedu = Bb.solve ~options:opts lp in
+      match (base, dedu) with
+      | (Bb.Optimal { obj = a; x = xa }, _), (Bb.Optimal { obj = b; x = xb }, _)
+        ->
+        Float.abs (a -. b) <= 1e-6
+        && Ilp.Feas_check.is_feasible lp xa
+        && Ilp.Feas_check.is_feasible lp xb
+        && Float.abs (objective_value lp xa -. objective_value lp xb) <= 1e-6
+      | (Bb.Infeasible, _), (Bb.Infeasible, _) -> true
+      | _ -> false)
+
+let prop_propagate_preserves_optimum =
+  prop_solve_preserved ~name:"propagation preserves the MILP optimum"
+    { Bb.default_options with Bb.propagate = true }
+
+let prop_rc_fixing_preserves_optimum =
+  prop_solve_preserved ~name:"reduced-cost fixing preserves the MILP optimum"
+    { Bb.default_options with Bb.rc_fixing = true }
+
+let prop_full_stack_preserves_optimum =
+  prop_solve_preserved ~name:"full deduction stack preserves the MILP optimum"
+    {
+      Bb.default_options with
+      Bb.rc_fixing = true;
+      propagate = true;
+      cuts = true;
+      pseudocost = true;
+    }
+
+let prop_propagation_never_cuts_feasible_points =
+  QCheck.Test.make ~name:"root propagation keeps every feasible binary point"
+    ~count:80
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let n = 6 in
+      let lp = make_rand_binary seed ~n ~m:5 in
+      let prop = Pr.of_lp lp in
+      let lb, ub = binary_bounds lp in
+      match Pr.run prop ~lb ~ub () with
+      | Pr.Conflict _ | Pr.Empty_domain _ ->
+        (* then no binary point may be feasible *)
+        let any = ref false in
+        for code = 0 to (1 lsl n) - 1 do
+          let x = Array.init n (fun j -> Float.of_int ((code lsr j) land 1)) in
+          if Ilp.Feas_check.is_feasible lp x then any := true
+        done;
+        not !any
+      | Pr.Ok _ ->
+        (* every feasible point must survive inside the tightened box *)
+        let ok = ref true in
+        for code = 0 to (1 lsl n) - 1 do
+          let x = Array.init n (fun j -> Float.of_int ((code lsr j) land 1)) in
+          if Ilp.Feas_check.is_feasible lp x then
+            Array.iteri
+              (fun j v ->
+                if v < lb.(j) -. 1e-9 || v > ub.(j) +. 1e-9 then ok := false)
+              x
+        done;
+        !ok)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "propagate"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "activity" `Quick test_activity;
+          Alcotest.test_case "integer step" `Quick test_step_fixes_integer;
+          Alcotest.test_case "conflict" `Quick test_conflict;
+          Alcotest.test_case "empty domain" `Quick test_empty_domain;
+          Alcotest.test_case "seeded cascade" `Quick test_seeded_cascade;
+          Alcotest.test_case "local rows" `Quick test_local_row_hits;
+        ] );
+      ( "properties",
+        [
+          qt prop_propagate_preserves_optimum;
+          qt prop_rc_fixing_preserves_optimum;
+          qt prop_full_stack_preserves_optimum;
+          qt prop_propagation_never_cuts_feasible_points;
+        ] );
+    ]
