@@ -663,6 +663,144 @@ let write_json path =
   Format.printf "@.json report written to %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* Tracing overhead: disabled guard vs full event recording             *)
+(* ------------------------------------------------------------------ *)
+
+type trace_result = {
+  t_instance : string;
+  t_runs : int;
+  t_disabled_s : float;
+  t_enabled_s : float;
+  t_nodes : int;
+  t_events : int;
+  t_guard_ns : float;
+  t_emit_ns : float;
+}
+
+let trace_result : trace_result option ref = ref None
+
+let trace_bench ~quick () =
+  section
+    "Tracing: cost of the Ilp.Trace layer on a representative solve\n\
+     (mixer graph, N=3 L=1 C=100, sequential, deterministic tree; the\n\
+     disabled tracer executes one predictable branch per event site,\n\
+     the enabled tracer records every event into per-domain rings)";
+  let reps = if quick then 3 else 5 in
+  let spec = spec_of ~cap:100 (Ex.mixer ()) ~ams:(2, 2, 1) ~n:3 ~l:1 in
+  let solve_once tracer =
+    let vars = F.build ~options:F.tightened_options spec in
+    let t0 = Unix.gettimeofday () in
+    let report = Solver.solve ~tracer ~time_limit:!time_limit vars in
+    (Unix.gettimeofday () -. t0, report.Solver.stats.Ilp.Branch_bound.nodes)
+  in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let disabled =
+    median (List.init reps (fun _ -> fst (solve_once Ilp.Trace.disabled)))
+  in
+  let enabled_times = ref [] and nodes = ref 0 and events = ref 0 in
+  for _ = 1 to reps do
+    let tracer = Ilp.Trace.create () in
+    let s, n = solve_once tracer in
+    enabled_times := s :: !enabled_times;
+    nodes := n;
+    events := Array.length (Ilp.Trace.collect tracer)
+  done;
+  let enabled = median !enabled_times in
+  (* per-event-site micro cost: the disabled guard is one load + branch,
+     the enabled emit allocates the event and writes the ring slot *)
+  let guard_iters = 50_000_000 in
+  let guard_ns =
+    let w = Ilp.Trace.null_writer in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to guard_iters do
+      if Ilp.Trace.active (Sys.opaque_identity w) then
+        Ilp.Trace.emit w (Ilp.Trace.Span_begin "bench")
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int guard_iters
+  in
+  let emit_iters = 2_000_000 in
+  let emit_ns =
+    let tracer = Ilp.Trace.create () in
+    let w = Ilp.Trace.main tracer in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to emit_iters do
+      if Ilp.Trace.active (Sys.opaque_identity w) then
+        Ilp.Trace.emit w (Ilp.Trace.Span_begin "bench")
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int emit_iters
+  in
+  let overhead = 100. *. ((enabled /. disabled) -. 1.) in
+  (* the disabled tracer's share of the solve: every event site costs
+     one guard check whether or not it fires *)
+  let disabled_pct =
+    guard_ns *. float_of_int !events /. (disabled *. 1e9) *. 100.
+  in
+  Format.printf " %-22s | %-10s | %-7s | %s@." "configuration" "runtime(s)"
+    "nodes" "events";
+  Format.printf " %-22s | %-10.3f | %-7d | %s@." "tracer disabled" disabled
+    !nodes "-";
+  Format.printf " %-22s | %-10.3f | %-7d | %d@." "tracer enabled" enabled !nodes
+    !events;
+  Format.printf "@.enabled recording overhead: %+.1f%% wall-clock@." overhead;
+  Format.printf
+    "disabled guard: %.1f ns/event-site (%d fired sites -> %.4f%% of the solve)@."
+    guard_ns !events disabled_pct;
+  Format.printf "enabled emit: %.0f ns/event@." emit_ns;
+  trace_result :=
+    Some
+      {
+        t_instance = "mixer N=3 L=1 C=100";
+        t_runs = reps;
+        t_disabled_s = disabled;
+        t_enabled_s = enabled;
+        t_nodes = !nodes;
+        t_events = !events;
+        t_guard_ns = guard_ns;
+        t_emit_ns = emit_ns;
+      }
+
+let write_trace_json path =
+  match !trace_result with
+  | None -> ()
+  | Some r ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"host\": {\n\
+      \    \"cores\": %d,\n\
+      \    \"ocaml\": %S,\n\
+      \    \"word_size\": %d,\n\
+      \    \"os_type\": %S,\n\
+      \    \"backend\": \"sparse_lu\"\n\
+      \  },\n\
+      \  \"trace\": {\n\
+      \    \"instance\": %S,\n\
+      \    \"runs\": %d,\n\
+      \    \"disabled_median_s\": %.4f,\n\
+      \    \"enabled_median_s\": %.4f,\n\
+      \    \"enabled_overhead_pct\": %.2f,\n\
+      \    \"nodes\": %d,\n\
+      \    \"events\": %d,\n\
+      \    \"guard_ns_per_site\": %.2f,\n\
+      \    \"emit_ns_per_event\": %.1f,\n\
+      \    \"disabled_overhead_pct\": %.4f\n\
+      \  }\n\
+       }\n"
+      (Domain.recommended_domain_count ())
+      Sys.ocaml_version Sys.word_size Sys.os_type r.t_instance r.t_runs
+      r.t_disabled_s r.t_enabled_s
+      (100. *. ((r.t_enabled_s /. r.t_disabled_s) -. 1.))
+      r.t_nodes r.t_events r.t_guard_ns r.t_emit_ns
+      (r.t_guard_ns *. float_of_int r.t_events /. (r.t_disabled_s *. 1e9)
+      *. 100.);
+    close_out oc;
+    Format.printf "@.json report written to %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Lint: static analysis + formulation audit timings                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -797,20 +935,23 @@ let () =
   if want "sparse" then sparse ();
   if want "parallel" then parallel ();
   if want "nodes" then nodes_bench ~quick ();
+  if want "trace" then trace_bench ~quick ();
   if want "lint" then lint ();
   if want "micro" then micro ();
   (* --json writes whichever report the selected sections produced: the
-     parallel scaling rows and/or the node-deduction ablation (the
-     latter to PATH with "_nodes" inserted when both ran) *)
+     parallel scaling rows, the node-deduction ablation, and/or the
+     tracing overhead (later reports go to PATH with "_nodes"/"_trace"
+     inserted when an earlier section already claimed PATH) *)
   Option.iter
     (fun path ->
+      let sub tag = Filename.remove_extension path ^ tag ^ Filename.extension path in
       let wrote_parallel = !parallel_rows <> [] in
       if wrote_parallel then write_json path;
-      if !nodes_rows <> [] then
-        if not wrote_parallel then write_nodes_json path
-        else
-          write_nodes_json
-            (Filename.remove_extension path ^ "_nodes"
-            ^ Filename.extension path))
+      let wrote_nodes = !nodes_rows <> [] in
+      if wrote_nodes then
+        write_nodes_json (if wrote_parallel then sub "_nodes" else path);
+      if !trace_result <> None then
+        write_trace_json
+          (if wrote_parallel || wrote_nodes then sub "_trace" else path))
     json_path;
   Format.printf "@.total bench wall-clock: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -5,7 +5,8 @@
      tpart graph     print a specification summary (optionally DOT)
      tpart estimate  run the greedy list-scheduling segment estimator
      tpart solve     run the exact ILP flow and print the design
-     tpart analyze   static model analysis and formulation audit *)
+     tpart analyze   static model analysis and formulation audit
+     tpart trace     inspect solver traces recorded by solve --trace *)
 
 open Cmdliner
 
@@ -281,8 +282,91 @@ let solve_json_flag =
     & info [ "json" ]
         ~doc:
           "Emit a machine-readable JSON summary (outcome, model size, \
-           node counts, deduction statistics) instead of the text \
-           report.")
+           node counts, deduction statistics, incumbent timeline) \
+           instead of the text report.")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured solver trace to $(docv): $(b,.jsonl) \
+           writes one event object per line, any other extension \
+           (canonically $(b,.json)) writes Chrome trace_event JSON \
+           loadable in Perfetto / chrome://tracing with one track per \
+           solver domain. Inspect with $(b,tpart trace).")
+
+(* Column-aligned key/value tables for --stats: widths are computed
+   from the rendered cells, so counters of any magnitude stay aligned.
+   First column left-aligned, the rest right-aligned. *)
+let print_table rows =
+  match rows with
+  | [] -> ()
+  | header :: _ ->
+    let width = Array.make (List.length header) 0 in
+    List.iter
+      (List.iteri (fun i c -> width.(i) <- Int.max width.(i) (String.length c)))
+      rows;
+    List.iter
+      (fun row ->
+        let cells =
+          List.mapi
+            (fun i c ->
+              if i = 0 then Printf.sprintf "%-*s" width.(i) c
+              else Printf.sprintf "%*s" width.(i) c)
+            row
+        in
+        print_string ("  " ^ String.concat "  " cells ^ "\n"))
+      rows
+
+let print_deductions (d : Ilp.Branch_bound.deduction_stats) =
+  let fam (f : Ilp.Branch_bound.cut_family_stats) =
+    Printf.sprintf "%d/%d/%d" f.Ilp.Branch_bound.cf_separated
+      f.Ilp.Branch_bound.cf_active f.Ilp.Branch_bound.cf_evicted
+  in
+  print_string "deductions:\n";
+  print_table
+    [
+      [ "counter"; "total" ];
+      [ "rc-fixed"; string_of_int d.Ilp.Branch_bound.rc_fixed ];
+      [ "prop-fixings"; string_of_int d.Ilp.Branch_bound.prop_fixings ];
+      [ "prop-prunes"; string_of_int d.Ilp.Branch_bound.prop_prunes ];
+      [ "prop-local-hits"; string_of_int d.Ilp.Branch_bound.prop_local_hits ];
+      [ "cut-rounds"; string_of_int d.Ilp.Branch_bound.cut_rounds_run ];
+      [ "cover-cuts"; fam d.Ilp.Branch_bound.cover_cuts ];
+      [ "clique-cuts"; fam d.Ilp.Branch_bound.clique_cuts ];
+      [ "pc-branchings"; string_of_int d.Ilp.Branch_bound.pc_branchings ];
+    ]
+
+let print_workers elapsed (workers : Ilp.Branch_bound.worker_stats array) =
+  if Array.length workers > 0 then begin
+    (* Steal/handoff rates are per second of the search wall clock, and
+       idle% its share spent blocked on the work pool. *)
+    let rate n = if elapsed > 0. then Float.of_int n /. elapsed else 0. in
+    print_string "workers:\n";
+    print_table
+      ([ "id"; "nodes"; "incumbents"; "steals"; "steals/s"; "handoffs";
+         "handoffs/s"; "idle"; "idle%"; "pivots" ]
+      :: List.mapi
+           (fun i (w : Ilp.Branch_bound.worker_stats) ->
+             [
+               string_of_int i;
+               string_of_int w.Ilp.Branch_bound.w_nodes;
+               string_of_int w.Ilp.Branch_bound.w_incumbents;
+               string_of_int w.Ilp.Branch_bound.w_steals;
+               Printf.sprintf "%.1f" (rate w.Ilp.Branch_bound.w_steals);
+               string_of_int w.Ilp.Branch_bound.w_handoffs;
+               Printf.sprintf "%.1f" (rate w.Ilp.Branch_bound.w_handoffs);
+               Printf.sprintf "%.3fs" w.Ilp.Branch_bound.w_idle;
+               Printf.sprintf "%.1f"
+                 (if elapsed > 0. then
+                    100. *. w.Ilp.Branch_bound.w_idle /. elapsed
+                  else 0.);
+               string_of_int w.Ilp.Branch_bound.w_pivots;
+             ])
+           (Array.to_list workers))
+  end
 
 let json_of_result result =
   let r = result.Temporal.Pipeline.report in
@@ -308,7 +392,8 @@ let json_of_result result =
      %d, \"nodes\": %d, \"incumbents\": %d, \"max_depth\": %d, \
      \"deductions\": {\"rc_fixed\": %d, \"prop_fixings\": %d, \
      \"prop_prunes\": %d, \"prop_local_hits\": %d, \"cut_rounds\": %d, \
-     \"cover\": %s, \"clique\": %s, \"pc_branchings\": %d}}"
+     \"cover\": %s, \"clique\": %s, \"pc_branchings\": %d}, \
+     \"timeline\": %s}"
     outcome comm r.Temporal.Solver.vars r.Temporal.Solver.constrs
     s.Ilp.Branch_bound.nodes s.Ilp.Branch_bound.incumbents
     s.Ilp.Branch_bound.max_depth d.Ilp.Branch_bound.rc_fixed
@@ -317,11 +402,12 @@ let json_of_result result =
     (fam d.Ilp.Branch_bound.cover_cuts)
     (fam d.Ilp.Branch_bound.clique_cuts)
     d.Ilp.Branch_bound.pc_branchings
+    (Ilp.Json.to_string (Temporal.Report.incumbent_timeline s))
 
 let solve_cmd =
   let run g a m s capacity alpha scratch latency partitions time_limit strategy
       no_tighten no_step_cuts fortet dot lp_out report_wanted lint
-      stats_wanted jobs deterministic rc_fixing propagate cuts json =
+      stats_wanted jobs deterministic rc_fixing propagate cuts json trace =
     let allocation = Hls.Component.ams (a, m, s) in
     let options =
       {
@@ -333,11 +419,16 @@ let solve_cmd =
            else Temporal.Formulation.Glover);
       }
     in
+    let tracer =
+      match trace with
+      | Some _ -> Ilp.Trace.create ()
+      | None -> Ilp.Trace.disabled
+    in
     let result =
       Temporal.Pipeline.run ~options ~strategy ~time_limit
         ?num_partitions:partitions ~lint ~jobs ~deterministic ~rc_fixing
-        ~propagate ~cuts ~graph:g ~allocation ?capacity ~alpha ~scratch
-        ~latency_relax:latency ()
+        ~propagate ~cuts ~tracer ~graph:g ~allocation ?capacity ~alpha
+        ~scratch ~latency_relax:latency ()
     in
     if json then print_endline (json_of_result result)
     else Format.printf "%a@." Temporal.Pipeline.pp result;
@@ -347,13 +438,26 @@ let solve_cmd =
       in
       Format.printf "lp-stats: %a@." Ilp.Simplex.pp_stats
         stats.Ilp.Branch_bound.lp_stats;
-      Format.printf "deductions: %a@." Ilp.Branch_bound.pp_deductions
-        stats.Ilp.Branch_bound.deductions;
-      Array.iteri
-        (fun i w ->
-          Format.printf "worker %d: %a@." i Ilp.Branch_bound.pp_worker_stats w)
+      print_deductions stats.Ilp.Branch_bound.deductions;
+      print_workers stats.Ilp.Branch_bound.elapsed
         stats.Ilp.Branch_bound.workers
     end;
+    (match trace with
+     | Some path ->
+       let records = Ilp.Trace.collect tracer in
+       let oc = open_out path in
+       let sink =
+         if Filename.check_suffix path ".jsonl" then
+           Ilp.Trace_export.jsonl_sink oc
+         else Ilp.Trace_export.chrome_sink oc
+       in
+       Ilp.Trace_export.run sink records;
+       close_out oc;
+       let dropped = Ilp.Trace.dropped tracer in
+       Format.printf "wrote %s (%d events%s)@." path (Array.length records)
+         (if dropped > 0 then Printf.sprintf ", %d overwritten" dropped
+          else "")
+     | None -> ());
     (match lp_out with
      | Some path ->
        let vars =
@@ -385,7 +489,7 @@ let solve_cmd =
       $ latency $ partitions $ time_limit $ strategy $ no_tighten
       $ no_step_cuts $ fortet $ dot_out $ lp_out $ report_flag $ lint_flag
       $ stats_flag $ jobs_arg $ deterministic_flag $ rc_fix_flag
-      $ propagate_flag $ cuts_flag $ solve_json_flag)
+      $ propagate_flag $ cuts_flag $ solve_json_flag $ trace_out)
 
 (* ---------------- analyze command ---------------- *)
 
@@ -498,6 +602,90 @@ let analyze_cmd =
       $ alpha $ scratch $ latency $ partitions $ no_tighten $ no_step_cuts
       $ fortet $ json_flag)
 
+(* ---------------- trace command ---------------- *)
+
+let trace_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Trace recorded by $(b,tpart solve --trace): JSONL or Chrome \
+           trace_event JSON (auto-detected).")
+
+let with_trace path k =
+  match Ilp.Trace_export.load path with
+  | Error msg ->
+    Format.eprintf "tpart trace: %s@." msg;
+    1
+  | Ok records -> k records
+
+let trace_tree_cmd =
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the tree as JSON instead of DOT.")
+  in
+  let run path json =
+    with_trace path (fun records ->
+        let nodes = Ilp.Trace_export.Tree.of_records records in
+        if json then
+          print_endline (Ilp.Json.to_string (Ilp.Trace_export.Tree.to_json nodes))
+        else print_string (Ilp.Trace_export.Tree.to_dot nodes);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "tree"
+       ~doc:
+         "Dump the branch-and-bound search tree from a trace: Graphviz \
+          DOT (nodes colored by close reason) or JSON with $(b,--json).")
+    Term.(const run $ trace_file_arg $ json_flag)
+
+let trace_summary_cmd =
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the metrics report as JSON.")
+  in
+  let run path json =
+    with_trace path (fun records ->
+        let s = Ilp.Trace_export.Summary.of_records records in
+        if json then
+          print_endline (Ilp.Json.to_string (Ilp.Trace_export.Summary.to_json s))
+        else Format.printf "%a@." Ilp.Trace_export.Summary.pp s;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "summary"
+       ~doc:
+         "Derive the metrics report from a trace: time per phase, node \
+          and pivot totals (matching $(b,--stats) exactly), close-reason \
+          and depth histograms, bound-vs-time convergence.")
+    Term.(const run $ trace_file_arg $ json_flag)
+
+let trace_validate_cmd =
+  let run path =
+    with_trace path (fun records ->
+        match Ilp.Trace_export.check records with
+        | [] ->
+          Format.printf "%s: %d records, stream consistent@." path
+            (Array.length records);
+          0
+        | problems ->
+          List.iter (fun p -> Format.eprintf "%s@." p) problems;
+          Format.eprintf "%s: %d violation(s)@." path (List.length problems);
+          1)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Check a trace against the event schema and the stream \
+          invariants (per-writer monotone timestamps, dense sequence \
+          numbers, matched node open/close); exits 1 on any violation.")
+    Term.(const run $ trace_file_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Inspect structured solver traces recorded by solve --trace.")
+    [ trace_tree_cmd; trace_summary_cmd; trace_validate_cmd ]
+
 (* ---------------- explore command ---------------- *)
 
 let explore_cmd =
@@ -532,4 +720,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "tpart" ~doc ~version:"1.0.0")
-          [ graph_cmd; estimate_cmd; solve_cmd; analyze_cmd; explore_cmd ]))
+          [ graph_cmd; estimate_cmd; solve_cmd; analyze_cmd; explore_cmd;
+            trace_cmd ]))

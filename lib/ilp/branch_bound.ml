@@ -37,6 +37,7 @@ type options = {
   cut_max_age : int;
   pseudocost : bool;
   pc_reliability : int;
+  tracer : Trace.t;
 }
 
 let default_options =
@@ -62,6 +63,7 @@ let default_options =
     cut_max_age = 3;
     pseudocost = false;
     pc_reliability = 1;
+    tracer = Trace.disabled;
   }
 
 type outcome =
@@ -140,6 +142,7 @@ type stats = {
   lp_stats : Simplex.stats;
   workers : worker_stats array;
   deductions : deduction_stats;
+  timeline : (float * float * int) array;
 }
 
 let empty_stats =
@@ -153,6 +156,7 @@ let empty_stats =
     lp_stats = Simplex.empty_stats;
     workers = [||];
     deductions = empty_deductions;
+    timeline = [||];
   }
 
 let fractionality v =
@@ -173,6 +177,10 @@ type node = {
   n_bound : float;
   fresh : int;
   br : (int * bool * float) option;
+  parent : int;
+      (* processed id of the creating node (-1 for the root); ids are
+         assigned by [ctx.bump] at evaluation time, so this is only
+         meaningful for tree reconstruction from the trace *)
 }
 
 let pp_outcome ppf = function
@@ -324,6 +332,9 @@ type incumbent = {
   user_lock : Mutex.t;
   mutable best : (float * float array) option;
   mutable n_incumbents : int;
+  mutable timeline : (float * float * int) list;
+      (* (elapsed, objective, node id) of each improving install, newest
+         first; guarded by [user_lock] *)
 }
 
 let new_incumbent () =
@@ -332,6 +343,7 @@ let new_incumbent () =
     user_lock = Mutex.create ();
     best = None;
     n_incumbents = 0;
+    timeline = [];
   }
 
 (* One search context per driving domain: its own simplex engine, its
@@ -343,6 +355,7 @@ type ctx = {
   inc : incumbent;
   st : Simplex.state;
   push : node -> unit;
+  tw : Trace.writer;  (* this context's single-writer trace buffer *)
   det : bool;
   set_root : bool;  (* this context solves the root relaxation *)
   bump : unit -> int;  (* global node counter; returns the new total *)
@@ -467,7 +480,7 @@ let choose_branch ctx x ~is_fixed =
 (* Install an incumbent; must be called with [inc.user_lock] held.
    Returns whether the global best actually improved (a concurrent
    worker may have installed a better one since the caller's check). *)
-let install ctx obj x ~callback =
+let install ctx ~node_no obj x ~callback =
   let inc = ctx.inc in
   let improves =
     match inc.best with None -> true | Some (b, _) -> obj < b -. 1e-9
@@ -476,6 +489,10 @@ let install ctx obj x ~callback =
     inc.best <- Some (obj, Array.copy x);
     Atomic.set inc.best_obj obj;
     inc.n_incumbents <- inc.n_incumbents + 1;
+    inc.timeline <-
+      (Mono.elapsed_since ctx.env.t0, obj, node_no) :: inc.timeline;
+    if Trace.active ctx.tw then
+      Trace.emit ctx.tw (Trace.Incumbent { node = node_no; obj });
     if callback then
       match ctx.env.opts.on_incumbent with
       | Some f -> f obj x
@@ -483,9 +500,11 @@ let install ctx obj x ~callback =
   end;
   improves
 
-let locked_install ?(locked = false) ctx obj x ~callback =
-  if locked then install ctx obj x ~callback
-  else Mutex.protect ctx.inc.user_lock (fun () -> install ctx obj x ~callback)
+let locked_install ?(locked = false) ctx ~node_no obj x ~callback =
+  if locked then install ctx ~node_no obj x ~callback
+  else
+    Mutex.protect ctx.inc.user_lock (fun () ->
+        install ctx ~node_no obj x ~callback)
 
 (* Full acceptance path: feasibility-checked, fires [on_incumbent].
    [locked] marks calls made from inside [run_hook], which already
@@ -500,7 +519,7 @@ let accept_incumbent ?(locked = false) ctx ~node_no ~depth x =
        original rows and root bounds. *)
     if Feas_check.is_feasible ~tol:1e-5 ctx.env.lp x then begin
       if ctx.det && obj < ctx.local_best then ctx.local_best <- obj;
-      if locked_install ~locked ctx obj x ~callback:true then begin
+      if locked_install ~locked ctx ~node_no obj x ~callback:true then begin
         ctx.k_incumbents <- ctx.k_incumbents + 1;
         Log.info (fun f ->
             f "incumbent %g at node %d depth %d" obj node_no depth)
@@ -514,10 +533,10 @@ let accept_incumbent ?(locked = false) ctx ~node_no ~depth x =
 (* Loose acceptance used when every integer variable is integral within
    the branching tolerance: no feasibility re-check, no callback
    (mirrors the historical sequential behavior exactly). *)
-let accept_loose ctx obj x =
+let accept_loose ctx ~node_no obj x =
   if obj < best_seen ctx -. 1e-9 then begin
     if ctx.det && obj < ctx.local_best then ctx.local_best <- obj;
-    if locked_install ctx obj x ~callback:false then
+    if locked_install ctx ~node_no obj x ~callback:false then
       ctx.k_incumbents <- ctx.k_incumbents + 1
   end
 
@@ -591,6 +610,22 @@ let process_node ctx node =
   let nno = ctx.bump () in
   ctx.k_nodes <- ctx.k_nodes + 1;
   if node.depth > ctx.k_max_depth then ctx.k_max_depth <- node.depth;
+  if Trace.active ctx.tw then
+    Trace.emit ctx.tw
+      (Trace.Node_open
+         {
+           id = nno;
+           parent = node.parent;
+           depth = node.depth;
+           bound = node.n_bound;
+         });
+  (* Every exit path below closes the node with its reason; [obj] is the
+     node LP objective, [nan] when the LP never produced one. *)
+  let close reason ~obj step =
+    if Trace.active ctx.tw then
+      Trace.emit ctx.tw (Trace.Node_close { id = nno; obj; reason });
+    step
+  in
   (* The node's bounds: root bounds overwritten by the node's fixes
      (most recent first, so apply in reverse). *)
   let lb = Array.copy env.root_lb and ub = Array.copy env.root_ub in
@@ -612,7 +647,7 @@ let process_node ctx node =
             (List.filteri (fun i _ -> i < node.fresh) node.fixes
             |> List.map (fun (j, _, _) -> j))
       in
-      match Propagate.run prop ~lb ~ub ?seeds () with
+      match Propagate.run prop ~lb ~ub ?seeds ~trace:ctx.tw () with
       | Propagate.Ok d ->
         if d.Propagate.fixes <> [] then
           ignore
@@ -630,7 +665,7 @@ let process_node ctx node =
   match propagation with
   | None ->
     Log.debug (fun f -> f "node %d pruned by propagation" nno);
-    Step_ok
+    close Trace.Prop_pruned ~obj:Float.nan Step_ok
   | Some prop_fixes ->
     for j = 0 to env.nvars - 1 do
       Simplex.set_var_bounds ctx.st j ~lb:lb.(j) ~ub:ub.(j)
@@ -664,16 +699,17 @@ let process_node ctx node =
       && res.Simplex.dual_res <= 1e-6
     in
     (match res.Simplex.status with
-     | Simplex.Infeasible -> Step_ok
+     | Simplex.Infeasible ->
+       close Trace.Infeasible_node ~obj:Float.nan Step_ok
      | Simplex.Iter_limit when not usable_limit ->
        Log.warn (fun f ->
            f "node %d unsolvable numerically; reporting limit" nno);
-       Step_numeric
+       close Trace.Numeric ~obj:Float.nan Step_numeric
      | Simplex.Unbounded ->
        (* An unbounded relaxation at the root of an all-binary model
           means the MILP itself is unbounded or infeasible (branching
           cannot repair an unbounded LP). *)
-       Step_unbounded
+       close Trace.Unbounded_node ~obj:Float.nan Step_unbounded
      | Simplex.Optimal | Simplex.Iter_limit ->
        (* Iter_limit only reaches here residual-certified; relax its
           objective by a margin so near-optimality cannot prune a
@@ -687,12 +723,18 @@ let process_node ctx node =
        let hook_says_prune =
          run_hook ctx ~node_no:nno ~depth:node.depth x ~is_fixed
        in
-       if hook_says_prune then Step_ok
-       else if obj >= cutoff ctx then Step_ok (* dominated *)
+       if hook_says_prune then close Trace.Hook_pruned ~obj Step_ok
+       else if obj >= cutoff ctx then
+         close Trace.Bound_pruned ~obj Step_ok (* dominated *)
        else begin
-         if is_integral env x then
+         let integral = is_integral env x in
+         if integral then
            accept_incumbent ctx ~node_no:nno ~depth:node.depth x;
-         if obj >= cutoff ctx then Step_ok (* the fresh incumbent closed it *)
+         if obj >= cutoff ctx then
+           (* the fresh incumbent closed it *)
+           close
+             (if integral then Trace.Integral else Trace.Bound_pruned)
+             ~obj Step_ok
          else begin
            (* Reduced-cost fixing: at a certified LP optimum with
               objective [obj], a nonbasic 0-1 variable whose reduced
@@ -740,8 +782,8 @@ let process_node ctx node =
            | None ->
              (* All integer variables integral within a looser tolerance
                 than is_integral used: accept as incumbent. *)
-             accept_loose ctx obj x;
-             Step_ok
+             accept_loose ctx ~node_no:nno obj x;
+             close Trace.Integral ~obj Step_ok
            | Some j ->
              let v = x.(j) in
              (* Current node bounds for j (deductions included). *)
@@ -755,6 +797,7 @@ let process_node ctx node =
                  n_bound = obj;
                  fresh = nfresh;
                  br;
+                 parent = nno;
                }
              in
              (if fractionality v <= opts.int_tol then begin
@@ -806,7 +849,9 @@ let process_node ctx node =
                   ctx.push down;
                   ctx.push up
               end);
-             Step_ok
+             close
+               (Trace.Branched { var = j; frac = fractionality v })
+               ~obj Step_ok
          end
        end)
 
@@ -820,7 +865,7 @@ let process_node ctx node =
    deterministic function of the model. *)
 let max_cuts_per_round = 32
 
-let cut_and_branch opts lp t0 =
+let cut_and_branch opts lp t0 tw =
   let pool = Cuts.create_pool () in
   (* Root cutting must leave time for the search: cap the loop at a
      quarter of the time limit so a large model's LP re-solves cannot
@@ -870,13 +915,23 @@ let cut_and_branch opts lp t0 =
       if evict <> [] then Cuts.note_evicted pool evict;
       active := keep;
       let fresh =
-        Cuts.pool_add pool (List.map snd (Cuts.separate lp ~x:res.Simplex.x))
+        Cuts.pool_add pool
+          (List.map snd (Cuts.separate ~trace:tw lp ~x:res.Simplex.x))
       in
       if fresh = [] then continue_ := false
       else begin
         active :=
           !active @ List.filteri (fun i _ -> i < max_cuts_per_round) fresh;
-        incr rounds
+        incr rounds;
+        if Trace.active tw then
+          Trace.emit tw
+            (Trace.Cut_round
+               {
+                 round = !rounds;
+                 separated = List.length fresh;
+                 active = List.length !active;
+                 evicted = List.length evict;
+               })
       end
     end
   done;
@@ -937,7 +992,14 @@ let make_env options lp t0 ~cuts_info =
 let finitize b = if Float.is_finite b then b else Float.neg_infinity
 
 let root_node =
-  { fixes = []; depth = 0; n_bound = Float.neg_infinity; fresh = 0; br = None }
+  {
+    fixes = [];
+    depth = 0;
+    n_bound = Float.neg_infinity;
+    fresh = 0;
+    br = None;
+    parent = -1;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Sequential driver (jobs = 1): the historical search, node for node. *)
@@ -945,6 +1007,8 @@ let root_node =
 let solve_sequential env =
   let opts = env.opts in
   let st = Simplex.create ~backend:opts.lp_backend env.lp in
+  let tw = Trace.main opts.tracer in
+  Simplex.set_trace st tw;
   let pivots0 = Simplex.total_pivots st in
   let inc = new_incumbent () in
   let nodes = ref 0 in
@@ -981,6 +1045,7 @@ let solve_sequential env =
       inc;
       st;
       push;
+      tw;
       det = false;
       set_root = true;
       bump =
@@ -1000,6 +1065,7 @@ let solve_sequential env =
     }
   in
   push root_node;
+  if Trace.active tw then Trace.emit tw (Trace.Span_begin "search");
   let result = ref None in
   let unbounded = ref false in
   let limit node =
@@ -1028,6 +1094,7 @@ let solve_sequential env =
           result := Some Unbounded
         | Step_numeric -> result := Some (limit node))
   done;
+  if Trace.active tw then Trace.emit tw (Trace.Span_end "search");
   let stats =
     {
       nodes = !nodes;
@@ -1039,6 +1106,7 @@ let solve_sequential env =
       lp_stats = Simplex.stats st;
       workers = [||];
       deductions = deduction_totals env.ded;
+      timeline = Array.of_list (List.rev inc.timeline);
     }
   in
   (Option.get !result, stats)
@@ -1064,6 +1132,8 @@ let solve_parallel env =
   let opts = env.opts in
   let jobs = opts.jobs in
   let st0 = Simplex.create ~backend:opts.lp_backend env.lp in
+  let tw0 = Trace.main opts.tracer in
+  Simplex.set_trace st0 tw0;
   let pivots0 = Simplex.total_pivots st0 in
   let inc = new_incumbent () in
   let nodes = Atomic.make 0 in
@@ -1083,6 +1153,7 @@ let solve_parallel env =
       inc;
       st = st0;
       push = (fun nd -> Pool.Deque.push seed_dq nd);
+      tw = tw0;
       det = false;
       set_root = true;
       bump;
@@ -1099,6 +1170,7 @@ let solve_parallel env =
     }
   in
   Pool.Deque.push seed_dq root_node;
+  if Trace.active tw0 then Trace.emit tw0 (Trace.Span_begin "seed");
   let target = 4 * jobs in
   while
     Atomic.get stop_flag = 0
@@ -1124,6 +1196,7 @@ let solve_parallel env =
           Pool.Deque.push seed_dq node;
           flag_stop 3)
   done;
+  if Trace.active tw0 then Trace.emit tw0 (Trace.Span_end "seed");
   let seeds = Pool.Deque.to_list seed_dq in
   let spawn_workers = Atomic.get stop_flag = 0 && seeds <> [] in
   let pool : node Pool.t option =
@@ -1146,6 +1219,12 @@ let solve_parallel env =
     let local : node Pool.Deque.t = Pool.Deque.create () in
     List.iter (Pool.Deque.push local) (List.rev my_seeds);
     let st = Simplex.create ~backend:opts.lp_backend env.lp in
+    (* Registered from inside the spawned domain: this domain is the
+       buffer's single writer for the whole search. *)
+    let tw =
+      Trace.make_writer opts.tracer (Printf.sprintf "worker %d" wi)
+    in
+    Simplex.set_trace st tw;
     let steals = ref 0 and handoffs = ref 0 and idle = ref 0. in
     (* Worker-private pseudo-cost tables: no sharing, no timing
        dependence — deterministic-mode node counts stay reproducible. *)
@@ -1156,6 +1235,7 @@ let solve_parallel env =
         inc;
         st;
         push = (fun nd -> Pool.Deque.push local nd);
+        tw;
         det = opts.deterministic;
         set_root = false;
         bump;
@@ -1221,11 +1301,13 @@ let solve_parallel env =
               handle node;
               drive ()))
     in
+    if Trace.active tw then Trace.emit tw (Trace.Span_begin "worker");
     (try drive ()
      with e ->
        ignore (Atomic.compare_and_set failure None (Some e));
        flag_stop 3;
        Option.iter Pool.stop pool);
+    if Trace.active tw then Trace.emit tw (Trace.Span_end "worker");
     let r_open =
       Pool.Deque.fold (fun acc nd -> Float.min acc nd.n_bound) Float.infinity local
     in
@@ -1312,6 +1394,7 @@ let solve_parallel env =
       lp_stats;
       workers = Array.map (fun r -> r.r_ws) rets;
       deductions = deduction_totals env.ded;
+      timeline = Array.of_list (List.rev inc.timeline);
     }
   in
   (outcome, stats)
@@ -1326,7 +1409,10 @@ let solve ?(options = default_options) lp =
      propagation kernel. *)
   let lp, cuts_info =
     if options.cuts then begin
-      let lp', pool, active, rounds = cut_and_branch options lp t0 in
+      let tw = Trace.main options.tracer in
+      if Trace.active tw then Trace.emit tw (Trace.Span_begin "cuts");
+      let lp', pool, active, rounds = cut_and_branch options lp t0 tw in
+      if Trace.active tw then Trace.emit tw (Trace.Span_end "cuts");
       Log.info (fun f ->
           f "cut-and-branch: %d rounds, %d active cuts" rounds
             (List.length active));

@@ -137,6 +137,17 @@ type options = {
   pc_reliability : int;
       (** Observations per direction before a variable's pseudo-costs
           are trusted (default 1). *)
+  tracer : Trace.t;
+      (** Structured tracing (default {!Trace.disabled}, costing one
+          branch per instrumentation site). When enabled, the search
+          records node open/close events (with parent ids and close
+          reasons), LP solves, LU (re)factorizations, propagation runs,
+          cut separation and incumbents into per-domain single-writer
+          buffers: the sequential driver and the parallel seeding phase
+          write to the tracer's ["main"] track, and each worker domain
+          registers its own ["worker i"] track from inside its domain.
+          Collect with {!Trace.collect} after {!solve} returns and
+          export through {!Trace_export}. *)
 }
 
 val default_options : options
@@ -206,6 +217,11 @@ type stats = {
   deductions : deduction_stats;
       (** Node-deduction counters (all zero when the corresponding
           options are off). *)
+  timeline : (float * float * int) array;
+      (** The incumbent timeline: one [(elapsed seconds, objective,
+          node id)] triple per improving incumbent, in installation
+          order. The last entry's objective equals the final incumbent
+          objective. *)
 }
 
 val empty_stats : stats

@@ -265,8 +265,27 @@ let separate_cliques lp ~x =
 
 (* Both separators, as (violation, cut) sorted most-violated first with
    a deterministic tie-break on the (sorted) support. *)
-let separate lp ~x =
-  let scored = separate_covers lp ~x @ separate_cliques lp ~x in
+let separate ?(trace = Trace.null_writer) lp ~x =
+  let covers = separate_covers lp ~x in
+  let cliques = separate_cliques lp ~x in
+  if Trace.active trace then begin
+    let best l = List.fold_left (fun m (v, _) -> Float.max m v) 0. l in
+    Trace.emit trace
+      (Trace.Cut_sep
+         {
+           family = "cover";
+           found = List.length covers;
+           best_violation = best covers;
+         });
+    Trace.emit trace
+      (Trace.Cut_sep
+         {
+           family = "clique";
+           found = List.length cliques;
+           best_violation = best cliques;
+         })
+  end;
+  let scored = covers @ cliques in
   List.sort
     (fun (v1, c1) (v2, c2) ->
       if v1 <> v2 then compare v2 v1 else compare c1.idx c2.idx)

@@ -42,10 +42,12 @@ val violation : cut -> float array -> float
 (** [violation c x] is [coef . x - rhs] at the point [x]: positive means
     the cut is violated there. *)
 
-val separate : Lp.t -> x:float array -> (float * cut) list
+val separate : ?trace:Trace.writer -> Lp.t -> x:float array -> (float * cut) list
 (** All violated cover and clique cuts at the fractional point [x],
     paired with their violation and sorted most-violated first (ties
-    broken on the support, deterministically). *)
+    broken on the support, deterministically). When [trace] is an
+    active writer, one {!Trace.Cut_sep} event is emitted per family
+    (cover, clique) with the count found and the best violation. *)
 
 val separate_covers : Lp.t -> x:float array -> (float * cut) list
 val separate_cliques : Lp.t -> x:float array -> (float * cut) list

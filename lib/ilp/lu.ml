@@ -50,7 +50,9 @@ let check_owner lu op =
          lu.owner
          (Domain.self () :> int))
 
-let factor (a : Sparse.Csc.mat) (basis : int array) =
+let factor ?(trace = Trace.null_writer) (a : Sparse.Csc.mat)
+    (basis : int array) =
+  let t_start = if Trace.active trace then Mono.now () else 0. in
   let m = Array.length basis in
   if a.Sparse.Csc.nrows <> m then invalid_arg "Lu.factor: dimension mismatch";
   (* Active submatrix as dual hash maps: per-slot row->value columns and
@@ -160,6 +162,9 @@ let factor (a : Sparse.Csc.mat) (basis : int array) =
       u_val.(step) <- Array.of_list (List.map snd !uent);
       fill := !fill + List.length !lent + List.length !uent
   done;
+  if Trace.active trace then
+    Trace.emit trace
+      (Trace.Lu_factor { fill = !fill; dt = Mono.now () -. t_start });
   {
     m;
     owner = (Domain.self () :> int);

@@ -34,11 +34,13 @@ exception Singular
     [>= 1e-11]) remains, or {!update} was given a pivot below that
     threshold. *)
 
-val factor : Sparse.Csc.mat -> int array -> t
+val factor : ?trace:Trace.writer -> Sparse.Csc.mat -> int array -> t
 (** [factor a basis] factorizes the [m x m] basis matrix, where
     [m = Array.length basis] and each [basis.(j)] names a column of
     [a]. The eta file starts empty. Raises {!Singular}; raises
-    [Invalid_argument] when [a]'s row dimension differs from [m]. *)
+    [Invalid_argument] when [a]'s row dimension differs from [m].
+    When [trace] is an active writer a {!Trace.Lu_factor} event (fill,
+    wall time) is emitted on completion. *)
 
 val ftran : t -> float array -> unit
 (** [ftran lu b] solves [B x = b] in place: on entry [b] is a dense

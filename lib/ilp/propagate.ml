@@ -171,7 +171,7 @@ type outcome =
   | Empty_domain of int
   | Conflict of string
 
-let run t ~lb ~ub ?seeds ?max_steps () =
+let run t ~lb ~ub ?seeds ?max_steps ?(trace = Trace.null_writer) () =
   let nrows = Array.length t.rows in
   let max_steps =
     match max_steps with Some s -> s | None -> Int.max 256 (64 * nrows)
@@ -206,12 +206,29 @@ let run t ~lb ~ub ?seeds ?max_steps () =
           Array.iter enqueue t.var_rows.(j));
       if !moved_any && t.rows.(ri).local then incr local_hits
     done;
-    Ok
-      {
-        fixes = List.rev_map (fun j -> (j, lb.(j), ub.(j))) !order;
-        local_hits = !local_hits;
-        steps = !steps;
-      }
+    let fixes = List.rev_map (fun j -> (j, lb.(j), ub.(j))) !order in
+    if Trace.active trace then
+      Trace.emit trace
+        (Trace.Prop_run
+           {
+             steps = !steps;
+             fixings = List.length fixes;
+             local_hits = !local_hits;
+             conflict = false;
+           });
+    Ok { fixes; local_hits = !local_hits; steps = !steps }
   with
-  | Empty j -> Empty_domain j
-  | Conflict_row name -> Conflict name
+  | (Empty _ | Conflict_row _) as e ->
+    if Trace.active trace then
+      Trace.emit trace
+        (Trace.Prop_run
+           {
+             steps = !steps;
+             fixings = 0;
+             local_hits = !local_hits;
+             conflict = true;
+           });
+    (match e with
+     | Empty j -> Empty_domain j
+     | Conflict_row name -> Conflict name
+     | _ -> assert false)

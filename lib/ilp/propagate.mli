@@ -80,6 +80,7 @@ val run :
   ub:float array ->
   ?seeds:int list ->
   ?max_steps:int ->
+  ?trace:Trace.writer ->
   unit ->
   outcome
 (** Worklist propagation to a fixpoint, mutating [lb]/[ub] in place.
@@ -89,4 +90,9 @@ val run :
     When [seeds] is omitted every row is enqueued (the presolve mode).
     [max_steps] (default [max 256 (64 * num_rows)]) bounds total row
     evaluations; the bounds reached when the budget runs out are still
-    valid, just not necessarily a fixpoint. *)
+    valid, just not necessarily a fixpoint.
+
+    When [trace] is an active writer, one {!Trace.Prop_run} event is
+    emitted per call — including conflicting runs, where [fixings] is
+    reported as [0] (the partial tightenings are discarded by the
+    caller anyway). *)

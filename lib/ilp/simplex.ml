@@ -108,6 +108,7 @@ type state = {
   mutable rf_residual : int;
   mutable t_ftran : float;
   mutable t_btran : float;
+  mutable trace : Trace.writer;
 }
 
 (* Tolerances. The models we target have small integer coefficients, so
@@ -163,7 +164,23 @@ let pp_status ppf = function
 let slack_col st i = st.nstruct + i
 let art_col st i = st.nstruct + st.m + i
 
-let now () = Unix.gettimeofday ()
+(* All engine timing flows through the monotonicized shared clock so the
+   per-worker ftran/btran totals and idle accounting in Branch_bound are
+   mutually consistent across domains. *)
+let now = Mono.now
+let set_trace st w = st.trace <- w
+
+(* A refactorization trigger fired; the matching {!Trace.Lu_factor}
+   event follows from [Lu.factor] itself. *)
+let emit_refactor st trigger =
+  if Trace.active st.trace then begin
+    let etas =
+      match st.repr with
+      | Rsparse { lu = Some lu } -> Lu.eta_count lu
+      | Rsparse { lu = None } | Rdense _ -> 0
+    in
+    Trace.emit st.trace (Trace.Lu_refactor { trigger; etas })
+  end
 
 let create ?(backend = Sparse_lu) lp =
   let m = Lp.num_constrs lp in
@@ -257,6 +274,7 @@ let create ?(backend = Sparse_lu) lp =
     rf_residual = 0;
     t_ftran = 0.;
     t_btran = 0.;
+    trace = Trace.null_writer;
   }
 
 let set_var_bounds st j ~lb ~ub =
@@ -347,7 +365,7 @@ let fresh_factor st =
       done
     done
   | Rsparse box -> (
-    match Lu.factor st.mat st.basis with
+    match Lu.factor ~trace:st.trace st.mat st.basis with
     | lu ->
       box.lu <- Some lu;
       st.last_fill <- Lu.fill lu
@@ -416,6 +434,7 @@ let rec compute_xb st =
        let scale = 1. +. Vec.nrm_inf st.tmp in
        if !res > res_tol *. scale then begin
          st.rf_residual <- st.rf_residual + 1;
+         emit_refactor st Trace.Rf_residual;
          refactor st
        end
      end)
@@ -762,6 +781,7 @@ let primal_loop st costs max_iters =
               factorization. *)
            if Float.abs st.w.(r) < ptol then begin
              st.rf_numeric <- st.rf_numeric + 1;
+             emit_refactor st Trace.Rf_numeric;
              refactor st;
              (* retry this iteration with a clean factorization *)
              ()
@@ -779,6 +799,7 @@ let primal_loop st costs max_iters =
              st.pivots_since_refactor <- st.pivots_since_refactor + 1;
              if due_refresh st then begin
                st.rf_eta <- st.rf_eta + 1;
+               emit_refactor st Trace.Rf_eta;
                refactor st
              end;
              if t <= 1e-9 then begin
@@ -900,6 +921,7 @@ and primal_once ~max_iters st =
         if infeas > 1e-6 && st.pivots_since_refactor > 0 then begin
           (* guard against drift-faked infeasibility *)
           st.rf_numeric <- st.rf_numeric + 1;
+          emit_refactor st Trace.Rf_numeric;
           refactor st;
           let _, it = primal_loop st phase1_cost max_iters in
           iters1 := !iters1 + it;
@@ -1027,6 +1049,7 @@ let dual_loop st max_iters =
              factorization before trusting it. *)
           if st.pivots_since_refactor > 0 then begin
             st.rf_numeric <- st.rf_numeric + 1;
+            emit_refactor st Trace.Rf_numeric;
             refactor st;
             incr iters
           end
@@ -1038,6 +1061,7 @@ let dual_loop st max_iters =
           let alpha = st.w.(r) in
           if Float.abs alpha < ptol then begin
             st.rf_numeric <- st.rf_numeric + 1;
+            emit_refactor st Trace.Rf_numeric;
             refactor st;
             incr iters (* retry after refactorization *)
           end
@@ -1059,18 +1083,21 @@ let dual_loop st max_iters =
             st.pivots_since_refactor <- st.pivots_since_refactor + 1;
             if due_refresh st then begin
               st.rf_eta <- st.rf_eta + 1;
+              emit_refactor st Trace.Rf_eta;
               refactor st
             end
           end)
   done;
   (Option.get !outcome, !iters)
 
-let primal ?(max_iters = 200_000) st =
-  check_owner st "primal";
-  primal_guarded ~max_iters ~attempt:0 st
+let primal_core ~max_iters st = primal_guarded ~max_iters ~attempt:0 st
 
-let dual_reopt ?(max_iters = 200_000) st =
-  check_owner st "dual_reopt";
+(* Internal fallbacks below call [primal_core] directly so a traced
+   [dual_reopt] reports one event covering the whole re-optimization
+   (including any primal restart); pivots are measured as the
+   [total_pivots] delta, so summed event pivots equal the engine's
+   pivot counter exactly. *)
+let dual_reopt_core ~max_iters st =
   match
     (revalidate_nonbasic st;
      st.ncand <- 0;
@@ -1080,11 +1107,11 @@ let dual_reopt ?(max_iters = 200_000) st =
   with
   | exception Singular_basis ->
     Log.warn (fun f -> f "singular basis in warm start; primal restart");
-    primal ~max_iters st
+    primal_core ~max_iters st
   | `Infeasible, it -> mk_result st Infeasible ~iterations:it
   | `Stalled, _ ->
     Log.debug (fun f -> f "dual re-optimization stalled; primal restart");
-    primal ~max_iters st
+    primal_core ~max_iters st
   | `Primal_feasible, it1 -> (
     (* The dual loop restored primal feasibility; a primal clean-up pass
        certifies optimality (the warm basis may not be dual feasible,
@@ -1092,11 +1119,40 @@ let dual_reopt ?(max_iters = 200_000) st =
     match primal_loop st st.cost (max_iters - it1) with
     | exception Singular_basis ->
       Log.warn (fun f -> f "singular basis in clean-up; primal restart");
-      primal ~max_iters st
+      primal_core ~max_iters st
     | status, it2 ->
     (match status with
      | Optimal | Unbounded | Iter_limit ->
        mk_result st status ~iterations:(it1 + it2)
      | Infeasible -> assert false (* primal_loop never returns Infeasible *)))
+
+let emit_lp_solve st kind ~pivots0 ~t0 (r : result) =
+  Trace.emit st.trace
+    (Trace.Lp_solve
+       {
+         kind;
+         pivots = st.total_pivots - pivots0;
+         obj = r.obj;
+         primal_res = r.primal_res;
+         dual_res = r.dual_res;
+         dt = now () -. t0;
+       });
+  r
+
+let primal ?(max_iters = 200_000) st =
+  check_owner st "primal";
+  if not (Trace.active st.trace) then primal_core ~max_iters st
+  else begin
+    let t0 = now () and pivots0 = st.total_pivots in
+    emit_lp_solve st Trace.Lp_primal ~pivots0 ~t0 (primal_core ~max_iters st)
+  end
+
+let dual_reopt ?(max_iters = 200_000) st =
+  check_owner st "dual_reopt";
+  if not (Trace.active st.trace) then dual_reopt_core ~max_iters st
+  else begin
+    let t0 = now () and pivots0 = st.total_pivots in
+    emit_lp_solve st Trace.Lp_dual ~pivots0 ~t0 (dual_reopt_core ~max_iters st)
+  end
 
 let solve ?backend ?max_iters lp = primal ?max_iters (create ?backend lp)

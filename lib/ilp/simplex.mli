@@ -124,6 +124,16 @@ val set_var_bounds : state -> int -> lb:float -> ub:float -> unit
 
 val get_var_bounds : state -> int -> float * float
 
+val set_trace : state -> Trace.writer -> unit
+(** Routes engine telemetry to a {!Trace} writer: one
+    {!Trace.Lp_solve} event per {!primal}/{!dual_reopt} call (pivots
+    measured as the {!total_pivots} delta, so summed event pivots equal
+    the engine counter exactly — internal fallbacks are folded into the
+    enclosing event), plus {!Trace.Lu_factor}/{!Trace.Lu_refactor}
+    events from the basis kernel. The default is
+    {!Trace.null_writer}: each instrumentation site then costs a single
+    branch. The writer must belong to the engine's owning domain. *)
+
 val primal : ?max_iters:int -> state -> result
 (** Full primal solve from a fresh slack basis (phase I + phase II).
     Always safe to call. *)

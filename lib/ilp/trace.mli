@@ -1,0 +1,143 @@
+(** Structured tracing for the solver stack.
+
+    A {!t} (tracer) owns one append-only event buffer per participating
+    domain. Each buffer is single-writer: the domain that registered it
+    is the only one that ever appends, so recording is lock-free on the
+    hot path (registration itself takes a mutex, but happens once per
+    worker). Buffers grow geometrically up to a per-writer capacity;
+    past it the ring wraps, overwriting the oldest events and counting
+    the overwritten ones in {!dropped} — a bounded-memory guarantee, not
+    a silent loss.
+
+    Timestamps come from {!Mono}, so they are monotone {e per writer and
+    across domains}, and are recorded relative to the tracer's creation
+    time.
+
+    The disabled tracer costs one branch per event at every
+    instrumentation site: call sites guard with [if Trace.active w then
+    Trace.emit w (…)], and [active] is a single pattern match on an
+    immediate — no allocation, no call when tracing is off (the event
+    constructor argument is never built). See docs/OBSERVABILITY.md for
+    the event taxonomy and measured overhead.
+
+    Sinks (JSONL, Chrome [trace_event], in-memory summary) live in
+    {!Trace_export}. *)
+
+(** {1 Event taxonomy} *)
+
+type lp_kind =
+  | Lp_primal  (** Cold solve from a fresh slack basis. *)
+  | Lp_dual  (** Warm dual re-optimization after bound changes. *)
+
+type refactor_trigger = Rf_eta | Rf_numeric | Rf_residual
+
+type close_reason =
+  | Branched of { var : int; frac : float }
+      (** Children pushed; [var] is the branching variable, [frac] its
+          fractionality in the node relaxation. *)
+  | Integral  (** Relaxation integral: incumbent candidate. *)
+  | Infeasible_node
+  | Bound_pruned  (** Objective at or above the incumbent cutoff. *)
+  | Hook_pruned  (** Problem-specific completion hook pruned the subtree. *)
+  | Prop_pruned  (** Domain propagation found a conflict before any pivot. *)
+  | Unbounded_node  (** The relaxation is unbounded: the search stops. *)
+  | Numeric  (** Uncertified iteration limit: search stops soundly. *)
+
+type event =
+  | Node_open of { id : int; parent : int; depth : int; bound : float }
+      (** A branch-and-bound node starts evaluation. [parent] is the
+          processed id of the node that created it ([-1] for the root);
+          [bound] the parent LP objective (a valid lower bound). *)
+  | Node_close of { id : int; obj : float; reason : close_reason }
+      (** Evaluation finished. [obj] is the node LP objective ([nan]
+          when the LP was not solved, e.g. propagation pruned it). *)
+  | Lp_solve of {
+      kind : lp_kind;
+      pivots : int;
+      obj : float;
+      primal_res : float;
+      dual_res : float;
+      dt : float;  (** Seconds spent inside the simplex entry point. *)
+    }
+  | Lu_factor of { fill : int; dt : float }
+      (** A fresh sparse LU factorization completed. *)
+  | Lu_refactor of { trigger : refactor_trigger; etas : int }
+      (** A refactorization was triggered; [etas] is the eta-file length
+          discarded. *)
+  | Cut_sep of { family : string; found : int; best_violation : float }
+      (** One separation call for one cut family at the root. *)
+  | Cut_round of { round : int; separated : int; active : int; evicted : int }
+      (** One root cut-and-branch round completed. *)
+  | Prop_run of { steps : int; fixings : int; local_hits : int; conflict : bool }
+      (** One per-node propagation run ([steps] row evaluations). *)
+  | Incumbent of { node : int; obj : float }
+      (** An improving incumbent was installed. *)
+  | Span_begin of string
+  | Span_end of string
+      (** Named phase spans (seed / search / worker / presolve / …);
+          properly nested per writer. *)
+
+(** {1 Tracer and writers} *)
+
+type t
+type writer
+
+val disabled : t
+(** The no-op tracer: [enabled] is [false], [main] is {!null_writer}. *)
+
+val create : ?capacity:int -> unit -> t
+(** A live tracer. [capacity] (default [2^20], rounded up to a power of
+    two) bounds the events retained {e per writer}; beyond it the oldest
+    events are overwritten and counted. *)
+
+val enabled : t -> bool
+
+val null_writer : writer
+(** Swallows everything; [active] is [false]. *)
+
+val active : writer -> bool
+(** The one-branch guard: call before building an event. *)
+
+val main : t -> writer
+(** The tracer's pre-registered writer for the calling/sequential track
+    (named ["main"]); {!null_writer} for {!disabled}. *)
+
+val make_writer : t -> string -> writer
+(** Registers a fresh single-writer buffer (one per worker domain;
+    call it from the domain that will write). Thread-safe. Returns
+    {!null_writer} on a disabled tracer. *)
+
+val emit : writer -> event -> unit
+(** Appends the event with the current {!Mono} timestamp. Must only be
+    called from the domain that registered the writer. *)
+
+val dropped : t -> int
+(** Total events overwritten across all writers (0 in healthy runs). *)
+
+(** {1 Collection} *)
+
+type record = {
+  dom : int;  (** Writer index in registration order; 0 is ["main"]. *)
+  dname : string;  (** Writer name. *)
+  seq : int;  (** Per-writer emission counter (dense from 0 unless the
+                  ring wrapped). *)
+  ts : float;  (** Seconds since tracer creation; monotone per writer. *)
+  ev : event;
+}
+
+val collect : t -> record array
+(** Merges every writer's buffer, sorted by [(ts, dom, seq)]. Call only
+    after all writers have quiesced (e.g. worker domains joined). *)
+
+val writer_names : t -> string array
+(** Names in registration order (indexable by [record.dom]). *)
+
+val pp_event : Format.formatter -> event -> unit
+(** One-line human rendering (used by logs and tests). *)
+
+(** {1 Canonical names} — shared by the sinks and the schema validator
+    so every rendering of a trace agrees on the vocabulary. *)
+
+val lp_kind_name : lp_kind -> string
+val trigger_name : refactor_trigger -> string
+val reason_name : close_reason -> string

@@ -1,0 +1,1052 @@
+type sink = {
+  on_record : Trace.record -> unit;
+  on_close : unit -> unit;
+}
+
+let run s records =
+  Array.iter s.on_record records;
+  s.on_close ()
+
+(* ------------------------------------------------------------------ *)
+(* JSONL codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let num v = Json.Num v
+let inum i = Json.Num (float_of_int i)
+
+let record_to_json (r : Trace.record) =
+  let payload =
+    match r.ev with
+    | Trace.Node_open { id; parent; depth; bound } ->
+      [
+        ("type", Json.Str "node_open");
+        ("id", inum id);
+        ("parent", inum parent);
+        ("depth", inum depth);
+        ("bound", num bound);
+      ]
+    | Node_close { id; obj; reason } ->
+      let branch =
+        match reason with
+        | Branched { var; frac } -> [ ("var", inum var); ("frac", num frac) ]
+        | _ -> []
+      in
+      [
+        ("type", Json.Str "node_close");
+        ("id", inum id);
+        ("obj", if Float.is_nan obj then Json.Null else num obj);
+        ("reason", Json.Str (Trace.reason_name reason));
+      ]
+      @ branch
+    | Lp_solve { kind; pivots; obj; primal_res; dual_res; dt } ->
+      [
+        ("type", Json.Str "lp_solve");
+        ("kind", Json.Str (Trace.lp_kind_name kind));
+        ("pivots", inum pivots);
+        ("obj", if Float.is_nan obj then Json.Null else num obj);
+        ("primal_res", num primal_res);
+        ("dual_res", num dual_res);
+        ("dt", num dt);
+      ]
+    | Lu_factor { fill; dt } ->
+      [ ("type", Json.Str "lu_factor"); ("fill", inum fill); ("dt", num dt) ]
+    | Lu_refactor { trigger; etas } ->
+      [
+        ("type", Json.Str "lu_refactor");
+        ("trigger", Json.Str (Trace.trigger_name trigger));
+        ("etas", inum etas);
+      ]
+    | Cut_sep { family; found; best_violation } ->
+      [
+        ("type", Json.Str "cut_sep");
+        ("family", Json.Str family);
+        ("found", inum found);
+        ("best_violation", num best_violation);
+      ]
+    | Cut_round { round; separated; active; evicted } ->
+      [
+        ("type", Json.Str "cut_round");
+        ("round", inum round);
+        ("separated", inum separated);
+        ("active", inum active);
+        ("evicted", inum evicted);
+      ]
+    | Prop_run { steps; fixings; local_hits; conflict } ->
+      [
+        ("type", Json.Str "prop_run");
+        ("steps", inum steps);
+        ("fixings", inum fixings);
+        ("local_hits", inum local_hits);
+        ("conflict", Json.Bool conflict);
+      ]
+    | Incumbent { node; obj } ->
+      [ ("type", Json.Str "incumbent"); ("node", inum node); ("obj", num obj) ]
+    | Span_begin name ->
+      [ ("type", Json.Str "span_begin"); ("name", Json.Str name) ]
+    | Span_end name ->
+      [ ("type", Json.Str "span_end"); ("name", Json.Str name) ]
+  in
+  Json.Obj
+    ([
+       ("ts", num r.ts);
+       ("dom", inum r.dom);
+       ("w", Json.Str r.dname);
+       ("seq", inum r.seq);
+     ]
+    @ payload)
+
+(* Field accessors that name the offending field on failure. *)
+exception Bad of string
+
+let req_num j k =
+  match Json.member k j with
+  | Some v -> (
+    match Json.num v with
+    | Some f -> f
+    | None -> raise (Bad (Printf.sprintf "field %S is not a number" k)))
+  | None -> raise (Bad (Printf.sprintf "missing field %S" k))
+
+let req_int j k =
+  let f = req_num j k in
+  if Float.is_integer f then int_of_float f
+  else raise (Bad (Printf.sprintf "field %S is not an integer" k))
+
+let req_str j k =
+  match Option.bind (Json.member k j) Json.str with
+  | Some s -> s
+  | None -> raise (Bad (Printf.sprintf "missing string field %S" k))
+
+let req_bool j k =
+  match Option.bind (Json.member k j) Json.bool with
+  | Some b -> b
+  | None -> raise (Bad (Printf.sprintf "missing boolean field %S" k))
+
+(* [obj] may legitimately be null (node pruned before its LP ran). *)
+let nullable_num j k =
+  match Json.member k j with
+  | None | Some Json.Null -> Float.nan
+  | Some v -> (
+    match Json.num v with
+    | Some f -> f
+    | None -> raise (Bad (Printf.sprintf "field %S is not a number" k)))
+
+let lp_kind_of_name = function
+  | "primal" -> Trace.Lp_primal
+  | "dual" -> Trace.Lp_dual
+  | s -> raise (Bad (Printf.sprintf "unknown lp kind %S" s))
+
+let trigger_of_name = function
+  | "eta" -> Trace.Rf_eta
+  | "numeric" -> Trace.Rf_numeric
+  | "residual" -> Trace.Rf_residual
+  | s -> raise (Bad (Printf.sprintf "unknown refactor trigger %S" s))
+
+let reason_of_json j =
+  match req_str j "reason" with
+  | "branched" ->
+    Trace.Branched { var = req_int j "var"; frac = req_num j "frac" }
+  | "integral" -> Trace.Integral
+  | "infeasible" -> Trace.Infeasible_node
+  | "bound" -> Trace.Bound_pruned
+  | "hook" -> Trace.Hook_pruned
+  | "propagation" -> Trace.Prop_pruned
+  | "unbounded" -> Trace.Unbounded_node
+  | "numeric" -> Trace.Numeric
+  | s -> raise (Bad (Printf.sprintf "unknown close reason %S" s))
+
+let event_of_json j =
+  match req_str j "type" with
+  | "node_open" ->
+    Trace.Node_open
+      {
+        id = req_int j "id";
+        parent = req_int j "parent";
+        depth = req_int j "depth";
+        bound = req_num j "bound";
+      }
+  | "node_close" ->
+    Node_close
+      {
+        id = req_int j "id";
+        obj = nullable_num j "obj";
+        reason = reason_of_json j;
+      }
+  | "lp_solve" ->
+    Lp_solve
+      {
+        kind = lp_kind_of_name (req_str j "kind");
+        pivots = req_int j "pivots";
+        obj = nullable_num j "obj";
+        primal_res = req_num j "primal_res";
+        dual_res = req_num j "dual_res";
+        dt = req_num j "dt";
+      }
+  | "lu_factor" ->
+    Lu_factor { fill = req_int j "fill"; dt = req_num j "dt" }
+  | "lu_refactor" ->
+    Lu_refactor
+      { trigger = trigger_of_name (req_str j "trigger"); etas = req_int j "etas" }
+  | "cut_sep" ->
+    Cut_sep
+      {
+        family = req_str j "family";
+        found = req_int j "found";
+        best_violation = req_num j "best_violation";
+      }
+  | "cut_round" ->
+    Cut_round
+      {
+        round = req_int j "round";
+        separated = req_int j "separated";
+        active = req_int j "active";
+        evicted = req_int j "evicted";
+      }
+  | "prop_run" ->
+    Prop_run
+      {
+        steps = req_int j "steps";
+        fixings = req_int j "fixings";
+        local_hits = req_int j "local_hits";
+        conflict = req_bool j "conflict";
+      }
+  | "incumbent" -> Incumbent { node = req_int j "node"; obj = req_num j "obj" }
+  | "span_begin" -> Span_begin (req_str j "name")
+  | "span_end" -> Span_end (req_str j "name")
+  | s -> raise (Bad (Printf.sprintf "unknown event type %S" s))
+
+let record_of_json j =
+  match
+    {
+      Trace.ts = req_num j "ts";
+      dom = req_int j "dom";
+      dname = req_str j "w";
+      seq = req_int j "seq";
+      ev = event_of_json j;
+    }
+  with
+  | r -> Ok r
+  | exception Bad msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* JSONL sink                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let jsonl_sink oc =
+  let b = Buffer.create 256 in
+  {
+    on_record =
+      (fun r ->
+        Buffer.clear b;
+        Json.to_buffer b (record_to_json r);
+        Buffer.add_char b '\n';
+        Buffer.output_buffer oc b);
+    on_close = (fun () -> flush oc);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event sink                                             *)
+(* ------------------------------------------------------------------ *)
+
+let us t = t *. 1e6
+
+(* Every Trace record maps to exactly one trace_event, and the mapping
+   is invertible (see [load]): payload fields ride in [args], the
+   writer's sequence number included so merge order survives a
+   round-trip. Durationful events (LP solves, LU factorizations) become
+   "X" complete events whose [ts] is backdated by [dur] — Trace stamps
+   at completion. *)
+let chrome_event (r : Trace.record) =
+  let base ?(cat = "solver") ?ts ?dur ph name args =
+    let fields =
+      [
+        ("ph", Json.Str ph);
+        ("name", Json.Str name);
+        ("cat", Json.Str cat);
+        ("pid", inum 1);
+        ("tid", inum r.dom);
+        ("ts", num (Option.value ts ~default:(us r.ts)));
+      ]
+      @ (match dur with None -> [] | Some d -> [ ("dur", num d) ])
+      @ [ ("args", Json.Obj (("seq", inum r.seq) :: args)) ]
+    in
+    Json.Obj fields
+  in
+  let instant ?cat ?(scope = "t") name args =
+    match base ?cat "i" name args with
+    | Json.Obj fields -> Json.Obj (fields @ [ ("s", Json.Str scope) ])
+    | j -> j
+  in
+  match r.ev with
+  | Trace.Node_open { id; parent; depth; bound } ->
+    base ~cat:"search" "B" "node"
+      [
+        ("id", inum id);
+        ("parent", inum parent);
+        ("depth", inum depth);
+        ("bound", num bound);
+      ]
+  | Node_close { id; obj; reason } ->
+    let branch =
+      match reason with
+      | Branched { var; frac } -> [ ("var", inum var); ("frac", num frac) ]
+      | _ -> []
+    in
+    base ~cat:"search" "E" "node"
+      ([
+         ("id", inum id);
+         ("obj", if Float.is_nan obj then Json.Null else num obj);
+         ("reason", Json.Str (Trace.reason_name reason));
+       ]
+      @ branch)
+  | Lp_solve { kind; pivots; obj; primal_res; dual_res; dt } ->
+    base ~cat:"lp"
+      ~ts:(Float.max 0. (us (r.ts -. dt)))
+      ~dur:(us dt) "X" "lp_solve"
+      [
+        ("kind", Json.Str (Trace.lp_kind_name kind));
+        ("pivots", inum pivots);
+        ("obj", if Float.is_nan obj then Json.Null else num obj);
+        ("primal_res", num primal_res);
+        ("dual_res", num dual_res);
+      ]
+  | Lu_factor { fill; dt } ->
+    base ~cat:"lp"
+      ~ts:(Float.max 0. (us (r.ts -. dt)))
+      ~dur:(us dt) "X" "lu_factor"
+      [ ("fill", inum fill) ]
+  | Lu_refactor { trigger; etas } ->
+    instant ~cat:"lp" "lu_refactor"
+      [ ("trigger", Json.Str (Trace.trigger_name trigger)); ("etas", inum etas) ]
+  | Cut_sep { family; found; best_violation } ->
+    instant ~cat:"cuts" "cut_sep"
+      [
+        ("family", Json.Str family);
+        ("found", inum found);
+        ("best_violation", num best_violation);
+      ]
+  | Cut_round { round; separated; active; evicted } ->
+    instant ~cat:"cuts" "cut_round"
+      [
+        ("round", inum round);
+        ("separated", inum separated);
+        ("active", inum active);
+        ("evicted", inum evicted);
+      ]
+  | Prop_run { steps; fixings; local_hits; conflict } ->
+    instant ~cat:"propagation" "prop_run"
+      [
+        ("steps", inum steps);
+        ("fixings", inum fixings);
+        ("local_hits", inum local_hits);
+        ("conflict", Json.Bool conflict);
+      ]
+  | Incumbent { node; obj } ->
+    instant ~cat:"search" ~scope:"g" "incumbent"
+      [ ("node", inum node); ("obj", num obj) ]
+  | Span_begin name -> base ~cat:"phase" "B" name []
+  | Span_end name -> base ~cat:"phase" "E" name []
+
+let chrome_sink oc =
+  let b = Buffer.create 4096 in
+  let first = ref true
+  and tids : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let put j =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b "\n  ";
+    Json.to_buffer b j
+  in
+  Buffer.add_string b "{\"traceEvents\":[";
+  {
+    on_record =
+      (fun r ->
+        if not (Hashtbl.mem tids r.dom) then Hashtbl.add tids r.dom r.dname;
+        put (chrome_event r));
+    on_close =
+      (fun () ->
+        put
+          (Json.Obj
+             [
+               ("ph", Json.Str "M");
+               ("name", Json.Str "process_name");
+               ("pid", inum 1);
+               ("args", Json.Obj [ ("name", Json.Str "tpart solve") ]);
+             ]);
+        let tid_list =
+          List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tids [])
+        in
+        List.iter
+          (fun (tid, name) ->
+            put
+              (Json.Obj
+                 [
+                   ("ph", Json.Str "M");
+                   ("name", Json.Str "thread_name");
+                   ("pid", inum 1);
+                   ("tid", inum tid);
+                   ("args", Json.Obj [ ("name", Json.Str name) ]);
+                 ]))
+          tid_list;
+        Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+        Buffer.output_buffer oc b;
+        flush oc);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reading traces back                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_jsonl text =
+  let lines = String.split_on_char '\n' text in
+  let records = ref [] in
+  let err = ref None in
+  List.iteri
+    (fun i line ->
+      if !err = None && String.trim line <> "" then
+        match Json.parse line with
+        | Error e -> err := Some (Printf.sprintf "line %d: %s" (i + 1) e)
+        | Ok j -> (
+          match record_of_json j with
+          | Ok r -> records := r :: !records
+          | Error e -> err := Some (Printf.sprintf "line %d: %s" (i + 1) e)))
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None -> Ok (Array.of_list (List.rev !records))
+
+(* Invert [chrome_event]. Metadata events supply tid -> thread name;
+   everything else round-trips through [args]. *)
+let load_chrome j =
+  let events =
+    match Json.member "traceEvents" j with
+    | Some a -> Json.to_list a
+    | None -> []
+  in
+  let names : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if Json.member "ph" e |> Option.map Json.str = Some (Some "M") then
+        match Option.bind (Json.member "name" e) Json.str with
+        | Some "thread_name" -> (
+          match
+            ( Option.bind (Json.member "tid" e) Json.int,
+              Option.bind (Json.member "args" e) (Json.member "name") )
+          with
+          | Some tid, Some (Json.Str n) -> Hashtbl.replace names tid n
+          | _ -> ())
+        | _ -> ())
+    events;
+  let records = ref [] in
+  let err = ref None in
+  List.iteri
+    (fun i e ->
+      if !err = None then
+        try
+          let ph = req_str e "ph" in
+          if ph <> "M" then begin
+            let name = req_str e "name" in
+            let dom = req_int e "tid" in
+            let args =
+              match Json.member "args" e with
+              | Some a -> a
+              | None -> raise (Bad "missing field \"args\"")
+            in
+            let ts_us = req_num e "ts" in
+            let ts, ev =
+              match (name, ph) with
+              | "node", "B" ->
+                ( ts_us /. 1e6,
+                  Trace.Node_open
+                    {
+                      id = req_int args "id";
+                      parent = req_int args "parent";
+                      depth = req_int args "depth";
+                      bound = req_num args "bound";
+                    } )
+              | "node", "E" ->
+                ( ts_us /. 1e6,
+                  Node_close
+                    {
+                      id = req_int args "id";
+                      obj = nullable_num args "obj";
+                      reason = reason_of_json args;
+                    } )
+              | "lp_solve", "X" ->
+                let dur = req_num e "dur" in
+                ( (ts_us +. dur) /. 1e6,
+                  Lp_solve
+                    {
+                      kind = lp_kind_of_name (req_str args "kind");
+                      pivots = req_int args "pivots";
+                      obj = nullable_num args "obj";
+                      primal_res = req_num args "primal_res";
+                      dual_res = req_num args "dual_res";
+                      dt = dur /. 1e6;
+                    } )
+              | "lu_factor", "X" ->
+                let dur = req_num e "dur" in
+                ( (ts_us +. dur) /. 1e6,
+                  Lu_factor { fill = req_int args "fill"; dt = dur /. 1e6 } )
+              | "lu_refactor", _ ->
+                ( ts_us /. 1e6,
+                  Lu_refactor
+                    {
+                      trigger = trigger_of_name (req_str args "trigger");
+                      etas = req_int args "etas";
+                    } )
+              | "cut_sep", _ ->
+                ( ts_us /. 1e6,
+                  Cut_sep
+                    {
+                      family = req_str args "family";
+                      found = req_int args "found";
+                      best_violation = req_num args "best_violation";
+                    } )
+              | "cut_round", _ ->
+                ( ts_us /. 1e6,
+                  Cut_round
+                    {
+                      round = req_int args "round";
+                      separated = req_int args "separated";
+                      active = req_int args "active";
+                      evicted = req_int args "evicted";
+                    } )
+              | "prop_run", _ ->
+                ( ts_us /. 1e6,
+                  Prop_run
+                    {
+                      steps = req_int args "steps";
+                      fixings = req_int args "fixings";
+                      local_hits = req_int args "local_hits";
+                      conflict = req_bool args "conflict";
+                    } )
+              | "incumbent", _ ->
+                ( ts_us /. 1e6,
+                  Incumbent
+                    { node = req_int args "node"; obj = req_num args "obj" } )
+              | other, "B" -> (ts_us /. 1e6, Span_begin other)
+              | other, "E" -> (ts_us /. 1e6, Span_end other)
+              | other, ph ->
+                raise
+                  (Bad (Printf.sprintf "unknown event %S with ph %S" other ph))
+            in
+            let dname =
+              match Hashtbl.find_opt names dom with
+              | Some n -> n
+              | None -> Printf.sprintf "writer %d" dom
+            in
+            records :=
+              { Trace.dom; dname; seq = req_int args "seq"; ts; ev } :: !records
+          end
+        with Bad msg -> err := Some (Printf.sprintf "event %d: %s" i msg))
+    events;
+  match !err with
+  | Some e -> Error e
+  | None -> Ok (Array.of_list (List.rev !records))
+
+let load path =
+  match read_file path with
+  | exception Sys_error e -> Error e
+  | text ->
+    let trimmed = String.trim text in
+    let looks_chrome =
+      String.length trimmed > 0
+      && trimmed.[0] = '{'
+      &&
+      match Json.parse trimmed with
+      | Ok j -> Json.member "traceEvents" j <> None
+      | Error _ -> false
+    in
+    if looks_chrome then
+      match Json.parse trimmed with
+      | Ok j -> load_chrome j
+      | Error e -> Error e
+    else load_jsonl text
+
+(* ------------------------------------------------------------------ *)
+(* Stream consistency checks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check records =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let last : (int, float * int) Hashtbl.t = Hashtbl.create 8 in
+  let opened : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let closed : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (r : Trace.record) ->
+      (match Hashtbl.find_opt last r.dom with
+      | Some (ts, seq) ->
+        if r.ts < ts then
+          add "writer %d (%s): timestamp %.9f before %.9f at seq %d" r.dom
+            r.dname r.ts ts r.seq;
+        if r.seq <= seq then
+          add "writer %d (%s): sequence %d not above %d" r.dom r.dname r.seq seq
+      | None -> ());
+      Hashtbl.replace last r.dom (r.ts, r.seq);
+      match r.ev with
+      | Trace.Node_open { id; _ } ->
+        if Hashtbl.mem opened id then add "node %d opened twice" id;
+        Hashtbl.replace opened id ()
+      | Node_close { id; _ } ->
+        if not (Hashtbl.mem opened id) then
+          add "node %d closed but never opened" id;
+        if Hashtbl.mem closed id then add "node %d closed twice" id;
+        Hashtbl.replace closed id ()
+      | _ -> ())
+    records;
+  Hashtbl.iter
+    (fun id () ->
+      if not (Hashtbl.mem closed id) then add "node %d opened but never closed" id)
+    opened;
+  List.rev !problems
+
+(* ------------------------------------------------------------------ *)
+(* Search tree                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Tree = struct
+  type node = {
+    id : int;
+    parent : int;
+    depth : int;
+    bound : float;
+    obj : float;
+    reason : string;
+    dom : int;
+    dname : string;
+    opened : float;
+    closed : float;
+  }
+
+  let of_records records =
+    let nodes : (int, node) Hashtbl.t = Hashtbl.create 256 in
+    Array.iter
+      (fun (r : Trace.record) ->
+        match r.ev with
+        | Trace.Node_open { id; parent; depth; bound } ->
+          Hashtbl.replace nodes id
+            {
+              id;
+              parent;
+              depth;
+              bound;
+              obj = Float.nan;
+              reason = "";
+              dom = r.dom;
+              dname = r.dname;
+              opened = r.ts;
+              closed = Float.nan;
+            }
+        | Node_close { id; obj; reason } -> (
+          match Hashtbl.find_opt nodes id with
+          | Some n ->
+            Hashtbl.replace nodes id
+              { n with obj; reason = Trace.reason_name reason; closed = r.ts }
+          | None -> ())
+        | _ -> ())
+      records;
+    Hashtbl.fold (fun _ n acc -> n :: acc) nodes []
+    |> List.sort (fun a b -> Int.compare a.id b.id)
+
+  let reason_color = function
+    | "branched" -> "lightblue"
+    | "integral" -> "palegreen"
+    | "bound" -> "gray85"
+    | "infeasible" -> "lightsalmon"
+    | "propagation" -> "khaki"
+    | "hook" -> "plum"
+    | "unbounded" -> "orange"
+    | "numeric" -> "tomato"
+    | _ -> "white"
+
+  let to_dot nodes =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "digraph search {\n";
+    Buffer.add_string b
+      "  node [shape=box, style=filled, fontname=\"monospace\", fontsize=9];\n";
+    List.iter
+      (fun n ->
+        let obj_s =
+          if Float.is_nan n.obj then "-" else Printf.sprintf "%.6g" n.obj
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "  n%d [label=\"#%d d=%d\\nobj=%s\\n%s\", fillcolor=%s];\n" n.id
+             n.id n.depth obj_s
+             (if n.reason = "" then "open" else n.reason)
+             (reason_color n.reason)))
+      nodes;
+    List.iter
+      (fun n ->
+        if n.parent >= 0 then
+          Buffer.add_string b (Printf.sprintf "  n%d -> n%d;\n" n.parent n.id))
+      nodes;
+    Buffer.add_string b "}\n";
+    Buffer.contents b
+
+  let to_json nodes =
+    Json.Arr
+      (List.map
+         (fun n ->
+           Json.Obj
+             [
+               ("id", inum n.id);
+               ("parent", inum n.parent);
+               ("depth", inum n.depth);
+               ("bound", num n.bound);
+               ("obj", if Float.is_nan n.obj then Json.Null else num n.obj);
+               ("reason", Json.Str n.reason);
+               ("dom", inum n.dom);
+               ("writer", Json.Str n.dname);
+               ("opened", num n.opened);
+               ( "closed",
+                 if Float.is_nan n.closed then Json.Null else num n.closed );
+             ])
+         nodes)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics report                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Summary = struct
+  type phase = { phase : string; seconds : float; count : int }
+
+  type t = {
+    events : int;
+    duration : float;
+    writers : (string * int) list;
+    nodes_opened : int;
+    nodes_closed : int;
+    close_reasons : (string * int) list;
+    max_depth : int;
+    depth_hist : (int * int) list;
+    lp_solves : int;
+    lp_pivots : int;
+    lp_seconds : float;
+    lu_factors : int;
+    lu_refactors : (string * int) list;
+    cut_rounds : int;
+    cuts_separated : int;
+    prop_runs : int;
+    prop_fixings : int;
+    prop_conflicts : int;
+    incumbents : (float * float * int) list;
+    phases : phase list;
+  }
+
+  type acc = {
+    mutable a_events : int;
+    mutable a_duration : float;
+    a_writers : (int, string * int) Hashtbl.t;
+    mutable a_opened : int;
+    mutable a_closed : int;
+    a_reasons : (string, int) Hashtbl.t;
+    mutable a_max_depth : int;
+    a_depths : (int, int) Hashtbl.t;
+    mutable a_lp_solves : int;
+    mutable a_lp_pivots : int;
+    mutable a_lp_seconds : float;
+    mutable a_lu_factors : int;
+    a_lu_refactors : (string, int) Hashtbl.t;
+    mutable a_cut_rounds : int;
+    mutable a_cuts_separated : int;
+    mutable a_prop_runs : int;
+    mutable a_prop_fixings : int;
+    mutable a_prop_conflicts : int;
+    mutable a_incumbents : (float * float * int) list;
+    (* Per-writer span stacks: (name, start ts, child time). *)
+    a_spans : (int, (string * float * float) list ref) Hashtbl.t;
+    a_phases : (string, float * int) Hashtbl.t;
+  }
+
+  let fresh () =
+    {
+      a_events = 0;
+      a_duration = 0.;
+      a_writers = Hashtbl.create 8;
+      a_opened = 0;
+      a_closed = 0;
+      a_reasons = Hashtbl.create 8;
+      a_max_depth = 0;
+      a_depths = Hashtbl.create 32;
+      a_lp_solves = 0;
+      a_lp_pivots = 0;
+      a_lp_seconds = 0.;
+      a_lu_factors = 0;
+      a_lu_refactors = Hashtbl.create 4;
+      a_cut_rounds = 0;
+      a_cuts_separated = 0;
+      a_prop_runs = 0;
+      a_prop_fixings = 0;
+      a_prop_conflicts = 0;
+      a_incumbents = [];
+      a_spans = Hashtbl.create 8;
+      a_phases = Hashtbl.create 8;
+    }
+
+  let bump tbl key by =
+    let v = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0 in
+    Hashtbl.replace tbl key (v + by)
+
+  let span_stack acc dom =
+    match Hashtbl.find_opt acc.a_spans dom with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add acc.a_spans dom s;
+      s
+
+  let end_span acc stack name end_ts =
+    match !stack with
+    | (n, start, child) :: rest when n = name ->
+      let dur = Float.max 0. (end_ts -. start) in
+      let self = Float.max 0. (dur -. child) in
+      let s, c =
+        match Hashtbl.find_opt acc.a_phases name with
+        | Some (s, c) -> (s, c)
+        | None -> (0., 0)
+      in
+      Hashtbl.replace acc.a_phases name (s +. self, c + 1);
+      (* charge the full duration to the parent as child time *)
+      (stack :=
+         match rest with
+         | (pn, ps, pc) :: tail -> (pn, ps, pc +. dur) :: tail
+         | [] -> [])
+    | _ ->
+      (* Mismatched or dangling end: count it with zero duration so it
+         still shows up rather than vanishing. *)
+      let s, c =
+        match Hashtbl.find_opt acc.a_phases name with
+        | Some (s, c) -> (s, c)
+        | None -> (0., 0)
+      in
+      Hashtbl.replace acc.a_phases name (s, c + 1)
+
+  let feed acc (r : Trace.record) =
+    acc.a_events <- acc.a_events + 1;
+    if r.ts > acc.a_duration then acc.a_duration <- r.ts;
+    (let _, n =
+       match Hashtbl.find_opt acc.a_writers r.dom with
+       | Some wn -> wn
+       | None -> (r.dname, 0)
+     in
+     Hashtbl.replace acc.a_writers r.dom (r.dname, n + 1));
+    match r.ev with
+    | Trace.Node_open { depth; _ } ->
+      acc.a_opened <- acc.a_opened + 1;
+      if depth > acc.a_max_depth then acc.a_max_depth <- depth;
+      bump acc.a_depths depth 1
+    | Node_close { reason; _ } ->
+      acc.a_closed <- acc.a_closed + 1;
+      bump acc.a_reasons (Trace.reason_name reason) 1
+    | Lp_solve { pivots; dt; _ } ->
+      acc.a_lp_solves <- acc.a_lp_solves + 1;
+      acc.a_lp_pivots <- acc.a_lp_pivots + pivots;
+      acc.a_lp_seconds <- acc.a_lp_seconds +. dt
+    | Lu_factor _ -> acc.a_lu_factors <- acc.a_lu_factors + 1
+    | Lu_refactor { trigger; _ } ->
+      bump acc.a_lu_refactors (Trace.trigger_name trigger) 1
+    | Cut_sep { found; _ } ->
+      acc.a_cuts_separated <- acc.a_cuts_separated + found
+    | Cut_round _ -> acc.a_cut_rounds <- acc.a_cut_rounds + 1
+    | Prop_run { fixings; conflict; _ } ->
+      acc.a_prop_runs <- acc.a_prop_runs + 1;
+      acc.a_prop_fixings <- acc.a_prop_fixings + fixings;
+      if conflict then acc.a_prop_conflicts <- acc.a_prop_conflicts + 1
+    | Incumbent { node; obj } ->
+      acc.a_incumbents <- (r.ts, obj, node) :: acc.a_incumbents
+    | Span_begin name ->
+      let stack = span_stack acc r.dom in
+      stack := (name, r.ts, 0.) :: !stack
+    | Span_end name ->
+      let stack = span_stack acc r.dom in
+      end_span acc stack name r.ts
+
+  let finish acc =
+    (* Close dangling spans at the trace horizon. *)
+    Hashtbl.iter
+      (fun _ stack ->
+        while !stack <> [] do
+          match !stack with
+          | (name, _, _) :: _ -> end_span acc stack name acc.a_duration
+          | [] -> ()
+        done)
+      acc.a_spans;
+    let sorted_tbl tbl =
+      Hashtbl.fold (fun k v a -> (k, v) :: a) tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    {
+      events = acc.a_events;
+      duration = acc.a_duration;
+      writers =
+        Hashtbl.fold (fun dom wn a -> (dom, wn) :: a) acc.a_writers []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        |> List.map snd;
+      nodes_opened = acc.a_opened;
+      nodes_closed = acc.a_closed;
+      close_reasons = sorted_tbl acc.a_reasons;
+      max_depth = acc.a_max_depth;
+      depth_hist =
+        Hashtbl.fold (fun d n a -> (d, n) :: a) acc.a_depths []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+      lp_solves = acc.a_lp_solves;
+      lp_pivots = acc.a_lp_pivots;
+      lp_seconds = acc.a_lp_seconds;
+      lu_factors = acc.a_lu_factors;
+      lu_refactors = sorted_tbl acc.a_lu_refactors;
+      cut_rounds = acc.a_cut_rounds;
+      cuts_separated = acc.a_cuts_separated;
+      prop_runs = acc.a_prop_runs;
+      prop_fixings = acc.a_prop_fixings;
+      prop_conflicts = acc.a_prop_conflicts;
+      incumbents = List.rev acc.a_incumbents;
+      phases =
+        Hashtbl.fold
+          (fun phase (seconds, count) a -> { phase; seconds; count } :: a)
+          acc.a_phases []
+        |> List.sort (fun a b -> Float.compare b.seconds a.seconds);
+    }
+
+  let of_records records =
+    let acc = fresh () in
+    Array.iter (feed acc) records;
+    finish acc
+
+  let pp_assoc ppf l =
+    if l = [] then Format.fprintf ppf "none"
+    else
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Format.fprintf ppf " ";
+          Format.fprintf ppf "%s=%d" k v)
+        l
+
+  let pp ppf t =
+    let line fmt = Format.fprintf ppf fmt in
+    line "events        %d in %.3f s, %d writer%s (" t.events t.duration
+      (List.length t.writers)
+      (if List.length t.writers = 1 then "" else "s");
+    List.iteri
+      (fun i (name, n) ->
+        if i > 0 then line ", ";
+        line "%s: %d" name n)
+      t.writers;
+    line ")@.";
+    line "nodes         opened=%d closed=%d max_depth=%d@." t.nodes_opened
+      t.nodes_closed t.max_depth;
+    line "close reasons %a@." pp_assoc t.close_reasons;
+    line "lp            solves=%d pivots=%d time=%.3f s@." t.lp_solves
+      t.lp_pivots t.lp_seconds;
+    line "lu            factors=%d refactors: %a@." t.lu_factors pp_assoc
+      t.lu_refactors;
+    line "cuts          rounds=%d separated=%d@." t.cut_rounds t.cuts_separated;
+    line "propagation   runs=%d fixings=%d conflicts=%d@." t.prop_runs
+      t.prop_fixings t.prop_conflicts;
+    (match t.incumbents with
+    | [] -> line "incumbents    none@."
+    | incs ->
+      let ts0, obj0, n0 = List.hd incs in
+      let ts1, obj1, n1 = List.nth incs (List.length incs - 1) in
+      line "incumbents    %d (first %.6g @%.3fs node %d, best %.6g @%.3fs node %d)@."
+        (List.length incs) obj0 ts0 n0 obj1 ts1 n1);
+    line "phases       ";
+    if t.phases = [] then line " none"
+    else
+      List.iter
+        (fun { phase; seconds; count } ->
+          line " %s=%.3fs/%d" phase seconds count)
+        t.phases;
+    line "@."
+
+  let to_json t =
+    Json.Obj
+      [
+        ("events", inum t.events);
+        ("duration", num t.duration);
+        ( "writers",
+          Json.Arr
+            (List.map
+               (fun (name, n) ->
+                 Json.Obj [ ("name", Json.Str name); ("events", inum n) ])
+               t.writers) );
+        ( "nodes",
+          Json.Obj
+            [
+              ("opened", inum t.nodes_opened);
+              ("closed", inum t.nodes_closed);
+              ("max_depth", inum t.max_depth);
+              ( "close_reasons",
+                Json.Obj (List.map (fun (k, v) -> (k, inum v)) t.close_reasons)
+              );
+              ( "depth_hist",
+                Json.Arr
+                  (List.map
+                     (fun (d, n) -> Json.Arr [ inum d; inum n ])
+                     t.depth_hist) );
+            ] );
+        ( "lp",
+          Json.Obj
+            [
+              ("solves", inum t.lp_solves);
+              ("pivots", inum t.lp_pivots);
+              ("seconds", num t.lp_seconds);
+            ] );
+        ( "lu",
+          Json.Obj
+            [
+              ("factors", inum t.lu_factors);
+              ( "refactors",
+                Json.Obj (List.map (fun (k, v) -> (k, inum v)) t.lu_refactors)
+              );
+            ] );
+        ( "cuts",
+          Json.Obj
+            [
+              ("rounds", inum t.cut_rounds);
+              ("separated", inum t.cuts_separated);
+            ] );
+        ( "propagation",
+          Json.Obj
+            [
+              ("runs", inum t.prop_runs);
+              ("fixings", inum t.prop_fixings);
+              ("conflicts", inum t.prop_conflicts);
+            ] );
+        ( "incumbents",
+          Json.Arr
+            (List.map
+               (fun (ts, obj, node) ->
+                 Json.Obj
+                   [ ("ts", num ts); ("obj", num obj); ("node", inum node) ])
+               t.incumbents) );
+        ( "phases",
+          Json.Arr
+            (List.map
+               (fun { phase; seconds; count } ->
+                 Json.Obj
+                   [
+                     ("phase", Json.Str phase);
+                     ("seconds", num seconds);
+                     ("count", inum count);
+                   ])
+               t.phases) );
+      ]
+end
+
+let summary_sink () =
+  let acc = Summary.fresh () in
+  let result = ref None in
+  ( {
+      on_record = (fun r -> Summary.feed acc r);
+      on_close = (fun () -> result := Some (Summary.finish acc));
+    },
+    fun () ->
+      match !result with Some t -> t | None -> Summary.finish acc )

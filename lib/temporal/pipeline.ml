@@ -9,8 +9,19 @@ type result = {
 }
 
 let run ?options ?strategy ?time_limit ?max_nodes ?num_partitions ?lint ?jobs
-    ?deterministic ?rc_fixing ?propagate ?cuts ~graph ~allocation ?capacity
-    ?alpha ?scratch ?latency_relax () =
+    ?deterministic ?rc_fixing ?propagate ?cuts
+    ?(tracer = Ilp.Trace.disabled) ~graph ~allocation ?capacity ?alpha
+    ?scratch ?latency_relax () =
+  let tw = Ilp.Trace.main tracer in
+  let span name f =
+    if not (Ilp.Trace.active tw) then f ()
+    else begin
+      Ilp.Trace.emit tw (Ilp.Trace.Span_begin name);
+      let r = f () in
+      Ilp.Trace.emit tw (Ilp.Trace.Span_end name);
+      r
+    end
+  in
   let trace = ref [] in
   let log fmt = Format.kasprintf (fun s -> trace := s :: !trace) fmt in
   log "input: %s" (Format.asprintf "%a" G.pp_summary graph);
@@ -28,7 +39,10 @@ let run ?options ?strategy ?time_limit ?max_nodes ?num_partitions ?lint ?jobs
       max_steps = Spec.num_steps probe;
     }
   in
-  let heuristic = Hls.Estimate.estimate graph allocation constraints in
+  let heuristic =
+    span "estimate" (fun () ->
+        Hls.Estimate.estimate graph allocation constraints)
+  in
   let estimated_n = Option.map Hls.Estimate.num_segments heuristic in
   (match heuristic with
    | Some seg ->
@@ -51,13 +65,13 @@ let run ?options ?strategy ?time_limit ?max_nodes ?num_partitions ?lint ?jobs
   log "mobility: cp %d steps, %d with relaxation"
     spec.Spec.schedule.Hls.Schedule.cp_length (Spec.num_steps spec);
   (* Stage 3: formulation *)
-  let vars = Formulation.build ?options spec in
+  let vars = span "formulate" (fun () -> Formulation.build ?options spec) in
   log "model: %d variables, %d constraints" (Vars.num_vars vars)
     (Vars.num_constrs vars);
   (* Stage 4-5: solve, extract, validate *)
   let report =
     Solver.solve ?strategy ?time_limit ?max_nodes ?lint ?jobs ?deterministic
-      ?rc_fixing ?propagate ?cuts ?lint_options:options vars
+      ?rc_fixing ?propagate ?cuts ~tracer ?lint_options:options vars
   in
   log "solve: %s (%d nodes, %.2fs)"
     (Format.asprintf "%a" Solver.pp_outcome report.Solver.outcome)

@@ -31,6 +31,7 @@ val run :
   ?rc_fixing:bool ->
   ?propagate:bool ->
   ?cuts:bool ->
+  ?tracer:Ilp.Trace.t ->
   graph:Taskgraph.Graph.t ->
   allocation:Hls.Component.allocation ->
   ?capacity:int ->
@@ -46,6 +47,9 @@ val run :
     {!Solver.solve}: lint analyzes and audits the formulated model,
     failing fast on error-level findings; [jobs] runs the solve stage
     on that many worker domains. [rc_fixing], [propagate] and [cuts]
-    enable the solver's node deductions (all default off). *)
+    enable the solver's node deductions (all default off). [tracer]
+    records structured events across the flow — estimate / formulate /
+    presolve phase spans plus the full solver taxonomy — for export
+    through {!Ilp.Trace_export} (see [docs/OBSERVABILITY.md]). *)
 
 val pp : Format.formatter -> result -> unit

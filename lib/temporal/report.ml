@@ -131,3 +131,16 @@ let summary spec sol =
   Buffer.contents b
 
 let full spec sol = summary spec sol ^ gantt spec sol
+
+let incumbent_timeline (stats : Ilp.Branch_bound.stats) : Ilp.Json.t =
+  Ilp.Json.Arr
+    (Array.to_list
+       (Array.map
+          (fun (t, obj, node) ->
+            Ilp.Json.Obj
+              [
+                ("t", Ilp.Json.Num t);
+                ("obj", Ilp.Json.Num obj);
+                ("node", Ilp.Json.Num (Float.of_int node));
+              ])
+          stats.Ilp.Branch_bound.timeline))

@@ -20,3 +20,9 @@ val summary : Spec.t -> Solution.t -> string
 
 val full : Spec.t -> Solution.t -> string
 (** {!summary} followed by {!gantt}. *)
+
+val incumbent_timeline : Ilp.Branch_bound.stats -> Ilp.Json.t
+(** The solver's incumbent timeline as a JSON array of
+    [{"t": seconds, "obj": objective, "node": id}] objects, in
+    installation order — the convergence series of the search, embedded
+    in [tpart solve --json] reports. *)

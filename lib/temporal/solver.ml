@@ -180,7 +180,8 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
     ?(max_nodes = max_int) ?(validate = true) ?(scheduler_completion = true)
     ?(presolve = true) ?(lint = false) ?lint_options
     ?(lp_backend = Ilp.Simplex.Sparse_lu) ?(jobs = 1) ?(deterministic = false)
-    ?(rc_fixing = false) ?(propagate = false) ?(cuts = false) vars =
+    ?(rc_fixing = false) ?(propagate = false) ?(cuts = false)
+    ?(tracer = Ilp.Trace.disabled) vars =
   if lint then lint_or_fail ?options:lint_options vars;
   let options =
     {
@@ -200,6 +201,7 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
       propagate;
       cuts;
       pseudocost = strategy = Branching.Pseudocost;
+      tracer;
     }
   in
   (* Presolve drops redundant rows and tightens bounds without touching
@@ -207,10 +209,17 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
      (both index-based) remain valid; the reported model sizes stay
      those of the paper's formulation. *)
   let outcome, stats =
-    if presolve then
-      match Ilp.Presolve.presolve vars.Vars.lp with
+    if presolve then begin
+      let tw = Ilp.Trace.main tracer in
+      if Ilp.Trace.active tw then
+        Ilp.Trace.emit tw (Ilp.Trace.Span_begin "presolve");
+      let reduced = Ilp.Presolve.presolve vars.Vars.lp in
+      if Ilp.Trace.active tw then
+        Ilp.Trace.emit tw (Ilp.Trace.Span_end "presolve");
+      match reduced with
       | Ilp.Presolve.Infeasible _ -> (Bb.Infeasible, Bb.empty_stats)
       | Ilp.Presolve.Reduced (reduced, _) -> Bb.solve ~options reduced
+    end
     else Bb.solve ~options vars.Vars.lp
   in
   let spec = vars.Vars.spec in

@@ -38,6 +38,7 @@ val solve :
   ?rc_fixing:bool ->
   ?propagate:bool ->
   ?cuts:bool ->
+  ?tracer:Ilp.Trace.t ->
   Vars.t ->
   report
 (** Defaults: paper branching, value 1 first, depth-first, no limits,
@@ -82,6 +83,11 @@ val solve :
     root cut-and-branch with a shared cut pool. Choosing the
     {!Branching.Pseudocost} strategy additionally turns on reliability
     branching inside the solver. See {!Ilp.Branch_bound.options} and
-    the "Node deductions" section of [docs/SOLVER.md]. *)
+    the "Node deductions" section of [docs/SOLVER.md].
+
+    [tracer] (default {!Ilp.Trace.disabled}) records structured solver
+    events — presolve and search phase spans, node open/close, LP
+    solves, incumbents — for export through {!Ilp.Trace_export}; see
+    [docs/OBSERVABILITY.md]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -45,33 +45,107 @@ LU fill-in, eta updates, the refactorization triggers, and solve times
   lp-stats: factorizations=N fill=N etas=N refactors(eta/numeric/residual)=N/N/N ftran=Ns btran=Ns pivots=N
 
 --stats also reports the node-deduction counters (reduced-cost fixing,
-domain propagation, the cut pool, pseudo-cost branching); with the
-default paper-faithful configuration every counter stays at zero:
+domain propagation, the cut pool, pseudo-cost branching) as a table
+with computed column widths; with the default paper-faithful
+configuration every counter stays at zero:
 
-  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --stats | grep deductions
-  deductions: rc_fixed=0 prop_fixings=0 prop_prunes=0 prop_local_hits=0 cut_rounds=0 cover=0/0/0 clique=0/0/0 pc_branchings=0
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --stats | sed -n '/deductions:/,/pc-branchings/p'
+  deductions:
+    counter          total
+    rc-fixed             0
+    prop-fixings         0
+    prop-prunes          0
+    prop-local-hits      0
+    cut-rounds           0
+    cover-cuts       0/0/0
+    clique-cuts      0/0/0
+    pc-branchings        0
 
 Enabling the deduction stack shrinks the tree and moves the counters
-(sequential solves are deterministic, so the exact values are stable):
+(sequential solves are deterministic, so the exact values are stable);
+the columns re-align to the widest rendered cell:
 
-  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --rc-fix --propagate --cuts --branching pseudocost --stats | grep -E 'deductions|^solve' | sed 's/[0-9.]*s)$/Ts)/'
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --rc-fix --propagate --cuts --branching pseudocost --stats | sed -n '/^solve/p;/deductions:/,/pc-branchings/p' | sed 's/[0-9.]*s)$/Ts)/'
   solve: optimal (comm cost 2, 3 partitions) (12 nodes, Ts)
-  deductions: rc_fixed=2 prop_fixings=78 prop_prunes=0 prop_local_hits=0 cut_rounds=0 cover=0/0/0 clique=0/0/0 pc_branchings=0
+  deductions:
+    counter          total
+    rc-fixed             2
+    prop-fixings        78
+    prop-prunes          0
+    prop-local-hits      0
+    cut-rounds           0
+    cover-cuts       0/0/0
+    clique-cuts      0/0/0
+    pc-branchings        0
 
 --json replaces the human-readable report with one machine-readable
-object, including the deduction counters:
+object, including the deduction counters and the incumbent timeline
+(installation times masked — they vary with the machine):
 
-  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --json
-  {"outcome": "optimal", "comm_cost": 2, "vars": 64, "constrs": 149, "nodes": 22, "incumbents": 1, "max_depth": 8, "deductions": {"rc_fixed": 0, "prop_fixings": 0, "prop_prunes": 0, "prop_local_hits": 0, "cut_rounds": 0, "cover": {"separated": 0, "active": 0, "evicted": 0}, "clique": {"separated": 0, "active": 0, "evicted": 0}, "pc_branchings": 0}}
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --json | sed 's/"t":[0-9.e-]*/"t":T/g'
+  {"outcome": "optimal", "comm_cost": 2, "vars": 64, "constrs": 149, "nodes": 22, "incumbents": 1, "max_depth": 8, "deductions": {"rc_fixed": 0, "prop_fixings": 0, "prop_prunes": 0, "prop_local_hits": 0, "cut_rounds": 0, "cover": {"separated": 0, "active": 0, "evicted": 0}, "clique": {"separated": 0, "active": 0, "evicted": 0}, "pc_branchings": 0}, "timeline": [{"t":T,"obj":2,"node":11}]}
 
 With --jobs N the branch-and-bound search runs on N worker domains and
---stats reports one row per worker (numbers masked — node distribution
-across workers is timing-dependent):
+--stats reports one row per worker with steal/handoff rates (numbers
+masked and whitespace squeezed — node distribution across workers is
+timing-dependent, and the computed column widths follow the values):
 
-  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --jobs 2 --stats | grep -E 'worker|optimal' | sed 's/[0-9][0-9]*\(\.[0-9]*\)\?/N/g'
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --jobs 2 --stats | sed -n '/^solve/p;/workers:/,$p' | sed 's/[0-9][0-9]*\(\.[0-9]*\)\?/N/g' | tr -s ' '
   solve: optimal (comm cost N, N partitions) (N nodes, Ns)
-  worker N: nodes=N incumbents=N steals=N handoffs=N idle=Ns pivots=N
-  worker N: nodes=N incumbents=N steals=N handoffs=N idle=Ns pivots=N
+  workers:
+   id nodes incumbents steals steals/s handoffs handoffs/s idle idle% pivots
+   N N N N N N N Ns N N
+   N N N N N N N Ns N N
+
+--trace records the solve as a structured event stream (JSONL here;
+a .json suffix selects the Chrome trace_event format instead), and the
+trace subcommands inspect it offline. The event count is stable for a
+deterministic sequential solve:
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --trace run.jsonl | tail -1
+  wrote run.jsonl (94 events)
+
+The offline summary reproduces the node totals of the live solve — 22
+nodes, max depth 8, exactly as the --json report above — and the other
+numbers are masked (pivot and LU counts vary with the machine, times
+always do):
+
+  $ ../../bin/tpart.exe trace summary run.jsonl | grep '^nodes'
+  nodes         opened=22 closed=22 max_depth=8
+
+  $ ../../bin/tpart.exe trace summary run.jsonl | sed 's/[0-9][0-9]*\(\.[0-9]*\)\?/N/g'
+  events        N in N s, N writer (main: N)
+  nodes         opened=N closed=N max_depth=N
+  close reasons bound=N branched=N infeasible=N
+  lp            solves=N pivots=N time=N s
+  lu            factors=N refactors: eta=N numeric=N
+  cuts          rounds=N separated=N
+  propagation   runs=N fixings=N conflicts=N
+  incumbents    N (first N @Ns node N, best N @Ns node N)
+  phases        search=Ns/N presolve=Ns/N formulate=Ns/N estimate=Ns/N
+  
+
+The stream checker verifies writer/sequence consistency:
+
+  $ ../../bin/tpart.exe trace validate run.jsonl
+  run.jsonl: 94 records, stream consistent
+
+The tree view reconstructs the search tree from the event stream as
+Graphviz DOT — 22 nodes give 21 parent edges:
+
+  $ ../../bin/tpart.exe trace tree run.jsonl | head -3
+  digraph search {
+    node [shape=box, style=filled, fontname="monospace", fontsize=9];
+    n1 [label="#1 d=0\nobj=0\nbranched", fillcolor=lightblue];
+
+  $ ../../bin/tpart.exe trace tree run.jsonl | grep -c ' -> '
+  21
+
+The Chrome variant round-trips through the same tools:
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --trace run.json > /dev/null
+  $ ../../bin/tpart.exe trace validate run.json
+  run.json: 94 records, stream consistent
 
 An infeasible instance exits with code 1:
 
