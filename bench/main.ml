@@ -841,6 +841,115 @@ let lint () =
     table4_rows
 
 (* ------------------------------------------------------------------ *)
+(* Certification: exact rational re-check of the root relaxation        *)
+(* ------------------------------------------------------------------ *)
+
+type cert_row = {
+  ce_graph : int;
+  ce_n : int;
+  ce_l : int;
+  ce_seconds : float;
+  ce_cert_seconds : float;
+  ce_checked : int;
+  ce_certified : int;
+  ce_root : string;
+  ce_result : string;
+}
+
+let cert_rows : cert_row list ref = ref []
+
+let certify_bench ~quick () =
+  section
+    "Certification: exact rational re-check of the root relaxation\n\
+     (--certify=root at the Table 4 design points; the rational\n\
+     arithmetic time comes from the cert_check trace events, so the\n\
+     share is measured directly, not from run-to-run wall-clock noise;\n\
+     see docs/VERIFICATION.md)";
+  let budget = Float.min 60. !time_limit in
+  let points =
+    if quick then [ (1, 3, (2, 2, 1), 1) ]
+    else
+      [
+        (1, 3, (2, 2, 1), 1);
+        (2, 2, (3, 2, 2), 1);
+        (3, 3, (2, 2, 2), 1);
+        (4, 2, (2, 2, 2), 1);
+        (5, 2, (2, 2, 2), 1);
+        (6, 2, (2, 2, 2), 1);
+      ]
+  in
+  Format.printf " %-6s %-3s %-3s | %-10s %-11s %-8s | %-9s | %s@." "graph" "N"
+    "L" "runtime(s)" "certify(ms)" "share(%)" "result" "root certificate";
+  List.iter
+    (fun (gno, n, ams, l) ->
+      let g = Ex.paper_graph gno in
+      let vars = F.build (spec_of g ~ams ~n ~l) in
+      let tracer = Ilp.Trace.create () in
+      let t0 = Unix.gettimeofday () in
+      let report =
+        Solver.solve ~tracer ~time_limit:budget
+          ~certify:Ilp.Branch_bound.Cert_root vars
+      in
+      let seconds = Unix.gettimeofday () -. t0 in
+      let summ =
+        Ilp.Trace_export.Summary.of_records (Ilp.Trace.collect tracer)
+      in
+      let cert_s = summ.Ilp.Trace_export.Summary.cert_seconds in
+      let c = report.Solver.stats.Ilp.Branch_bound.certification in
+      let root =
+        match c.Ilp.Branch_bound.root_certificate with
+        | Some cert -> Ilp.Certify.describe cert
+        | None -> "-"
+      in
+      let result =
+        match report.Solver.outcome with
+        | Solver.Feasible sol -> Printf.sprintf "cost %d" sol.Sol.comm_cost
+        | Solver.Infeasible_model -> "infeasible"
+        | Solver.Timed_out _ -> "timeout"
+      in
+      cert_rows :=
+        {
+          ce_graph = gno; ce_n = n; ce_l = l; ce_seconds = seconds;
+          ce_cert_seconds = cert_s;
+          ce_checked = c.Ilp.Branch_bound.cert_checked;
+          ce_certified = c.Ilp.Branch_bound.cert_certified;
+          ce_root = root; ce_result = result;
+        }
+        :: !cert_rows;
+      Format.printf " %-6d %-3d %-3d | %-10.2f %-11.2f %-8.3f | %-9s | %s@."
+        gno n l seconds (cert_s *. 1e3)
+        (100. *. cert_s /. seconds)
+        result root)
+    points
+
+let write_certify_json path =
+  let oc = open_out path in
+  let row r =
+    Printf.sprintf
+      "    { \"graph\": %d, \"n\": %d, \"l\": %d, \"seconds\": %.3f, \
+       \"certify_seconds\": %.6f, \"share_pct\": %.4f, \"checked\": %d, \
+       \"certified\": %d, \"root\": %S, \"result\": %S }"
+      r.ce_graph r.ce_n r.ce_l r.ce_seconds r.ce_cert_seconds
+      (100. *. r.ce_cert_seconds /. r.ce_seconds)
+      r.ce_checked r.ce_certified r.ce_root r.ce_result
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"host\": {\n\
+    \    \"cores\": %d,\n\
+    \    \"ocaml\": %S,\n\
+    \    \"word_size\": %d,\n\
+    \    \"os_type\": %S,\n\
+    \    \"backend\": \"sparse_lu\"\n\
+    \  },\n\
+    \  \"certify\": [\n%s\n  ]\n}\n"
+    (Domain.recommended_domain_count ())
+    Sys.ocaml_version Sys.word_size Sys.os_type
+    (String.concat ",\n" (List.rev_map row !cert_rows));
+  close_out oc;
+  Format.printf "@.json report written to %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -936,6 +1045,7 @@ let () =
   if want "parallel" then parallel ();
   if want "nodes" then nodes_bench ~quick ();
   if want "trace" then trace_bench ~quick ();
+  if want "certify" then certify_bench ~quick ();
   if want "lint" then lint ();
   if want "micro" then micro ();
   (* --json writes whichever report the selected sections produced: the
@@ -950,8 +1060,13 @@ let () =
       let wrote_nodes = !nodes_rows <> [] in
       if wrote_nodes then
         write_nodes_json (if wrote_parallel then sub "_nodes" else path);
-      if !trace_result <> None then
+      let wrote_trace = !trace_result <> None in
+      if wrote_trace then
         write_trace_json
-          (if wrote_parallel || wrote_nodes then sub "_trace" else path))
+          (if wrote_parallel || wrote_nodes then sub "_trace" else path);
+      if !cert_rows <> [] then
+        write_certify_json
+          (if wrote_parallel || wrote_nodes || wrote_trace then sub "_certify"
+           else path))
     json_path;
   Format.printf "@.total bench wall-clock: %.1fs@." (Unix.gettimeofday () -. t0)

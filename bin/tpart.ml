@@ -285,6 +285,28 @@ let solve_json_flag =
            node counts, deduction statistics, incumbent timeline) \
            instead of the text report.")
 
+let certify_arg =
+  let certify_conv =
+    Arg.enum
+      [ ("off", Ilp.Branch_bound.Cert_off);
+        ("root", Ilp.Branch_bound.Cert_root);
+        ("incumbents", Ilp.Branch_bound.Cert_incumbents);
+        ("all", Ilp.Branch_bound.Cert_all) ]
+  in
+  Arg.(
+    value
+    & opt certify_conv Ilp.Branch_bound.Cert_off
+        ~vopt:Ilp.Branch_bound.Cert_root
+    & info [ "certify" ] ~docv:"LEVEL"
+        ~doc:
+          "Re-check LP verdicts in exact rational arithmetic: $(b,root) \
+           (the default when $(docv) is omitted) certifies the root \
+           relaxation, $(b,incumbents) adds every integral relaxation, \
+           $(b,all) every node including infeasible ones (Farkas \
+           proofs). The exit code then reports the aggregate verdict: 0 \
+           certified, 1 refuted, 2 uncertifiable — overriding the usual \
+           outcome codes. See docs/VERIFICATION.md.")
+
 let trace_out =
   Arg.(
     value
@@ -368,7 +390,7 @@ let print_workers elapsed (workers : Ilp.Branch_bound.worker_stats array) =
            (Array.to_list workers))
   end
 
-let json_of_result result =
+let json_of_result ?certification result =
   let r = result.Temporal.Pipeline.report in
   let s = r.Temporal.Solver.stats in
   let d = s.Ilp.Branch_bound.deductions in
@@ -393,7 +415,7 @@ let json_of_result result =
      \"deductions\": {\"rc_fixed\": %d, \"prop_fixings\": %d, \
      \"prop_prunes\": %d, \"prop_local_hits\": %d, \"cut_rounds\": %d, \
      \"cover\": %s, \"clique\": %s, \"pc_branchings\": %d}, \
-     \"timeline\": %s}"
+     \"timeline\": %s%s}"
     outcome comm r.Temporal.Solver.vars r.Temporal.Solver.constrs
     s.Ilp.Branch_bound.nodes s.Ilp.Branch_bound.incumbents
     s.Ilp.Branch_bound.max_depth d.Ilp.Branch_bound.rc_fixed
@@ -403,11 +425,15 @@ let json_of_result result =
     (fam d.Ilp.Branch_bound.clique_cuts)
     d.Ilp.Branch_bound.pc_branchings
     (Ilp.Json.to_string (Temporal.Report.incumbent_timeline s))
+    (match certification with
+     | Some j -> Printf.sprintf ", \"certification\": %s" (Ilp.Json.to_string j)
+     | None -> "")
 
 let solve_cmd =
   let run g a m s capacity alpha scratch latency partitions time_limit strategy
       no_tighten no_step_cuts fortet dot lp_out report_wanted lint
-      stats_wanted jobs deterministic rc_fixing propagate cuts json trace =
+      stats_wanted jobs deterministic rc_fixing propagate cuts certify json
+      trace =
     let allocation = Hls.Component.ams (a, m, s) in
     let options =
       {
@@ -427,11 +453,51 @@ let solve_cmd =
     let result =
       Temporal.Pipeline.run ~options ~strategy ~time_limit
         ?num_partitions:partitions ~lint ~jobs ~deterministic ~rc_fixing
-        ~propagate ~cuts ~tracer ~graph:g ~allocation ?capacity ~alpha
-        ~scratch ~latency_relax:latency ()
+        ~propagate ~cuts ~certify ~tracer ~graph:g ~allocation ?capacity
+        ~alpha ~scratch ~latency_relax:latency ()
     in
-    if json then print_endline (json_of_result result)
+    let stats = result.Temporal.Pipeline.report.Temporal.Solver.stats in
+    let certifying = certify <> Ilp.Branch_bound.Cert_off in
+    (* Certificate rows are reported in the original formulation's
+       coordinates (the solver maps presolved rows back), so naming
+       them only needs a fresh deterministic build of the same model. *)
+    let row_name =
+      lazy
+        (let vars =
+           Temporal.Formulation.build ~options result.Temporal.Pipeline.spec
+         in
+         let lp = vars.Temporal.Vars.lp in
+         fun i ->
+           if i >= 0 && i < Ilp.Lp.num_constrs lp then Ilp.Lp.row_name lp i
+           else Printf.sprintf "r%d" i)
+    in
+    if json then
+      print_endline
+        (json_of_result
+           ?certification:
+             (if certifying then
+                Some
+                  (Temporal.Report.certification
+                     ~row_name:(Lazy.force row_name) stats)
+              else None)
+           result)
     else Format.printf "%a@." Temporal.Pipeline.pp result;
+    if certifying && not json then begin
+      let c = stats.Ilp.Branch_bound.certification in
+      Format.printf "certification: %a@." Ilp.Branch_bound.pp_certification c;
+      match c.Ilp.Branch_bound.root_certificate with
+      | Some
+          {
+            Ilp.Certify.detail = Ilp.Certify.Farkas_proof { support; _ };
+            _;
+          } ->
+        List.iter
+          (fun i ->
+            Format.printf "  %s@."
+              (Temporal.Audit.describe_row (Lazy.force row_name i)))
+          support
+      | _ -> ()
+    end;
     if stats_wanted && not json then begin
       let stats =
         result.Temporal.Pipeline.report.Temporal.Solver.stats
@@ -466,21 +532,37 @@ let solve_cmd =
        write_file path (Ilp.Lp_format.to_string vars.Temporal.Vars.lp);
        Format.printf "wrote %s@." path
      | None -> ());
-    match result.Temporal.Pipeline.report.Temporal.Solver.outcome with
-    | Temporal.Solver.Feasible sol ->
-      if report_wanted then
-        print_string
-          (Temporal.Report.full result.Temporal.Pipeline.spec sol);
-      (match dot with
-       | Some path ->
-         write_file path
-           (Taskgraph.Dot.op_graph_with_partition g (fun t ->
-                sol.Temporal.Solution.partition_of.(t)));
-         Format.printf "wrote %s@." path
-       | None -> ());
-      0
-    | Temporal.Solver.Infeasible_model -> 1
-    | Temporal.Solver.Timed_out _ -> 2
+    let outcome_exit =
+      match result.Temporal.Pipeline.report.Temporal.Solver.outcome with
+      | Temporal.Solver.Feasible sol ->
+        if report_wanted then
+          print_string
+            (Temporal.Report.full result.Temporal.Pipeline.spec sol);
+        (match dot with
+         | Some path ->
+           write_file path
+             (Taskgraph.Dot.op_graph_with_partition g (fun t ->
+                  sol.Temporal.Solution.partition_of.(t)));
+           Format.printf "wrote %s@." path
+         | None -> ());
+        0
+      | Temporal.Solver.Infeasible_model -> 1
+      | Temporal.Solver.Timed_out _ -> 2
+    in
+    if not certifying then outcome_exit
+    else begin
+      (* With --certify the exit code is the aggregate verdict: any
+         refutation dominates, then any unproven check; a run with no
+         check at all proved nothing. *)
+      let c = stats.Ilp.Branch_bound.certification in
+      Ilp.Certify.exit_code
+        (if c.Ilp.Branch_bound.cert_refuted > 0 then Ilp.Certify.Refuted
+         else if
+           c.Ilp.Branch_bound.cert_uncertifiable > 0
+           || c.Ilp.Branch_bound.cert_checked = 0
+         then Ilp.Certify.Uncertifiable
+         else Ilp.Certify.Certified)
+    end
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Exact temporal partitioning and synthesis (full Figure 2 flow).")
@@ -489,9 +571,55 @@ let solve_cmd =
       $ latency $ partitions $ time_limit $ strategy $ no_tighten
       $ no_step_cuts $ fortet $ dot_out $ lp_out $ report_flag $ lint_flag
       $ stats_flag $ jobs_arg $ deterministic_flag $ rc_fix_flag
-      $ propagate_flag $ cuts_flag $ solve_json_flag $ trace_out)
+      $ propagate_flag $ cuts_flag $ certify_arg $ solve_json_flag
+      $ trace_out)
 
 (* ---------------- analyze command ---------------- *)
+
+(* IIS extraction path shared by the analyze input modes. [describe]
+   phrases a row name for humans ({!Temporal.Audit.describe_row} when
+   the model came from a formulated graph). Exit code is the
+   certificate verdict: 0 certified, 2 when nothing could be proven. *)
+let run_iis ~json ~describe lp =
+  match Ilp.Iis.extract lp with
+  | Ilp.Iis.Feasible ->
+    print_endline
+      "LP relaxation feasible: no irreducible infeasible subsystem";
+    0
+  | Ilp.Iis.Inconclusive msg ->
+    Format.eprintf "tpart analyze: IIS extraction inconclusive: %s@." msg;
+    2
+  | Ilp.Iis.Iis r ->
+    let cert = r.Ilp.Iis.certificate in
+    if json then begin
+      let num n = Ilp.Json.Num (Float.of_int n) in
+      let row_name i =
+        if i >= 0 && i < Ilp.Lp.num_constrs lp then Ilp.Lp.row_name lp i
+        else Printf.sprintf "r%d" i
+      in
+      print_endline
+        (Ilp.Json.to_string
+           (Ilp.Json.Obj
+              [
+                ("rows", Ilp.Json.Arr (List.map num r.Ilp.Iis.rows));
+                ( "names",
+                  Ilp.Json.Arr
+                    (List.map (fun s -> Ilp.Json.Str s) r.Ilp.Iis.names) );
+                ("solves", num r.Ilp.Iis.solves);
+                ("certificate", Ilp.Certify.to_json ~row_name cert);
+              ]))
+    end
+    else begin
+      Format.printf
+        "irreducible infeasible subsystem: %d row(s), %d LP solves@."
+        (List.length r.Ilp.Iis.rows)
+        r.Ilp.Iis.solves;
+      List.iter
+        (fun name -> Format.printf "  %s@." (describe name))
+        r.Ilp.Iis.names;
+      Format.printf "%s@." (Ilp.Certify.describe cert)
+    end;
+    Ilp.Certify.exit_code cert.Ilp.Certify.verdict
 
 let analyze_cmd =
   let graph_opt =
@@ -515,8 +643,21 @@ let analyze_cmd =
   let json_flag =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report(s) as JSON.")
   in
+  let iis_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "iis" ]
+          ~doc:
+            "Instead of the static report, certify the LP relaxation's \
+             infeasibility exactly and extract an irreducible infeasible \
+             subsystem: a minimal set of rows that cannot hold together, \
+             each named in the formulation's terms, backed by an \
+             exactly-checked Farkas certificate. Exit 0 when the \
+             certificate holds, 2 when nothing could be proven.")
+  in
   let run g from_lp a m s capacity alpha scratch latency partitions no_tighten
-      no_step_cuts fortet json =
+      no_step_cuts fortet json iis =
     match (g, from_lp) with
     | None, None | Some _, Some _ ->
       prerr_endline "tpart analyze: give exactly one of --graph or --from-lp";
@@ -536,10 +677,13 @@ let analyze_cmd =
          Format.eprintf "tpart analyze: cannot parse %s: %s@." path msg;
          1
        | lp ->
-         let report = Ilp.Analyze.analyze lp in
-         if json then print_endline (Ilp.Analyze.to_json report)
-         else Format.printf "%a@." Ilp.Analyze.pp_report report;
-         if Ilp.Analyze.is_clean report then 0 else 1)
+         if iis then run_iis ~json ~describe:(fun n -> n) lp
+         else begin
+           let report = Ilp.Analyze.analyze lp in
+           if json then print_endline (Ilp.Analyze.to_json report)
+           else Format.printf "%a@." Ilp.Analyze.pp_report report;
+           if Ilp.Analyze.is_clean report then 0 else 1
+         end)
     | Some g, None ->
       let allocation = Hls.Component.ams (a, m, s) in
       let options =
@@ -578,6 +722,10 @@ let analyze_cmd =
           ~latency_relax:latency ~num_partitions:n ()
       in
       let vars = Temporal.Formulation.build ~options spec in
+      if iis then
+        run_iis ~json ~describe:Temporal.Audit.describe_row
+          vars.Temporal.Vars.lp
+      else begin
       let analysis = Ilp.Analyze.analyze vars.Temporal.Vars.lp in
       let audit = Temporal.Audit.audit_vars ~options vars in
       if json then
@@ -590,17 +738,19 @@ let analyze_cmd =
       end;
       if Ilp.Analyze.is_clean analysis && Temporal.Audit.is_clean audit then 0
       else 1
+      end
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Static model analysis (no solving): generic structural checks \
           plus the formulation audit against the paper's closed-form \
-          census.")
+          census; $(b,--iis) extracts an exactly-certified irreducible \
+          infeasible subsystem instead.")
     Term.(
       const run $ graph_opt $ from_lp $ adders $ muls $ subs $ capacity
       $ alpha $ scratch $ latency $ partitions $ no_tighten $ no_step_cuts
-      $ fortet $ json_flag)
+      $ fortet $ json_flag $ iis_flag)
 
 (* ---------------- trace command ---------------- *)
 

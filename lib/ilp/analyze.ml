@@ -305,6 +305,56 @@ let analyze ?(cond_limit = 1e8) lp =
     stats;
   }
 
+(* The certificate family is the one diagnostic source that leaves the
+   static sweep: it solves the LP relaxation once and re-checks the
+   verdict in exact rational arithmetic ({!Certify}), optionally
+   shrinking an infeasibility to an irreducible subsystem ({!Iis}). *)
+let certificate_diagnostics ?tol ?backend ?(iis = false) lp =
+  let diag ?row severity code message =
+    { severity; code; message; row; var = None }
+  in
+  let _res, cert = Certify.check_lp ?tol ?backend lp in
+  match (cert.Certify.verdict, cert.Certify.detail) with
+  | Certify.Certified, Certify.Farkas_proof { witness_row; support; _ } ->
+    let head =
+      diag ~row:witness_row Error "certificate-infeasible"
+        (Printf.sprintf
+           "LP relaxation exactly infeasible: %s" (Certify.describe cert))
+    in
+    if not iis then [ head ]
+    else begin
+      match Iis.extract ?tol ?backend lp with
+      | Iis.Iis r ->
+        head
+        :: List.map
+             (fun (row, name) ->
+               diag ~row Error "iis-row"
+                 (Printf.sprintf
+                    "row %s belongs to an irreducible infeasible subsystem \
+                     (%d rows)"
+                    name (List.length r.Iis.rows)))
+             (List.combine r.Iis.rows r.Iis.names)
+      | Iis.Feasible | Iis.Inconclusive _ ->
+        (* the one-shot certificate stands even when the deletion
+           filter cannot pin a minimal core *)
+        head
+        :: List.map
+             (fun row -> diag ~row Warn "iis-row" "row supports the Farkas ray")
+             support
+    end
+  | Certify.Certified, _ ->
+    [ diag Info "certificate-optimal"
+        (Printf.sprintf "LP relaxation certified: %s" (Certify.describe cert)) ]
+  | Certify.Refuted, _ ->
+    [ diag Error "certificate-refuted"
+        (Printf.sprintf
+           "float LP verdict contradicted by exact arithmetic: %s"
+           (Certify.describe cert)) ]
+  | Certify.Uncertifiable, _ ->
+    [ diag Warn "certificate-unverified"
+        (Printf.sprintf "LP verdict not certifiable: %s"
+           (Certify.describe cert)) ]
+
 let errors r = List.filter (fun d -> d.severity = Error) r.diagnostics
 
 let is_clean r = errors r = []

@@ -83,6 +83,26 @@ val analyze : ?cond_limit:float -> Lp.t -> report
     Info-level: parallel (dominated) rows, rows trivially redundant by
     bound arithmetic, an all-zero objective. *)
 
+val certificate_diagnostics :
+  ?tol:float -> ?backend:Simplex.backend -> ?iis:bool -> Lp.t -> diagnostic list
+(** The certificate diagnostic family — the one check that solves
+    rather than sweeps. The LP relaxation is solved once and its
+    verdict re-checked in exact rational arithmetic ({!Certify}):
+
+    - [error\[certificate-infeasible\]] — the relaxation is exactly
+      infeasible (Farkas certificate checked in rationals); with
+      [iis = true] one [error\[iis-row\]] per member of the extracted
+      irreducible infeasible subsystem follows ({!Iis});
+    - [error\[certificate-refuted\]] — exact arithmetic contradicts the
+      float verdict (numerical corruption);
+    - [info\[certificate-optimal\]] — the relaxation's optimum is
+      certified;
+    - [warn\[certificate-unverified\]] — nothing provable either way.
+
+    Integrality is not considered: an LP-feasible model can still be
+    integer-infeasible. Diagnostics are row-scoped where a witness row
+    exists. *)
+
 val errors : report -> diagnostic list
 (** The error-severity subset, in report order. *)
 

@@ -14,6 +14,8 @@ type hook_result =
   | Hook_prune
   | Hook_incumbent_and_prune of float array
 
+type certify_level = Cert_off | Cert_root | Cert_incumbents | Cert_all
+
 type options = {
   max_nodes : int;
   time_limit : float;
@@ -37,6 +39,7 @@ type options = {
   cut_max_age : int;
   pseudocost : bool;
   pc_reliability : int;
+  certify_level : certify_level;
   tracer : Trace.t;
 }
 
@@ -63,6 +66,7 @@ let default_options =
     cut_max_age = 3;
     pseudocost = false;
     pc_reliability = 1;
+    certify_level = Cert_off;
     tracer = Trace.disabled;
   }
 
@@ -132,6 +136,30 @@ let pp_deductions ppf d =
     d.clique_cuts.cf_separated d.clique_cuts.cf_active
     d.clique_cuts.cf_evicted d.pc_branchings
 
+type certification_stats = {
+  cert_checked : int;
+  cert_certified : int;
+  cert_refuted : int;
+  cert_uncertifiable : int;
+  root_certificate : Certify.t option;
+}
+
+let empty_certification =
+  {
+    cert_checked = 0;
+    cert_certified = 0;
+    cert_refuted = 0;
+    cert_uncertifiable = 0;
+    root_certificate = None;
+  }
+
+let pp_certification ppf c =
+  Format.fprintf ppf "checked=%d certified=%d refuted=%d uncertifiable=%d"
+    c.cert_checked c.cert_certified c.cert_refuted c.cert_uncertifiable;
+  match c.root_certificate with
+  | Some cert -> Format.fprintf ppf " root=%a" Certify.pp cert
+  | None -> ()
+
 type stats = {
   nodes : int;
   incumbents : int;
@@ -142,6 +170,7 @@ type stats = {
   lp_stats : Simplex.stats;
   workers : worker_stats array;
   deductions : deduction_stats;
+  certification : certification_stats;
   timeline : (float * float * int) array;
 }
 
@@ -156,6 +185,7 @@ let empty_stats =
     lp_stats = Simplex.empty_stats;
     workers = [||];
     deductions = empty_deductions;
+    certification = empty_certification;
     timeline = [||];
   }
 
@@ -309,6 +339,27 @@ let deduction_totals ded =
     pc_branchings = Atomic.get ded.d_pc_branchings;
   }
 
+(* Certification counters, bumped concurrently by workers. The root
+   certificate slot is only written while the root node is processed —
+   on the sequential driver or the seeding phase, before any worker
+   domain exists — and only read after every domain has joined. *)
+type cstate = {
+  c_checked : int Atomic.t;
+  c_certified : int Atomic.t;
+  c_refuted : int Atomic.t;
+  c_uncertifiable : int Atomic.t;
+  mutable c_root : Certify.t option;
+}
+
+let certification_totals cs =
+  {
+    cert_checked = Atomic.get cs.c_checked;
+    cert_certified = Atomic.get cs.c_certified;
+    cert_refuted = Atomic.get cs.c_refuted;
+    cert_uncertifiable = Atomic.get cs.c_uncertifiable;
+    root_certificate = cs.c_root;
+  }
+
 (* Problem data shared (read-only) by every search context. *)
 type env = {
   opts : options;
@@ -321,6 +372,7 @@ type env = {
   t0 : float;
   deadline : float;  (* absolute [Mono] time; [infinity] when unlimited *)
   ded : dstate;
+  cert : cstate;
 }
 
 (* The shared incumbent. [best_obj] is read lock-free on the pruning
@@ -600,6 +652,39 @@ let refix_root ctx =
         end
       end
 
+(* Certify one node's LP verdict exactly. Must run immediately after
+   the solve that produced [res], before any further pivoting on
+   [ctx.st] (the snapshot captures the live basis). Certification
+   observes — a refuted verdict is counted and logged, never steered
+   on: the float search's behavior is identical at every level. *)
+let certify_node ctx ~nno res =
+  let t = Mono.now () in
+  let snap = Simplex.snapshot ctx.st in
+  let cert = Certify.check snap res in
+  let dt = Mono.elapsed_since t in
+  let cs = ctx.env.cert in
+  Atomic.incr cs.c_checked;
+  (match cert.Certify.verdict with
+   | Certify.Certified -> Atomic.incr cs.c_certified
+   | Certify.Refuted ->
+     Atomic.incr cs.c_refuted;
+     Log.warn (fun f ->
+         f "node %d LP verdict refuted by exact check: %s" nno
+           (Certify.describe cert))
+   | Certify.Uncertifiable -> Atomic.incr cs.c_uncertifiable);
+  if ctx.set_root && ctx.k_nodes = 1 then cs.c_root <- Some cert;
+  if Trace.active ctx.tw then begin
+    let verdict =
+      match cert.Certify.verdict with
+      | Certify.Certified -> Trace.Cert_certified
+      | Certify.Refuted -> Trace.Cert_refuted
+      | Certify.Uncertifiable -> Trace.Cert_uncertifiable
+    in
+    Trace.emit ctx.tw
+      (Trace.Cert_check
+         { node = nno; verdict; kind = Certify.kind_name cert.Certify.detail; dt })
+  end
+
 (* Evaluate one node on [ctx]'s engine: bound setup, domain
    propagation, (warm) LP solve, hook, incumbent tests, reduced-cost
    fixing, branching. Drivers decide what a step result means for the
@@ -687,6 +772,21 @@ let process_node ctx node =
         (match res.Simplex.status with
          | Simplex.Optimal -> res.Simplex.obj
          | _ -> Float.nan);
+    (* Exact certification, while the basis behind [res] is still the
+       engine's live basis (nothing below re-solves on [ctx.st]). *)
+    (match opts.certify_level with
+     | Cert_off -> ()
+     | Cert_all -> certify_node ctx ~nno res
+     | Cert_root ->
+       if ctx.set_root && ctx.k_nodes = 1 then certify_node ctx ~nno res
+     | Cert_incumbents ->
+       let integral_opt =
+         match res.Simplex.status with
+         | Simplex.Optimal -> is_integral env res.Simplex.x
+         | _ -> false
+       in
+       if (ctx.set_root && ctx.k_nodes = 1) || integral_opt then
+         certify_node ctx ~nno res);
     (* A limit-hit relaxation is still usable when its residual norms
        certify the basic solution is primal and dual feasible within
        tolerance: by weak duality its objective is then within roundoff
@@ -987,6 +1087,14 @@ let make_env options lp t0 ~cuts_info =
     t0;
     deadline = t0 +. options.time_limit;
     ded;
+    cert =
+      {
+        c_checked = Atomic.make 0;
+        c_certified = Atomic.make 0;
+        c_refuted = Atomic.make 0;
+        c_uncertifiable = Atomic.make 0;
+        c_root = None;
+      };
   }
 
 let finitize b = if Float.is_finite b then b else Float.neg_infinity
@@ -1106,6 +1214,7 @@ let solve_sequential env =
       lp_stats = Simplex.stats st;
       workers = [||];
       deductions = deduction_totals env.ded;
+      certification = certification_totals env.cert;
       timeline = Array.of_list (List.rev inc.timeline);
     }
   in
@@ -1394,6 +1503,7 @@ let solve_parallel env =
       lp_stats;
       workers = Array.map (fun r -> r.r_ws) rets;
       deductions = deduction_totals env.ded;
+      certification = certification_totals env.cert;
       timeline = Array.of_list (List.rev inc.timeline);
     }
   in

@@ -38,6 +38,18 @@ type hook_result =
   | Hook_prune  (** Discard this subtree: no better solution lies below. *)
   | Hook_incumbent_and_prune of float array
 
+type certify_level =
+  | Cert_off  (** No exact checking (default). *)
+  | Cert_root
+      (** Certify the root relaxation only: one exact check validating
+          the bound the whole search hangs from. *)
+  | Cert_incumbents
+      (** [Cert_root] plus every node whose relaxation is integral —
+          the LPs whose objectives become incumbent values. *)
+  | Cert_all
+      (** Every node LP verdict, including infeasible ones (checked as
+          Farkas certificates). Expensive; for audits and debugging. *)
+
 type options = {
   max_nodes : int;
   time_limit : float;  (** Wall-clock seconds; [infinity] disables. *)
@@ -137,6 +149,19 @@ type options = {
   pc_reliability : int;
       (** Observations per direction before a variable's pseudo-costs
           are trusted (default 1). *)
+  certify_level : certify_level;
+      (** Exact a-posteriori certification of node LP verdicts with
+          {!Certify} (default {!Cert_off}). Each selected node's final
+          basis is re-solved in rational arithmetic immediately after
+          its LP solve, on the worker's own engine; verdicts are
+          counted in {!stats.certification}, emitted as
+          {!Trace.Cert_check} events, and a {!Certify.Refuted} verdict
+          is logged as a warning (the search continues — certification
+          observes, it does not steer). The root certificate itself is
+          kept in {!certification_stats.root_certificate}. Note the
+          certificates apply to the model the search actually solves:
+          after presolve and/or root cuts, row indices are in that
+          model's coordinates. *)
   tracer : Trace.t;
       (** Structured tracing (default {!Trace.disabled}, costing one
           branch per instrumentation site). When enabled, the search
@@ -198,6 +223,25 @@ val empty_deductions : deduction_stats
 val pp_deductions : Format.formatter -> deduction_stats -> unit
 (** One-line [key=value] rendering ([family=sep/active/evicted]). *)
 
+type certification_stats = {
+  cert_checked : int;  (** Node LP verdicts certified exactly. *)
+  cert_certified : int;
+  cert_refuted : int;
+      (** Exact arithmetic contradicted the float verdict — a solver
+          bug or severe numerical corruption. Logged as warnings. *)
+  cert_uncertifiable : int;
+      (** Nothing provable either way (singular basis in rationals,
+          dual gap above tolerance, missing witness). *)
+  root_certificate : Certify.t option;
+      (** The root relaxation's certificate, whenever the level
+          includes the root and the root LP was solved. *)
+}
+
+val empty_certification : certification_stats
+
+val pp_certification : Format.formatter -> certification_stats -> unit
+(** One-line [key=value] rendering plus the root verdict when kept. *)
+
 type stats = {
   nodes : int;  (** LP relaxations solved. *)
   incumbents : int;  (** Number of improving integer solutions found. *)
@@ -217,6 +261,9 @@ type stats = {
   deductions : deduction_stats;
       (** Node-deduction counters (all zero when the corresponding
           options are off). *)
+  certification : certification_stats;
+      (** Exact-certification counters (all zero, no certificate, when
+          [certify_level = Cert_off]). *)
   timeline : (float * float * int) array;
       (** The incumbent timeline: one [(elapsed seconds, objective,
           node id)] triple per improving incumbent, in installation

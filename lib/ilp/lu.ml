@@ -38,6 +38,7 @@ type t = {
 let size lu = lu.m
 let eta_count lu = lu.neta
 let fill lu = lu.fill
+let pivot_order lu = Array.init lu.m (fun k -> (lu.lp_row.(k), lu.u_q.(k)))
 
 (* Ownership is structural: the scratch buffer and the eta file are
    unsynchronized, so any cross-domain use is a data race. The stamp

@@ -3,6 +3,7 @@ type stats = {
   bounds_tightened : int;
   vars_fixed : int;
   passes : int;
+  row_map : int array;
 }
 
 type result = Infeasible of string | Reduced of Lp.t * stats
@@ -94,12 +95,16 @@ let presolve ?(max_passes = 10) lp0 =
       Lp.set_bounds out (Lp.var_of_int out j) ~lb:(Lp.var_lb lp v)
         ~ub:(Lp.var_ub lp v)
     done;
+    let row_map = ref [] in
     Lp.iter_rows lp (fun i terms sense rhs ->
-        if not removed.(i) then
+        if not removed.(i) then begin
+          row_map := i :: !row_map;
           ignore
             (Lp.add_constr out ~name:(Lp.row_name lp i)
                (List.map (fun (c, v) -> (c, Lp.var_of_int out (v : Lp.var :> int))) terms)
-               sense rhs));
+               sense rhs)
+        end);
+    let row_map = Array.of_list (List.rev !row_map) in
     (* objective (minimization-oriented internal form) *)
     let obj = Lp.objective lp in
     let sign = Lp.obj_sign lp in
@@ -126,6 +131,7 @@ let presolve ?(max_passes = 10) lp0 =
           bounds_tightened = !bounds_tightened;
           vars_fixed;
           passes = !passes;
+          row_map;
         } )
   with
   | Infeasible_row name -> Infeasible name

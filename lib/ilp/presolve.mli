@@ -21,6 +21,12 @@ type stats = {
   bounds_tightened : int;
   vars_fixed : int;  (** Variables whose bounds collapsed to a point. *)
   passes : int;
+  row_map : int array;
+      (** Kept-row provenance: entry [k] is the original-model row index
+          of the reduced model's row [k] (length = reduced row count).
+          This is what maps row-indexed certificates ({!Certify},
+          {!Iis}) computed on the reduced model back to the coordinates
+          the caller named. *)
 }
 
 type result =

@@ -4,6 +4,11 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type status = Optimal | Infeasible | Unbounded | Iter_limit
 
+type farkas = {
+  ray : float array;
+  row : int;
+}
+
 type result = {
   status : status;
   obj : float;
@@ -12,6 +17,7 @@ type result = {
   primal_res : float;
   dual_res : float;
   dj : float array;
+  farkas : farkas option;
 }
 
 type backend = Dense | Sparse_lu
@@ -63,6 +69,33 @@ let pp_stats ppf s =
 
 type vstat = Basic | At_lower | At_upper | Free_zero
 
+(* How the last Infeasible verdict was reached — enough context for
+   {!Certify} to rebuild the Farkas ray exactly from the final basis. *)
+type infeasibility =
+  | Inf_phase1 of float array
+      (* phase-I cost vector at the infeasible phase-I optimum *)
+  | Inf_dual_row of { row : int; above : bool }
+      (* dual-simplex dead end: basic slot [row] out of bounds with no
+         eligible entering column *)
+
+(* A self-contained copy of everything an exact a-posteriori check
+   needs: the internal model (columns = structural + slack +
+   artificial), the final basis and nonbasic statuses, and the float
+   LU's pivot order when available. *)
+type snapshot = {
+  s_m : int;
+  s_nstruct : int;
+  s_mat : Sparse.Csc.mat;
+  s_basis : int array;
+  s_stat : vstat array;
+  s_lb : float array;
+  s_ub : float array;
+  s_rhs : float array;
+  s_cost : float array;
+  s_infeasibility : infeasibility option;
+  s_pivot_order : (int * int) array option;
+}
+
 (* Basis representation: a dense explicit inverse maintained by
    product-form row operations, or a sparse LU factorization with an
    eta file (see {!Lu}). *)
@@ -108,6 +141,7 @@ type state = {
   mutable rf_residual : int;
   mutable t_ftran : float;
   mutable t_btran : float;
+  mutable last_inf : infeasibility option;
   mutable trace : Trace.writer;
 }
 
@@ -274,6 +308,7 @@ let create ?(backend = Sparse_lu) lp =
     rf_residual = 0;
     t_ftran = 0.;
     t_btran = 0.;
+    last_inf = None;
     trace = Trace.null_writer;
   }
 
@@ -596,7 +631,34 @@ let mk_result st status ~iterations =
     | Unbounded -> Float.neg_infinity
     | Infeasible -> Float.nan
   in
-  { status; obj; x; iterations; primal_res; dual_res; dj }
+  { status; obj; x; iterations; primal_res; dual_res; dj; farkas = None }
+
+(* The constraint row a reported Farkas ray concentrates on: the row of
+   the out-of-bounds basic slack/artificial when there is one, else the
+   largest ray component. Purely a reporting aid — the exact certificate
+   in {!Certify} carries the whole ray. *)
+let farkas_witness st ray =
+  let from_basis = ref (-1) and worst = ref 0. in
+  for i = 0 to st.m - 1 do
+    let k = st.basis.(i) in
+    if k >= st.nstruct then begin
+      let viol = Float.max (st.lb.(k) -. st.xb.(i)) (st.xb.(i) -. st.ub.(k)) in
+      if viol > !worst then begin
+        worst := viol;
+        (* slack and artificial columns are both the unit vector of
+           their constraint row *)
+        from_basis := (k - st.nstruct) mod st.m
+      end
+    end
+  done;
+  if !from_basis >= 0 then !from_basis
+  else begin
+    let row = ref 0 in
+    for i = 1 to st.m - 1 do
+      if Float.abs ray.(i) > Float.abs ray.(!row) then row := i
+    done;
+    !row
+  end
 
 (* -------------------------------------------------------------------- *)
 (* Pricing                                                               *)
@@ -867,10 +929,12 @@ let rec primal_guarded ~max_iters ~attempt st =
         primal_res = Float.infinity;
         dual_res = Float.infinity;
         dj = [||];
+        farkas = None;
       }
     else primal_guarded ~max_iters ~attempt:(attempt + 1) st
 
 and primal_once ~max_iters st =
+  st.last_inf <- None;
   reset_to_slack_basis st;
   (* Install artificials on rows whose slack value violates slack bounds. *)
   let phase1_cost = Array.make st.ncols 0. in
@@ -943,7 +1007,18 @@ and primal_once ~max_iters st =
   end;
   if (not !feasible) && !iters1 >= max_iters then
     mk_result st Iter_limit ~iterations:!iters1
-  else if not !feasible then mk_result st Infeasible ~iterations:!iters1
+  else if not !feasible then begin
+    (* The phase-I duals at a positive-infeasibility optimum are a
+       Farkas ray: y.b exceeds max over the variable box of y.Ax. Record
+       the phase-I costs so {!Certify} can re-derive y exactly from the
+       final basis; the float ray here is the callers' reporting aid. *)
+    st.last_inf <- Some (Inf_phase1 (Array.copy phase1_cost));
+    compute_y st phase1_cost;
+    let ray = Array.copy st.y in
+    let row = farkas_witness st ray in
+    let r = mk_result st Infeasible ~iterations:!iters1 in
+    { r with farkas = Some { ray; row } }
+  end
   else begin
     st.ncand <- 0;
     let status, it2 = primal_loop st st.cost (max_iters - !iters1) in
@@ -1053,7 +1128,7 @@ let dual_loop st max_iters =
             refactor st;
             incr iters
           end
-          else outcome := Some `Infeasible
+          else outcome := Some (`Infeasible (r, above))
         | Some j ->
           let k = st.basis.(r) in
           let bound = if above then st.ub.(k) else st.lb.(k) in
@@ -1090,6 +1165,38 @@ let dual_loop st max_iters =
   done;
   (Option.get !outcome, !iters)
 
+let snapshot st =
+  check_owner st "snapshot";
+  (* The sparse pivot order only describes the current basis when the
+     eta file is empty: refresh the factorization first. A singular
+     basis leaves the order out — the exact check then picks its own
+     pivots. *)
+  let pivot_order =
+    match st.repr with
+    | Rdense _ -> None
+    | Rsparse box -> (
+      match box.lu with
+      | Some lu when Lu.eta_count lu = 0 -> Some (Lu.pivot_order lu)
+      | None -> None
+      | Some _ -> (
+        match refactor st with
+        | () -> Option.map Lu.pivot_order box.lu
+        | exception Singular_basis -> None))
+  in
+  {
+    s_m = st.m;
+    s_nstruct = st.nstruct;
+    s_mat = st.mat;
+    s_basis = Array.copy st.basis;
+    s_stat = Array.copy st.stat;
+    s_lb = Array.copy st.lb;
+    s_ub = Array.copy st.ub;
+    s_rhs = Array.copy st.rhs;
+    s_cost = Array.copy st.cost;
+    s_infeasibility = st.last_inf;
+    s_pivot_order = pivot_order;
+  }
+
 let primal_core ~max_iters st = primal_guarded ~max_iters ~attempt:0 st
 
 (* Internal fallbacks below call [primal_core] directly so a traced
@@ -1099,7 +1206,8 @@ let primal_core ~max_iters st = primal_guarded ~max_iters ~attempt:0 st
    pivot counter exactly. *)
 let dual_reopt_core ~max_iters st =
   match
-    (revalidate_nonbasic st;
+    (st.last_inf <- None;
+     revalidate_nonbasic st;
      st.ncand <- 0;
      compute_xb st;
      let dual_cap = Int.min max_iters (1000 + (30 * st.m)) in
@@ -1108,7 +1216,16 @@ let dual_reopt_core ~max_iters st =
   | exception Singular_basis ->
     Log.warn (fun f -> f "singular basis in warm start; primal restart");
     primal_core ~max_iters st
-  | `Infeasible, it -> mk_result st Infeasible ~iterations:it
+  | `Infeasible (r, above), it ->
+    (* Row r of B^-1 (negated when the violation is below the lower
+       bound) is the Farkas ray: the violated basic value already sits
+       at its box extreme over every nonbasic choice. *)
+    st.last_inf <- Some (Inf_dual_row { row = r; above });
+    let rho = dual_row st r in
+    let ray = Array.init st.m (fun i -> if above then rho.(i) else -.rho.(i)) in
+    let row = farkas_witness st ray in
+    let res = mk_result st Infeasible ~iterations:it in
+    { res with farkas = Some { ray; row } }
   | `Stalled, _ ->
     Log.debug (fun f -> f "dual re-optimization stalled; primal restart");
     primal_core ~max_iters st

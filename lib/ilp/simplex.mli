@@ -41,6 +41,18 @@ type status =
   | Unbounded
   | Iter_limit  (** Gave up; solution content is best-effort. *)
 
+type farkas = {
+  ray : float array;
+      (** Dual ray [y] of length {!num_rows} witnessing primal
+          infeasibility: [y.b > max] over the variable box of [y.Ax]
+          (columns include slacks). Floating point — {!Certify} re-derives
+          and checks the certificate exactly from a {!snapshot}. *)
+  row : int;
+      (** The constraint row the ray concentrates on — the row whose
+          slack (or phase-I artificial) was out of bounds when the
+          verdict fired, for "why is this infeasible" reporting. *)
+}
+
 type result = {
   status : status;
   obj : float;
@@ -67,6 +79,11 @@ type result = {
           nonbasic-at-upper column [dj <= 0] (up to tolerance), which is
           what reduced-cost fixing in {!Branch_bound} consumes. Empty
           when the duals could not be computed ({!dual_res} infinite). *)
+  farkas : farkas option;
+      (** Present exactly when [status = Infeasible] was reached through
+          a basis (phase-I optimum with positive infeasibility, or a
+          dual-simplex dead end); [None] for every other status and for
+          the rare infeasible verdicts reached without usable duals. *)
 }
 
 type backend =
@@ -148,6 +165,53 @@ val dual_reopt : ?max_iters:int -> state -> result
 
 val solve : ?backend:backend -> ?max_iters:int -> Lp.t -> result
 (** [solve lp] is [primal (create lp)]: one-shot LP relaxation solve. *)
+
+(** {1 Exact-certification support} — consumed by {!Certify}. *)
+
+type vstat =
+  | Basic
+  | At_lower
+  | At_upper
+  | Free_zero  (** Free column held at value 0. *)
+
+type infeasibility =
+  | Inf_phase1 of float array
+      (** Phase I ended with positive total infeasibility; the payload
+          is the phase-I cost vector (±1 on the artificials that
+          opened), from which the exact dual ray is re-derived as
+          [B^-T c1_B]. *)
+  | Inf_dual_row of { row : int; above : bool }
+      (** Dual simplex found basic slot [row] out of bounds ([above]
+          its upper or below its lower bound) with no eligible entering
+          column; the exact ray is [±(B^-T e_row)]. *)
+
+type snapshot = {
+  s_m : int;  (** Rows. *)
+  s_nstruct : int;  (** Structural columns. *)
+  s_mat : Sparse.Csc.mat;
+      (** All columns (structural, slack, artificial), shared with the
+          engine — immutable after {!create}. *)
+  s_basis : int array;  (** Slot -> basic column (copy). *)
+  s_stat : vstat array;  (** Status of every column (copy). *)
+  s_lb : float array;  (** Lower bounds, all columns (copy). *)
+  s_ub : float array;
+  s_rhs : float array;
+  s_cost : float array;  (** Phase-II minimization costs (copy). *)
+  s_infeasibility : infeasibility option;
+      (** Set when the engine's last verdict was {!Infeasible}. *)
+  s_pivot_order : (int * int) array option;
+      (** The sparse LU's [(row, slot)] elimination order for the
+          snapshotted basis ([None] under the dense backend or on a
+          singular refresh). *)
+}
+
+val snapshot : state -> snapshot
+(** Captures the engine's current basis for exact a-posteriori
+    verification. Call it immediately after the solve whose result is
+    being certified — later solves or bound changes move the basis.
+    With the sparse backend this may refresh the factorization (so the
+    recorded pivot order describes exactly the snapshotted basis).
+    Owner-only, like every other entry point. *)
 
 val total_pivots : state -> int
 (** Cumulative pivot count across all solves on this state. *)

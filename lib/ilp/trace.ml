@@ -11,6 +11,8 @@ type close_reason =
   | Unbounded_node
   | Numeric
 
+type cert_verdict = Cert_certified | Cert_refuted | Cert_uncertifiable
+
 type event =
   | Node_open of { id : int; parent : int; depth : int; bound : float }
   | Node_close of { id : int; obj : float; reason : close_reason }
@@ -28,6 +30,7 @@ type event =
   | Cut_round of { round : int; separated : int; active : int; evicted : int }
   | Prop_run of { steps : int; fixings : int; local_hits : int; conflict : bool }
   | Incumbent of { node : int; obj : float }
+  | Cert_check of { node : int; verdict : cert_verdict; kind : string; dt : float }
   | Span_begin of string
   | Span_end of string
 
@@ -187,6 +190,11 @@ let trigger_name = function
   | Rf_numeric -> "numeric"
   | Rf_residual -> "residual"
 
+let cert_verdict_name = function
+  | Cert_certified -> "certified"
+  | Cert_refuted -> "refuted"
+  | Cert_uncertifiable -> "uncertifiable"
+
 let reason_name = function
   | Branched _ -> "branched"
   | Integral -> "integral"
@@ -225,5 +233,8 @@ let pp_event ppf = function
       steps fixings local_hits conflict
   | Incumbent { node; obj } ->
     Format.fprintf ppf "incumbent node=%d obj=%g" node obj
+  | Cert_check { node; verdict; kind; dt } ->
+    Format.fprintf ppf "cert_check node=%d verdict=%s kind=%s dt=%.3es" node
+      (cert_verdict_name verdict) kind dt
   | Span_begin name -> Format.fprintf ppf "span_begin %s" name
   | Span_end name -> Format.fprintf ppf "span_end %s" name

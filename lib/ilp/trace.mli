@@ -43,6 +43,11 @@ type close_reason =
   | Unbounded_node  (** The relaxation is unbounded: the search stops. *)
   | Numeric  (** Uncertified iteration limit: search stops soundly. *)
 
+type cert_verdict = Cert_certified | Cert_refuted | Cert_uncertifiable
+(** Outcome of one exact certification ({!Certify} verdicts, mirrored
+    here so tracing stays below the certification layer in the module
+    graph). *)
+
 type event =
   | Node_open of { id : int; parent : int; depth : int; bound : float }
       (** A branch-and-bound node starts evaluation. [parent] is the
@@ -72,6 +77,12 @@ type event =
       (** One per-node propagation run ([steps] row evaluations). *)
   | Incumbent of { node : int; obj : float }
       (** An improving incumbent was installed. *)
+  | Cert_check of { node : int; verdict : cert_verdict; kind : string; dt : float }
+      (** One exact certification of a node LP verdict: [node] is the
+          processed node id (0 when certifying outside the search),
+          [kind] the certificate detail family (["exact_optimum"],
+          ["farkas_proof"], …) and [dt] the seconds spent in rational
+          arithmetic. *)
   | Span_begin of string
   | Span_end of string
       (** Named phase spans (seed / search / worker / presolve / …);
@@ -141,3 +152,4 @@ val pp_event : Format.formatter -> event -> unit
 val lp_kind_name : lp_kind -> string
 val trigger_name : refactor_trigger -> string
 val reason_name : close_reason -> string
+val cert_verdict_name : cert_verdict -> string

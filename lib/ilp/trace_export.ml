@@ -81,6 +81,14 @@ let record_to_json (r : Trace.record) =
       ]
     | Incumbent { node; obj } ->
       [ ("type", Json.Str "incumbent"); ("node", inum node); ("obj", num obj) ]
+    | Cert_check { node; verdict; kind; dt } ->
+      [
+        ("type", Json.Str "cert_check");
+        ("node", inum node);
+        ("verdict", Json.Str (Trace.cert_verdict_name verdict));
+        ("kind", Json.Str kind);
+        ("dt", num dt);
+      ]
     | Span_begin name ->
       [ ("type", Json.Str "span_begin"); ("name", Json.Str name) ]
     | Span_end name ->
@@ -154,6 +162,12 @@ let reason_of_json j =
   | "numeric" -> Trace.Numeric
   | s -> raise (Bad (Printf.sprintf "unknown close reason %S" s))
 
+let cert_verdict_of_name = function
+  | "certified" -> Trace.Cert_certified
+  | "refuted" -> Trace.Cert_refuted
+  | "uncertifiable" -> Trace.Cert_uncertifiable
+  | s -> raise (Bad (Printf.sprintf "unknown certification verdict %S" s))
+
 let event_of_json j =
   match req_str j "type" with
   | "node_open" ->
@@ -210,6 +224,14 @@ let event_of_json j =
         conflict = req_bool j "conflict";
       }
   | "incumbent" -> Incumbent { node = req_int j "node"; obj = req_num j "obj" }
+  | "cert_check" ->
+    Cert_check
+      {
+        node = req_int j "node";
+        verdict = cert_verdict_of_name (req_str j "verdict");
+        kind = req_str j "kind";
+        dt = req_num j "dt";
+      }
   | "span_begin" -> Span_begin (req_str j "name")
   | "span_end" -> Span_end (req_str j "name")
   | s -> raise (Bad (Printf.sprintf "unknown event type %S" s))
@@ -343,6 +365,15 @@ let chrome_event (r : Trace.record) =
   | Incumbent { node; obj } ->
     instant ~cat:"search" ~scope:"g" "incumbent"
       [ ("node", inum node); ("obj", num obj) ]
+  | Cert_check { node; verdict; kind; dt } ->
+    base ~cat:"certify"
+      ~ts:(Float.max 0. (us (r.ts -. dt)))
+      ~dur:(us dt) "X" "cert_check"
+      [
+        ("node", inum node);
+        ("verdict", Json.Str (Trace.cert_verdict_name verdict));
+        ("kind", Json.Str kind);
+      ]
   | Span_begin name -> base ~cat:"phase" "B" name []
   | Span_end name -> base ~cat:"phase" "E" name []
 
@@ -529,6 +560,16 @@ let load_chrome j =
                 ( ts_us /. 1e6,
                   Incumbent
                     { node = req_int args "node"; obj = req_num args "obj" } )
+              | "cert_check", _ ->
+                let dur = req_num e "dur" in
+                ( (ts_us +. dur) /. 1e6,
+                  Cert_check
+                    {
+                      node = req_int args "node";
+                      verdict = cert_verdict_of_name (req_str args "verdict");
+                      kind = req_str args "kind";
+                      dt = dur /. 1e6;
+                    } )
               | other, "B" -> (ts_us /. 1e6, Span_begin other)
               | other, "E" -> (ts_us /. 1e6, Span_end other)
               | other, ph ->
@@ -737,6 +778,9 @@ module Summary = struct
     prop_runs : int;
     prop_fixings : int;
     prop_conflicts : int;
+    cert_checks : int;
+    cert_seconds : float;
+    cert_verdicts : (string * int) list;
     incumbents : (float * float * int) list;
     phases : phase list;
   }
@@ -760,6 +804,9 @@ module Summary = struct
     mutable a_prop_runs : int;
     mutable a_prop_fixings : int;
     mutable a_prop_conflicts : int;
+    mutable a_cert_checks : int;
+    mutable a_cert_seconds : float;
+    a_cert_verdicts : (string, int) Hashtbl.t;
     mutable a_incumbents : (float * float * int) list;
     (* Per-writer span stacks: (name, start ts, child time). *)
     a_spans : (int, (string * float * float) list ref) Hashtbl.t;
@@ -786,6 +833,9 @@ module Summary = struct
       a_prop_runs = 0;
       a_prop_fixings = 0;
       a_prop_conflicts = 0;
+      a_cert_checks = 0;
+      a_cert_seconds = 0.;
+      a_cert_verdicts = Hashtbl.create 4;
       a_incumbents = [];
       a_spans = Hashtbl.create 8;
       a_phases = Hashtbl.create 8;
@@ -862,6 +912,10 @@ module Summary = struct
       if conflict then acc.a_prop_conflicts <- acc.a_prop_conflicts + 1
     | Incumbent { node; obj } ->
       acc.a_incumbents <- (r.ts, obj, node) :: acc.a_incumbents
+    | Cert_check { verdict; dt; _ } ->
+      acc.a_cert_checks <- acc.a_cert_checks + 1;
+      acc.a_cert_seconds <- acc.a_cert_seconds +. dt;
+      bump acc.a_cert_verdicts (Trace.cert_verdict_name verdict) 1
     | Span_begin name ->
       let stack = span_stack acc r.dom in
       stack := (name, r.ts, 0.) :: !stack
@@ -907,6 +961,9 @@ module Summary = struct
       prop_runs = acc.a_prop_runs;
       prop_fixings = acc.a_prop_fixings;
       prop_conflicts = acc.a_prop_conflicts;
+      cert_checks = acc.a_cert_checks;
+      cert_seconds = acc.a_cert_seconds;
+      cert_verdicts = sorted_tbl acc.a_cert_verdicts;
       incumbents = List.rev acc.a_incumbents;
       phases =
         Hashtbl.fold
@@ -950,6 +1007,9 @@ module Summary = struct
     line "cuts          rounds=%d separated=%d@." t.cut_rounds t.cuts_separated;
     line "propagation   runs=%d fixings=%d conflicts=%d@." t.prop_runs
       t.prop_fixings t.prop_conflicts;
+    if t.cert_checks > 0 then
+      line "certification checks=%d time=%.3f s %a@." t.cert_checks
+        t.cert_seconds pp_assoc t.cert_verdicts;
     (match t.incumbents with
     | [] -> line "incumbents    none@."
     | incs ->
@@ -1019,6 +1079,15 @@ module Summary = struct
               ("runs", inum t.prop_runs);
               ("fixings", inum t.prop_fixings);
               ("conflicts", inum t.prop_conflicts);
+            ] );
+        ( "certification",
+          Json.Obj
+            [
+              ("checks", inum t.cert_checks);
+              ("seconds", num t.cert_seconds);
+              ( "verdicts",
+                Json.Obj (List.map (fun (k, v) -> (k, inum v)) t.cert_verdicts)
+              );
             ] );
         ( "incumbents",
           Json.Arr

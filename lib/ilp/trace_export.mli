@@ -97,6 +97,9 @@ module Summary : sig
     prop_runs : int;
     prop_fixings : int;
     prop_conflicts : int;
+    cert_checks : int;  (** Exact certifications performed. *)
+    cert_seconds : float;  (** Time spent in rational arithmetic. *)
+    cert_verdicts : (string * int) list;  (** Per verdict name. *)
     incumbents : (float * float * int) list;
         (** Convergence series: (seconds, objective, node), in time
             order. *)

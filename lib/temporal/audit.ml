@@ -385,6 +385,40 @@ let has_owned_prefix name =
       && String.sub name 0 (String.length p) = p)
     owned_prefixes
 
+(* Row-family descriptions by name prefix, most specific first (the
+   [cut_*] step-ownership families must win over the bare [cut_]
+   catch-all). Used to phrase IIS members and certificate rows in the
+   paper's terms rather than raw row indices. *)
+let row_descriptions =
+  [
+    ("uniq_t", "set partitioning: the task lies in exactly one partition (eq. 1)");
+    ("order_t", "temporal order along a task edge across a boundary (eq. 2)");
+    ("wdef_p", "communication-variable linearization (eq. 31)");
+    ("mem_p", "scratch-memory capacity at a partition boundary (eq. 3)");
+    ("assign_i", "unique operation assignment within its window (eq. 6)");
+    ("map_j", "one operation per functional unit per control step (eq. 7)");
+    ("dep_i", "data-dependency issue order (eq. 8)");
+    ("o_ub_t", "task-uses-unit indicator upper bound (eq. 27)");
+    ("u_ub_p", "partition-uses-unit indicator upper bound (eq. 23)");
+    ("cap_p", "FPGA resource capacity of a partition (eq. 11)");
+    ("c_def_i", "task-active-at-step indicator definition");
+    ("excl_j", "control-step ownership exclusion (eq. 13, compact form)");
+    ("cut28_p", "Section 6 tightening cut (eq. 28)");
+    ("cut29_p", "Section 6 tightening cut (eq. 29)");
+    ("cut_cp_t", "step-ownership cut: intra-task critical path");
+    ("cut_opcount_p", "step-ownership cut: executable operation count");
+    ("cut_", "step-ownership cut: per-kind operation count");
+  ]
+
+let describe_row name =
+  let matches p =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  match List.find_opt (fun (p, _) -> matches p) row_descriptions with
+  | Some (_, d) -> Printf.sprintf "%s: %s" name d
+  | None -> Printf.sprintf "%s: linearization/coupling row" name
+
 let kind_to_string = function
   | Lp.Binary -> "binary"
   | Lp.Integer -> "integer"

@@ -65,6 +65,14 @@ val audit_vars : ?options:Formulation.options -> Vars.t -> report
 (** [audit] on a freshly built variable manager (spec and model come
     from the same value). *)
 
+val describe_row : string -> string
+(** [describe_row name] phrases a row of the formulation in the paper's
+    terms by its name prefix — e.g. ["uniq_t3"] becomes ["uniq_t3: set
+    partitioning: the task lies in exactly one partition (eq. 1)"].
+    Rows outside the owned families are labelled as
+    linearization/coupling rows. Used by [tpart analyze --iis] and the
+    certificate reports to name conflicting constraints. *)
+
 val errors : report -> finding list
 
 val is_clean : report -> bool

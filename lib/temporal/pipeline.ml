@@ -9,7 +9,7 @@ type result = {
 }
 
 let run ?options ?strategy ?time_limit ?max_nodes ?num_partitions ?lint ?jobs
-    ?deterministic ?rc_fixing ?propagate ?cuts
+    ?deterministic ?rc_fixing ?propagate ?cuts ?certify
     ?(tracer = Ilp.Trace.disabled) ~graph ~allocation ?capacity ?alpha
     ?scratch ?latency_relax () =
   let tw = Ilp.Trace.main tracer in
@@ -71,12 +71,16 @@ let run ?options ?strategy ?time_limit ?max_nodes ?num_partitions ?lint ?jobs
   (* Stage 4-5: solve, extract, validate *)
   let report =
     Solver.solve ?strategy ?time_limit ?max_nodes ?lint ?jobs ?deterministic
-      ?rc_fixing ?propagate ?cuts ~tracer ?lint_options:options vars
+      ?rc_fixing ?propagate ?cuts ?certify ~tracer ?lint_options:options vars
   in
   log "solve: %s (%d nodes, %.2fs)"
     (Format.asprintf "%a" Solver.pp_outcome report.Solver.outcome)
     report.Solver.stats.Ilp.Branch_bound.nodes
     report.Solver.stats.Ilp.Branch_bound.elapsed;
+  (let c = report.Solver.stats.Ilp.Branch_bound.certification in
+   if c.Ilp.Branch_bound.cert_checked > 0 then
+     log "certify: %s"
+       (Format.asprintf "%a" Ilp.Branch_bound.pp_certification c));
   { spec; estimated_n; heuristic; report; trace = List.rev !trace }
 
 let pp ppf r =

@@ -31,6 +31,7 @@ val run :
   ?rc_fixing:bool ->
   ?propagate:bool ->
   ?cuts:bool ->
+  ?certify:Ilp.Branch_bound.certify_level ->
   ?tracer:Ilp.Trace.t ->
   graph:Taskgraph.Graph.t ->
   allocation:Hls.Component.allocation ->
@@ -47,7 +48,10 @@ val run :
     {!Solver.solve}: lint analyzes and audits the formulated model,
     failing fast on error-level findings; [jobs] runs the solve stage
     on that many worker domains. [rc_fixing], [propagate] and [cuts]
-    enable the solver's node deductions (all default off). [tracer]
+    enable the solver's node deductions (all default off). [certify]
+    turns on exact rational certification of LP verdicts (see
+    {!Solver.solve} and docs/VERIFICATION.md); when any check ran, the
+    stage log gains a [certify:] line with the verdict counts. [tracer]
     records structured events across the flow — estimate / formulate /
     presolve phase spans plus the full solver taxonomy — for export
     through {!Ilp.Trace_export} (see [docs/OBSERVABILITY.md]). *)

@@ -21,6 +21,13 @@ val summary : Spec.t -> Solution.t -> string
 val full : Spec.t -> Solution.t -> string
 (** {!summary} followed by {!gantt}. *)
 
+val certification : ?row_name:(int -> string) -> Ilp.Branch_bound.stats -> Ilp.Json.t
+(** The solver's exact-certification summary as a JSON object —
+    verdict counters plus, when kept, the root certificate rendered
+    through {!Ilp.Certify.to_json} (rows named via [row_name]) —
+    embedded in [tpart solve --certify --json] reports. Schema in
+    docs/VERIFICATION.md. *)
+
 val incumbent_timeline : Ilp.Branch_bound.stats -> Ilp.Json.t
 (** The solver's incumbent timeline as a JSON array of
     [{"t": seconds, "obj": objective, "node": id}] objects, in

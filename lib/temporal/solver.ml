@@ -181,7 +181,7 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
     ?(presolve = true) ?(lint = false) ?lint_options
     ?(lp_backend = Ilp.Simplex.Sparse_lu) ?(jobs = 1) ?(deterministic = false)
     ?(rc_fixing = false) ?(propagate = false) ?(cuts = false)
-    ?(tracer = Ilp.Trace.disabled) vars =
+    ?(certify = Bb.Cert_off) ?(tracer = Ilp.Trace.disabled) vars =
   if lint then lint_or_fail ?options:lint_options vars;
   let options =
     {
@@ -201,6 +201,7 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
       propagate;
       cuts;
       pseudocost = strategy = Branching.Pseudocost;
+      certify_level = certify;
       tracer;
     }
   in
@@ -217,8 +218,51 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
       if Ilp.Trace.active tw then
         Ilp.Trace.emit tw (Ilp.Trace.Span_end "presolve");
       match reduced with
+      | Ilp.Presolve.Infeasible _ when certify <> Bb.Cert_off ->
+        (* Presolve's proof is a bound-arithmetic argument on one row;
+           for a checkable artifact, re-derive infeasibility as an
+           exact Farkas certificate of the ORIGINAL model's LP
+           relaxation (so its row indices need no mapping). *)
+        let _res, cert = Ilp.Certify.check_lp ~backend:lp_backend vars.Vars.lp in
+        ( Bb.Infeasible,
+          {
+            Bb.empty_stats with
+            Bb.certification =
+              {
+                Bb.cert_checked = 1;
+                cert_certified =
+                  (if cert.Ilp.Certify.verdict = Ilp.Certify.Certified then 1
+                   else 0);
+                cert_refuted =
+                  (if cert.Ilp.Certify.verdict = Ilp.Certify.Refuted then 1
+                   else 0);
+                cert_uncertifiable =
+                  (if cert.Ilp.Certify.verdict = Ilp.Certify.Uncertifiable
+                   then 1
+                   else 0);
+                root_certificate = Some cert;
+              };
+          } )
       | Ilp.Presolve.Infeasible _ -> (Bb.Infeasible, Bb.empty_stats)
-      | Ilp.Presolve.Reduced (reduced, _) -> Bb.solve ~options reduced
+      | Ilp.Presolve.Reduced (reduced, pstats) ->
+        let outcome, stats = Bb.solve ~options reduced in
+        (* Certificates computed on the reduced model carry reduced-row
+           indices; translate them back to the formulation's rows via
+           the presolve row map. Rows past the map (root cuts appended
+           by cut-and-branch) have no original counterpart and keep
+           their index. *)
+        let row_map = pstats.Ilp.Presolve.row_map in
+        let remap k = if k < Array.length row_map then row_map.(k) else k in
+        let certification =
+          match stats.Bb.certification.Bb.root_certificate with
+          | Some cert ->
+            {
+              stats.Bb.certification with
+              Bb.root_certificate = Some (Ilp.Certify.map_rows remap cert);
+            }
+          | None -> stats.Bb.certification
+        in
+        (outcome, { stats with Bb.certification })
     end
     else Bb.solve ~options vars.Vars.lp
   in

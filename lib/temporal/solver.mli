@@ -38,6 +38,7 @@ val solve :
   ?rc_fixing:bool ->
   ?propagate:bool ->
   ?cuts:bool ->
+  ?certify:Ilp.Branch_bound.certify_level ->
   ?tracer:Ilp.Trace.t ->
   Vars.t ->
   report
@@ -84,6 +85,15 @@ val solve :
     {!Branching.Pseudocost} strategy additionally turns on reliability
     branching inside the solver. See {!Ilp.Branch_bound.options} and
     the "Node deductions" section of [docs/SOLVER.md].
+
+    [certify] (default {!Ilp.Branch_bound.Cert_off}) turns on exact
+    rational certification of LP verdicts inside the search; counters
+    and the root certificate land in [stats.certification]. Root
+    certificates are reported in the {e original} formulation's row
+    coordinates: reduced-model rows are translated back through the
+    presolve row map, and when presolve itself proves infeasibility a
+    fresh exact Farkas certificate of the original model's LP
+    relaxation is computed in its place. See docs/VERIFICATION.md.
 
     [tracer] (default {!Ilp.Trace.disabled}) records structured solver
     events — presolve and search phase spans, node open/close, LP

@@ -222,3 +222,60 @@ Saving and reloading a specification round-trips:
   $ ../../bin/tpart.exe graph -g file:spec.tg
   diamond: 4 tasks, 5 ops, 4 task edges (bw 10), kinds: add=2 sub=1 mul=2
   critical path: 4 control steps
+
+Exact certification (--certify) re-checks the root relaxation in
+rational arithmetic and prints the verdict counts plus the root
+certificate; a feasible solve certifies as an exact optimum:
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --certify | grep certification
+  certification: checked=1 certified=1 refuted=0 uncertifiable=0 root=certified: exact optimum, objective 0
+
+With --certify the exit code reports the aggregate certificate verdict
+(0 certified / 1 refuted / 2 uncertifiable) instead of the outcome
+codes: the two-partition instance is integer-infeasible (exit 1 in the
+plain run above) but its root relaxation certifies, so the exit is 0:
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 2 --certify > /dev/null
+
+A capacity the cheapest unit set already exceeds makes the relaxation
+itself infeasible; the certificate is then an exactly-checked Farkas
+proof and the text report names the support rows in formulation terms:
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 1 -l 2 -n 3 --certify | sed -n '/^certification/p;/uniq_t0/p;/cap_p/p'
+  certification: checked=1 certified=1 refuted=0 uncertifiable=0 root=certified: Farkas infeasibility proof, gap 1 over 18 rows (witness row 13)
+    uniq_t0: set partitioning: the task lies in exactly one partition (eq. 1)
+
+--json embeds the same certificate as a structured object (exact
+rational gap as a string, float approximation alongside):
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 1 -l 2 -n 3 --certify --json | tr ',' '\n' | grep -E '"verdict"|"kind"|"gap"|"witness_row"' | tr -d ' '
+  "root":{"verdict":"certified"
+  "kind":"farkas_proof"
+  "gap":"1"
+  "witness_row":{"index":13
+
+analyze --iis extracts an irreducible infeasible subsystem by the
+deletion filter, certifies the remainder's Farkas proof exactly, and
+names each member row; the capacity rows and the assignment rows that
+force usage form the minimal conflict:
+
+  $ ../../bin/tpart.exe analyze -g chain:3 --adders 1 --muls 1 --subs 0 -c 1 -l 2 -n 3 --iis | sed -n '1p;/uniq\|assign\|cap/p;$p'
+  irreducible infeasible subsystem: 12 row(s), 30 LP solves
+    uniq_t1: set partitioning: the task lies in exactly one partition (eq. 1)
+    assign_i1: unique operation assignment within its window (eq. 6)
+    cap_p1: FPGA resource capacity of a partition (eq. 11)
+    cap_p2: FPGA resource capacity of a partition (eq. 11)
+    cap_p3: FPGA resource capacity of a partition (eq. 11)
+  certified: Farkas infeasibility proof, gap 13/42 over 12 rows (witness row 14)
+
+On an LP-feasible model the flag reports that no subsystem exists and
+exits 0 (integrality is not considered):
+
+  $ ../../bin/tpart.exe analyze -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --iis
+  LP relaxation feasible: no irreducible infeasible subsystem
+
+--iis also composes with --from-lp and --json; the broken model above
+has a one-row conflict (its bounds alone refute row force):
+
+  $ ../../bin/tpart.exe analyze --from-lp broken.lp --iis --json
+  {"rows":[2],"names":["force"],"solves":1,"certificate":{"verdict":"certified","kind":"farkas_proof","gap":"1","gap_float":1,"witness_row":{"index":2,"name":"force"},"rows":[{"index":2,"name":"force"}]}}

@@ -1,0 +1,371 @@
+(* Exact certification: hand-checked verdicts, corrupted-solution
+   refutation, and randomized agreement with the dense-backend oracle.
+   The random generators mirror test_simplex's mixed-sense models. *)
+
+module Lp = Ilp.Lp
+module Sx = Ilp.Simplex
+module C = Ilp.Certify
+module R = Ilp.Rat
+
+let solve_snap ?backend lp =
+  let st = Sx.create ?backend lp in
+  let r = Sx.primal st in
+  (r, Sx.snapshot st)
+
+(* max 3x + 2y st x + y <= 4; x + 3y <= 6 -> (4, 0), obj 12 *)
+let basic_max () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Continuous in
+  let y = Lp.add_var lp Lp.Continuous in
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Le 4.);
+  ignore (Lp.add_constr lp [ (1., x); (3., y) ] Lp.Le 6.);
+  Lp.set_objective lp ~maximize:true [ (3., x); (2., y) ];
+  (lp, x, y)
+
+let test_certified_optimum () =
+  let lp, _, _ = basic_max () in
+  let r, snap = solve_snap lp in
+  let c = C.check snap r in
+  Alcotest.(check bool) "certified" true (c.C.verdict = C.Certified);
+  (match c.C.detail with
+  | C.Exact_optimum { obj } ->
+      (* internal minimization objective of a maximization model *)
+      Alcotest.(check string) "exact obj" "-12" (R.to_string obj)
+  | _ -> Alcotest.fail "expected Exact_optimum");
+  Alcotest.(check int) "exit code" 0 (C.exit_code c.C.verdict)
+
+let test_certified_infeasible () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Continuous in
+  ignore (Lp.add_constr lp [ (1., x) ] Lp.Le 1.);
+  ignore (Lp.add_constr lp [ (1., x) ] Lp.Ge 2.);
+  let r, snap = solve_snap lp in
+  Alcotest.(check bool) "infeasible" true (r.Sx.status = Sx.Infeasible);
+  Alcotest.(check bool) "has float ray" true (r.Sx.farkas <> None);
+  let c = C.check snap r in
+  match c.C.detail with
+  | C.Farkas_proof { gap; support; _ } ->
+      Alcotest.(check bool) "certified" true (c.C.verdict = C.Certified);
+      Alcotest.(check bool) "positive exact gap" true (R.sign gap > 0);
+      Alcotest.(check bool) "nonempty support" true (support <> [])
+  | _ -> Alcotest.fail ("expected Farkas_proof, got " ^ C.describe c)
+
+let test_refuted_objective () =
+  let lp, _, _ = basic_max () in
+  let r, snap = solve_snap lp in
+  let lie = { r with Sx.obj = r.Sx.obj +. 1. } in
+  let c = C.check snap lie in
+  Alcotest.(check bool) "refuted" true (c.C.verdict = C.Refuted);
+  (match c.C.detail with
+  | C.Objective_mismatch { exact; reported } ->
+      Alcotest.(check string) "exact side" "-12" (R.to_string exact);
+      Alcotest.(check (float 1e-9)) "reported side" (-11.) reported
+  | _ -> Alcotest.fail "expected Objective_mismatch");
+  Alcotest.(check int) "exit code" 1 (C.exit_code c.C.verdict)
+
+let test_refuted_bound_violation () =
+  let lp, x, _ = basic_max () in
+  let r, snap = solve_snap lp in
+  (* At the optimum x = 4 is basic (its own bound is infinite, so it
+     cannot sit nonbasic at a bound). Shrinking the snapshot's copy of
+     its upper bound makes the exact basic solution provably out of
+     bounds: a corrupted model/solution pair. *)
+  snap.Sx.s_ub.((x :> int)) <- 3.;
+  let c = C.check snap r in
+  Alcotest.(check bool) "refuted" true (c.C.verdict = C.Refuted);
+  match c.C.detail with
+  | C.Bound_violation { column; violation } ->
+      Alcotest.(check int) "column" (x :> int) column;
+      Alcotest.(check (float 1e-9)) "violation" 1. violation
+  | _ -> Alcotest.fail "expected Bound_violation"
+
+let test_uncertifiable_iter_limit () =
+  let lp, _, _ = basic_max () in
+  let st = Sx.create lp in
+  let r = Sx.primal ~max_iters:0 st in
+  if r.Sx.status = Sx.Iter_limit then begin
+    let c = C.check (Sx.snapshot st) r in
+    Alcotest.(check bool) "uncertifiable" true
+      (c.C.verdict = C.Uncertifiable);
+    Alcotest.(check int) "exit code" 2 (C.exit_code c.C.verdict)
+  end
+
+let contains ~affix s =
+  let n = String.length affix and ls = String.length s in
+  let rec go i = i + n <= ls && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let test_map_rows_and_json () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Continuous in
+  ignore (Lp.add_constr lp [ (1., x) ] Lp.Le 1.);
+  ignore (Lp.add_constr lp [ (1., x) ] Lp.Ge 2.);
+  let r, c = C.check_lp lp in
+  Alcotest.(check bool) "infeasible" true (r.Sx.status = Sx.Infeasible);
+  let mapped = C.map_rows (fun i -> i + 10) c in
+  (match mapped.C.detail with
+  | C.Farkas_proof { support; witness_row; _ } ->
+      Alcotest.(check bool) "rows shifted" true
+        (List.for_all (fun i -> i >= 10) support && witness_row >= 10)
+  | _ -> Alcotest.fail "expected Farkas_proof");
+  let js = Ilp.Json.to_string (C.to_json ~row_name:(Printf.sprintf "r%d") c) in
+  Alcotest.(check bool) "json has verdict" true
+    (contains ~affix:"certified" js);
+  Alcotest.(check bool) "json has kind" true
+    (contains ~affix:"farkas_proof" js);
+  Alcotest.(check bool) "json names rows" true (contains ~affix:"r0" js)
+
+let test_iis_extraction () =
+  (* a + b <= 5 conflicts with a >= 4, b >= 4; the slack row is noise *)
+  let lp = Lp.create () in
+  let a = Lp.add_var lp ~ub:10. Lp.Continuous in
+  let b = Lp.add_var lp ~ub:10. Lp.Continuous in
+  ignore (Lp.add_constr lp ~name:"sum_le" [ (1., a); (1., b) ] Lp.Le 5.);
+  ignore (Lp.add_constr lp ~name:"a_ge" [ (1., a) ] Lp.Ge 4.);
+  ignore (Lp.add_constr lp ~name:"b_ge" [ (1., b) ] Lp.Ge 4.);
+  ignore (Lp.add_constr lp ~name:"junk" [ (1., a); (-1., b) ] Lp.Le 100.);
+  match Ilp.Iis.extract lp with
+  | Ilp.Iis.Iis { rows; names; certificate; solves } ->
+      Alcotest.(check (list int)) "conflicting rows" [ 0; 1; 2 ] rows;
+      Alcotest.(check (list string))
+        "row names" [ "sum_le"; "a_ge"; "b_ge" ] names;
+      Alcotest.(check bool) "certified" true
+        (certificate.C.verdict = C.Certified);
+      (match certificate.C.detail with
+      | C.Farkas_proof { support; _ } ->
+          Alcotest.(check bool) "support within IIS in original coords" true
+            (List.for_all (fun i -> List.mem i rows) support)
+      | _ -> Alcotest.fail "expected Farkas_proof");
+      Alcotest.(check bool) "spent solves" true (solves >= 2)
+  | Ilp.Iis.Feasible -> Alcotest.fail "model is infeasible"
+  | Ilp.Iis.Inconclusive why -> Alcotest.fail ("inconclusive: " ^ why)
+
+let test_iis_feasible_model () =
+  let lp, _, _ = basic_max () in
+  Alcotest.(check bool) "feasible outcome" true
+    (Ilp.Iis.extract lp = Ilp.Iis.Feasible)
+
+(* -------- integration: search-level certification and diagnostics -- *)
+
+module Bb = Ilp.Branch_bound
+
+(* small MILP with a real tree: maximize x + y + z, binaries, one
+   knapsack that forces a fractional root *)
+let small_milp () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Binary in
+  let y = Lp.add_var lp Lp.Binary in
+  let z = Lp.add_var lp Lp.Binary in
+  ignore (Lp.add_constr lp [ (3., x); (5., y); (7., z) ] Lp.Le 9.);
+  Lp.set_objective lp ~maximize:true [ (4., x); (5., y); (6., z) ];
+  lp
+
+let test_bb_certify_levels () =
+  let lp = small_milp () in
+  let run level =
+    let options = { Bb.default_options with Bb.certify_level = level } in
+    snd (Bb.solve ~options lp)
+  in
+  let off = run Bb.Cert_off in
+  Alcotest.(check int) "off checks nothing" 0
+    off.Bb.certification.Bb.cert_checked;
+  let root = run Bb.Cert_root in
+  Alcotest.(check int) "root checks once" 1
+    root.Bb.certification.Bb.cert_checked;
+  Alcotest.(check int) "root certifies" 1
+    root.Bb.certification.Bb.cert_certified;
+  Alcotest.(check bool) "root certificate kept" true
+    (root.Bb.certification.Bb.root_certificate <> None);
+  let all = run Bb.Cert_all in
+  let c = all.Bb.certification in
+  Alcotest.(check int) "all checks every node" all.Bb.nodes
+    c.Bb.cert_checked;
+  Alcotest.(check int) "nothing refuted" 0 c.Bb.cert_refuted;
+  Alcotest.(check int) "everything certified" c.Bb.cert_checked
+    c.Bb.cert_certified;
+  (* identical search under observation: node counts must not move *)
+  Alcotest.(check int) "certification does not steer" off.Bb.nodes
+    all.Bb.nodes
+
+let test_certificate_diagnostics () =
+  let module A = Ilp.Analyze in
+  let lp, _, _ = basic_max () in
+  (match A.certificate_diagnostics lp with
+  | [ d ] ->
+      Alcotest.(check string) "optimal code" "certificate-optimal" d.A.code;
+      Alcotest.(check bool) "info severity" true (d.A.severity = A.Info)
+  | ds -> Alcotest.fail (Printf.sprintf "expected 1 diagnostic, got %d"
+                           (List.length ds)));
+  let bad = Lp.create () in
+  let x = Lp.add_var bad ~ub:10. Lp.Continuous in
+  ignore (Lp.add_constr bad ~name:"lo" [ (1., x) ] Lp.Le 1.);
+  ignore (Lp.add_constr bad ~name:"hi" [ (1., x) ] Lp.Ge 2.);
+  let ds = A.certificate_diagnostics ~iis:true bad in
+  let infeas =
+    List.filter (fun (d : A.diagnostic) -> d.A.code = "certificate-infeasible")
+      ds
+  in
+  let iis_rows =
+    List.filter (fun (d : A.diagnostic) -> d.A.code = "iis-row") ds
+  in
+  Alcotest.(check int) "one infeasibility finding" 1 (List.length infeas);
+  Alcotest.(check bool) "all error severity" true
+    (List.for_all (fun (d : A.diagnostic) -> d.A.severity = A.Error) infeas);
+  Alcotest.(check int) "both conflict rows named" 2 (List.length iis_rows);
+  Alcotest.(check bool) "iis rows are row-scoped" true
+    (List.for_all (fun (d : A.diagnostic) -> d.A.row <> None) iis_rows)
+
+(* -------- randomized properties -------- *)
+
+let make_rand_mixed seed ~n ~m =
+  let rng = Taskgraph.Prng.create seed in
+  let lp = Lp.create () in
+  let vars =
+    Array.init n (fun _ ->
+        if Taskgraph.Prng.bool rng 0.2 then
+          Lp.add_var lp ~lb:(-3.) ~ub:4. Lp.Continuous
+        else Lp.add_var lp ~ub:5. Lp.Continuous)
+  in
+  let x0 =
+    Array.init n (fun j ->
+        let v = Lp.var_of_int lp j in
+        let lo = Lp.var_lb lp v and hi = Lp.var_ub lp v in
+        lo +. (Taskgraph.Prng.float rng *. (hi -. lo)))
+  in
+  for _ = 1 to m do
+    let terms =
+      Array.to_list vars
+      |> List.filter_map (fun v ->
+             if Taskgraph.Prng.bool rng 0.5 then
+               Some (Float.of_int (Taskgraph.Prng.int_in rng (-3) 4), v)
+             else None)
+    in
+    if terms <> [] then begin
+      let act =
+        List.fold_left
+          (fun acc ((c : float), (v : Lp.var)) -> acc +. (c *. x0.((v :> int))))
+          0. terms
+      in
+      match Taskgraph.Prng.int rng 3 with
+      | 0 ->
+          ignore
+            (Lp.add_constr lp terms Lp.Le
+               (act +. (Taskgraph.Prng.float rng *. 3.)))
+      | 1 ->
+          ignore
+            (Lp.add_constr lp terms Lp.Ge
+               (act -. (Taskgraph.Prng.float rng *. 3.)))
+      | _ -> ignore (Lp.add_constr lp terms Lp.Eq act)
+    end
+  done;
+  let obj =
+    Array.to_list vars
+    |> List.map (fun v -> (Float.of_int (Taskgraph.Prng.int_in rng (-3) 3), v))
+  in
+  Lp.set_objective lp ~maximize:true obj;
+  (lp, vars)
+
+let certified_obj c =
+  match c.C.detail with
+  | C.Exact_optimum { obj } | C.Optimal_within { obj; _ } -> Some obj
+  | _ -> None
+
+let prop_random_optima_certified =
+  QCheck.Test.make
+    ~name:"random LP optima certify and agree with the dense oracle"
+    ~count:120
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let lp, _ = make_rand_mixed seed ~n:7 ~m:7 in
+      let r, snap = solve_snap lp in
+      if r.Sx.status <> Sx.Optimal then false
+      else
+        let c = C.check snap r in
+        match (c.C.verdict, certified_obj c) with
+        | C.Certified, Some obj ->
+            let oracle = Sx.solve ~backend:Sx.Dense lp in
+            Float.abs (R.to_float obj -. oracle.Sx.obj)
+            <= 1e-6 *. (1. +. Float.abs oracle.Sx.obj)
+        | _ -> false)
+
+let prop_dense_backend_certifies =
+  QCheck.Test.make
+    ~name:"dense-backend solves certify through the greedy pivot fallback"
+    ~count:60
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let lp, _ = make_rand_mixed seed ~n:6 ~m:6 in
+      let r, snap = solve_snap ~backend:Sx.Dense lp in
+      if r.Sx.status <> Sx.Optimal then false
+      else begin
+        let c = C.check snap r in
+        snap.Sx.s_pivot_order = None && c.C.verdict = C.Certified
+      end)
+
+let prop_corrupted_refuted =
+  QCheck.Test.make ~name:"corrupted objectives are refuted" ~count:120
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let lp, _ = make_rand_mixed seed ~n:7 ~m:7 in
+      let r, snap = solve_snap lp in
+      if r.Sx.status <> Sx.Optimal then false
+      else
+        let lie = { r with Sx.obj = r.Sx.obj +. 0.5 } in
+        let c = C.check snap lie in
+        c.C.verdict = C.Refuted)
+
+let prop_infeasible_farkas_certified =
+  QCheck.Test.make
+    ~name:"contradictory random systems yield exact Farkas certificates"
+    ~count:120
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let lp, vars = make_rand_mixed seed ~n:6 ~m:5 in
+      (* wedge a contradiction across all variables *)
+      let terms = Array.to_list vars |> List.map (fun v -> (1., v)) in
+      let mid = 1. +. Float.of_int (seed mod 5) in
+      ignore (Lp.add_constr lp terms Lp.Le mid);
+      ignore (Lp.add_constr lp terms Lp.Ge (mid +. 1.5));
+      let r, snap = solve_snap lp in
+      r.Sx.status = Sx.Infeasible
+      &&
+      let c = C.check snap r in
+      match c.C.detail with
+      | C.Farkas_proof { gap; support; _ } ->
+          c.C.verdict = C.Certified && R.sign gap > 0 && support <> []
+      | _ -> false)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "certify"
+    [
+      ( "hand-checked",
+        [
+          Alcotest.test_case "certified optimum" `Quick test_certified_optimum;
+          Alcotest.test_case "certified infeasible" `Quick
+            test_certified_infeasible;
+          Alcotest.test_case "refuted objective" `Quick test_refuted_objective;
+          Alcotest.test_case "refuted bound violation" `Quick
+            test_refuted_bound_violation;
+          Alcotest.test_case "iter-limit uncertifiable" `Quick
+            test_uncertifiable_iter_limit;
+          Alcotest.test_case "map_rows and json" `Quick test_map_rows_and_json;
+          Alcotest.test_case "iis extraction" `Quick test_iis_extraction;
+          Alcotest.test_case "iis on feasible model" `Quick
+            test_iis_feasible_model;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "branch-and-bound certify levels" `Quick
+            test_bb_certify_levels;
+          Alcotest.test_case "certificate diagnostics" `Quick
+            test_certificate_diagnostics;
+        ] );
+      ( "properties",
+        [
+          qt prop_random_optima_certified;
+          qt prop_dense_backend_certifies;
+          qt prop_corrupted_refuted;
+          qt prop_infeasible_farkas_certified;
+        ] );
+    ]

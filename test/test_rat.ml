@@ -1,0 +1,130 @@
+(* Exact rational arithmetic: hand-checked identities, decimal
+   rendering, and randomized algebraic properties including the
+   float-conversion round trip that {!Ilp.Certify} leans on. *)
+
+module R = Ilp.Rat
+
+let check_str = Alcotest.(check string)
+let r = R.of_ints
+
+let test_basics () =
+  check_str "1/2 + 1/3" "5/6" (R.to_string (R.add (r 1 2) (r 1 3)));
+  check_str "normalized" "1/2" (R.to_string (r 17 34));
+  check_str "neg den" "-1/2" (R.to_string (r 1 (-2)));
+  check_str "sub to zero" "0" (R.to_string (R.sub (r 5 7) (r 5 7)));
+  check_str "mul" "3/8" (R.to_string (R.mul (r 3 4) (r 1 2)));
+  check_str "div" "3/2" (R.to_string (R.div (r 3 4) (r 1 2)));
+  check_str "int" "-42" (R.to_string (R.of_int (-42)));
+  Alcotest.(check int) "sign pos" 1 (R.sign (r 1 3));
+  Alcotest.(check int) "sign neg" (-1) (R.sign (r (-1) 3));
+  Alcotest.(check bool) "cmp" true (R.compare (r 1 3) (r 1 2) < 0);
+  Alcotest.(check bool) "min/max" true
+    (R.equal (R.min (r 1 3) (r 1 2)) (r 1 3)
+    && R.equal (R.max (r 1 3) (r 1 2)) (r 1 2))
+
+let test_big_values () =
+  (* (2^60 / 3) * 3 round-trips; products well past one limb *)
+  let big = R.of_float (Float.ldexp 1. 60) in
+  let third = R.div big (R.of_int 3) in
+  Alcotest.(check bool) "big/3*3" true
+    (R.equal big (R.mul third (R.of_int 3)));
+  check_str "2^60" "1152921504606846976" (R.to_string big);
+  let p = R.mul big big in
+  check_str "2^120" "1329227995784915872903807060280344576" (R.to_string p);
+  (* exact decimal of a dyadic: 0.1 is not 1/10 in binary *)
+  check_str "0.5 exact" "1/2" (R.to_string (R.of_float 0.5));
+  check_str "0.1 exact" "3602879701896397/36028797018963968"
+    (R.to_string (R.of_float 0.1))
+
+let test_of_float_edges () =
+  Alcotest.(check bool) "zero" true (R.is_zero (R.of_float 0.));
+  Alcotest.check (Alcotest.float 0.) "tiny" 1e-300
+    (R.to_float (R.of_float 1e-300));
+  Alcotest.check (Alcotest.float 0.) "huge" 1e300
+    (R.to_float (R.of_float 1e300));
+  Alcotest.(check bool) "nan rejected" true
+    (match R.of_float Float.nan with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "inf rejected" true
+    (match R.of_float Float.infinity with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let float_gen =
+  (* finite doubles across the whole dynamic range, dyadics included *)
+  QCheck.Gen.(
+    let* m = float_bound_inclusive 2. in
+    let* e = int_range (-60) 60 in
+    return (Float.ldexp (m -. 1.) e))
+
+let arb_float = QCheck.make ~print:string_of_float float_gen
+
+let prop_float_roundtrip =
+  QCheck.Test.make ~name:"of_float/to_float round-trips exactly" ~count:500
+    arb_float
+    (fun f -> R.to_float (R.of_float f) = f)
+
+let prop_float_sum_exact =
+  QCheck.Test.make ~name:"exact sum refines float sum" ~count:500
+    QCheck.(pair arb_float arb_float)
+    (fun (a, b) ->
+      (* the exact sum and the rounded float sum differ by at most one
+         ulp of the result *)
+      let exact = R.add (R.of_float a) (R.of_float b) in
+      let s = a +. b in
+      let ulp = Float.abs (Float.succ (Float.abs s) -. Float.abs s) in
+      Float.abs (R.to_float exact -. s) <= ulp)
+
+let prop_field_laws =
+  QCheck.Test.make ~name:"field identities on random rationals" ~count:500
+    QCheck.(triple (pair small_signed_int small_nat)
+              (pair small_signed_int small_nat)
+              (pair small_signed_int small_nat))
+    (fun ((pa, qa), (pb, qb), (pc, qc)) ->
+      let mk p q = r p (q + 1) in
+      let a = mk pa qa and b = mk pb qb and c = mk pc qc in
+      R.equal (R.add a b) (R.add b a)
+      && R.equal (R.mul a b) (R.mul b a)
+      && R.equal (R.add (R.add a b) c) (R.add a (R.add b c))
+      && R.equal (R.mul (R.mul a b) c) (R.mul a (R.mul b c))
+      && R.equal (R.mul a (R.add b c)) (R.add (R.mul a b) (R.mul a c))
+      && R.equal (R.sub a b) (R.neg (R.sub b a))
+      && (R.is_zero b || R.equal a (R.mul (R.div a b) b)))
+
+let prop_division_exact =
+  QCheck.Test.make ~name:"multi-limb division round-trips" ~count:300
+    QCheck.(triple arb_float arb_float arb_float)
+    (fun (a, b, c) ->
+      (* build multi-limb numerators/denominators out of float products *)
+      let x = R.mul (R.of_float a) (R.mul (R.of_float b) (R.of_float c)) in
+      let d = R.add (R.mul (R.of_float b) (R.of_float b)) R.one in
+      let q = R.div x d in
+      R.equal x (R.mul q d))
+
+let prop_compare_consistent =
+  QCheck.Test.make ~name:"compare agrees with float compare" ~count:500
+    QCheck.(pair arb_float arb_float)
+    (fun (a, b) ->
+      let c = R.compare (R.of_float a) (R.of_float b) in
+      if a < b then c < 0 else if a > b then c > 0 else c = 0)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rat"
+    [
+      ( "hand-checked",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "big values" `Quick test_big_values;
+          Alcotest.test_case "of_float edges" `Quick test_of_float_edges;
+        ] );
+      ( "properties",
+        [
+          qt prop_float_roundtrip;
+          qt prop_float_sum_exact;
+          qt prop_field_laws;
+          qt prop_division_exact;
+          qt prop_compare_consistent;
+        ] );
+    ]
