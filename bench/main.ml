@@ -380,6 +380,166 @@ let sparse () =
         Ilp.Simplex.pp_stats lps)
     points
 
+
+(* ------------------------------------------------------------------ *)
+(* LP engine: devex + bound-flipping ratio test vs partial pricing      *)
+(* ------------------------------------------------------------------ *)
+
+type lp_row = {
+  lp_graph : int;
+  lp_n : int;
+  lp_l : int;
+  lp_vars : int;
+  lp_constrs : int;
+  lp_partial_s : float;
+  lp_partial_pivots : int;
+  lp_devex_s : float;
+  lp_devex_pivots : int;
+  lp_devex_flips : int;
+  lp_root_speedup : float;
+  lp_solve_s : float;
+  lp_solved : bool;
+  lp_result : string;
+}
+
+let lp_rows : lp_row list ref = ref []
+
+let lp_bench ~quick () =
+  section
+    "LP engine: devex pricing + bound-flipping dual ratio test vs the\n\
+     partial-pricing baseline (root relaxation of the tightened model at\n\
+     the Table 4 design points, sparse LU backend for both; the full-solve\n\
+     column runs the production search under the devex default --\n\
+     docs/PERFORMANCE.md explains the knobs)";
+  let reps = if quick then 1 else 3 in
+  let budget = if quick then Float.min 30. !time_limit else !time_limit in
+  let max_iters = 200_000 in
+  let points =
+    [
+      (1, 3, (2, 2, 1), 1);
+      (2, 4, (3, 2, 2), 1);
+      (3, 3, (2, 2, 2), 1);
+      (4, 2, (2, 2, 2), 1);
+      (5, 2, (2, 2, 2), 1);
+      (6, 2, (2, 2, 2), 1);
+    ]
+  in
+  Format.printf
+    " %-6s %-3s %-3s | %-5s %-6s | %-10s %-7s | %-10s %-7s %-6s | %-7s | full solve (devex)@."
+    "graph" "N" "L" "Var" "Const" "partial(s)" "pivots" "devex(s)" "pivots"
+    "flips" "speedup";
+  let ratios = ref [] in
+  List.iter
+    (fun (gno, n, ams, l) ->
+      let g = Ex.paper_graph gno in
+      let spec = spec_of g ~ams ~n ~l in
+      let vars = F.build ~options:F.tightened_options spec in
+      let lp = vars.Temporal.Vars.lp in
+      let median xs =
+        let a = Array.of_list xs in
+        Array.sort compare a;
+        a.(Array.length a / 2)
+      in
+      (* cold root solves, medians over [reps]; pivots and flips are
+         deterministic per pricing rule so the last rep's counters are
+         the counters *)
+      let root pricing =
+        let pivots = ref 0 and flips = ref 0 in
+        let times =
+          List.init reps (fun _ ->
+              let st = Ilp.Simplex.create ~pricing lp in
+              let t0 = Unix.gettimeofday () in
+              let r = Ilp.Simplex.primal ~max_iters st in
+              let dt = Unix.gettimeofday () -. t0 in
+              (match r.Ilp.Simplex.status with
+               | Ilp.Simplex.Optimal | Ilp.Simplex.Infeasible -> ()
+               | _ -> Format.printf "  (graph %d root hit the pivot budget)@." gno);
+              pivots := r.Ilp.Simplex.iterations;
+              flips := Ilp.Simplex.bound_flips st;
+              dt)
+        in
+        (median times, !pivots, !flips)
+      in
+      let tp, pp_pivots, _ = root Ilp.Simplex.Partial in
+      let td, dv_pivots, dv_flips = root Ilp.Simplex.Devex in
+      let speedup = tp /. td in
+      ratios := speedup :: !ratios;
+      (* the production search under the devex default: does the Table 4
+         cell close inside the budget? *)
+      let vars2 = F.build ~options:F.tightened_options spec in
+      let t0 = Unix.gettimeofday () in
+      let report = Solver.solve ~time_limit:budget vars2 in
+      let solve_s = Unix.gettimeofday () -. t0 in
+      let solved, result =
+        match report.Solver.outcome with
+        | Solver.Feasible sol ->
+          (true, Printf.sprintf "cost %d" sol.Sol.comm_cost)
+        | Solver.Infeasible_model -> (true, "infeasible")
+        | Solver.Timed_out _ -> (false, "timeout")
+      in
+      lp_rows :=
+        {
+          lp_graph = gno; lp_n = n; lp_l = l;
+          lp_vars = Temporal.Vars.num_vars vars;
+          lp_constrs = Temporal.Vars.num_constrs vars;
+          lp_partial_s = tp; lp_partial_pivots = pp_pivots;
+          lp_devex_s = td; lp_devex_pivots = dv_pivots;
+          lp_devex_flips = dv_flips; lp_root_speedup = speedup;
+          lp_solve_s = solve_s; lp_solved = solved; lp_result = result;
+        }
+        :: !lp_rows;
+      Format.printf
+        " %-6d %-3d %-3d | %-5d %-6d | %-10.4f %-7d | %-10.4f %-7d %-6d | %-7.2f | %.2fs %s@."
+        gno n l
+        (Temporal.Vars.num_vars vars)
+        (Temporal.Vars.num_constrs vars)
+        tp pp_pivots td dv_pivots dv_flips speedup solve_s result)
+    points;
+  let geomean =
+    exp
+      (List.fold_left (fun acc r -> acc +. log r) 0. !ratios
+      /. float_of_int (List.length !ratios))
+  in
+  Format.printf "@.root-LP geometric-mean speedup (partial -> devex): %.2fx@."
+    geomean
+
+let write_lp_json path =
+  let oc = open_out path in
+  let row r =
+    Printf.sprintf
+      "    { \"graph\": %d, \"n\": %d, \"l\": %d, \"vars\": %d, \
+       \"constrs\": %d, \"partial_root_s\": %.6f, \
+       \"partial_pivots\": %d, \"devex_root_s\": %.6f, \
+       \"devex_pivots\": %d, \"devex_flips\": %d, \
+       \"root_speedup\": %.3f, \"solve_s\": %.3f, \"solved\": %b, \
+       \"result\": %S }"
+      r.lp_graph r.lp_n r.lp_l r.lp_vars r.lp_constrs r.lp_partial_s
+      r.lp_partial_pivots r.lp_devex_s r.lp_devex_pivots r.lp_devex_flips
+      r.lp_root_speedup r.lp_solve_s r.lp_solved r.lp_result
+  in
+  let rows = List.rev !lp_rows in
+  let geomean =
+    exp
+      (List.fold_left (fun acc r -> acc +. log r.lp_root_speedup) 0. rows
+      /. float_of_int (List.length rows))
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"host\": {\n\
+    \    \"cores\": %d,\n\
+    \    \"ocaml\": %S,\n\
+    \    \"word_size\": %d,\n\
+    \    \"os_type\": %S,\n\
+    \    \"backend\": \"sparse_lu\"\n\
+    \  },\n\
+    \  \"root_geomean_speedup\": %.3f,\n\
+    \  \"lp\": [\n%s\n  ]\n}\n"
+    (Domain.recommended_domain_count ())
+    Sys.ocaml_version Sys.word_size Sys.os_type geomean
+    (String.concat ",\n" (List.map row rows));
+  close_out oc;
+  Format.printf "@.json report written to %s@." path
+
 (* ------------------------------------------------------------------ *)
 (* Parallel branch and bound: 1/2/4/8 worker domains                    *)
 (* ------------------------------------------------------------------ *)
@@ -1042,6 +1202,7 @@ let () =
   if want "table4" then table4 ();
   if want "ablation" then ablation ();
   if want "sparse" then sparse ();
+  if want "lp" then lp_bench ~quick ();
   if want "parallel" then parallel ();
   if want "nodes" then nodes_bench ~quick ();
   if want "trace" then trace_bench ~quick ();
@@ -1055,18 +1216,23 @@ let () =
   Option.iter
     (fun path ->
       let sub tag = Filename.remove_extension path ^ tag ^ Filename.extension path in
+      let wrote_lp = !lp_rows <> [] in
+      if wrote_lp then write_lp_json path;
       let wrote_parallel = !parallel_rows <> [] in
-      if wrote_parallel then write_json path;
+      if wrote_parallel then write_json (if wrote_lp then sub "_parallel" else path);
       let wrote_nodes = !nodes_rows <> [] in
       if wrote_nodes then
-        write_nodes_json (if wrote_parallel then sub "_nodes" else path);
+        write_nodes_json
+          (if wrote_lp || wrote_parallel then sub "_nodes" else path);
       let wrote_trace = !trace_result <> None in
       if wrote_trace then
         write_trace_json
-          (if wrote_parallel || wrote_nodes then sub "_trace" else path);
+          (if wrote_lp || wrote_parallel || wrote_nodes then sub "_trace"
+           else path);
       if !cert_rows <> [] then
         write_certify_json
-          (if wrote_parallel || wrote_nodes || wrote_trace then sub "_certify"
+          (if wrote_lp || wrote_parallel || wrote_nodes || wrote_trace then
+             sub "_certify"
            else path))
     json_path;
   Format.printf "@.total bench wall-clock: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -307,6 +307,22 @@ let certify_arg =
            certified, 1 refuted, 2 uncertifiable — overriding the usual \
            outcome codes. See docs/VERIFICATION.md.")
 
+let pricing_arg =
+  let pricing_conv =
+    Arg.enum
+      [ ("devex", Ilp.Simplex.Devex); ("partial", Ilp.Simplex.Partial) ]
+  in
+  Arg.(
+    value
+    & opt pricing_conv Ilp.Simplex.Devex
+    & info [ "pricing" ] ~docv:"RULE"
+        ~doc:
+          "Simplex pricing rule for the LP relaxations: $(b,devex) \
+           (default) prices with devex reference weights over \
+           incrementally maintained reduced costs and batches bound \
+           flips in the dual ratio test; $(b,partial) is the \
+           partial-pricing Dantzig baseline. See docs/PERFORMANCE.md.")
+
 let trace_out =
   Arg.(
     value
@@ -432,8 +448,8 @@ let json_of_result ?certification result =
 let solve_cmd =
   let run g a m s capacity alpha scratch latency partitions time_limit strategy
       no_tighten no_step_cuts fortet dot lp_out report_wanted lint
-      stats_wanted jobs deterministic rc_fixing propagate cuts certify json
-      trace =
+      stats_wanted jobs deterministic rc_fixing propagate cuts certify
+      lp_pricing json trace =
     let allocation = Hls.Component.ams (a, m, s) in
     let options =
       {
@@ -453,8 +469,8 @@ let solve_cmd =
     let result =
       Temporal.Pipeline.run ~options ~strategy ~time_limit
         ?num_partitions:partitions ~lint ~jobs ~deterministic ~rc_fixing
-        ~propagate ~cuts ~certify ~tracer ~graph:g ~allocation ?capacity
-        ~alpha ~scratch ~latency_relax:latency ()
+        ~propagate ~cuts ~certify ~lp_pricing ~tracer ~graph:g ~allocation
+        ?capacity ~alpha ~scratch ~latency_relax:latency ()
     in
     let stats = result.Temporal.Pipeline.report.Temporal.Solver.stats in
     let certifying = certify <> Ilp.Branch_bound.Cert_off in
@@ -571,8 +587,8 @@ let solve_cmd =
       $ latency $ partitions $ time_limit $ strategy $ no_tighten
       $ no_step_cuts $ fortet $ dot_out $ lp_out $ report_flag $ lint_flag
       $ stats_flag $ jobs_arg $ deterministic_flag $ rc_fix_flag
-      $ propagate_flag $ cuts_flag $ certify_arg $ solve_json_flag
-      $ trace_out)
+      $ propagate_flag $ cuts_flag $ certify_arg $ pricing_arg
+      $ solve_json_flag $ trace_out)
 
 (* ---------------- analyze command ---------------- *)
 
@@ -845,12 +861,13 @@ let explore_cmd =
   let n_max =
     Arg.(value & opt int 3 & info [ "n-max" ] ~docv:"N" ~doc:"Largest partition bound to sweep.")
   in
-  let run g a m s capacity alpha scratch time_limit l_max n_max jobs =
+  let run g a m s capacity alpha scratch time_limit l_max n_max jobs
+      lp_pricing =
     let allocation = Hls.Component.ams (a, m, s) in
     let points =
-      Temporal.Explore.sweep ~time_limit_per_point:time_limit ~jobs ~graph:g
-        ~allocation ?capacity ~alpha ~scratch ~latency_range:(0, l_max)
-        ~partition_range:(1, n_max) ()
+      Temporal.Explore.sweep ~time_limit_per_point:time_limit ~jobs
+        ~lp_pricing ~graph:g ~allocation ?capacity ~alpha ~scratch
+        ~latency_range:(0, l_max) ~partition_range:(1, n_max) ()
     in
     Format.printf "%a" Temporal.Explore.pp_table points;
     Format.printf "@.Pareto frontier (latency relaxation vs communication):@.";
@@ -863,7 +880,7 @@ let explore_cmd =
        ~doc:"Sweep (L, N) design points and print the trade-off frontier.")
     Term.(
       const run $ graph_arg $ adders $ muls $ subs $ capacity $ alpha $ scratch
-      $ time_limit $ l_max $ n_max $ jobs_arg)
+      $ time_limit $ l_max $ n_max $ jobs_arg $ pricing_arg)
 
 let () =
   let doc = "optimal temporal partitioning and synthesis for reconfigurable architectures" in

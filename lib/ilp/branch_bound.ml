@@ -30,6 +30,7 @@ type options = {
     (lp_solution:float array -> is_fixed:(int -> bool) -> hook_result) option;
   check_model : bool;
   lp_backend : Simplex.backend;
+  lp_pricing : Simplex.pricing;
   jobs : int;
   deterministic : bool;
   rc_fixing : bool;
@@ -57,6 +58,7 @@ let default_options =
     node_hook = None;
     check_model = false;
     lp_backend = Simplex.Sparse_lu;
+    lp_pricing = Simplex.Partial;
     jobs = 1;
     deterministic = false;
     rc_fixing = false;
@@ -995,7 +997,7 @@ let cut_and_branch opts lp t0 tw =
     !continue_ && !rounds < opts.cut_rounds
     && Mono.elapsed_since t0 <= cut_budget
   do
-    let res = Simplex.solve ~backend:opts.lp_backend (with_cuts !active) in
+    let res = Simplex.solve ~backend:opts.lp_backend ~pricing:opts.lp_pricing (with_cuts !active) in
     if res.Simplex.status <> Simplex.Optimal then continue_ := false
     else if
       List.for_all
@@ -1114,7 +1116,7 @@ let root_node =
 
 let solve_sequential env =
   let opts = env.opts in
-  let st = Simplex.create ~backend:opts.lp_backend env.lp in
+  let st = Simplex.create ~backend:opts.lp_backend ~pricing:opts.lp_pricing env.lp in
   let tw = Trace.main opts.tracer in
   Simplex.set_trace st tw;
   let pivots0 = Simplex.total_pivots st in
@@ -1240,7 +1242,7 @@ type wret = {
 let solve_parallel env =
   let opts = env.opts in
   let jobs = opts.jobs in
-  let st0 = Simplex.create ~backend:opts.lp_backend env.lp in
+  let st0 = Simplex.create ~backend:opts.lp_backend ~pricing:opts.lp_pricing env.lp in
   let tw0 = Trace.main opts.tracer in
   Simplex.set_trace st0 tw0;
   let pivots0 = Simplex.total_pivots st0 in
@@ -1327,7 +1329,7 @@ let solve_parallel env =
     in
     let local : node Pool.Deque.t = Pool.Deque.create () in
     List.iter (Pool.Deque.push local) (List.rev my_seeds);
-    let st = Simplex.create ~backend:opts.lp_backend env.lp in
+    let st = Simplex.create ~backend:opts.lp_backend ~pricing:opts.lp_pricing env.lp in
     (* Registered from inside the spawned domain: this domain is the
        buffer's single writer for the whole search. *)
     let tw =

@@ -81,6 +81,14 @@ type options = {
   lp_backend : Simplex.backend;
       (** Basis representation used by the node LP solver (default
           {!Simplex.Sparse_lu}). *)
+  lp_pricing : Simplex.pricing;
+      (** Pricing rule of the node LP solver. The default is
+          {!Simplex.Partial}: {!default_options} preserves the
+          historical search node for node (same pivots, same
+          relaxation vertices, same branching), which regression tests
+          pin. {!Simplex.Devex} is markedly faster on the paper models
+          and is what the {!Temporal} layer and the CLI select by
+          default — see docs/PERFORMANCE.md. *)
   jobs : int;
       (** Worker domains for the tree search (default [1]). [jobs = 1]
           is the exact historical sequential search — same node counts,

@@ -31,16 +31,43 @@ type t = {
   u_val : float array array;
   fill : int;  (* stored entries of L + U, diagonal included *)
   scratch : float array;
+  (* Hyper-sparse solve support, built once at factor time.
+     [step_of_row]/[step_of_slot] invert [lp_row]/[u_q]; the *_users
+     arrays are the transposed dependency lists (flattened CSR-style):
+     [uu_steps.(uu_ptr.(q) .. uu_ptr.(q+1)-1)] are the steps whose U row
+     references slot [q], [lu_steps.(lu_ptr.(r) ..)] the steps whose L
+     column references matrix row [r]. They let a triangular solve visit
+     only the steps reachable from the nonzeros of its right-hand side
+     (Gilbert-Peierls reachability, ordered by a step heap). *)
+  step_of_row : int array;
+  step_of_slot : int array;
+  uu_ptr : int array;
+  uu_steps : int array;
+  lu_ptr : int array;
+  lu_steps : int array;
+  (* Sparse-solve workspaces. [sscratch] is all-zero between calls (the
+     sparse kernels restore the entries they touch); [mark]/[mark2] are
+     stamp-based visited sets so no O(m) clearing is ever needed. *)
+  sscratch : float array;
+  heap : int array;
+  mutable hn : int;
+  mark : int array;
+  mark2 : int array;
+  mutable stamp : int;
+  buf_a : int array;
+  buf_b : int array;
   mutable etas : eta array;
   mutable neta : int;
+  mutable eta_entries : int;  (* total off-pivot entries in the eta file *)
 }
 
 let size lu = lu.m
 let eta_count lu = lu.neta
+let eta_nnz lu = lu.eta_entries
 let fill lu = lu.fill
 let pivot_order lu = Array.init lu.m (fun k -> (lu.lp_row.(k), lu.u_q.(k)))
 
-(* Ownership is structural: the scratch buffer and the eta file are
+(* Ownership is structural: the scratch buffers and the eta file are
    unsynchronized, so any cross-domain use is a data race. The stamp
    makes the former comment-only warning an immediate error. *)
 let check_owner lu op =
@@ -166,6 +193,44 @@ let factor ?(trace = Trace.null_writer) (a : Sparse.Csc.mat)
   if Trace.active trace then
     Trace.emit trace
       (Trace.Lu_factor { fill = !fill; dt = Mono.now () -. t_start });
+  (* Inverse permutations and transposed dependency lists. *)
+  let step_of_row = Array.make m 0 and step_of_slot = Array.make m 0 in
+  for k = 0 to m - 1 do
+    step_of_row.(lp_row.(k)) <- k;
+    step_of_slot.(u_q.(k)) <- k
+  done;
+  let uu_ptr = Array.make (m + 1) 0 and lu_ptr = Array.make (m + 1) 0 in
+  for k = 0 to m - 1 do
+    let ui = u_idx.(k) in
+    for n = 0 to Array.length ui - 1 do
+      uu_ptr.(ui.(n) + 1) <- uu_ptr.(ui.(n) + 1) + 1
+    done;
+    let li = l_idx.(k) in
+    for n = 0 to Array.length li - 1 do
+      lu_ptr.(li.(n) + 1) <- lu_ptr.(li.(n) + 1) + 1
+    done
+  done;
+  for i = 1 to m do
+    uu_ptr.(i) <- uu_ptr.(i) + uu_ptr.(i - 1);
+    lu_ptr.(i) <- lu_ptr.(i) + lu_ptr.(i - 1)
+  done;
+  let uu_steps = Array.make uu_ptr.(m) 0
+  and lu_steps = Array.make lu_ptr.(m) 0 in
+  let uu_fill = Array.copy uu_ptr and lu_fill = Array.copy lu_ptr in
+  for k = 0 to m - 1 do
+    let ui = u_idx.(k) in
+    for n = 0 to Array.length ui - 1 do
+      let q = ui.(n) in
+      uu_steps.(uu_fill.(q)) <- k;
+      uu_fill.(q) <- uu_fill.(q) + 1
+    done;
+    let li = l_idx.(k) in
+    for n = 0 to Array.length li - 1 do
+      let r = li.(n) in
+      lu_steps.(lu_fill.(r)) <- k;
+      lu_fill.(r) <- lu_fill.(r) + 1
+    done
+  done;
   {
     m;
     owner = (Domain.self () :> int);
@@ -178,8 +243,23 @@ let factor ?(trace = Trace.null_writer) (a : Sparse.Csc.mat)
     u_val;
     fill = !fill;
     scratch = Array.make m 0.;
+    step_of_row;
+    step_of_slot;
+    uu_ptr;
+    uu_steps;
+    lu_ptr;
+    lu_steps;
+    sscratch = Array.make m 0.;
+    heap = Array.make m 0;
+    hn = 0;
+    mark = Array.make m (-1);
+    mark2 = Array.make m (-1);
+    stamp = 0;
+    buf_a = Array.make m 0;
+    buf_b = Array.make m 0;
     etas = [||];
     neta = 0;
+    eta_entries = 0;
   }
 
 let ftran lu b =
@@ -255,6 +335,268 @@ let btran lu c =
     c.(p) <- !acc
   done
 
+(* ------------------------------------------------------------------ *)
+(* Hyper-sparse solves                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Binary heap of elimination steps, ordered by key. Both orders are
+   needed (L and U^T run through steps forward, U and L^T backward);
+   max order stores negated keys. The [mark] stamp deduplicates pushes,
+   so the heap never exceeds [m] entries. *)
+let heap_push lu k =
+  let h = lu.heap in
+  let i = ref lu.hn in
+  lu.hn <- lu.hn + 1;
+  h.(!i) <- k;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if h.(p) > h.(!i) then begin
+      let t = h.(p) in
+      h.(p) <- h.(!i);
+      h.(!i) <- t;
+      i := p
+    end
+    else continue := false
+  done
+
+let heap_pop lu =
+  let h = lu.heap in
+  let top = h.(0) in
+  lu.hn <- lu.hn - 1;
+  if lu.hn > 0 then begin
+    h.(0) <- h.(lu.hn);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < lu.hn && h.(l) < h.(!s) then s := l;
+      if r < lu.hn && h.(r) < h.(!s) then s := r;
+      if !s <> !i then begin
+        let t = h.(!s) in
+        h.(!s) <- h.(!i);
+        h.(!i) <- t;
+        i := !s
+      end
+      else continue := false
+    done
+  end;
+  top
+
+(* Steps are visited at most once per phase: a fresh [stamp] per phase,
+   a step is pushed only when its mark differs. [push_step_neg] is the
+   max-order variant — it marks by the step itself but stores the
+   negated key, so the min-heap pops steps in decreasing order. *)
+let push_step lu k =
+  if lu.mark.(k) <> lu.stamp then begin
+    lu.mark.(k) <- lu.stamp;
+    heap_push lu k
+  end
+
+let push_step_neg lu k =
+  if lu.mark.(k) <> lu.stamp then begin
+    lu.mark.(k) <- lu.stamp;
+    heap_push lu (-k)
+  end
+
+(* Density cutoff: below [m/8] input nonzeros the reachability sweep
+   beats the dense loop comfortably; past it the heap overhead starts
+   to erode the win, so the caller falls back to the dense kernels
+   (signalled by the [-1] return). Tuned on the paper-graph LPs; see
+   docs/PERFORMANCE.md. *)
+let sparse_worthwhile m n = m >= 32 && n * 8 <= m
+
+let ftran_sparse lu b pat n =
+  check_owner lu "ftran_sparse";
+  let m = lu.m in
+  if n = 0 then 0
+  else if not (sparse_worthwhile m n) then begin
+    ftran lu b;
+    -1
+  end
+  else begin
+    (* L phase: process reachable steps in increasing order. *)
+    lu.stamp <- lu.stamp + 1;
+    lu.hn <- 0;
+    for i = 0 to n - 1 do
+      push_step lu lu.step_of_row.(pat.(i))
+    done;
+    let na = ref 0 in
+    while lu.hn > 0 do
+      let k = heap_pop lu in
+      lu.buf_a.(!na) <- k;
+      incr na;
+      let t = b.(lu.lp_row.(k)) in
+      if t <> 0. then begin
+        let idx = lu.l_idx.(k) and vl = lu.l_val.(k) in
+        for j = 0 to Array.length idx - 1 do
+          let r = idx.(j) in
+          b.(r) <- b.(r) -. (vl.(j) *. t);
+          push_step lu lu.step_of_row.(r)
+        done
+      end
+    done;
+    (* U phase: back-substitute reachable steps in decreasing order
+       (max-heap via negated keys). [sscratch] holds x by slot; entries
+       of unreached steps are exactly zero by the workspace invariant. *)
+    lu.stamp <- lu.stamp + 1;
+    lu.hn <- 0;
+    for i = 0 to !na - 1 do
+      push_step_neg lu lu.buf_a.(i)
+    done;
+    let x = lu.sscratch in
+    let nb = ref 0 in
+    while lu.hn > 0 do
+      let k = -heap_pop lu in
+      lu.buf_b.(!nb) <- k;
+      incr nb;
+      let s = ref b.(lu.lp_row.(k)) in
+      let idx = lu.u_idx.(k) and vl = lu.u_val.(k) in
+      for j = 0 to Array.length idx - 1 do
+        s := !s -. (vl.(j) *. x.(idx.(j)))
+      done;
+      let xv = !s /. lu.u_diag.(k) in
+      x.(lu.u_q.(k)) <- xv;
+      if xv <> 0. then begin
+        let q = lu.u_q.(k) in
+        for j = lu.uu_ptr.(q) to lu.uu_ptr.(q + 1) - 1 do
+          push_step_neg lu lu.uu_steps.(j)
+        done
+      end
+    done;
+    (* Transfer x into b: clear the L-phase rows first, then write the
+       slot-indexed result and restore the sscratch invariant. *)
+    for i = 0 to !na - 1 do
+      b.(lu.lp_row.(lu.buf_a.(i))) <- 0.
+    done;
+    lu.stamp <- lu.stamp + 1;
+    let cnt = ref 0 in
+    for i = 0 to !nb - 1 do
+      let q = lu.u_q.(lu.buf_b.(i)) in
+      b.(q) <- x.(q);
+      x.(q) <- 0.;
+      lu.mark2.(q) <- lu.stamp;
+      pat.(!cnt) <- q;
+      incr cnt
+    done;
+    (* product-form etas, oldest first, growing the pattern as they
+       spread *)
+    for e = 0 to lu.neta - 1 do
+      let eta = lu.etas.(e) in
+      let t = b.(eta.e_r) /. eta.e_diag in
+      if t <> 0. then begin
+        for j = 0 to Array.length eta.e_idx - 1 do
+          let q = eta.e_idx.(j) in
+          b.(q) <- b.(q) -. (eta.e_val.(j) *. t);
+          if lu.mark2.(q) <> lu.stamp then begin
+            lu.mark2.(q) <- lu.stamp;
+            pat.(!cnt) <- q;
+            incr cnt
+          end
+        done;
+        b.(eta.e_r) <- t
+      end
+    done;
+    !cnt
+  end
+
+let btran_sparse lu c pat n =
+  check_owner lu "btran_sparse";
+  let m = lu.m in
+  if n = 0 then 0
+  else if not (sparse_worthwhile m n) then begin
+    btran lu c;
+    -1
+  end
+  else begin
+    (* eta transposes, newest first: only etas touching the current
+       pattern can act; each can add at most its own pivot slot. *)
+    lu.stamp <- lu.stamp + 1;
+    let na = ref 0 in
+    for i = 0 to n - 1 do
+      lu.mark2.(pat.(i)) <- lu.stamp;
+      lu.buf_a.(!na) <- pat.(i);
+      incr na
+    done;
+    for e = lu.neta - 1 downto 0 do
+      let eta = lu.etas.(e) in
+      let live = ref (lu.mark2.(eta.e_r) = lu.stamp) in
+      let j = ref 0 in
+      let nidx = Array.length eta.e_idx in
+      while (not !live) && !j < nidx do
+        if lu.mark2.(eta.e_idx.(!j)) = lu.stamp then live := true;
+        incr j
+      done;
+      if !live then begin
+        let d = ref (eta.e_diag *. c.(eta.e_r)) in
+        for jj = 0 to nidx - 1 do
+          d := !d +. (eta.e_val.(jj) *. c.(eta.e_idx.(jj)))
+        done;
+        c.(eta.e_r) <- c.(eta.e_r) -. ((!d -. c.(eta.e_r)) /. eta.e_diag);
+        if lu.mark2.(eta.e_r) <> lu.stamp then begin
+          lu.mark2.(eta.e_r) <- lu.stamp;
+          lu.buf_a.(!na) <- eta.e_r;
+          incr na
+        end
+      end
+    done;
+    (* U^T phase: move the slot-indexed input into sscratch and
+       forward-substitute reachable steps in increasing order, writing
+       the row-indexed intermediate back into c. *)
+    let s = lu.sscratch in
+    lu.stamp <- lu.stamp + 1;
+    lu.hn <- 0;
+    for i = 0 to !na - 1 do
+      let q = lu.buf_a.(i) in
+      s.(q) <- c.(q);
+      c.(q) <- 0.;
+      push_step lu lu.step_of_slot.(q)
+    done;
+    let nb = ref 0 in
+    while lu.hn > 0 do
+      let k = heap_pop lu in
+      lu.buf_b.(!nb) <- k;
+      incr nb;
+      let t = s.(lu.u_q.(k)) /. lu.u_diag.(k) in
+      c.(lu.lp_row.(k)) <- t;
+      if t <> 0. then begin
+        let idx = lu.u_idx.(k) and vl = lu.u_val.(k) in
+        for j = 0 to Array.length idx - 1 do
+          s.(idx.(j)) <- s.(idx.(j)) -. (vl.(j) *. t);
+          push_step lu lu.step_of_slot.(idx.(j))
+        done
+      end
+    done;
+    for i = 0 to !nb - 1 do
+      s.(lu.u_q.(lu.buf_b.(i))) <- 0.
+    done;
+    (* L^T phase: reachable steps in decreasing order. *)
+    lu.stamp <- lu.stamp + 1;
+    lu.hn <- 0;
+    for i = 0 to !nb - 1 do
+      push_step_neg lu lu.buf_b.(i)
+    done;
+    let cnt = ref 0 in
+    while lu.hn > 0 do
+      let k = -heap_pop lu in
+      let p = lu.lp_row.(k) in
+      let acc = ref c.(p) in
+      let idx = lu.l_idx.(k) and vl = lu.l_val.(k) in
+      for j = 0 to Array.length idx - 1 do
+        acc := !acc -. (vl.(j) *. c.(idx.(j)))
+      done;
+      c.(p) <- !acc;
+      pat.(!cnt) <- p;
+      incr cnt;
+      if !acc <> 0. then
+        for j = lu.lu_ptr.(p) to lu.lu_ptr.(p + 1) - 1 do
+          push_step_neg lu lu.lu_steps.(j)
+        done
+    done;
+    !cnt
+  end
+
 let update lu ~w ~r =
   check_owner lu "update";
   let piv = w.(r) in
@@ -263,22 +605,27 @@ let update lu ~w ~r =
   for i = 0 to lu.m - 1 do
     if i <> r && Float.abs w.(i) > drop_tol then incr n
   done;
-  let e_idx = Array.make !n 0 and e_val = Array.make !n 0. in
-  let k = ref 0 in
-  for i = 0 to lu.m - 1 do
-    if i <> r && Float.abs w.(i) > drop_tol then begin
-      e_idx.(!k) <- i;
-      e_val.(!k) <- w.(i);
-      incr k
-    end
-  done;
-  if lu.neta = Array.length lu.etas then begin
-    let cap = Int.max 16 (2 * lu.neta) in
-    let etas =
-      Array.make cap { e_r = 0; e_diag = 1.; e_idx = [||]; e_val = [||] }
-    in
-    Array.blit lu.etas 0 etas 0 lu.neta;
-    lu.etas <- etas
-  end;
-  lu.etas.(lu.neta) <- { e_r = r; e_diag = piv; e_idx; e_val };
-  lu.neta <- lu.neta + 1
+  (* An exact-identity eta (unit pivot, no off-pivot entries) is a
+     no-op in every solve: skip storing it entirely. *)
+  if not (!n = 0 && piv = 1.) then begin
+    let e_idx = Array.make !n 0 and e_val = Array.make !n 0. in
+    let k = ref 0 in
+    for i = 0 to lu.m - 1 do
+      if i <> r && Float.abs w.(i) > drop_tol then begin
+        e_idx.(!k) <- i;
+        e_val.(!k) <- w.(i);
+        incr k
+      end
+    done;
+    if lu.neta = Array.length lu.etas then begin
+      let cap = Int.max 16 (2 * lu.neta) in
+      let etas =
+        Array.make cap { e_r = 0; e_diag = 1.; e_idx = [||]; e_val = [||] }
+      in
+      Array.blit lu.etas 0 etas 0 lu.neta;
+      lu.etas <- etas
+    end;
+    lu.etas.(lu.neta) <- { e_r = r; e_diag = piv; e_idx; e_val };
+    lu.neta <- lu.neta + 1;
+    lu.eta_entries <- lu.eta_entries + !n
+  end

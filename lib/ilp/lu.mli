@@ -54,12 +54,38 @@ val btran : t -> float array -> unit
     (simplex multipliers). Applies the eta file newest-first, then U^T
     and L^T. *)
 
+val ftran_sparse : t -> float array -> int array -> int -> int
+(** [ftran_sparse lu b pat n] is {!ftran} for a {e sparse} right-hand
+    side: [b] is dense but its nonzeros are exactly the rows
+    [pat.(0 .. n-1)] (every other entry must be [0.]). The solve visits
+    only the elimination steps reachable from those rows
+    (Gilbert-Peierls reachability over the factor's dependency graph,
+    processed in elimination order through a step heap), so its cost is
+    proportional to the solution's support, not to [m].
+
+    Returns [c >= 0]: the solution's nonzeros are among the slots
+    [pat.(0 .. c-1)] (the pattern is conservative — listed entries may
+    hold exact zeros — but complete). Returns [-1] when the input was
+    too dense for the sparse sweep to win; the solve then fell through
+    to the dense {!ftran} kernel and no pattern is available. [pat]
+    must have length at least [m]. *)
+
+val btran_sparse : t -> float array -> int array -> int -> int
+(** [btran_sparse lu c pat n] is {!btran} for a sparse slot-indexed
+    input with nonzeros [pat.(0 .. n-1)]; same contract as
+    {!ftran_sparse}. On a non-negative return the result's nonzero rows
+    are among [pat.(0 .. c-1)]. The unit-vector right-hand sides of
+    dual pricing ([B^T rho = e_r]) are the main beneficiary. *)
+
 val update : t -> w:float array -> r:int -> unit
 (** [update lu ~w ~r] appends a product-form eta for a basis exchange
     in slot [r], where [w] is the {e transformed} entering column
     ([ftran] of the entering column, slot-indexed). After the update,
-    {!ftran}/{!btran} solve against the new basis. Raises {!Singular}
-    when [|w.(r)|] is below the pivot tolerance. *)
+    {!ftran}/{!btran} solve against the new basis. An exact-identity
+    exchange ([w.(r) = 1.] with no other stored entry) is skipped: it
+    is a no-op in every later solve, so nothing is appended and
+    {!eta_count} does not grow. Raises {!Singular} when [|w.(r)|] is
+    below the pivot tolerance. *)
 
 val size : t -> int
 (** Basis dimension [m]. *)
@@ -74,7 +100,14 @@ val pivot_order : t -> (int * int) array
     the basis as of {!factor} (the eta file is not reflected). *)
 
 val eta_count : t -> int
-(** Number of etas appended since {!factor}. *)
+(** Number of etas appended since {!factor} (identity exchanges are
+    not stored, see {!update}). *)
+
+val eta_nnz : t -> int
+(** Total off-pivot entries stored in the eta file — the work a dense
+    solve pays per pass over it. {!Simplex} uses it (next to
+    {!eta_count}) to decide when refactorizing is cheaper than
+    continuing to drag the eta file through every solve. *)
 
 val fill : t -> int
 (** Stored entries of [L] and [U] (diagonal included) — the fill-in

@@ -21,6 +21,7 @@ type result = {
 }
 
 type backend = Dense | Sparse_lu
+type pricing = Partial | Devex
 
 type stats = {
   factorizations : int;
@@ -32,6 +33,7 @@ type stats = {
   ftran_seconds : float;
   btran_seconds : float;
   pivots : int;
+  bound_flips : int;
 }
 
 let empty_stats =
@@ -45,6 +47,7 @@ let empty_stats =
     ftran_seconds = 0.;
     btran_seconds = 0.;
     pivots = 0;
+    bound_flips = 0;
   }
 
 let add_stats a b =
@@ -58,14 +61,15 @@ let add_stats a b =
     ftran_seconds = a.ftran_seconds +. b.ftran_seconds;
     btran_seconds = a.btran_seconds +. b.btran_seconds;
     pivots = a.pivots + b.pivots;
+    bound_flips = a.bound_flips + b.bound_flips;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "factorizations=%d fill=%d etas=%d refactors(eta/numeric/residual)=%d/%d/%d \
-     ftran=%.3fs btran=%.3fs pivots=%d"
+     ftran=%.3fs btran=%.3fs pivots=%d flips=%d"
     s.factorizations s.fill s.etas s.refactor_eta s.refactor_numeric
-    s.refactor_residual s.ftran_seconds s.btran_seconds s.pivots
+    s.refactor_residual s.ftran_seconds s.btran_seconds s.pivots s.bound_flips
 
 type vstat = Basic | At_lower | At_upper | Free_zero
 
@@ -111,6 +115,8 @@ type state = {
   nstruct : int;  (* structural columns *)
   ncols : int;  (* nstruct + m slacks + m artificials *)
   mat : Sparse.Csc.mat;  (* all columns, CSC *)
+  csr : Sparse.Csr.mat;  (* row-major mirror, for pivot-row pricing *)
+  pricing : pricing;
   lb : float array;
   ub : float array;
   cost : float array;  (* phase-II minimization costs *)
@@ -122,12 +128,27 @@ type state = {
   xb : float array;  (* values of basic variables, per slot *)
   y : float array;  (* workspace: simplex multipliers *)
   w : float array;  (* workspace: transformed entering column *)
+  wpat : int array;  (* nonzero slots of w when wpat_n >= 0 *)
+  mutable wpat_n : int;  (* -1 = w is dense (no pattern available) *)
   tmp : float array;  (* workspace *)
   aux : float array;  (* workspace (dense ftran target, residual checks) *)
   rho : float array;  (* workspace: B^-1 row for dual pricing *)
+  rpat : int array;  (* nonzero rows of rho when rho_n >= 0 *)
+  mutable rho_n : int;  (* -1 = rho is dense *)
+  (* pivot row alpha = rho A over all columns, stamp-validated sparse *)
+  alpha : float array;
+  alpha_pat : int array;
+  alpha_mark : int array;
+  mutable alpha_n : int;
+  mutable alpha_stamp : int;
+  dj : float array;  (* reduced costs, maintained incrementally (devex) *)
+  dvx_w : float array;  (* devex reference weights *)
+  bp_col : int array;  (* dual ratio-test breakpoints: columns *)
+  bp_ratio : float array;  (* matching |dj/alpha| ratios *)
   cand : int array;  (* partial-pricing candidate list *)
   mutable ncand : int;
   mutable total_pivots : int;
+  mutable bound_flips : int;  (* bound flips without a basis change *)
   mutable refactors : int;
   mutable bland : bool;  (* anti-cycling mode *)
   mutable degen_streak : int;
@@ -153,7 +174,20 @@ let ptol = 1e-9 (* smallest acceptable pivot *)
 let degen_switch = 60 (* degenerate pivots before switching to Bland *)
 let refactor_period = 400 (* dense: pivots between basis re-inversions *)
 let eta_limit = 64 (* sparse: eta-file length triggering refactorization *)
+
+(* Devex-mode refactorization cadence. The trace-driven tuning in
+   docs/PERFORMANCE.md balances the two costs on the paper models: a
+   fresh Markowitz factorization costs ~F seconds while applying one
+   more eta to every solve costs ~c seconds, so the optimal refresh
+   interval is about sqrt(2F/c) — measured at 100-130 etas on the
+   Table 4 roots, an order of magnitude past the historical limit of
+   64 (which the Partial baseline keeps). The entry-count guard stops
+   pathologically dense eta files from outgrowing the factorization
+   they patch. *)
+let devex_eta_limit = 128
+let devex_eta_fill = 16
 let res_tol = 1e-6 (* basic-solution residual triggering refactorization *)
+let devex_reset = 1e8 (* weight bound triggering a reference-frame reset *)
 
 (* Structural single-domain ownership (mirrors {!Lu.check_owner}): the
    workspaces, the basis and the statistics counters are unsynchronized
@@ -172,9 +206,11 @@ let check_owner st op =
 let num_rows st = st.m
 let num_structural st = st.nstruct
 let total_pivots st = st.total_pivots
+let bound_flips st = st.bound_flips
 let refactorizations st = st.refactors
 
 let backend st = match st.repr with Rdense _ -> Dense | Rsparse _ -> Sparse_lu
+let pricing st = st.pricing
 
 let stats st =
   {
@@ -187,6 +223,7 @@ let stats st =
     ftran_seconds = st.t_ftran;
     btran_seconds = st.t_btran;
     pivots = st.total_pivots;
+    bound_flips = st.bound_flips;
   }
 
 let pp_status ppf = function
@@ -216,7 +253,7 @@ let emit_refactor st trigger =
     Trace.emit st.trace (Trace.Lu_refactor { trigger; etas })
   end
 
-let create ?(backend = Sparse_lu) lp =
+let create ?(backend = Sparse_lu) ?(pricing = Devex) lp =
   let m = Lp.num_constrs lp in
   let nstruct = Lp.num_vars lp in
   let ncols = nstruct + m + m in
@@ -273,12 +310,15 @@ let create ?(backend = Sparse_lu) lp =
              r))
     | Sparse_lu -> Rsparse { lu = None }
   in
+  let mat = Sparse.Csc.of_columns ~nrows:m cols in
   {
     owner = (Domain.self () :> int);
     m;
     nstruct;
     ncols;
-    mat = Sparse.Csc.of_columns ~nrows:m cols;
+    mat;
+    csr = Sparse.Csr.of_csc mat;
+    pricing;
     lb;
     ub;
     cost;
@@ -290,12 +330,26 @@ let create ?(backend = Sparse_lu) lp =
     xb = Array.make m 0.;
     y = Array.make m 0.;
     w = Array.make m 0.;
+    wpat = Array.make (Int.max 1 m) 0;
+    wpat_n = 0;
     tmp = Array.make m 0.;
     aux = Array.make m 0.;
     rho = Array.make m 0.;
+    rpat = Array.make (Int.max 1 m) 0;
+    rho_n = 0;
+    alpha = Array.make ncols 0.;
+    alpha_pat = Array.make ncols 0;
+    alpha_mark = Array.make ncols 0;
+    alpha_n = 0;
+    alpha_stamp = 0;
+    dj = Array.make ncols 0.;
+    dvx_w = Array.make ncols 1.;
+    bp_col = Array.make ncols 0;
+    bp_ratio = Array.make ncols 0.;
     cand = Array.make (Int.max 16 (ncols / 10)) 0;
     ncand = 0;
     total_pivots = 0;
+    bound_flips = 0;
     refactors = 0;
     bland = false;
     degen_streak = 0;
@@ -413,7 +467,21 @@ let lu_of st box =
     fresh_factor st;
     Option.get box.lu
 
-(* w <- Binv * column j *)
+(* Zero out the previous transformed column, touching only its recorded
+   nonzeros when a pattern is available. *)
+let clear_w st =
+  if st.wpat_n < 0 then Vec.fill st.w 0.
+  else
+    for k = 0 to st.wpat_n - 1 do
+      st.w.(st.wpat.(k)) <- 0.
+    done;
+  st.wpat_n <- 0
+
+(* w <- Binv * column j. Under the sparse backend the solve is
+   hyper-sparse: {!Lu.ftran_sparse} visits only the elimination steps
+   reachable from the column's nonzeros and reports the solution's slot
+   pattern in [wpat] (wpat_n = -1 when it fell through to the dense
+   kernel). *)
 let ftran_col st j =
   let t0 = now () in
   (match st.repr with
@@ -422,12 +490,46 @@ let ftran_col st j =
      Sparse.Csc.iter_col st.mat j (fun r a ->
          for i = 0 to st.m - 1 do
            st.w.(i) <- st.w.(i) +. (a *. binv.(i).(r))
-         done)
+         done);
+     st.wpat_n <- -1
    | Rsparse box ->
      let lu = lu_of st box in
-     Vec.fill st.w 0.;
-     Sparse.Csc.iter_col st.mat j (fun r a -> st.w.(r) <- a);
-     Lu.ftran lu st.w);
+     clear_w st;
+     let n = ref 0 in
+     Sparse.Csc.iter_col st.mat j (fun r a ->
+         st.w.(r) <- a;
+         st.wpat.(!n) <- r;
+         incr n);
+     st.wpat_n <- Lu.ftran_sparse lu st.w st.wpat !n);
+  st.t_ftran <- st.t_ftran +. (now () -. t0)
+
+(* xb <- xb - coef * w, over w's nonzero pattern when available. *)
+let update_xb_step st coef =
+  if coef <> 0. then begin
+    if st.wpat_n < 0 then
+      for i = 0 to st.m - 1 do
+        st.xb.(i) <- st.xb.(i) -. (coef *. st.w.(i))
+      done
+    else
+      for k = 0 to st.wpat_n - 1 do
+        let i = st.wpat.(k) in
+        st.xb.(i) <- st.xb.(i) -. (coef *. st.w.(i))
+      done
+  end
+
+(* Dense ftran of an arbitrary right-hand side in place (used for the
+   batched bound-flip update, whose rhs aggregates several columns). *)
+let ftran_vec st v =
+  let t0 = now () in
+  (match st.repr with
+   | Rdense binv ->
+     Array.blit v 0 st.aux 0 st.m;
+     for i = 0 to st.m - 1 do
+       v.(i) <- Vec.dot binv.(i) st.aux
+     done
+   | Rsparse box ->
+     let lu = lu_of st box in
+     Lu.ftran lu v);
   st.t_ftran <- st.t_ftran +. (now () -. t0)
 
 (* xb <- Binv * (rhs - sum of nonbasic columns at their values).
@@ -507,19 +609,61 @@ let reduced_cost st costs j =
   costs.(j) -. Sparse.Csc.dot_col_dense st.mat j st.y
 
 (* Row r of Binv (the dual pricing vector rho = e_r^T B^-1). The dense
-   backend returns its internal row without copying; the LU backend
-   solves B^T rho = e_r into a workspace. *)
+   backend returns its internal row without copying (rho_n = -1); the LU
+   backend runs a hyper-sparse transposed solve into [st.rho], recording
+   the row pattern in [rpat] unless the solve fell through to the dense
+   kernel. Entries of [st.rho] outside the pattern are exact zeros, so
+   the returned array is always valid as a dense vector. *)
 let dual_row st r =
   match st.repr with
-  | Rdense binv -> binv.(r)
+  | Rdense binv ->
+    st.rho_n <- -1;
+    binv.(r)
   | Rsparse box ->
     let lu = lu_of st box in
     let t0 = now () in
-    Vec.fill st.rho 0.;
+    (if st.rho_n < 0 then Vec.fill st.rho 0.
+     else
+       for k = 0 to st.rho_n - 1 do
+         st.rho.(st.rpat.(k)) <- 0.
+       done);
     st.rho.(r) <- 1.;
-    Lu.btran lu st.rho;
+    st.rpat.(0) <- r;
+    st.rho_n <- Lu.btran_sparse lu st.rho st.rpat 1;
     st.t_btran <- st.t_btran +. (now () -. t0);
     st.rho
+
+(* alpha <- rho A over every column, scanning only the rows where rho is
+   nonzero through the CSR mirror. The result is pattern + stamp
+   validated: alpha.(j) is meaningful iff alpha_mark.(j) = alpha_stamp.
+   The stamp (rather than zero-testing) makes exact cancellations safe:
+   a column can never enter the pattern twice. *)
+let build_alpha st rho =
+  st.alpha_stamp <- st.alpha_stamp + 1;
+  let stamp = st.alpha_stamp in
+  let mark = st.alpha_mark and alpha = st.alpha and pat = st.alpha_pat in
+  let n = ref 0 in
+  let scan_row i =
+    let ri = rho.(i) in
+    if ri <> 0. then
+      Sparse.Csr.iter_row st.csr i (fun j a ->
+          if mark.(j) <> stamp then begin
+            mark.(j) <- stamp;
+            alpha.(j) <- ri *. a;
+            pat.(!n) <- j;
+            incr n
+          end
+          else alpha.(j) <- alpha.(j) +. (ri *. a))
+  in
+  if st.rho_n < 0 then
+    for i = 0 to st.m - 1 do
+      scan_row i
+    done
+  else
+    for k = 0 to st.rho_n - 1 do
+      scan_row st.rpat.(k)
+    done;
+  st.alpha_n <- !n
 
 (* Apply the basis-exchange update for an entering column whose
    transformed column is in st.w, pivoting in slot r. *)
@@ -541,11 +685,21 @@ let update_factor st r =
     | exception Lu.Singular -> raise Singular_basis)
 
 (* Has the representation accumulated enough updates to warrant a
-   periodic refresh? *)
+   periodic refresh? The sparse trigger is two-sided: the eta-file
+   length bound catches long chains of sparse etas, while the stored
+   entry count (against the factorization's own fill) catches few but
+   dense etas — dragging an eta file heavier than a fresh factorization
+   through every solve is never worth it. {!Partial} keeps the
+   historical schedule (pinned by the frozen node-count regressions);
+   {!Devex} runs the measured cadence (see [devex_eta_limit]). *)
 let due_refresh st =
   match st.repr with
   | Rdense _ -> st.pivots_since_refactor >= refactor_period
-  | Rsparse { lu = Some lu } -> Lu.eta_count lu >= eta_limit
+  | Rsparse { lu = Some lu } ->
+    if st.pricing = Partial then Lu.eta_count lu >= eta_limit
+    else
+      Lu.eta_count lu >= devex_eta_limit
+      || Lu.eta_nnz lu > devex_eta_fill * Lu.fill lu
   | Rsparse { lu = None } -> false
 
 let objective_value st costs =
@@ -756,6 +910,100 @@ let price st costs =
     match !best with Some _ as b -> b | None -> price_major st costs
   end
 
+(* ----- Devex: incrementally maintained reduced costs and reference
+   weights ----- *)
+
+(* Recompute the full reduced-cost array from scratch (one btran plus
+   one pass over the matrix). Called at loop entry, after every
+   refactorization, and to confirm optimality before declaring it. *)
+let recompute_dj st costs =
+  compute_y st costs;
+  for j = 0 to st.ncols - 1 do
+    st.dj.(j) <- (if st.stat.(j) = Basic then 0. else reduced_cost st costs j)
+  done
+
+let reset_devex_weights st = Array.fill st.dvx_w 0 st.ncols 1.
+
+(* Devex pricing: the candidate maximizing score^2 / reference weight —
+   an approximation of steepest edge that needs no extra solves. Only
+   reads the incrementally maintained dj, so a minor iteration is O(n)
+   flat with no btran and no matrix pass. *)
+let price_devex st =
+  let best = ref None and best_merit = ref 0. in
+  for j = 0 to st.ncols - 1 do
+    if st.stat.(j) <> Basic && not (is_fixed st j) then begin
+      let d = st.dj.(j) in
+      let score =
+        match st.stat.(j) with
+        | At_lower -> -.d
+        | At_upper -> d
+        | Free_zero -> Float.abs d
+        | Basic -> 0.
+      in
+      if score > dtol then begin
+        let merit = score *. score /. st.dvx_w.(j) in
+        if merit > !best_merit then begin
+          best := Some { pc_col = j; pc_d = d };
+          best_merit := merit
+        end
+      end
+    end
+  done;
+  !best
+
+(* Bland's rule over the maintained dj (the devex loops recompute dj
+   every iteration while in anti-cycling mode, so these are exact). *)
+let price_bland_dj st =
+  let best = ref None in
+  (try
+     for j = 0 to st.ncols - 1 do
+       if st.stat.(j) <> Basic && not (is_fixed st j) then begin
+         let d = st.dj.(j) in
+         let score =
+           match st.stat.(j) with
+           | At_lower -> -.d
+           | At_upper -> d
+           | Free_zero -> Float.abs d
+           | Basic -> 0.
+         in
+         if score > dtol then begin
+           best := Some { pc_col = j; pc_d = d };
+           raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  !best
+
+(* One-pivot update of dj and the devex weights, from the pivot row
+   alpha = rho A (already built for the leaving slot). Must be called
+   BEFORE the entering/leaving statuses flip: it skips basic columns
+   and patches the entering column [q] and leaving column [k]
+   explicitly. [alpha_rq] is the pivot element (w.(r), the freshest
+   value available). Returns nothing; the caller updates xb itself. *)
+let update_dj_devex st ~q ~leaving:k ~alpha_rq ~update_weights =
+  let theta_d = st.dj.(q) /. alpha_rq in
+  let wq = st.dvx_w.(q) in
+  let wq_ratio = wq /. (alpha_rq *. alpha_rq) in
+  for t = 0 to st.alpha_n - 1 do
+    let p = st.alpha_pat.(t) in
+    if p <> q && st.stat.(p) <> Basic then begin
+      let a = st.alpha.(p) in
+      if theta_d <> 0. then st.dj.(p) <- st.dj.(p) -. (theta_d *. a);
+      if update_weights then begin
+        let cand = a *. a *. wq_ratio in
+        if cand > st.dvx_w.(p) then st.dvx_w.(p) <- cand
+      end
+    end
+  done;
+  st.dj.(q) <- 0.;
+  st.dj.(k) <- -.theta_d;
+  st.dvx_w.(k) <- Float.max wq_ratio 1.;
+  (* A runaway reference weight degrades the steepest-edge
+     approximation and can overflow the merit ratio: restart the
+     reference framework from the current basis. *)
+  if update_weights && wq_ratio > devex_reset then reset_devex_weights st
+
 (* -------------------------------------------------------------------- *)
 (* Primal simplex iterations                                             *)
 (* -------------------------------------------------------------------- *)
@@ -773,7 +1021,7 @@ let ratio_test st j sigma =
   (* tie-breaking: prefer larger |pivot| for stability (or the smallest
      basic index under Bland's anti-cycling rule) *)
   let best_piv = ref 0. in
-  for i = 0 to st.m - 1 do
+  let consider i =
     let delta = -.sigma *. st.w.(i) in
     if Float.abs delta > ptol then begin
       let k = st.basis.(i) in
@@ -797,13 +1045,62 @@ let ratio_test st j sigma =
         end
       end
     end
-  done;
+  in
+  (* Rows outside w's pattern hold exact zeros and can never pass the
+     pivot tolerance, so the pattern scan is exhaustive. Partial pricing
+     nevertheless scans in dense row order: near-tie resolution then
+     matches the historical engine exactly (pattern order would pick a
+     different row among equal pivots), which the frozen node-count
+     regressions pin down. *)
+  if st.wpat_n < 0 || st.pricing = Partial then
+    for i = 0 to st.m - 1 do
+      consider i
+    done
+  else
+    for k = 0 to st.wpat_n - 1 do
+      consider st.wpat.(k)
+    done;
   if !best_row < 0 then
     if Float.is_finite !best_t then Flip !best_t else Unbounded_dir
   else Pivot { row = !best_row; step = !best_t; to_upper = !best_to_upper }
 
-(* One primal phase over the given cost vector. Returns the phase status. *)
-let primal_loop st costs max_iters =
+(* Shared post-pivot bookkeeping for the primal loops: basis exchange,
+   status flips, counters, periodic refresh, degeneracy tracking.
+   Returns [true] when the refresh refactorized (the devex loop must
+   then recompute dj). *)
+let primal_pivot_bookkeeping st ~j ~r ~leaving ~to_upper ~entering_value ~t =
+  update_factor st r;
+  st.basis.(r) <- j;
+  st.pos.(j) <- r;
+  st.pos.(leaving) <- -1;
+  st.stat.(j) <- Basic;
+  st.stat.(leaving) <- (if to_upper then At_upper else At_lower);
+  st.xb.(r) <- entering_value;
+  st.total_pivots <- st.total_pivots + 1;
+  st.pivots_since_refactor <- st.pivots_since_refactor + 1;
+  let refreshed =
+    if due_refresh st then begin
+      st.rf_eta <- st.rf_eta + 1;
+      emit_refactor st Trace.Rf_eta;
+      refactor st;
+      true
+    end
+    else false
+  in
+  if t <= 1e-9 then begin
+    st.degen_streak <- st.degen_streak + 1;
+    if st.degen_streak > degen_switch then st.bland <- true
+  end
+  else begin
+    st.degen_streak <- 0;
+    st.bland <- false
+  end;
+  refreshed
+
+(* One primal phase over the given cost vector with the legacy
+   partial-pricing rule (Dantzig over a candidate list). Returns the
+   phase status. *)
+let primal_loop_partial st costs max_iters =
   let iters = ref 0 in
   let outcome = ref None in
   while !outcome = None do
@@ -823,58 +1120,114 @@ let primal_loop st costs max_iters =
         (match ratio_test st j sigma with
          | Unbounded_dir -> outcome := Some Unbounded
          | Flip t ->
-           for i = 0 to st.m - 1 do
-             st.xb.(i) <- st.xb.(i) -. (sigma *. t *. st.w.(i))
-           done;
+           update_xb_step st (sigma *. t);
            st.stat.(j) <-
              (match st.stat.(j) with
               | At_lower -> At_upper
               | At_upper -> At_lower
               | Free_zero | Basic -> assert false);
            incr iters;
-           st.total_pivots <- st.total_pivots + 1
+           st.bound_flips <- st.bound_flips + 1
          | Pivot { row = r; step = t; to_upper } ->
            let entering_value = nb_value st j +. (sigma *. t) in
-           for i = 0 to st.m - 1 do
-             st.xb.(i) <- st.xb.(i) -. (sigma *. t *. st.w.(i))
-           done;
+           update_xb_step st (sigma *. t);
            let leaving = st.basis.(r) in
            (* Numerical safeguard: degenerate tiny pivots can poison the
               factorization. *)
            if Float.abs st.w.(r) < ptol then begin
              st.rf_numeric <- st.rf_numeric + 1;
              emit_refactor st Trace.Rf_numeric;
-             refactor st;
+             refactor st
              (* retry this iteration with a clean factorization *)
-             ()
            end
            else begin
-             update_factor st r;
-             st.basis.(r) <- j;
-             st.pos.(j) <- r;
-             st.pos.(leaving) <- -1;
-             st.stat.(j) <- Basic;
-             st.stat.(leaving) <- (if to_upper then At_upper else At_lower);
-             st.xb.(r) <- entering_value;
-             incr iters;
-             st.total_pivots <- st.total_pivots + 1;
-             st.pivots_since_refactor <- st.pivots_since_refactor + 1;
-             if due_refresh st then begin
-               st.rf_eta <- st.rf_eta + 1;
-               emit_refactor st Trace.Rf_eta;
-               refactor st
-             end;
-             if t <= 1e-9 then begin
-               st.degen_streak <- st.degen_streak + 1;
-               if st.degen_streak > degen_switch then st.bland <- true
-             end
-             else begin
-               st.degen_streak <- 0;
-               st.bland <- false
-             end
+             let _refreshed : bool =
+               primal_pivot_bookkeeping st ~j ~r ~leaving ~to_upper
+                 ~entering_value ~t
+             in
+             incr iters
            end)
   done;
   (Option.get !outcome, !iters)
+
+(* One primal phase under devex pricing. dj is maintained
+   incrementally from the pivot row (one hyper-sparse btran and one
+   CSR pass per basis change); optimality and unboundedness are only
+   declared after a from-scratch dj recomputation confirms them, so
+   incremental drift can cost extra iterations but never a wrong
+   verdict. *)
+let primal_loop_devex st costs max_iters =
+  let iters = ref 0 in
+  let outcome = ref None in
+  recompute_dj st costs;
+  reset_devex_weights st;
+  (* does dj reflect a from-scratch recomputation? *)
+  let fresh = ref true in
+  let refresh_dj () =
+    recompute_dj st costs;
+    fresh := true
+  in
+  while !outcome = None do
+    if !iters >= max_iters then outcome := Some Iter_limit
+    else begin
+      if st.bland && not !fresh then refresh_dj ();
+      match if st.bland then price_bland_dj st else price_devex st with
+      | None -> if !fresh then outcome := Some Optimal else refresh_dj ()
+      | Some { pc_col = j; pc_d = d } ->
+        let sigma =
+          match st.stat.(j) with
+          | At_lower -> 1.
+          | At_upper -> -1.
+          | Free_zero -> if d < 0. then 1. else -1.
+          | Basic -> assert false
+        in
+        ftran_col st j;
+        (match ratio_test st j sigma with
+         | Unbounded_dir ->
+           if !fresh then outcome := Some Unbounded else refresh_dj ()
+         | Flip t ->
+           (* a bound flip moves no basic variable in or out: the duals
+              (hence dj) are unchanged *)
+           update_xb_step st (sigma *. t);
+           st.stat.(j) <-
+             (match st.stat.(j) with
+              | At_lower -> At_upper
+              | At_upper -> At_lower
+              | Free_zero | Basic -> assert false);
+           incr iters;
+           st.bound_flips <- st.bound_flips + 1
+         | Pivot { row = r; step = t; to_upper } ->
+           if Float.abs st.w.(r) < ptol then begin
+             st.rf_numeric <- st.rf_numeric + 1;
+             emit_refactor st Trace.Rf_numeric;
+             refactor st;
+             refresh_dj ()
+             (* retry this iteration with a clean factorization *)
+           end
+           else begin
+             let entering_value = nb_value st j +. (sigma *. t) in
+             let leaving = st.basis.(r) in
+             (* pivot row of the outgoing basis, for the dj update *)
+             let rho = dual_row st r in
+             build_alpha st rho;
+             update_dj_devex st ~q:j ~leaving ~alpha_rq:st.w.(r)
+               ~update_weights:true;
+             update_xb_step st (sigma *. t);
+             let refreshed =
+               primal_pivot_bookkeeping st ~j ~r ~leaving ~to_upper
+                 ~entering_value ~t
+             in
+             incr iters;
+             if refreshed then refresh_dj () else fresh := false
+           end)
+    end
+  done;
+  (Option.get !outcome, !iters)
+
+let primal_loop st costs max_iters =
+  match st.pricing with
+  | Partial -> primal_loop_partial st costs max_iters
+  | Devex -> primal_loop_devex st costs max_iters
 
 (* -------------------------------------------------------------------- *)
 (* Full primal solve from a fresh slack basis                             *)
@@ -1070,7 +1423,29 @@ let most_violated_row st =
   done;
   !best
 
-let dual_loop st max_iters =
+(* Is nonbasic column j an eligible entering candidate for repairing a
+   basic value that is [above] its bound, given its pivot-row
+   coefficient? (Shared by both dual loops.) *)
+let dual_eligible st j alpha above =
+  if above then
+    match st.stat.(j) with
+    | At_lower -> alpha > ptol
+    | At_upper -> alpha < -.ptol
+    | Free_zero -> Float.abs alpha > ptol
+    | Basic -> false
+  else
+    match st.stat.(j) with
+    | At_lower -> alpha < -.ptol
+    | At_upper -> alpha > ptol
+    | Free_zero -> Float.abs alpha > ptol
+    | Basic -> false
+
+(* The legacy dual loop (pricing = Partial): recomputes the duals every
+   iteration and prices the entering column with a dense dot product
+   per nonbasic column. Kept verbatim as the comparison baseline — and
+   so that [Partial] reproduces the historical engine pivot for
+   pivot. *)
+let dual_loop_classic st max_iters =
   let iters = ref 0 in
   let outcome = ref None in
   while !outcome = None do
@@ -1086,21 +1461,7 @@ let dual_loop st max_iters =
         for j = 0 to st.ncols - 1 do
           if st.stat.(j) <> Basic && not (is_fixed st j) then begin
             let alpha = Sparse.Csc.dot_col_dense st.mat j rho in
-            let eligible =
-              if above then
-                match st.stat.(j) with
-                | At_lower -> alpha > ptol
-                | At_upper -> alpha < -.ptol
-                | Free_zero -> Float.abs alpha > ptol
-                | Basic -> false
-              else
-                match st.stat.(j) with
-                | At_lower -> alpha < -.ptol
-                | At_upper -> alpha > ptol
-                | Free_zero -> Float.abs alpha > ptol
-                | Basic -> false
-            in
-            if eligible then begin
+            if dual_eligible st j alpha above then begin
               let d = reduced_cost st st.cost j in
               let ratio = Float.abs (d /. alpha) in
               if
@@ -1143,9 +1504,7 @@ let dual_loop st max_iters =
           else begin
             let theta = (st.xb.(r) -. bound) /. alpha in
             let entering_value = nb_value st j +. theta in
-            for i = 0 to st.m - 1 do
-              st.xb.(i) <- st.xb.(i) -. (theta *. st.w.(i))
-            done;
+            update_xb_step st theta;
             update_factor st r;
             st.basis.(r) <- j;
             st.pos.(j) <- r;
@@ -1164,6 +1523,187 @@ let dual_loop st max_iters =
           end)
   done;
   (Option.get !outcome, !iters)
+
+(* In-place quicksort of the breakpoint arrays by ratio (ascending),
+   Hoare partition with median-of-three (the ratios of a warm restart
+   arrive nearly sorted, which would send a naive pivot quadratic). *)
+let swap_bp st i j =
+  let c = st.bp_col.(i) in
+  st.bp_col.(i) <- st.bp_col.(j);
+  st.bp_col.(j) <- c;
+  let r = st.bp_ratio.(i) in
+  st.bp_ratio.(i) <- st.bp_ratio.(j);
+  st.bp_ratio.(j) <- r
+
+let rec sort_bp st lo hi =
+  if lo < hi then begin
+    let mid = lo + ((hi - lo) / 2) in
+    if st.bp_ratio.(mid) < st.bp_ratio.(lo) then swap_bp st lo mid;
+    if st.bp_ratio.(hi) < st.bp_ratio.(lo) then swap_bp st lo hi;
+    if st.bp_ratio.(hi) < st.bp_ratio.(mid) then swap_bp st mid hi;
+    let p = st.bp_ratio.(mid) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while st.bp_ratio.(!i) < p do
+        incr i
+      done;
+      while st.bp_ratio.(!j) > p do
+        decr j
+      done;
+      if !i <= !j then begin
+        swap_bp st !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    sort_bp st lo !j;
+    sort_bp st !i hi
+  end
+
+(* The devex-era dual loop: one hyper-sparse btran builds the pivot row
+   through the CSR mirror, entering candidates come from the
+   incrementally maintained dj (no per-column dot products), and the
+   ratio test is bound-flipping: breakpoints are walked in ratio order
+   and every boxed candidate whose flip leaves the row still infeasible
+   jumps to its other bound without a basis change — all flips applied
+   in one batched ftran. On 0-1 models this replaces long chains of
+   degenerate basis exchanges with a single pivot. *)
+let dual_loop_bfrt st max_iters =
+  let iters = ref 0 in
+  let outcome = ref None in
+  recompute_dj st st.cost;
+  while !outcome = None do
+    if !iters >= max_iters then outcome := Some `Stalled
+    else
+      match most_violated_row st with
+      | None -> outcome := Some `Primal_feasible
+      | Some (r, above) ->
+        (* No eligible entering column: primal infeasible — unless
+           accumulated update error faked the dead end, so re-derive
+           from a fresh factorization before trusting it. *)
+        let infeasible_here () =
+          if st.pivots_since_refactor > 0 then begin
+            st.rf_numeric <- st.rf_numeric + 1;
+            emit_refactor st Trace.Rf_numeric;
+            refactor st;
+            recompute_dj st st.cost;
+            incr iters
+          end
+          else outcome := Some (`Infeasible (r, above))
+        in
+        let rho = dual_row st r in
+        build_alpha st rho;
+        (* collect the eligible breakpoints with their dual ratios *)
+        let nbp = ref 0 in
+        for t = 0 to st.alpha_n - 1 do
+          let j = st.alpha_pat.(t) in
+          if st.stat.(j) <> Basic && not (is_fixed st j) then begin
+            let alpha = st.alpha.(j) in
+            if dual_eligible st j alpha above then begin
+              st.bp_col.(!nbp) <- j;
+              st.bp_ratio.(!nbp) <- Float.abs (st.dj.(j) /. alpha);
+              incr nbp
+            end
+          end
+        done;
+        if !nbp = 0 then infeasible_here ()
+        else begin
+          sort_bp st 0 (!nbp - 1);
+          let k = st.basis.(r) in
+          (* remaining infeasibility of the violated row; each flip of a
+             boxed candidate j reduces it by |alpha_j| * span_j *)
+          let rem =
+            ref
+              (if above then st.xb.(r) -. st.ub.(k)
+               else st.lb.(k) -. st.xb.(r))
+          in
+          let chosen = ref (-1) and nflip = ref 0 in
+          let t = ref 0 in
+          while !chosen < 0 && !t < !nbp do
+            let j = st.bp_col.(!t) in
+            let a = Float.abs st.alpha.(j) in
+            let span = st.ub.(j) -. st.lb.(j) in
+            if Float.is_finite span && !rem -. (a *. span) > ftol then begin
+              rem := !rem -. (a *. span);
+              nflip := !t + 1;
+              incr t
+            end
+            else chosen := j
+          done;
+          if !chosen < 0 then
+            (* Every breakpoint was exhausted with the row still
+               infeasible: the dual is unbounded, i.e. the primal is
+               infeasible. No flips were applied, so the certificate
+               below describes the untouched basis and statuses. *)
+            infeasible_here ()
+          else begin
+            let j = !chosen in
+            (* apply the passed-through flips as one batch:
+               xb -= B^-1 (sum of dv_p * A_p) with a single solve *)
+            if !nflip > 0 then begin
+              Vec.fill st.tmp 0.;
+              for t = 0 to !nflip - 1 do
+                let p = st.bp_col.(t) in
+                let dv, ns =
+                  match st.stat.(p) with
+                  | At_lower -> (st.ub.(p) -. st.lb.(p), At_upper)
+                  | At_upper -> (st.lb.(p) -. st.ub.(p), At_lower)
+                  | Free_zero | Basic -> assert false
+                in
+                st.stat.(p) <- ns;
+                Sparse.Csc.add_col_to_dense ~scale:dv st.mat p st.tmp
+              done;
+              ftran_vec st st.tmp;
+              for i = 0 to st.m - 1 do
+                st.xb.(i) <- st.xb.(i) -. st.tmp.(i)
+              done;
+              st.bound_flips <- st.bound_flips + !nflip
+            end;
+            ftran_col st j;
+            let alpha_rj = st.w.(r) in
+            if Float.abs alpha_rj < ptol then begin
+              st.rf_numeric <- st.rf_numeric + 1;
+              emit_refactor st Trace.Rf_numeric;
+              refactor st;
+              recompute_dj st st.cost;
+              incr iters (* the flips stand; retry from a clean basis *)
+            end
+            else begin
+              let bound = if above then st.ub.(k) else st.lb.(k) in
+              let theta = (st.xb.(r) -. bound) /. alpha_rj in
+              let entering_value = nb_value st j +. theta in
+              (* dj update from the already-built pivot row, before any
+                 status changes of j and k (flipped columns stay
+                 nonbasic, so they were updated like the rest) *)
+              update_dj_devex st ~q:j ~leaving:k ~alpha_rq:alpha_rj
+                ~update_weights:false;
+              update_xb_step st theta;
+              update_factor st r;
+              st.basis.(r) <- j;
+              st.pos.(j) <- r;
+              st.pos.(k) <- -1;
+              st.stat.(j) <- Basic;
+              st.stat.(k) <- (if above then At_upper else At_lower);
+              st.xb.(r) <- entering_value;
+              incr iters;
+              st.total_pivots <- st.total_pivots + 1;
+              st.pivots_since_refactor <- st.pivots_since_refactor + 1;
+              if due_refresh st then begin
+                st.rf_eta <- st.rf_eta + 1;
+                emit_refactor st Trace.Rf_eta;
+                refactor st;
+                recompute_dj st st.cost
+              end
+            end
+          end
+        end
+  done;
+  (Option.get !outcome, !iters)
+
+let dual_loop st max_iters =
+  match st.pricing with
+  | Partial -> dual_loop_classic st max_iters
+  | Devex -> dual_loop_bfrt st max_iters
 
 let snapshot st =
   check_owner st "snapshot";
@@ -1243,12 +1783,13 @@ let dual_reopt_core ~max_iters st =
        mk_result st status ~iterations:(it1 + it2)
      | Infeasible -> assert false (* primal_loop never returns Infeasible *)))
 
-let emit_lp_solve st kind ~pivots0 ~t0 (r : result) =
+let emit_lp_solve st kind ~pivots0 ~flips0 ~t0 (r : result) =
   Trace.emit st.trace
     (Trace.Lp_solve
        {
          kind;
          pivots = st.total_pivots - pivots0;
+         flips = st.bound_flips - flips0;
          obj = r.obj;
          primal_res = r.primal_res;
          dual_res = r.dual_res;
@@ -1261,7 +1802,9 @@ let primal ?(max_iters = 200_000) st =
   if not (Trace.active st.trace) then primal_core ~max_iters st
   else begin
     let t0 = now () and pivots0 = st.total_pivots in
-    emit_lp_solve st Trace.Lp_primal ~pivots0 ~t0 (primal_core ~max_iters st)
+    let flips0 = st.bound_flips in
+    emit_lp_solve st Trace.Lp_primal ~pivots0 ~flips0 ~t0
+      (primal_core ~max_iters st)
   end
 
 let dual_reopt ?(max_iters = 200_000) st =
@@ -1269,7 +1812,10 @@ let dual_reopt ?(max_iters = 200_000) st =
   if not (Trace.active st.trace) then dual_reopt_core ~max_iters st
   else begin
     let t0 = now () and pivots0 = st.total_pivots in
-    emit_lp_solve st Trace.Lp_dual ~pivots0 ~t0 (dual_reopt_core ~max_iters st)
+    let flips0 = st.bound_flips in
+    emit_lp_solve st Trace.Lp_dual ~pivots0 ~flips0 ~t0
+      (dual_reopt_core ~max_iters st)
   end
 
-let solve ?backend ?max_iters lp = primal ?max_iters (create ?backend lp)
+let solve ?backend ?pricing ?max_iters lp =
+  primal ?max_iters (create ?backend ?pricing lp)

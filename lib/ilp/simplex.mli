@@ -18,12 +18,17 @@
       which keeps the row count equal to the number of constraints;
     - phase I uses one-signed artificial variables minimizing total
       infeasibility;
-    - Dantzig pricing over a partial-pricing candidate list (full scans
-      only when the list runs dry — optimality is only ever declared by
-      a full scan), with an automatic switch to Bland's rule under
+    - two pricing rules (see {!pricing}): the default {!Devex}
+      maintains reduced costs incrementally and prices with devex
+      reference weights, paired with a bound-flipping dual ratio test;
+      the legacy {!Partial} is Dantzig pricing over a partial-pricing
+      candidate list. Both declare optimality only from a full
+      fresh-cost scan, and both switch to Bland's rule under
       degeneracy (anti-cycling);
     - a dual-simplex re-optimization loop supports warm starts after
       bound changes, which is what {!Branch_bound} uses between nodes.
+      Under {!Devex} it batches bound flips of boxed candidates into
+      one solve instead of pivoting through them (see docs/PERFORMANCE.md).
 
     A {!state} owns all solver storage and is {b bound to the domain
     that created it}: the engine is stamped with the creating domain's
@@ -90,6 +95,21 @@ type backend =
   | Dense  (** Explicit dense basis inverse (legacy baseline). *)
   | Sparse_lu  (** Sparse LU + eta file (default). *)
 
+type pricing =
+  | Partial
+      (** Dantzig pricing over a partial-pricing candidate list, with
+          per-iteration dual recomputation; the dual loop prices every
+          nonbasic column with a dense dot product. Reproduces the
+          historical engine pivot for pivot — the comparison baseline
+          for [bench lp]. *)
+  | Devex
+      (** Devex reference-weight pricing over incrementally maintained
+          reduced costs (default). Each basis change updates the whole
+          reduced-cost row from one hyper-sparse [btran] and one CSR
+          pass; the dual loop uses a bound-flipping ratio test. An
+          optimal or unbounded verdict is only declared after a
+          from-scratch recomputation confirms it. *)
+
 type stats = {
   factorizations : int;  (** Fresh basis factorizations / re-inversions. *)
   fill : int;
@@ -105,7 +125,12 @@ type stats = {
           check. *)
   ftran_seconds : float;  (** Wall time spent in forward solves. *)
   btran_seconds : float;  (** Wall time spent in transposed solves. *)
-  pivots : int;  (** Cumulative simplex pivots. *)
+  pivots : int;  (** Cumulative basis-changing simplex pivots. *)
+  bound_flips : int;
+      (** Cumulative bound flips applied without a basis change: ratio
+          tests that sent the entering column to its opposite bound,
+          and the candidates a bound-flipping dual ratio test passed
+          through. Not included in [pivots]. *)
 }
 
 val empty_stats : stats
@@ -119,13 +144,14 @@ val pp_stats : Format.formatter -> stats -> unit
 
 type state
 
-val create : ?backend:backend -> Lp.t -> state
-(** Builds solver storage for the model (default backend {!Sparse_lu}).
-    Later mutations of the [Lp.t] are not observed except through
-    {!set_var_bounds}. The returned engine is owned by the calling
-    domain (see the module preamble). *)
+val create : ?backend:backend -> ?pricing:pricing -> Lp.t -> state
+(** Builds solver storage for the model (default backend {!Sparse_lu},
+    default pricing {!Devex}). Later mutations of the [Lp.t] are not
+    observed except through {!set_var_bounds}. The returned engine is
+    owned by the calling domain (see the module preamble). *)
 
 val backend : state -> backend
+val pricing : state -> pricing
 
 val stats : state -> stats
 (** Cumulative statistics across all solves on this state. *)
@@ -144,9 +170,9 @@ val get_var_bounds : state -> int -> float * float
 val set_trace : state -> Trace.writer -> unit
 (** Routes engine telemetry to a {!Trace} writer: one
     {!Trace.Lp_solve} event per {!primal}/{!dual_reopt} call (pivots
-    measured as the {!total_pivots} delta, so summed event pivots equal
-    the engine counter exactly — internal fallbacks are folded into the
-    enclosing event), plus {!Trace.Lu_factor}/{!Trace.Lu_refactor}
+    and flips measured as the {!total_pivots}/{!bound_flips} deltas, so
+    summed event counters equal the engine counters exactly — internal
+    fallbacks are folded into the enclosing event), plus {!Trace.Lu_factor}/{!Trace.Lu_refactor}
     events from the basis kernel. The default is
     {!Trace.null_writer}: each instrumentation site then costs a single
     branch. The writer must belong to the engine's owning domain. *)
@@ -163,7 +189,8 @@ val dual_reopt : ?max_iters:int -> state -> result
     the warm start goes numerically bad. Calling it on a fresh state is
     valid and equivalent to {!primal}. *)
 
-val solve : ?backend:backend -> ?max_iters:int -> Lp.t -> result
+val solve :
+  ?backend:backend -> ?pricing:pricing -> ?max_iters:int -> Lp.t -> result
 (** [solve lp] is [primal (create lp)]: one-shot LP relaxation solve. *)
 
 (** {1 Exact-certification support} — consumed by {!Certify}. *)
@@ -214,7 +241,11 @@ val snapshot : state -> snapshot
     Owner-only, like every other entry point. *)
 
 val total_pivots : state -> int
-(** Cumulative pivot count across all solves on this state. *)
+(** Cumulative basis-changing pivot count across all solves on this
+    state (bound flips are counted separately, see {!bound_flips}). *)
+
+val bound_flips : state -> int
+(** Cumulative bound flips performed without a basis change. *)
 
 val refactorizations : state -> int
 (** Number of basis refactorizations, whatever the trigger (periodic,

@@ -128,3 +128,44 @@ module Csc = struct
       d.(m.rowind.(k)) <- d.(m.rowind.(k)) +. (scale *. m.values.(k))
     done
 end
+
+module Csr = struct
+  type mat = {
+    nrows : int;
+    ncols : int;
+    rowptr : int array;
+    colind : int array;
+    values : float array;
+  }
+
+  let of_csc (m : Csc.mat) =
+    let nrows = m.Csc.nrows and ncols = m.Csc.ncols in
+    let total = Csc.nnz m in
+    let rowptr = Array.make (nrows + 1) 0 in
+    for k = 0 to total - 1 do
+      rowptr.(m.Csc.rowind.(k) + 1) <- rowptr.(m.Csc.rowind.(k) + 1) + 1
+    done;
+    for i = 1 to nrows do
+      rowptr.(i) <- rowptr.(i) + rowptr.(i - 1)
+    done;
+    let colind = Array.make total 0 and values = Array.make total 0. in
+    let fill = Array.copy rowptr in
+    (* column-major sweep, so each row's entries come out sorted by
+       column *)
+    for j = 0 to ncols - 1 do
+      for k = m.Csc.colptr.(j) to m.Csc.colptr.(j + 1) - 1 do
+        let i = m.Csc.rowind.(k) in
+        colind.(fill.(i)) <- j;
+        values.(fill.(i)) <- m.Csc.values.(k);
+        fill.(i) <- fill.(i) + 1
+      done
+    done;
+    { nrows; ncols; rowptr; colind; values }
+
+  let row_nnz m i = m.rowptr.(i + 1) - m.rowptr.(i)
+
+  let iter_row m i f =
+    for k = m.rowptr.(i) to m.rowptr.(i + 1) - 1 do
+      f m.colind.(k) m.values.(k)
+    done
+end

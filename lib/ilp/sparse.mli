@@ -86,3 +86,32 @@ module Csc : sig
   (** [add_col_to_dense ~scale m j d] performs
       [d <- d + scale * column j] (default [scale = 1.]). *)
 end
+
+(** Compressed sparse row (CSR) matrices.
+
+    A row-major mirror of a {!Csc.mat}, built once and never mutated.
+    The simplex uses it to form the pricing row [alpha = rho A] by
+    scanning only the rows where [rho] is nonzero — the column-major
+    layout would force a dot product per column instead. *)
+module Csr : sig
+  type mat = private {
+    nrows : int;
+    ncols : int;
+    rowptr : int array;
+        (** Length [nrows + 1]; row [i] occupies the index range
+            [rowptr.(i) .. rowptr.(i+1) - 1] of {!colind}/{!values}. *)
+    colind : int array;  (** Column index of each entry, sorted per row. *)
+    values : float array;  (** Coefficient of each entry, non-zero. *)
+  }
+
+  val of_csc : Csc.mat -> mat
+  (** Transposes the storage layout; entry values and count are
+      identical to the source. *)
+
+  val row_nnz : mat -> int -> int
+  (** Stored entries of one row. *)
+
+  val iter_row : mat -> int -> (int -> float -> unit) -> unit
+  (** [iter_row m i f] applies [f col value] over row [i]'s entries in
+      increasing column order. *)
+end

@@ -19,6 +19,7 @@ type event =
   | Lp_solve of {
       kind : lp_kind;
       pivots : int;
+      flips : int;
       obj : float;
       primal_res : float;
       dual_res : float;
@@ -212,11 +213,11 @@ let pp_event ppf = function
   | Node_close { id; obj; reason } ->
     Format.fprintf ppf "node_close id=%d obj=%g reason=%s" id obj
       (reason_name reason)
-  | Lp_solve { kind; pivots; obj; primal_res; dual_res; dt } ->
+  | Lp_solve { kind; pivots; flips; obj; primal_res; dual_res; dt } ->
     Format.fprintf ppf
-      "lp_solve kind=%s pivots=%d obj=%g primal_res=%.2e dual_res=%.2e \
-       dt=%.3es"
-      (lp_kind_name kind) pivots obj primal_res dual_res dt
+      "lp_solve kind=%s pivots=%d flips=%d obj=%g primal_res=%.2e \
+       dual_res=%.2e dt=%.3es"
+      (lp_kind_name kind) pivots flips obj primal_res dual_res dt
   | Lu_factor { fill; dt } ->
     Format.fprintf ppf "lu_factor fill=%d dt=%.3es" fill dt
   | Lu_refactor { trigger; etas } ->

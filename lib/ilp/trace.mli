@@ -59,6 +59,12 @@ type event =
   | Lp_solve of {
       kind : lp_kind;
       pivots : int;
+          (** Basis-changing pivots (the engine's [total_pivots]
+              delta). *)
+      flips : int;
+          (** Bound flips performed without a basis change (ratio-test
+              flips of the entering column and dual flip batches); not
+              included in [pivots]. *)
       obj : float;
       primal_res : float;
       dual_res : float;

@@ -38,11 +38,12 @@ let record_to_json (r : Trace.record) =
         ("reason", Json.Str (Trace.reason_name reason));
       ]
       @ branch
-    | Lp_solve { kind; pivots; obj; primal_res; dual_res; dt } ->
+    | Lp_solve { kind; pivots; flips; obj; primal_res; dual_res; dt } ->
       [
         ("type", Json.Str "lp_solve");
         ("kind", Json.Str (Trace.lp_kind_name kind));
         ("pivots", inum pivots);
+        ("flips", inum flips);
         ("obj", if Float.is_nan obj then Json.Null else num obj);
         ("primal_res", num primal_res);
         ("dual_res", num dual_res);
@@ -119,6 +120,11 @@ let req_int j k =
   if Float.is_integer f then int_of_float f
   else raise (Bad (Printf.sprintf "field %S is not an integer" k))
 
+(* Fields added after a schema's first release decode with a default so
+   traces recorded by older builds stay readable. *)
+let opt_int j k ~default =
+  match Json.member k j with None | Some Json.Null -> default | Some _ -> req_int j k
+
 let req_str j k =
   match Option.bind (Json.member k j) Json.str with
   | Some s -> s
@@ -190,6 +196,7 @@ let event_of_json j =
       {
         kind = lp_kind_of_name (req_str j "kind");
         pivots = req_int j "pivots";
+        flips = opt_int j "flips" ~default:0;
         obj = nullable_num j "obj";
         primal_res = req_num j "primal_res";
         dual_res = req_num j "dual_res";
@@ -320,13 +327,14 @@ let chrome_event (r : Trace.record) =
          ("reason", Json.Str (Trace.reason_name reason));
        ]
       @ branch)
-  | Lp_solve { kind; pivots; obj; primal_res; dual_res; dt } ->
+  | Lp_solve { kind; pivots; flips; obj; primal_res; dual_res; dt } ->
     base ~cat:"lp"
       ~ts:(Float.max 0. (us (r.ts -. dt)))
       ~dur:(us dt) "X" "lp_solve"
       [
         ("kind", Json.Str (Trace.lp_kind_name kind));
         ("pivots", inum pivots);
+        ("flips", inum flips);
         ("obj", if Float.is_nan obj then Json.Null else num obj);
         ("primal_res", num primal_res);
         ("dual_res", num dual_res);
@@ -514,6 +522,7 @@ let load_chrome j =
                     {
                       kind = lp_kind_of_name (req_str args "kind");
                       pivots = req_int args "pivots";
+                      flips = opt_int args "flips" ~default:0;
                       obj = nullable_num args "obj";
                       primal_res = req_num args "primal_res";
                       dual_res = req_num args "dual_res";
@@ -770,6 +779,7 @@ module Summary = struct
     depth_hist : (int * int) list;
     lp_solves : int;
     lp_pivots : int;
+    lp_flips : int;
     lp_seconds : float;
     lu_factors : int;
     lu_refactors : (string * int) list;
@@ -796,6 +806,7 @@ module Summary = struct
     a_depths : (int, int) Hashtbl.t;
     mutable a_lp_solves : int;
     mutable a_lp_pivots : int;
+    mutable a_lp_flips : int;
     mutable a_lp_seconds : float;
     mutable a_lu_factors : int;
     a_lu_refactors : (string, int) Hashtbl.t;
@@ -825,6 +836,7 @@ module Summary = struct
       a_depths = Hashtbl.create 32;
       a_lp_solves = 0;
       a_lp_pivots = 0;
+      a_lp_flips = 0;
       a_lp_seconds = 0.;
       a_lu_factors = 0;
       a_lu_refactors = Hashtbl.create 4;
@@ -896,9 +908,10 @@ module Summary = struct
     | Node_close { reason; _ } ->
       acc.a_closed <- acc.a_closed + 1;
       bump acc.a_reasons (Trace.reason_name reason) 1
-    | Lp_solve { pivots; dt; _ } ->
+    | Lp_solve { pivots; flips; dt; _ } ->
       acc.a_lp_solves <- acc.a_lp_solves + 1;
       acc.a_lp_pivots <- acc.a_lp_pivots + pivots;
+      acc.a_lp_flips <- acc.a_lp_flips + flips;
       acc.a_lp_seconds <- acc.a_lp_seconds +. dt
     | Lu_factor _ -> acc.a_lu_factors <- acc.a_lu_factors + 1
     | Lu_refactor { trigger; _ } ->
@@ -953,6 +966,7 @@ module Summary = struct
         |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
       lp_solves = acc.a_lp_solves;
       lp_pivots = acc.a_lp_pivots;
+      lp_flips = acc.a_lp_flips;
       lp_seconds = acc.a_lp_seconds;
       lu_factors = acc.a_lu_factors;
       lu_refactors = sorted_tbl acc.a_lu_refactors;
@@ -1000,8 +1014,8 @@ module Summary = struct
     line "nodes         opened=%d closed=%d max_depth=%d@." t.nodes_opened
       t.nodes_closed t.max_depth;
     line "close reasons %a@." pp_assoc t.close_reasons;
-    line "lp            solves=%d pivots=%d time=%.3f s@." t.lp_solves
-      t.lp_pivots t.lp_seconds;
+    line "lp            solves=%d pivots=%d flips=%d time=%.3f s@." t.lp_solves
+      t.lp_pivots t.lp_flips t.lp_seconds;
     line "lu            factors=%d refactors: %a@." t.lu_factors pp_assoc
       t.lu_refactors;
     line "cuts          rounds=%d separated=%d@." t.cut_rounds t.cuts_separated;
@@ -1057,6 +1071,7 @@ module Summary = struct
             [
               ("solves", inum t.lp_solves);
               ("pivots", inum t.lp_pivots);
+              ("flips", inum t.lp_flips);
               ("seconds", num t.lp_seconds);
             ] );
         ( "lu",

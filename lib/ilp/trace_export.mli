@@ -89,6 +89,7 @@ module Summary : sig
     depth_hist : (int * int) list;  (** (depth, nodes opened) sorted. *)
     lp_solves : int;
     lp_pivots : int;
+    lp_flips : int;  (** Bound flips without a basis change. *)
     lp_seconds : float;
     lu_factors : int;
     lu_refactors : (string * int) list;  (** Per trigger. *)

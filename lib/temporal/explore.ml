@@ -5,9 +5,9 @@ type point = {
   seconds : float;
 }
 
-let sweep ?options ?strategy ?(time_limit_per_point = 120.) ?(jobs = 1) ~graph
-    ~allocation ?capacity ?alpha ?scratch ~latency_range:(l_lo, l_hi)
-    ~partition_range:(n_lo, n_hi) () =
+let sweep ?options ?strategy ?(time_limit_per_point = 120.) ?(jobs = 1)
+    ?lp_pricing ~graph ~allocation ?capacity ?alpha ?scratch
+    ~latency_range:(l_lo, l_hi) ~partition_range:(n_lo, n_hi) () =
   if l_lo < 0 || l_hi < l_lo then invalid_arg "Explore.sweep: latency range";
   if n_lo < 1 || n_hi < n_lo then invalid_arg "Explore.sweep: partition range";
   if jobs < 1 then invalid_arg "Explore.sweep: jobs < 1";
@@ -28,7 +28,9 @@ let sweep ?options ?strategy ?(time_limit_per_point = 120.) ?(jobs = 1) ~graph
     in
     let vars = Formulation.build ?options spec in
     let t0 = Ilp.Mono.now () in
-    let report = Solver.solve ?strategy ~time_limit:time_limit_per_point vars in
+    let report =
+      Solver.solve ?strategy ?lp_pricing ~time_limit:time_limit_per_point vars
+    in
     let seconds = Ilp.Mono.elapsed_since t0 in
     let outcome =
       match report.Solver.outcome with

@@ -18,6 +18,7 @@ val sweep :
   ?strategy:Branching.strategy ->
   ?time_limit_per_point:float ->
   ?jobs:int ->
+  ?lp_pricing:Ilp.Simplex.pricing ->
   graph:Taskgraph.Graph.t ->
   allocation:Hls.Component.allocation ->
   ?capacity:int ->
@@ -32,7 +33,8 @@ val sweep :
     120 s. [jobs] (default 1) solves that many design points
     concurrently, one worker domain per point — each point's own tree
     search stays sequential, and the per-point time limit is unchanged.
-    Raises [Invalid_argument] when [jobs < 1]. *)
+    [lp_pricing] forwards to {!Solver.solve} (default
+    {!Ilp.Simplex.Devex}). Raises [Invalid_argument] when [jobs < 1]. *)
 
 val pareto : point list -> point list
 (** The non-dominated optimal points: a point dominates another when it

@@ -32,6 +32,7 @@ val run :
   ?propagate:bool ->
   ?cuts:bool ->
   ?certify:Ilp.Branch_bound.certify_level ->
+  ?lp_pricing:Ilp.Simplex.pricing ->
   ?tracer:Ilp.Trace.t ->
   graph:Taskgraph.Graph.t ->
   allocation:Hls.Component.allocation ->
@@ -51,7 +52,10 @@ val run :
     enable the solver's node deductions (all default off). [certify]
     turns on exact rational certification of LP verdicts (see
     {!Solver.solve} and docs/VERIFICATION.md); when any check ran, the
-    stage log gains a [certify:] line with the verdict counts. [tracer]
+    stage log gains a [certify:] line with the verdict counts.
+    [lp_pricing] selects the simplex pricing rule (default
+    {!Ilp.Simplex.Devex}; [Partial] is the historical baseline — see
+    docs/PERFORMANCE.md). [tracer]
     records structured events across the flow — estimate / formulate /
     presolve phase spans plus the full solver taxonomy — for export
     through {!Ilp.Trace_export} (see [docs/OBSERVABILITY.md]). *)

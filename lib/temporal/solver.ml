@@ -179,7 +179,8 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
     ?(node_order = Bb.Depth_first) ?(time_limit = Float.infinity)
     ?(max_nodes = max_int) ?(validate = true) ?(scheduler_completion = true)
     ?(presolve = true) ?(lint = false) ?lint_options
-    ?(lp_backend = Ilp.Simplex.Sparse_lu) ?(jobs = 1) ?(deterministic = false)
+    ?(lp_backend = Ilp.Simplex.Sparse_lu) ?(lp_pricing = Ilp.Simplex.Devex)
+    ?(jobs = 1) ?(deterministic = false)
     ?(rc_fixing = false) ?(propagate = false) ?(cuts = false)
     ?(certify = Bb.Cert_off) ?(tracer = Ilp.Trace.disabled) vars =
   if lint then lint_or_fail ?options:lint_options vars;
@@ -195,6 +196,7 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
       node_hook =
         (if scheduler_completion then Some (scheduler_hook vars) else None);
       lp_backend;
+      lp_pricing;
       jobs;
       deterministic;
       rc_fixing;

@@ -33,6 +33,7 @@ val solve :
   ?lint:bool ->
   ?lint_options:Formulation.options ->
   ?lp_backend:Ilp.Simplex.backend ->
+  ?lp_pricing:Ilp.Simplex.pricing ->
   ?jobs:int ->
   ?deterministic:bool ->
   ?rc_fixing:bool ->
@@ -68,7 +69,12 @@ val solve :
 
     [lp_backend] selects the simplex basis representation for node
     relaxations (default {!Ilp.Simplex.Sparse_lu}); the dense baseline
-    is kept for cross-checks and benchmarking.
+    is kept for cross-checks and benchmarking. [lp_pricing] selects
+    the pricing rule (default {!Ilp.Simplex.Devex} — note this differs
+    from {!Ilp.Branch_bound.default_options}, whose {!Ilp.Simplex.Partial}
+    default is pinned by historical node-count regressions; devex with
+    the bound-flipping dual ratio test is the fast path on the paper
+    models, see docs/PERFORMANCE.md).
 
     [jobs] (default [1]) runs the branch-and-bound tree search on that
     many worker domains, each with its own simplex engine; [jobs = 1]

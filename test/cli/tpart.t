@@ -42,7 +42,7 @@ LU fill-in, eta updates, the refactorization triggers, and solve times
   $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 | grep lp-stats | sed 's/[0-9][0-9]*\(\.[0-9]*\)\?/N/g'
 
   $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --stats | grep lp-stats | sed 's/[0-9][0-9]*\(\.[0-9]*\)\?/N/g'
-  lp-stats: factorizations=N fill=N etas=N refactors(eta/numeric/residual)=N/N/N ftran=Ns btran=Ns pivots=N
+  lp-stats: factorizations=N fill=N etas=N refactors(eta/numeric/residual)=N/N/N ftran=Ns btran=Ns pivots=N flips=N
 
 --stats also reports the node-deduction counters (reduced-cost fixing,
 domain propagation, the cut pool, pseudo-cost branching) as a table
@@ -69,13 +69,13 @@ the columns re-align to the widest rendered cell:
   solve: optimal (comm cost 2, 3 partitions) (12 nodes, Ts)
   deductions:
     counter          total
-    rc-fixed             2
-    prop-fixings        78
+    rc-fixed             0
+    prop-fixings        77
     prop-prunes          0
     prop-local-hits      0
-    cut-rounds           0
-    cover-cuts       0/0/0
-    clique-cuts      0/0/0
+    cut-rounds           2
+    cover-cuts       1/1/0
+    clique-cuts      4/4/0
     pc-branchings        0
 
 --json replaces the human-readable report with one machine-readable
@@ -103,7 +103,7 @@ trace subcommands inspect it offline. The event count is stable for a
 deterministic sequential solve:
 
   $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --trace run.jsonl | tail -1
-  wrote run.jsonl (94 events)
+  wrote run.jsonl (96 events)
 
 The offline summary reproduces the node totals of the live solve — 22
 nodes, max depth 8, exactly as the --json report above — and the other
@@ -117,7 +117,7 @@ always do):
   events        N in N s, N writer (main: N)
   nodes         opened=N closed=N max_depth=N
   close reasons bound=N branched=N infeasible=N
-  lp            solves=N pivots=N time=N s
+  lp            solves=N pivots=N flips=N time=N s
   lu            factors=N refactors: eta=N numeric=N
   cuts          rounds=N separated=N
   propagation   runs=N fixings=N conflicts=N
@@ -128,7 +128,7 @@ always do):
 The stream checker verifies writer/sequence consistency:
 
   $ ../../bin/tpart.exe trace validate run.jsonl
-  run.jsonl: 94 records, stream consistent
+  run.jsonl: 96 records, stream consistent
 
 The tree view reconstructs the search tree from the event stream as
 Graphviz DOT — 22 nodes give 21 parent edges:
@@ -145,7 +145,7 @@ The Chrome variant round-trips through the same tools:
 
   $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --trace run.json > /dev/null
   $ ../../bin/tpart.exe trace validate run.json
-  run.json: 94 records, stream consistent
+  run.json: 96 records, stream consistent
 
 An infeasible instance exits with code 1:
 
@@ -260,13 +260,13 @@ names each member row; the capacity rows and the assignment rows that
 force usage form the minimal conflict:
 
   $ ../../bin/tpart.exe analyze -g chain:3 --adders 1 --muls 1 --subs 0 -c 1 -l 2 -n 3 --iis | sed -n '1p;/uniq\|assign\|cap/p;$p'
-  irreducible infeasible subsystem: 12 row(s), 30 LP solves
-    uniq_t1: set partitioning: the task lies in exactly one partition (eq. 1)
-    assign_i1: unique operation assignment within its window (eq. 6)
+  irreducible infeasible subsystem: 11 row(s), 27 LP solves
+    uniq_t2: set partitioning: the task lies in exactly one partition (eq. 1)
+    assign_i2: unique operation assignment within its window (eq. 6)
     cap_p1: FPGA resource capacity of a partition (eq. 11)
     cap_p2: FPGA resource capacity of a partition (eq. 11)
     cap_p3: FPGA resource capacity of a partition (eq. 11)
-  certified: Farkas infeasibility proof, gap 13/42 over 12 rows (witness row 14)
+  certified: Farkas infeasibility proof, gap 11/42 over 11 rows (witness row 15)
 
 On an LP-feasible model the flag reports that no subsystem exists and
 exits 0 (integrality is not considered):

@@ -335,6 +335,32 @@ let prop_infeasible_farkas_certified =
           c.C.verdict = C.Certified && R.sign gap > 0 && support <> []
       | _ -> false)
 
+(* Regression: the root relaxation of all six paper evaluation graphs
+   must still certify exactly under the default (devex) pricing — the
+   devex/bound-flip engine may reach a different optimal basis than the
+   historical one, but every basis it reports has to survive rational
+   re-derivation. Table 4 design points, C = 70, Ms = 30. *)
+let test_paper_graphs_root_certify () =
+  List.iter
+    (fun (gno, n, l) ->
+      let g = Taskgraph.Examples.paper_graph gno in
+      let spec =
+        Temporal.Spec.make ~graph:g
+          ~allocation:(Hls.Component.ams (2, 2, 1))
+          ~capacity:70 ~scratch:30 ~latency_relax:l ~num_partitions:n ()
+      in
+      let vars = Temporal.Formulation.build spec in
+      let r, cert = C.check_lp vars.Temporal.Vars.lp in
+      Alcotest.(check bool)
+        (Printf.sprintf "graph %d root solved" gno)
+        true
+        (r.Sx.status = Sx.Optimal || r.Sx.status = Sx.Infeasible);
+      Alcotest.(check bool)
+        (Printf.sprintf "graph %d root certified" gno)
+        true
+        (cert.C.verdict = C.Certified))
+    [ (1, 3, 1); (2, 4, 1); (3, 3, 1); (4, 2, 1); (5, 2, 1); (6, 2, 1) ]
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "certify"
@@ -360,6 +386,8 @@ let () =
             test_bb_certify_levels;
           Alcotest.test_case "certificate diagnostics" `Quick
             test_certificate_diagnostics;
+          Alcotest.test_case "paper graphs root-certify under devex" `Slow
+            test_paper_graphs_root_certify;
         ] );
       ( "properties",
         [

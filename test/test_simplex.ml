@@ -361,6 +361,180 @@ let prop_lp_bound_below_milp =
         relax.Sx.obj <= obj +. 1e-6
       | _ -> false)
 
+
+(* ---------------- pricing rules and bound flips ---------------- *)
+
+(* Hand-built 0-1 model where the dual bound-flipping ratio test
+   provably flips: one equality row
+     x1 + x2 + 0.5 x3 + x4 + y = 2
+   with x1, x2, x3, x4 in [0,1], y in [0, 0.3], maximizing
+   x1 + x2 - 0.6 x3 - 2 x4. The optimum is x1 = x2 = 1 with y basic at
+   0. Fixing x1 at 0 pushes y to 1 > 0.3; the cheapest repair flips x3
+   to its upper bound (ratio 1.2, reducing the excess by 0.5) and then
+   pivots x4 in for the remaining 0.2 — one basis change, one flip. *)
+let bfrt_model () =
+  let lp = Lp.create () in
+  let x1 = Lp.add_var lp ~ub:1. Lp.Continuous in
+  let x2 = Lp.add_var lp ~ub:1. Lp.Continuous in
+  let x3 = Lp.add_var lp ~ub:1. Lp.Continuous in
+  let x4 = Lp.add_var lp ~ub:1. Lp.Continuous in
+  let y = Lp.add_var lp ~ub:0.3 Lp.Continuous in
+  ignore
+    (Lp.add_constr lp
+       [ (1., x1); (1., x2); (0.5, x3); (1., x4); (1., y) ]
+       Lp.Eq 2.);
+  Lp.set_objective lp ~maximize:true
+    [ (1., x1); (1., x2); (-0.6, x3); (-2., x4) ];
+  lp
+
+let test_bfrt_flips_to_optimum () =
+  let lp = bfrt_model () in
+  let st = Sx.create lp in
+  let r0 = Sx.primal st in
+  Alcotest.(check bool) "cold optimal" true (r0.Sx.status = Sx.Optimal);
+  check_float "cold obj" 2. (user_obj lp r0);
+  let flips0 = Sx.bound_flips st in
+  Sx.set_var_bounds st 0 ~lb:0. ~ub:0.;
+  let warm = Sx.dual_reopt st in
+  Alcotest.(check bool) "warm optimal" true (warm.Sx.status = Sx.Optimal);
+  check_float "warm obj" 0. (user_obj lp warm);
+  Alcotest.(check bool) "flip happened" true (Sx.bound_flips st > flips0);
+  check_float "x3 flipped to upper" 1. warm.Sx.x.(2);
+  (* the warm answer matches a fresh solve on the tightened model *)
+  let lp2 = Lp.copy lp in
+  Lp.set_bounds lp2 (Lp.var_of_int lp2 0) ~lb:0. ~ub:0.;
+  let fresh = Sx.solve lp2 in
+  check_float "fresh agrees" (user_obj lp2 fresh) (user_obj lp warm)
+
+let test_entering_column_flip () =
+  (* maximize x1 + x2 under x1 + x2 <= 5, x in [0,1]^2: both columns hit
+     their opposite bound before any row blocks, so the ratio test
+     reports flips and the basis never changes. *)
+  let lp = Lp.create () in
+  let x1 = Lp.add_var lp ~ub:1. Lp.Continuous in
+  let x2 = Lp.add_var lp ~ub:1. Lp.Continuous in
+  ignore (Lp.add_constr lp [ (1., x1); (1., x2) ] Lp.Le 5.);
+  Lp.set_objective lp ~maximize:true [ (1., x1); (1., x2) ];
+  let st = Sx.create lp in
+  let r = Sx.primal st in
+  Alcotest.(check bool) "optimal" true (r.Sx.status = Sx.Optimal);
+  check_float "obj" 2. (user_obj lp r);
+  Alcotest.(check bool) "flips counted" true (Sx.bound_flips st >= 2);
+  Alcotest.(check int) "no pivot needed" 0 (Sx.total_pivots st)
+
+let test_bfrt_exhaustion_is_infeasible () =
+  (* After fixing every nonbasic column, the violated row cannot be
+     repaired: the dual ratio test runs dry and must report
+     infeasibility with a usable Farkas certificate — without applying
+     any of the flips it considered. *)
+  let lp = Lp.create () in
+  let x1 = Lp.add_var lp ~ub:1. Lp.Continuous in
+  let x2 = Lp.add_var lp ~ub:1. Lp.Continuous in
+  let y = Lp.add_var lp ~ub:0.3 Lp.Continuous in
+  ignore (Lp.add_constr lp [ (1., x1); (1., x2); (1., y) ] Lp.Eq 2.);
+  Lp.set_objective lp ~maximize:true [ (1., x1); (1., x2) ];
+  let st = Sx.create lp in
+  let r0 = Sx.primal st in
+  Alcotest.(check bool) "cold optimal" true (r0.Sx.status = Sx.Optimal);
+  Sx.set_var_bounds st 0 ~lb:0. ~ub:0.;
+  Sx.set_var_bounds st 1 ~lb:0.5 ~ub:0.5;
+  let warm = Sx.dual_reopt st in
+  Alcotest.(check bool) "infeasible" true (warm.Sx.status = Sx.Infeasible);
+  Alcotest.(check bool) "farkas present" true (warm.Sx.farkas <> None)
+
+(* Binary-box random LPs: every structural variable is 0-1, which makes
+   the bound-flipping paths hot both cold and warm. *)
+let make_rand_01 seed ~n ~m =
+  let rng = Taskgraph.Prng.create (seed * 2 + 1) in
+  let lp = Lp.create () in
+  let vars = Array.init n (fun _ -> Lp.add_var lp ~ub:1. Lp.Continuous) in
+  for _ = 1 to m do
+    let terms =
+      Array.to_list vars
+      |> List.filter_map (fun v ->
+             if Taskgraph.Prng.bool rng 0.5 then
+               Some (Float.of_int (Taskgraph.Prng.int_in rng (-2) 4), v)
+             else None)
+    in
+    if terms <> [] then begin
+      let cap =
+        List.fold_left
+          (fun acc (c, _) -> acc +. Float.max 0. c)
+          0. terms
+      in
+      ignore
+        (Lp.add_constr lp terms Lp.Le (Taskgraph.Prng.float rng *. cap))
+    end
+  done;
+  Lp.set_objective lp ~maximize:true
+    (Array.to_list vars
+    |> List.map (fun v -> (Float.of_int (Taskgraph.Prng.int_in rng (-3) 5), v)));
+  lp
+
+let prop_pricing_rules_agree =
+  QCheck.Test.make ~name:"devex and partial pricing agree (both backends)"
+    ~count:120
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let lp, _ = make_rand_mixed seed ~n:8 ~m:9 in
+      let reference = Sx.solve ~pricing:Sx.Partial lp in
+      List.for_all
+        (fun (backend, pricing) ->
+          let r = Sx.solve ~backend ~pricing lp in
+          r.Sx.status = reference.Sx.status
+          &&
+          match r.Sx.status with
+          | Sx.Optimal -> Float.abs (r.Sx.obj -. reference.Sx.obj) <= 1e-7
+          | Sx.Infeasible | Sx.Unbounded | Sx.Iter_limit -> true)
+        [ (Sx.Dense, Sx.Devex); (Sx.Sparse_lu, Sx.Devex);
+          (Sx.Dense, Sx.Partial); (Sx.Sparse_lu, Sx.Partial) ])
+
+let prop_devex_01_warm_parity =
+  QCheck.Test.make
+    ~name:"devex bound flips: dense/sparse/fresh agree on warm 0-1 models"
+    ~count:80
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let lp = make_rand_01 seed ~n:8 ~m:6 in
+      let std = Sx.create ~backend:Sx.Dense lp in
+      let sts = Sx.create ~backend:Sx.Sparse_lu lp in
+      ignore (Sx.primal std);
+      ignore (Sx.primal sts);
+      let rng = Taskgraph.Prng.create (seed + 41) in
+      let ok = ref true in
+      for _round = 1 to 4 do
+        for j = 0 to 7 do
+          if Taskgraph.Prng.bool rng 0.35 then begin
+            let fix = Float.of_int (Taskgraph.Prng.int rng 2) in
+            Sx.set_var_bounds std j ~lb:fix ~ub:fix;
+            Sx.set_var_bounds sts j ~lb:fix ~ub:fix
+          end
+          else begin
+            Sx.set_var_bounds std j ~lb:0. ~ub:1.;
+            Sx.set_var_bounds sts j ~lb:0. ~ub:1.
+          end
+        done;
+        let rd = Sx.dual_reopt std in
+        let rs = Sx.dual_reopt sts in
+        (match (rd.Sx.status, rs.Sx.status) with
+         | Sx.Optimal, Sx.Optimal ->
+           if Float.abs (rd.Sx.obj -. rs.Sx.obj) > 1e-7 then ok := false;
+           (* and both match a cold solve of the same box *)
+           let lp2 = Lp.copy lp in
+           for j = 0 to 7 do
+             let lb, ub = Sx.get_var_bounds std j in
+             Lp.set_bounds lp2 (Lp.var_of_int lp2 j) ~lb ~ub
+           done;
+           let fresh = Sx.solve lp2 in
+           if
+             fresh.Sx.status <> Sx.Optimal
+             || Float.abs (fresh.Sx.obj -. rs.Sx.obj) > 1e-7
+           then ok := false
+         | Sx.Infeasible, Sx.Infeasible -> ()
+         | _, _ -> ok := false)
+      done;
+      !ok)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "simplex"
@@ -381,8 +555,18 @@ let () =
             test_equality_fixed_value;
           Alcotest.test_case "bounds-only model" `Quick test_zero_rows_model;
         ] );
+      ( "bound-flips",
+        [
+          Alcotest.test_case "dual BFRT flips to the optimum" `Quick
+            test_bfrt_flips_to_optimum;
+          Alcotest.test_case "entering column flips without pivot" `Quick
+            test_entering_column_flip;
+          Alcotest.test_case "BFRT exhaustion certifies infeasibility" `Quick
+            test_bfrt_exhaustion_is_infeasible;
+        ] );
       ( "properties",
         [ qt prop_feasible_and_dominates; qt prop_warm_start_agrees;
           qt prop_mixed_senses; qt prop_dense_sparse_agree;
-          qt prop_dense_sparse_warm_agree; qt prop_lp_bound_below_milp ] );
+          qt prop_dense_sparse_warm_agree; qt prop_pricing_rules_agree;
+          qt prop_devex_01_warm_parity; qt prop_lp_bound_below_milp ] );
     ]
