@@ -561,7 +561,12 @@ type parallel_row = {
 
 let parallel_rows : parallel_row list ref = ref []
 
-let parallel () =
+(* Largest worker count the parallel section actually benched: the JSON
+   report compares it against the host's core count to self-describe
+   oversubscribed runs (see the "caveat" field in write_json). *)
+let parallel_max_jobs = ref 0
+
+let parallel ?(quick = false) () =
   section
     "Parallel branch and bound: worker domains vs sequential search\n\
      (tightened model, paper branching, scheduler-completion hook OFF so\n\
@@ -570,17 +575,22 @@ let parallel () =
      scheduling overhead, not parallelism -- see EXPERIMENTS.md)";
   Format.printf "  host: %d core(s) recommended by the runtime@.@."
     (Domain.recommended_domain_count ());
-  let budget = 20. in
+  let budget = if quick then 10. else 20. in
+  let job_counts = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  parallel_max_jobs :=
+    List.fold_left Int.max !parallel_max_jobs job_counts;
   let points =
-    [
-      (* one design point per paper graph, from Table 4 *)
-      (1, 3, (2, 2, 1), 1);
-      (2, 4, (3, 2, 2), 1);
-      (3, 3, (2, 2, 2), 1);
-      (4, 2, (2, 2, 2), 1);
-      (5, 2, (2, 2, 2), 1);
-      (6, 2, (2, 2, 2), 1);
-    ]
+    if quick then [ (1, 3, (2, 2, 1), 1) ]
+    else
+      [
+        (* one design point per paper graph, from Table 4 *)
+        (1, 3, (2, 2, 1), 1);
+        (2, 4, (3, 2, 2), 1);
+        (3, 3, (2, 2, 2), 1);
+        (4, 2, (2, 2, 2), 1);
+        (5, 2, (2, 2, 2), 1);
+        (6, 2, (2, 2, 2), 1);
+      ]
   in
   Format.printf " %-6s %-3s %-3s %-4s | %-10s %-7s %-8s | %-6s %-8s | %-8s | %s@."
     "graph" "N" "L" "jobs" "runtime(s)" "nodes" "nodes/s" "steals" "handoffs"
@@ -643,7 +653,7 @@ let parallel () =
                Printf.sprintf "cost %d" sol.Sol.comm_cost
              | Solver.Infeasible_model -> "infeasible"
              | Solver.Timed_out _ -> "timeout"))
-        [ 1; 2; 4; 8 ])
+        job_counts)
     points
 
 (* ------------------------------------------------------------------ *)
@@ -806,18 +816,36 @@ let write_json path =
       r.p_graph r.p_n r.p_l r.p_jobs r.p_seconds r.p_nodes r.p_steals
       r.p_handoffs r.p_solved r.p_speedup
   in
+  let cores = Domain.recommended_domain_count () in
+  (* Machine-readable honesty: when the host has fewer cores than the
+     largest benched worker count, the speedup columns measure
+     scheduling overhead under oversubscription, not parallelism.
+     Downstream tooling can key off this field instead of parsing
+     prose. *)
+  let caveat =
+    if cores < !parallel_max_jobs then
+      Printf.sprintf
+        ",\n\
+        \    \"caveat\": \"host has %d core(s) but up to %d worker \
+         domains were benched; speedups measure oversubscribed \
+         scheduling overhead, not parallelism\""
+        cores !parallel_max_jobs
+    else ""
+  in
   Printf.fprintf oc
     "{\n\
     \  \"host\": {\n\
     \    \"cores\": %d,\n\
+    \    \"recommended_domain_count\": %d,\n\
+    \    \"max_jobs_benched\": %d,\n\
     \    \"ocaml\": %S,\n\
     \    \"word_size\": %d,\n\
     \    \"os_type\": %S,\n\
-    \    \"backend\": \"sparse_lu\"\n\
+    \    \"backend\": \"sparse_lu\"%s\n\
     \  },\n\
     \  \"parallel\": [\n%s\n  ]\n}\n"
-    (Domain.recommended_domain_count ())
-    Sys.ocaml_version Sys.word_size Sys.os_type
+    cores cores !parallel_max_jobs Sys.ocaml_version Sys.word_size Sys.os_type
+    caveat
     (String.concat ",\n" (List.rev_map row !parallel_rows));
   close_out oc;
   Format.printf "@.json report written to %s@." path
@@ -1203,7 +1231,7 @@ let () =
   if want "ablation" then ablation ();
   if want "sparse" then sparse ();
   if want "lp" then lp_bench ~quick ();
-  if want "parallel" then parallel ();
+  if want "parallel" then parallel ~quick ();
   if want "nodes" then nodes_bench ~quick ();
   if want "trace" then trace_bench ~quick ();
   if want "certify" then certify_bench ~quick ();

@@ -275,6 +275,38 @@ let cuts_flag =
            rows) and clique cuts (one-hot rows) to strengthen every \
            node relaxation.")
 
+let heuristics_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "heuristics" ]
+        ~doc:
+          "Primal heuristics: LP rounding with feasibility repair and \
+           depth-bounded diving, at the root and on a node cadence. \
+           Finds incumbents before the tree search does (entries in \
+           the --json incumbent timeline are tagged with their \
+           source); never changes the proven optimum.")
+
+let heur_cadence_arg =
+  Arg.(
+    value
+    & opt int Ilp.Branch_bound.default_options.Ilp.Branch_bound.heur_cadence
+    & info [ "heur-cadence" ] ~docv:"NODES"
+        ~doc:
+          "With --heuristics, re-run the primal pass every $(docv) \
+           processed nodes (0 = root only).")
+
+let heur_dive_depth_arg =
+  Arg.(
+    value
+    & opt int
+        Ilp.Branch_bound.default_options.Ilp.Branch_bound.heur_dive_depth
+    & info [ "heur-dive-depth" ] ~docv:"LEVELS"
+        ~doc:
+          "With --heuristics, bound the dive at $(docv) variable \
+           fixings; deeper dives reach integrality more often on \
+           large models but each level pays one dual reoptimization.")
+
 let solve_json_flag =
   Arg.(
     value
@@ -448,8 +480,8 @@ let json_of_result ?certification result =
 let solve_cmd =
   let run g a m s capacity alpha scratch latency partitions time_limit strategy
       no_tighten no_step_cuts fortet dot lp_out report_wanted lint
-      stats_wanted jobs deterministic rc_fixing propagate cuts certify
-      lp_pricing json trace =
+      stats_wanted jobs deterministic rc_fixing propagate cuts heuristics
+      heur_cadence heur_dive_depth certify lp_pricing json trace =
     let allocation = Hls.Component.ams (a, m, s) in
     let options =
       {
@@ -469,8 +501,9 @@ let solve_cmd =
     let result =
       Temporal.Pipeline.run ~options ~strategy ~time_limit
         ?num_partitions:partitions ~lint ~jobs ~deterministic ~rc_fixing
-        ~propagate ~cuts ~certify ~lp_pricing ~tracer ~graph:g ~allocation
-        ?capacity ~alpha ~scratch ~latency_relax:latency ()
+        ~propagate ~cuts ~heuristics ~heur_cadence ~heur_dive_depth ~certify
+        ~lp_pricing ~tracer ~graph:g
+        ~allocation ?capacity ~alpha ~scratch ~latency_relax:latency ()
     in
     let stats = result.Temporal.Pipeline.report.Temporal.Solver.stats in
     let certifying = certify <> Ilp.Branch_bound.Cert_off in
@@ -587,8 +620,9 @@ let solve_cmd =
       $ latency $ partitions $ time_limit $ strategy $ no_tighten
       $ no_step_cuts $ fortet $ dot_out $ lp_out $ report_flag $ lint_flag
       $ stats_flag $ jobs_arg $ deterministic_flag $ rc_fix_flag
-      $ propagate_flag $ cuts_flag $ certify_arg $ pricing_arg
-      $ solve_json_flag $ trace_out)
+      $ propagate_flag $ cuts_flag $ heuristics_flag $ heur_cadence_arg
+      $ heur_dive_depth_arg $ certify_arg
+      $ pricing_arg $ solve_json_flag $ trace_out)
 
 (* ---------------- analyze command ---------------- *)
 

@@ -40,6 +40,9 @@ type options = {
   cut_max_age : int;
   pseudocost : bool;
   pc_reliability : int;
+  heuristics : bool;
+  heur_cadence : int;
+  heur_dive_depth : int;
   certify_level : certify_level;
   tracer : Trace.t;
 }
@@ -68,6 +71,9 @@ let default_options =
     cut_max_age = 3;
     pseudocost = false;
     pc_reliability = 1;
+    heuristics = false;
+    heur_cadence = 256;
+    heur_dive_depth = 50;
     certify_level = Cert_off;
     tracer = Trace.disabled;
   }
@@ -173,7 +179,7 @@ type stats = {
   workers : worker_stats array;
   deductions : deduction_stats;
   certification : certification_stats;
-  timeline : (float * float * int) array;
+  timeline : (float * float * int * Trace.incumbent_source) array;
 }
 
 let empty_stats =
@@ -213,6 +219,12 @@ type node = {
       (* processed id of the creating node (-1 for the root); ids are
          assigned by [ctx.bump] at evaluation time, so this is only
          meaningful for tree reconstruction from the trace *)
+  n_basis : Simplex.basis option;
+      (* the parent's optimal basis, shipped with the node in pool mode
+         so a stealing worker warm-starts its dual simplex instead of
+         cold-solving; [None] on the sequential path (the engine already
+         sits on a useful basis there). Shared physically between
+         siblings. *)
 }
 
 let pp_outcome ppf = function
@@ -386,9 +398,9 @@ type incumbent = {
   user_lock : Mutex.t;
   mutable best : (float * float array) option;
   mutable n_incumbents : int;
-  mutable timeline : (float * float * int) list;
-      (* (elapsed, objective, node id) of each improving install, newest
-         first; guarded by [user_lock] *)
+  mutable timeline : (float * float * int * Trace.incumbent_source) list;
+      (* (elapsed, objective, node id, source) of each improving
+         install, newest first; guarded by [user_lock] *)
 }
 
 let new_incumbent () =
@@ -399,6 +411,19 @@ let new_incumbent () =
     n_incumbents = 0;
     timeline = [];
   }
+
+(* Bound-delta bookkeeping: one entry per node fixing currently applied
+   to the context's engine, newest first. [a_cell] is the suffix of the
+   node's [fixes] list starting at the applied entry — path lists share
+   tails physically, so walking to the common ancestor of two nodes is
+   a physical-equality walk, and moving the engine between nodes costs
+   O(path difference) bound writes instead of O(vars). *)
+type applied = {
+  a_j : int;
+  a_lo : float;  (* bounds restored when this entry is undone *)
+  a_hi : float;
+  a_cell : (int * float * float) list;
+}
 
 (* One search context per driving domain: its own simplex engine, its
    own push target, its own counters. [det] switches pruning to the
@@ -413,6 +438,19 @@ type ctx = {
   det : bool;
   set_root : bool;  (* this context solves the root relaxation *)
   bump : unit -> int;  (* global node counter; returns the new total *)
+  delta : bool;
+      (* bound-delta node application: on unless a deduction pass
+         (propagation, reduced-cost fixing) mutates node bounds outside
+         the fix path, which the delta bookkeeping cannot see *)
+  ship : bool;  (* export bases after node solves and attach to children *)
+  cur_lb : float array;  (* mirror of the engine's bounds under [delta] *)
+  cur_ub : float array;
+  mutable applied : applied list;  (* fixings currently applied, newest first *)
+  mutable n_applied : int;
+  mutable last_basis : Simplex.basis option;
+      (* the basis most recently exported from [st]: a child carrying it
+         physically needs no reinstall (the engine is already there) *)
+  mutable heur : Heuristics.t option;  (* lazily-built private engine *)
   mutable first_solve : bool;
   mutable local_best : float;
   mutable k_nodes : int;
@@ -435,6 +473,92 @@ let pc_tables env =
       Array.make env.nvars 0.,
       Array.make env.nvars 0 )
   else ([||], [||], [||], [||])
+
+let make_ctx env ~inc ~st ~push ~tw ~det ~set_root ~bump ~ship ~local_best =
+  let pc_up_sum, pc_up_cnt, pc_down_sum, pc_down_cnt = pc_tables env in
+  {
+    env;
+    inc;
+    st;
+    push;
+    tw;
+    det;
+    set_root;
+    bump;
+    (* Propagation and reduced-cost fixing tighten node bounds outside
+       the fix path; the delta bookkeeping cannot see those writes, so
+       such configurations keep the historical full-copy path. *)
+    delta = not (env.opts.propagate || env.opts.rc_fixing);
+    ship;
+    cur_lb = Array.copy env.root_lb;
+    cur_ub = Array.copy env.root_ub;
+    applied = [];
+    n_applied = 0;
+    last_basis = None;
+    heur = None;
+    first_solve = true;
+    local_best;
+    k_nodes = 0;
+    k_incumbents = 0;
+    k_max_depth = 0;
+    k_root_obj = Float.nan;
+    pc_up_sum;
+    pc_up_cnt;
+    pc_down_sum;
+    pc_down_cnt;
+  }
+
+(* Move the engine's bounds from the previously processed node's fix
+   path to [fixes]: undo applied entries down to the two paths' common
+   ancestor, then apply the target-side entries root-first. Children
+   extend their parent's [fixes] physically, so the common ancestor is
+   found by a physical-equality lockstep walk and the whole move costs
+   O(path difference) bound writes — no O(vars) array copies on the
+   node hot path. *)
+let move_to ctx fixes =
+  let undo_one () =
+    match ctx.applied with
+    | [] -> assert false
+    | e :: rest ->
+      ctx.applied <- rest;
+      ctx.n_applied <- ctx.n_applied - 1;
+      ctx.cur_lb.(e.a_j) <- e.a_lo;
+      ctx.cur_ub.(e.a_j) <- e.a_hi;
+      Simplex.set_var_bounds ctx.st e.a_j ~lb:e.a_lo ~ub:e.a_hi
+  in
+  let apply_one cell =
+    match cell with
+    | [] -> assert false
+    | (j, lo, hi) :: _ ->
+      ctx.applied <-
+        { a_j = j; a_lo = ctx.cur_lb.(j); a_hi = ctx.cur_ub.(j); a_cell = cell }
+        :: ctx.applied;
+      ctx.n_applied <- ctx.n_applied + 1;
+      ctx.cur_lb.(j) <- lo;
+      ctx.cur_ub.(j) <- hi;
+      Simplex.set_var_bounds ctx.st j ~lb:lo ~ub:hi
+  in
+  let rec path_len l n = match l with [] -> n | _ :: t -> path_len t (n + 1) in
+  let nb = path_len fixes 0 in
+  while ctx.n_applied > nb do
+    undo_one ()
+  done;
+  (* strip the (possibly deeper) target down to the applied length,
+     remembering the stripped cells; the prepends leave [to_apply]
+     root-most first, which is the application order *)
+  let to_apply = ref [] in
+  let b = ref fixes in
+  for _ = 1 to nb - ctx.n_applied do
+    to_apply := !b :: !to_apply;
+    b := List.tl !b
+  done;
+  let cur () = match ctx.applied with [] -> [] | e :: _ -> e.a_cell in
+  while cur () != !b do
+    to_apply := !b :: !to_apply;
+    b := List.tl !b;
+    undo_one ()
+  done;
+  List.iter apply_one !to_apply
 
 let best_seen ctx =
   if ctx.det then ctx.local_best else Atomic.get ctx.inc.best_obj
@@ -534,7 +658,7 @@ let choose_branch ctx x ~is_fixed =
 (* Install an incumbent; must be called with [inc.user_lock] held.
    Returns whether the global best actually improved (a concurrent
    worker may have installed a better one since the caller's check). *)
-let install ctx ~node_no obj x ~callback =
+let install ctx ~node_no ~source obj x ~callback =
   let inc = ctx.inc in
   let improves =
     match inc.best with None -> true | Some (b, _) -> obj < b -. 1e-9
@@ -544,9 +668,9 @@ let install ctx ~node_no obj x ~callback =
     Atomic.set inc.best_obj obj;
     inc.n_incumbents <- inc.n_incumbents + 1;
     inc.timeline <-
-      (Mono.elapsed_since ctx.env.t0, obj, node_no) :: inc.timeline;
+      (Mono.elapsed_since ctx.env.t0, obj, node_no, source) :: inc.timeline;
     if Trace.active ctx.tw then
-      Trace.emit ctx.tw (Trace.Incumbent { node = node_no; obj });
+      Trace.emit ctx.tw (Trace.Incumbent { node = node_no; obj; source });
     if callback then
       match ctx.env.opts.on_incumbent with
       | Some f -> f obj x
@@ -554,16 +678,18 @@ let install ctx ~node_no obj x ~callback =
   end;
   improves
 
-let locked_install ?(locked = false) ctx ~node_no obj x ~callback =
-  if locked then install ctx ~node_no obj x ~callback
+let locked_install ?(locked = false) ctx ~node_no ~source obj x ~callback =
+  if locked then install ctx ~node_no ~source obj x ~callback
   else
     Mutex.protect ctx.inc.user_lock (fun () ->
-        install ctx ~node_no obj x ~callback)
+        install ctx ~node_no ~source obj x ~callback)
 
 (* Full acceptance path: feasibility-checked, fires [on_incumbent].
    [locked] marks calls made from inside [run_hook], which already
-   holds the user lock (it is not reentrant). *)
-let accept_incumbent ?(locked = false) ctx ~node_no ~depth x =
+   holds the user lock (it is not reentrant). [source] tags where the
+   candidate came from (search, hook, or a primal heuristic). *)
+let accept_incumbent ?(locked = false) ?(source = Trace.Src_search) ctx
+    ~node_no ~depth x =
   let obj =
     Array.fold_left ( +. ) 0.
       (Array.mapi (fun j c -> c *. x.(j)) ctx.env.objective)
@@ -573,10 +699,12 @@ let accept_incumbent ?(locked = false) ctx ~node_no ~depth x =
        original rows and root bounds. *)
     if Feas_check.is_feasible ~tol:1e-5 ctx.env.lp x then begin
       if ctx.det && obj < ctx.local_best then ctx.local_best <- obj;
-      if locked_install ~locked ctx ~node_no obj x ~callback:true then begin
+      if locked_install ~locked ctx ~node_no ~source obj x ~callback:true
+      then begin
         ctx.k_incumbents <- ctx.k_incumbents + 1;
         Log.info (fun f ->
-            f "incumbent %g at node %d depth %d" obj node_no depth)
+            f "incumbent %g at node %d depth %d (%s)" obj node_no depth
+              (Trace.incumbent_source_name source))
       end
     end
     else
@@ -590,8 +718,10 @@ let accept_incumbent ?(locked = false) ctx ~node_no ~depth x =
 let accept_loose ctx ~node_no obj x =
   if obj < best_seen ctx -. 1e-9 then begin
     if ctx.det && obj < ctx.local_best then ctx.local_best <- obj;
-    if locked_install ctx ~node_no obj x ~callback:false then
-      ctx.k_incumbents <- ctx.k_incumbents + 1
+    if
+      locked_install ctx ~node_no ~source:Trace.Src_search obj x
+        ~callback:false
+    then ctx.k_incumbents <- ctx.k_incumbents + 1
   end
 
 (* Node hook: a problem-specific completion heuristic may inject a full
@@ -606,11 +736,13 @@ let run_hook ctx ~node_no ~depth x ~is_fixed =
         match hook ~lp_solution:x ~is_fixed with
         | Hook_none -> false
         | Hook_incumbent v ->
-          accept_incumbent ~locked:true ctx ~node_no ~depth v;
+          accept_incumbent ~locked:true ~source:Trace.Src_hook ctx ~node_no
+            ~depth v;
           false
         | Hook_prune -> true
         | Hook_incumbent_and_prune v ->
-          accept_incumbent ~locked:true ctx ~node_no ~depth v;
+          accept_incumbent ~locked:true ~source:Trace.Src_hook ctx ~node_no
+            ~depth v;
           true)
 
 type step =
@@ -687,6 +819,38 @@ let certify_node ctx ~nno res =
          { node = nno; verdict; kind = Certify.kind_name cert.Certify.detail; dt })
   end
 
+(* Primal heuristics pass: cheap rounding + repair first, then a
+   depth-bounded dive on the context's private heuristic engine.
+   Candidates go through [accept_incumbent], so they are re-checked
+   against the original model before installation — heuristic bugs can
+   waste time but never corrupt the search. *)
+let run_heuristics ctx ~node_no ~depth ~lb ~ub x =
+  let env = ctx.env in
+  let h =
+    match ctx.heur with
+    | Some h -> h
+    | None ->
+      let h =
+        Heuristics.create ~backend:env.opts.lp_backend
+          ~pricing:env.opts.lp_pricing ~trace:ctx.tw env.lp
+      in
+      ctx.heur <- Some h;
+      h
+  in
+  if Trace.active ctx.tw then Trace.emit ctx.tw (Trace.Span_begin "heuristics");
+  (match Heuristics.round_and_repair h ~int_tol:env.opts.int_tol ~x () with
+   | Some rx ->
+     accept_incumbent ~source:Trace.Src_round ctx ~node_no ~depth rx
+   | None -> ());
+  (match
+     Heuristics.dive h ~lb ~ub ~x ~int_tol:env.opts.int_tol
+       ~max_depth:env.opts.heur_dive_depth ~cutoff:(cutoff ctx)
+       ~deadline:env.deadline ()
+   with
+   | Some dx -> accept_incumbent ~source:Trace.Src_dive ctx ~node_no ~depth dx
+   | None -> ());
+  if Trace.active ctx.tw then Trace.emit ctx.tw (Trace.Span_end "heuristics")
+
 (* Evaluate one node on [ctx]'s engine: bound setup, domain
    propagation, (warm) LP solve, hook, incumbent tests, reduced-cost
    fixing, branching. Drivers decide what a step result means for the
@@ -713,14 +877,27 @@ let process_node ctx node =
       Trace.emit ctx.tw (Trace.Node_close { id = nno; obj; reason });
     step
   in
-  (* The node's bounds: root bounds overwritten by the node's fixes
-     (most recent first, so apply in reverse). *)
-  let lb = Array.copy env.root_lb and ub = Array.copy env.root_ub in
-  List.iter
-    (fun (j, lo, hi) ->
-      lb.(j) <- lo;
-      ub.(j) <- hi)
-    (List.rev node.fixes);
+  (* The node's bounds. In delta mode [move_to] edits the engine and the
+     mirrored arrays in place — O(path difference to the previous node),
+     no per-node allocation. The legacy path rebuilds from the root
+     bounds (root bounds may shrink under rc-fixing, which is exactly
+     when delta mode is disabled): most recent fix first, so apply in
+     reverse. *)
+  let lb, ub =
+    if ctx.delta then begin
+      move_to ctx node.fixes;
+      (ctx.cur_lb, ctx.cur_ub)
+    end
+    else begin
+      let lb = Array.copy env.root_lb and ub = Array.copy env.root_ub in
+      List.iter
+        (fun (j, lo, hi) ->
+          lb.(j) <- lo;
+          ub.(j) <- hi)
+        (List.rev node.fixes);
+      (lb, ub)
+    end
+  in
   (* Per-node propagation: cascade the fresh bound changes through the
      rows touching them (pool cuts ride along as local rows) before
      paying for any LP pivot. A conflict prunes the node outright. *)
@@ -754,9 +931,34 @@ let process_node ctx node =
     Log.debug (fun f -> f "node %d pruned by propagation" nno);
     close Trace.Prop_pruned ~obj:Float.nan Step_ok
   | Some prop_fixes ->
-    for j = 0 to env.nvars - 1 do
-      Simplex.set_var_bounds ctx.st j ~lb:lb.(j) ~ub:ub.(j)
-    done;
+    (* Delta mode already synced the engine bounds inside [move_to];
+       the legacy path pays the full O(nvars) rewrite. *)
+    if not ctx.delta then
+      for j = 0 to env.nvars - 1 do
+        Simplex.set_var_bounds ctx.st j ~lb:lb.(j) ~ub:ub.(j)
+      done;
+    (* Warm-start shipping: a stolen node carries its parent's optimal
+       basis. Install it unless the engine is already there (the DFS
+       fast path: the first child popped after branching finds
+       [last_basis] physically equal to its own). A failed install
+       leaves the engine unspecified — fall back to a cold solve. *)
+    (match node.n_basis with
+     | Some b
+       when opts.warm_start
+            && (ctx.first_solve
+               ||
+               match ctx.last_basis with
+               | Some cur -> not (cur == b)
+               | None -> true) ->
+       if Simplex.install_basis ctx.st b then begin
+         ctx.last_basis <- Some b;
+         ctx.first_solve <- false
+       end
+       else begin
+         ctx.last_basis <- None;
+         ctx.first_solve <- true
+       end
+     | _ -> ());
     let res =
       if ctx.first_solve || not opts.warm_start then Simplex.primal ctx.st
       else Simplex.dual_reopt ctx.st
@@ -880,6 +1082,14 @@ let process_node ctx node =
              opts.rc_fixing && ctx.set_root && node.fixes = []
              && Array.length res.Simplex.dj > 0
            then env.ded.d_root_rc <- Some (obj, Array.copy res.Simplex.dj);
+           (* Primal heuristics: always at the root (first incumbent
+              before any branching), then on the node cadence. *)
+           if
+             opts.heuristics
+             && (node.depth = 0
+                || (opts.heur_cadence > 0
+                   && ctx.k_nodes mod opts.heur_cadence = 0))
+           then run_heuristics ctx ~node_no:nno ~depth:node.depth ~lb ~ub x;
            match choose_branch ctx x ~is_fixed with
            | None ->
              (* All integer variables integral within a looser tolerance
@@ -892,6 +1102,19 @@ let process_node ctx node =
              let lo_j = lb.(j) and hi_j = ub.(j) in
              let deduced = rc_fixes @ prop_fixes in
              let nfresh = 1 + List.length deduced in
+             (* Ship this node's optimal basis with the children (pool
+                mode only): a worker that steals one warm-starts its
+                dual simplex from here instead of a cold slack basis.
+                Both children share the same physical basis, so the DFS
+                fast path can skip the install. *)
+             let ship_b =
+               if ctx.ship then begin
+                 let b = Simplex.export_basis ctx.st in
+                 ctx.last_basis <- Some b;
+                 Some b
+               end
+               else None
+             in
              let child ~br lo hi =
                {
                  fixes = ((j, lo, hi) :: deduced) @ node.fixes;
@@ -900,6 +1123,7 @@ let process_node ctx node =
                  fresh = nfresh;
                  br;
                  parent = nno;
+                 n_basis = ship_b;
                }
              in
              (if fractionality v <= opts.int_tol then begin
@@ -1109,6 +1333,7 @@ let root_node =
     fresh = 0;
     br = None;
     parent = -1;
+    n_basis = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -1148,31 +1373,12 @@ let solve_sequential env =
     let from_heap = Heap.fold Float.min Float.infinity heap in
     Float.min from_stack from_heap
   in
-  let pc_up_sum, pc_up_cnt, pc_down_sum, pc_down_cnt = pc_tables env in
   let ctx =
-    {
-      env;
-      inc;
-      st;
-      push;
-      tw;
-      det = false;
-      set_root = true;
-      bump =
-        (fun () ->
-          incr nodes;
-          !nodes);
-      first_solve = true;
-      local_best = Float.infinity;
-      k_nodes = 0;
-      k_incumbents = 0;
-      k_max_depth = 0;
-      k_root_obj = Float.nan;
-      pc_up_sum;
-      pc_up_cnt;
-      pc_down_sum;
-      pc_down_cnt;
-    }
+    make_ctx env ~inc ~st ~push ~tw ~det:false ~set_root:true
+      ~bump:(fun () ->
+        incr nodes;
+        !nodes)
+      ~ship:false ~local_best:Float.infinity
   in
   push root_node;
   if Trace.active tw then Trace.emit tw (Trace.Span_begin "search");
@@ -1257,34 +1463,23 @@ let solve_parallel env =
   in
   (* Phase 1: depth-first seeding until the frontier can feed the crew. *)
   let seed_dq : node Pool.Deque.t = Pool.Deque.create () in
-  let s_up_sum, s_up_cnt, s_down_sum, s_down_cnt = pc_tables env in
   let seed_ctx =
-    {
-      env;
-      inc;
-      st = st0;
-      push = (fun nd -> Pool.Deque.push seed_dq nd);
-      tw = tw0;
-      det = false;
-      set_root = true;
-      bump;
-      first_solve = true;
-      local_best = Float.infinity;
-      k_nodes = 0;
-      k_incumbents = 0;
-      k_max_depth = 0;
-      k_root_obj = Float.nan;
-      pc_up_sum = s_up_sum;
-      pc_up_cnt = s_up_cnt;
-      pc_down_sum = s_down_sum;
-      pc_down_cnt = s_down_cnt;
-    }
+    make_ctx env ~inc ~st:st0
+      ~push:(fun nd -> Pool.Deque.push seed_dq nd)
+      ~tw:tw0 ~det:false ~set_root:true ~bump
+      ~ship:(not opts.deterministic) ~local_best:Float.infinity
   in
   Pool.Deque.push seed_dq root_node;
   if Trace.active tw0 then Trace.emit tw0 (Trace.Span_begin "seed");
   let target = 4 * jobs in
+  (* Cap the seeding phase by processed nodes, not only frontier size:
+     on instances whose tree stays narrow near the root the frontier may
+     never reach [target], and without the cap the "parallel" search
+     would run entirely inside this sequential loop. *)
+  let seed_cap = 8 * jobs in
   while
     Atomic.get stop_flag = 0
+    && seed_ctx.k_nodes < seed_cap
     &&
     let l = Pool.Deque.length seed_dq in
     l > 0 && l < target
@@ -1337,31 +1532,16 @@ let solve_parallel env =
     in
     Simplex.set_trace st tw;
     let steals = ref 0 and handoffs = ref 0 and idle = ref 0. in
-    (* Worker-private pseudo-cost tables: no sharing, no timing
-       dependence — deterministic-mode node counts stay reproducible. *)
-    let w_up_sum, w_up_cnt, w_down_sum, w_down_cnt = pc_tables env in
+    (* Worker-private pseudo-cost tables (built by [make_ctx]): no
+       sharing, no timing dependence — deterministic-mode node counts
+       stay reproducible. *)
     let ctx =
-      {
-        env;
-        inc;
-        st;
-        push = (fun nd -> Pool.Deque.push local nd);
-        tw;
-        det = opts.deterministic;
-        set_root = false;
-        bump;
-        first_solve = true;
-        local_best =
-          (if opts.deterministic then det_best0 else Float.infinity);
-        k_nodes = 0;
-        k_incumbents = 0;
-        k_max_depth = 0;
-        k_root_obj = Float.nan;
-        pc_up_sum = w_up_sum;
-        pc_up_cnt = w_up_cnt;
-        pc_down_sum = w_down_sum;
-        pc_down_cnt = w_down_cnt;
-      }
+      make_ctx env ~inc ~st
+        ~push:(fun nd -> Pool.Deque.push local nd)
+        ~tw ~det:opts.deterministic ~set_root:false ~bump
+        ~ship:(not opts.deterministic)
+        ~local_best:
+          (if opts.deterministic then det_best0 else Float.infinity)
     in
     let handle node =
       if Atomic.get stop_flag <> 0 then Pool.Deque.push local node

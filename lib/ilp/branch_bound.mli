@@ -157,6 +157,21 @@ type options = {
   pc_reliability : int;
       (** Observations per direction before a variable's pseudo-costs
           are trusted (default 1). *)
+  heuristics : bool;
+      (** Primal heuristics (default off). Runs {!Heuristics} at the
+          root node and then every [heur_cadence] nodes per search
+          context: LP rounding + feasibility repair (pure arithmetic)
+          followed by depth-bounded fractional diving on a private
+          simplex engine. Candidate solutions pass through the normal
+          acceptance path (exact feasibility re-check against the
+          original model), and installed incumbents are tagged with
+          their source in {!stats.timeline} and
+          {!Trace.Incumbent} events. *)
+  heur_cadence : int;
+      (** Nodes between heuristic runs within one search context
+          (default 256); [0] restricts heuristics to the root. *)
+  heur_dive_depth : int;
+      (** Maximum variables fixed by one heuristic dive (default 50). *)
   certify_level : certify_level;
       (** Exact a-posteriori certification of node LP verdicts with
           {!Certify} (default {!Cert_off}). Each selected node's final
@@ -272,11 +287,12 @@ type stats = {
   certification : certification_stats;
       (** Exact-certification counters (all zero, no certificate, when
           [certify_level = Cert_off]). *)
-  timeline : (float * float * int) array;
+  timeline : (float * float * int * Trace.incumbent_source) array;
       (** The incumbent timeline: one [(elapsed seconds, objective,
-          node id)] triple per improving incumbent, in installation
-          order. The last entry's objective equals the final incumbent
-          objective. *)
+          node id, source)] entry per improving incumbent, in
+          installation order. The last entry's objective equals the
+          final incumbent objective; [source] says whether the search,
+          the completion hook, or a primal heuristic found it. *)
 }
 
 val empty_stats : stats

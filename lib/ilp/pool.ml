@@ -58,13 +58,24 @@ module Deque = struct
   let to_list d = fold (fun acc x -> x :: acc) [] d
 end
 
+(* The deque and the blocking protocol live under [lock]; [n_waiting],
+   [n_queued] and [is_stopped] are atomic {e mirrors} of the protected
+   state so the hot-path polls ([hungry], [stopped]) never touch the
+   mutex. Workers call [hungry] after every processed node: with the
+   mutex version, fast nodes turned that poll into the pool's main
+   contention source, serializing workers that held plenty of private
+   work. The mirrors are updated while holding the lock, so they lag a
+   poll by at most one protocol step — the same raciness [hungry]
+   always documented. *)
 type 'a t = {
   lock : Mutex.t;
   nonempty : Condition.t;
   dq : 'a Deque.t;
   workers : int;
   mutable waiting : int;
-  mutable is_stopped : bool;
+  n_waiting : int Atomic.t;
+  n_queued : int Atomic.t;
+  is_stopped : bool Atomic.t;
 }
 
 let create ~workers =
@@ -75,7 +86,9 @@ let create ~workers =
     dq = Deque.create ();
     workers;
     waiting = 0;
-    is_stopped = false;
+    n_waiting = Atomic.make 0;
+    n_queued = Atomic.make 0;
+    is_stopped = Atomic.make false;
   }
 
 let with_lock p f =
@@ -85,50 +98,70 @@ let with_lock p f =
 let push p x =
   with_lock p (fun () ->
       Deque.push p.dq x;
+      Atomic.incr p.n_queued;
       Condition.signal p.nonempty)
+
+let set_waiting p n =
+  p.waiting <- n;
+  Atomic.set p.n_waiting n
 
 let take p =
   with_lock p (fun () ->
       let rec await () =
-        if p.is_stopped then None
+        if Atomic.get p.is_stopped then None
         else
           match Deque.pop p.dq with
-          | Some _ as item -> item
+          | Some _ as item ->
+            Atomic.decr p.n_queued;
+            item
           | None ->
-            p.waiting <- p.waiting + 1;
+            set_waiting p (p.waiting + 1);
             if p.waiting = p.workers then begin
               (* Everyone is here and the pool is empty: no worker holds
                  local work that could feed it again. Latch and release. *)
-              p.is_stopped <- true;
-              p.waiting <- p.waiting - 1;
+              Atomic.set p.is_stopped true;
+              set_waiting p (p.waiting - 1);
               Condition.broadcast p.nonempty;
               None
             end
             else begin
               Condition.wait p.nonempty p.lock;
-              p.waiting <- p.waiting - 1;
+              set_waiting p (p.waiting - 1);
               await ()
             end
       in
       await ())
 
 let try_take p =
-  with_lock p (fun () -> if p.is_stopped then None else Deque.pop p.dq)
+  with_lock p (fun () ->
+      if Atomic.get p.is_stopped then None
+      else
+        match Deque.pop p.dq with
+        | Some _ as item ->
+          Atomic.decr p.n_queued;
+          item
+        | None -> None)
 
 let stop p =
   with_lock p (fun () ->
-      p.is_stopped <- true;
+      Atomic.set p.is_stopped true;
       Condition.broadcast p.nonempty)
 
-let stopped p = with_lock p (fun () -> p.is_stopped)
+let stopped p = Atomic.get p.is_stopped
 
 let hungry p =
-  with_lock p (fun () -> p.waiting > 0 && Deque.is_empty p.dq)
+  (not (Atomic.get p.is_stopped))
+  && Atomic.get p.n_waiting > 0
+  && Atomic.get p.n_queued = 0
 
 let drain p =
   with_lock p (fun () ->
       let rec go acc =
-        match Deque.pop p.dq with None -> acc | Some x -> go (x :: acc)
+        match Deque.pop p.dq with
+        | None -> acc
+        | Some x ->
+          Atomic.decr p.n_queued;
+          go (x :: acc)
       in
       go [])
 

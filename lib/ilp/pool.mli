@@ -70,12 +70,16 @@ val stop : 'a t -> unit
     can be inspected with {!drain}. Idempotent. *)
 
 val stopped : 'a t -> bool
+(** Lock-free (a single atomic read): safe to poll from every worker's
+    inner loop. *)
 
 val hungry : 'a t -> bool
-(** [true] when the pool is empty and at least one worker is blocked in
-    {!take} — the signal that a worker holding surplus local work
-    should donate. A racy hint by design: acting on a stale answer only
-    costs one extra (or one missed) donation. *)
+(** [true] when the pool is not stopped, empty, and at least one worker
+    is blocked in {!take} — the signal that a worker holding surplus
+    local work should donate. Lock-free: reads atomic mirrors of the
+    protected state, never the mutex, so polling it after every node
+    cannot serialize the crew. A racy hint by design: acting on a stale
+    answer only costs one extra (or one missed) donation. *)
 
 val drain : 'a t -> 'a list
 (** Remove and return all queued items. Meaningful after the workers

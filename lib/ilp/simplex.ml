@@ -1737,6 +1737,72 @@ let snapshot st =
     s_pivot_order = pivot_order;
   }
 
+(* -------------------------------------------------------------------- *)
+(* Warm-start basis shipping                                             *)
+(* -------------------------------------------------------------------- *)
+
+type basis = {
+  b_m : int;
+  b_ncols : int;
+  b_basis : int array;  (* slot -> basic column *)
+  b_stat : vstat array;  (* status of every column *)
+}
+
+let export_basis st =
+  check_owner st "export_basis";
+  {
+    b_m = st.m;
+    b_ncols = st.ncols;
+    b_basis = Array.copy st.basis;
+    b_stat = Array.copy st.stat;
+  }
+
+let install_basis st b =
+  check_owner st "install_basis";
+  if b.b_m <> st.m || b.b_ncols <> st.ncols then false
+  else begin
+    Array.blit b.b_basis 0 st.basis 0 st.m;
+    Array.blit b.b_stat 0 st.stat 0 st.ncols;
+    (* Rebuild the column -> slot map. A duplicate or out-of-range basic
+       column is a corrupt header: fail like a singular factorization
+       (the engine's basis is then unspecified; the caller cold-solves,
+       and [primal] resets to the slack basis anyway). *)
+    let ok = ref true in
+    Array.fill st.pos 0 st.ncols (-1);
+    for i = 0 to st.m - 1 do
+      let c = st.basis.(i) in
+      if c < 0 || c >= st.ncols || st.pos.(c) >= 0 then ok := false
+      else begin
+        st.pos.(c) <- i;
+        st.stat.(c) <- Basic
+      end
+    done;
+    (* Artificials stay closed at [0, 0] outside phase I. *)
+    for i = 0 to st.m - 1 do
+      let a = art_col st i in
+      st.lb.(a) <- 0.;
+      st.ub.(a) <- 0.;
+      if st.pos.(a) < 0 then st.stat.(a) <- At_lower
+    done;
+    st.bland <- false;
+    st.degen_streak <- 0;
+    st.pivots_since_refactor <- 0;
+    st.ncand <- 0;
+    st.last_inf <- None;
+    reset_devex_weights st;
+    (match st.repr with Rsparse box -> box.lu <- None | Rdense _ -> ());
+    !ok
+    &&
+    match
+      fresh_factor st;
+      compute_xb st
+    with
+    | () -> true
+    | exception Singular_basis ->
+      (match st.repr with Rsparse box -> box.lu <- None | Rdense _ -> ());
+      false
+  end
+
 let primal_core ~max_iters st = primal_guarded ~max_iters ~attempt:0 st
 
 (* Internal fallbacks below call [primal_core] directly so a traced

@@ -193,6 +193,33 @@ val solve :
   ?backend:backend -> ?pricing:pricing -> ?max_iters:int -> Lp.t -> result
 (** [solve lp] is [primal (create lp)]: one-shot LP relaxation solve. *)
 
+(** {1 Warm-start basis shipping} — consumed by {!Branch_bound}. *)
+
+type basis
+(** A compact description of a basis: the slot->column header plus the
+    status of every column — no factorization, no bounds, no variable
+    values. A few kilobytes on the paper models, immutable after
+    {!export_basis} and safe to share across domains, so parallel
+    branch and bound can attach one to every pooled node and a stealing
+    worker can warm-start from it instead of paying a cold solve. *)
+
+val export_basis : state -> basis
+(** Captures the engine's current basis header. Unlike {!snapshot} this
+    never refactorizes — it is two array copies — so it is cheap enough
+    for the branch-and-bound hot path after every node solve. *)
+
+val install_basis : state -> basis -> bool
+(** [install_basis st b] replaces the engine's basis with [b], rebuilds
+    the column->slot map, re-closes the artificials and refactorizes.
+    [true] means the basis factored cleanly: the engine is ready for
+    {!dual_reopt} against its current bounds. [false] means [b] came
+    from a different model shape, carries a corrupt header (duplicate
+    basic column), or is numerically singular; the engine's basis is
+    then unspecified and the caller must recover with a cold {!primal}
+    (which resets to the slack basis — {!dual_reopt} also survives,
+    through its internal primal fallback). Owner-only, like every other
+    entry point. *)
+
 (** {1 Exact-certification support} — consumed by {!Certify}. *)
 
 type vstat =

@@ -12,6 +12,7 @@ type close_reason =
   | Numeric
 
 type cert_verdict = Cert_certified | Cert_refuted | Cert_uncertifiable
+type incumbent_source = Src_search | Src_hook | Src_round | Src_dive
 
 type event =
   | Node_open of { id : int; parent : int; depth : int; bound : float }
@@ -30,7 +31,7 @@ type event =
   | Cut_sep of { family : string; found : int; best_violation : float }
   | Cut_round of { round : int; separated : int; active : int; evicted : int }
   | Prop_run of { steps : int; fixings : int; local_hits : int; conflict : bool }
-  | Incumbent of { node : int; obj : float }
+  | Incumbent of { node : int; obj : float; source : incumbent_source }
   | Cert_check of { node : int; verdict : cert_verdict; kind : string; dt : float }
   | Span_begin of string
   | Span_end of string
@@ -196,6 +197,19 @@ let cert_verdict_name = function
   | Cert_refuted -> "refuted"
   | Cert_uncertifiable -> "uncertifiable"
 
+let incumbent_source_name = function
+  | Src_search -> "search"
+  | Src_hook -> "hook"
+  | Src_round -> "round"
+  | Src_dive -> "dive"
+
+let incumbent_source_of_name = function
+  | "search" -> Some Src_search
+  | "hook" -> Some Src_hook
+  | "round" -> Some Src_round
+  | "dive" -> Some Src_dive
+  | _ -> None
+
 let reason_name = function
   | Branched _ -> "branched"
   | Integral -> "integral"
@@ -232,8 +246,9 @@ let pp_event ppf = function
   | Prop_run { steps; fixings; local_hits; conflict } ->
     Format.fprintf ppf "prop_run steps=%d fixings=%d local_hits=%d conflict=%b"
       steps fixings local_hits conflict
-  | Incumbent { node; obj } ->
-    Format.fprintf ppf "incumbent node=%d obj=%g" node obj
+  | Incumbent { node; obj; source } ->
+    Format.fprintf ppf "incumbent node=%d obj=%g source=%s" node obj
+      (incumbent_source_name source)
   | Cert_check { node; verdict; kind; dt } ->
     Format.fprintf ppf "cert_check node=%d verdict=%s kind=%s dt=%.3es" node
       (cert_verdict_name verdict) kind dt

@@ -48,6 +48,14 @@ type cert_verdict = Cert_certified | Cert_refuted | Cert_uncertifiable
     here so tracing stays below the certification layer in the module
     graph). *)
 
+type incumbent_source =
+  | Src_search  (** The tree search hit an integral LP optimum. *)
+  | Src_hook  (** A problem-specific completion hook built the solution. *)
+  | Src_round  (** Primal heuristics: LP rounding + feasibility repair. *)
+  | Src_dive  (** Primal heuristics: depth-bounded diving. *)
+      (** Where an installed incumbent came from (also surfaced in the
+          incumbent timeline of {!Branch_bound} stats and JSON reports). *)
+
 type event =
   | Node_open of { id : int; parent : int; depth : int; bound : float }
       (** A branch-and-bound node starts evaluation. [parent] is the
@@ -81,8 +89,10 @@ type event =
       (** One root cut-and-branch round completed. *)
   | Prop_run of { steps : int; fixings : int; local_hits : int; conflict : bool }
       (** One per-node propagation run ([steps] row evaluations). *)
-  | Incumbent of { node : int; obj : float }
-      (** An improving incumbent was installed. *)
+  | Incumbent of { node : int; obj : float; source : incumbent_source }
+      (** An improving incumbent was installed. [source] says who found
+          it: the search itself, the completion hook, or one of the
+          primal heuristics. *)
   | Cert_check of { node : int; verdict : cert_verdict; kind : string; dt : float }
       (** One exact certification of a node LP verdict: [node] is the
           processed node id (0 when certifying outside the search),
@@ -159,3 +169,7 @@ val lp_kind_name : lp_kind -> string
 val trigger_name : refactor_trigger -> string
 val reason_name : close_reason -> string
 val cert_verdict_name : cert_verdict -> string
+val incumbent_source_name : incumbent_source -> string
+
+val incumbent_source_of_name : string -> incumbent_source option
+(** Inverse of {!incumbent_source_name}; [None] on unknown names. *)

@@ -80,8 +80,13 @@ let record_to_json (r : Trace.record) =
         ("local_hits", inum local_hits);
         ("conflict", Json.Bool conflict);
       ]
-    | Incumbent { node; obj } ->
-      [ ("type", Json.Str "incumbent"); ("node", inum node); ("obj", num obj) ]
+    | Incumbent { node; obj; source } ->
+      [
+        ("type", Json.Str "incumbent");
+        ("node", inum node);
+        ("obj", num obj);
+        ("source", Json.Str (Trace.incumbent_source_name source));
+      ]
     | Cert_check { node; verdict; kind; dt } ->
       [
         ("type", Json.Str "cert_check");
@@ -174,6 +179,17 @@ let cert_verdict_of_name = function
   | "uncertifiable" -> Trace.Cert_uncertifiable
   | s -> raise (Bad (Printf.sprintf "unknown certification verdict %S" s))
 
+(* The [source] field postdates the incumbent schema's first release:
+   traces recorded by older builds decode as plain search incumbents. *)
+let incumbent_source_of_json j =
+  match Json.member "source" j with
+  | None | Some Json.Null -> Trace.Src_search
+  | Some _ -> (
+    let s = req_str j "source" in
+    match Trace.incumbent_source_of_name s with
+    | Some src -> src
+    | None -> raise (Bad (Printf.sprintf "unknown incumbent source %S" s)))
+
 let event_of_json j =
   match req_str j "type" with
   | "node_open" ->
@@ -230,7 +246,13 @@ let event_of_json j =
         local_hits = req_int j "local_hits";
         conflict = req_bool j "conflict";
       }
-  | "incumbent" -> Incumbent { node = req_int j "node"; obj = req_num j "obj" }
+  | "incumbent" ->
+    Incumbent
+      {
+        node = req_int j "node";
+        obj = req_num j "obj";
+        source = incumbent_source_of_json j;
+      }
   | "cert_check" ->
     Cert_check
       {
@@ -370,9 +392,13 @@ let chrome_event (r : Trace.record) =
         ("local_hits", inum local_hits);
         ("conflict", Json.Bool conflict);
       ]
-  | Incumbent { node; obj } ->
+  | Incumbent { node; obj; source } ->
     instant ~cat:"search" ~scope:"g" "incumbent"
-      [ ("node", inum node); ("obj", num obj) ]
+      [
+        ("node", inum node);
+        ("obj", num obj);
+        ("source", Json.Str (Trace.incumbent_source_name source));
+      ]
   | Cert_check { node; verdict; kind; dt } ->
     base ~cat:"certify"
       ~ts:(Float.max 0. (us (r.ts -. dt)))
@@ -568,7 +594,11 @@ let load_chrome j =
               | "incumbent", _ ->
                 ( ts_us /. 1e6,
                   Incumbent
-                    { node = req_int args "node"; obj = req_num args "obj" } )
+                    {
+                      node = req_int args "node";
+                      obj = req_num args "obj";
+                      source = incumbent_source_of_json args;
+                    } )
               | "cert_check", _ ->
                 let dur = req_num e "dur" in
                 ( (ts_us +. dur) /. 1e6,
@@ -923,7 +953,7 @@ module Summary = struct
       acc.a_prop_runs <- acc.a_prop_runs + 1;
       acc.a_prop_fixings <- acc.a_prop_fixings + fixings;
       if conflict then acc.a_prop_conflicts <- acc.a_prop_conflicts + 1
-    | Incumbent { node; obj } ->
+    | Incumbent { node; obj; source = _ } ->
       acc.a_incumbents <- (r.ts, obj, node) :: acc.a_incumbents
     | Cert_check { verdict; dt; _ } ->
       acc.a_cert_checks <- acc.a_cert_checks + 1;

@@ -9,9 +9,9 @@ type result = {
 }
 
 let run ?options ?strategy ?time_limit ?max_nodes ?num_partitions ?lint ?jobs
-    ?deterministic ?rc_fixing ?propagate ?cuts ?certify ?lp_pricing
-    ?(tracer = Ilp.Trace.disabled) ~graph ~allocation ?capacity ?alpha
-    ?scratch ?latency_relax () =
+    ?deterministic ?rc_fixing ?propagate ?cuts ?heuristics ?heur_cadence
+    ?heur_dive_depth ?certify ?lp_pricing ?(tracer = Ilp.Trace.disabled)
+    ~graph ~allocation ?capacity ?alpha ?scratch ?latency_relax () =
   let tw = Ilp.Trace.main tracer in
   let span name f =
     if not (Ilp.Trace.active tw) then f ()
@@ -71,8 +71,8 @@ let run ?options ?strategy ?time_limit ?max_nodes ?num_partitions ?lint ?jobs
   (* Stage 4-5: solve, extract, validate *)
   let report =
     Solver.solve ?strategy ?time_limit ?max_nodes ?lint ?jobs ?deterministic
-      ?rc_fixing ?propagate ?cuts ?certify ?lp_pricing ~tracer
-      ?lint_options:options vars
+      ?rc_fixing ?propagate ?cuts ?heuristics ?heur_cadence ?heur_dive_depth
+      ?certify ?lp_pricing ~tracer ?lint_options:options vars
   in
   log "solve: %s (%d nodes, %.2fs)"
     (Format.asprintf "%a" Solver.pp_outcome report.Solver.outcome)

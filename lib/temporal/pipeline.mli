@@ -31,6 +31,9 @@ val run :
   ?rc_fixing:bool ->
   ?propagate:bool ->
   ?cuts:bool ->
+  ?heuristics:bool ->
+  ?heur_cadence:int ->
+  ?heur_dive_depth:int ->
   ?certify:Ilp.Branch_bound.certify_level ->
   ?lp_pricing:Ilp.Simplex.pricing ->
   ?tracer:Ilp.Trace.t ->
@@ -49,7 +52,9 @@ val run :
     {!Solver.solve}: lint analyzes and audits the formulated model,
     failing fast on error-level findings; [jobs] runs the solve stage
     on that many worker domains. [rc_fixing], [propagate] and [cuts]
-    enable the solver's node deductions (all default off). [certify]
+    enable the solver's node deductions (all default off).
+    [heuristics] (with [heur_cadence] / [heur_dive_depth]) enables the
+    primal heuristic pass at the root and on a node cadence. [certify]
     turns on exact rational certification of LP verdicts (see
     {!Solver.solve} and docs/VERIFICATION.md); when any check ran, the
     stage log gains a [certify:] line with the verdict counts.

@@ -151,11 +151,13 @@ let incumbent_timeline (stats : Ilp.Branch_bound.stats) : Ilp.Json.t =
   Ilp.Json.Arr
     (Array.to_list
        (Array.map
-          (fun (t, obj, node) ->
+          (fun (t, obj, node, source) ->
             Ilp.Json.Obj
               [
                 ("t", Ilp.Json.Num t);
                 ("obj", Ilp.Json.Num obj);
                 ("node", Ilp.Json.Num (Float.of_int node));
+                ( "source",
+                  Ilp.Json.Str (Ilp.Trace.incumbent_source_name source) );
               ])
           stats.Ilp.Branch_bound.timeline))

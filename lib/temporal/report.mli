@@ -30,6 +30,8 @@ val certification : ?row_name:(int -> string) -> Ilp.Branch_bound.stats -> Ilp.J
 
 val incumbent_timeline : Ilp.Branch_bound.stats -> Ilp.Json.t
 (** The solver's incumbent timeline as a JSON array of
-    [{"t": seconds, "obj": objective, "node": id}] objects, in
-    installation order — the convergence series of the search, embedded
-    in [tpart solve --json] reports. *)
+    [{"t": seconds, "obj": objective, "node": id, "source": name}]
+    objects, in installation order — the convergence series of the
+    search, embedded in [tpart solve --json] reports. [source] is one
+    of ["search"], ["hook"], ["round"], ["dive"] (see
+    {!Ilp.Trace.incumbent_source_name}). *)

@@ -182,6 +182,7 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
     ?(lp_backend = Ilp.Simplex.Sparse_lu) ?(lp_pricing = Ilp.Simplex.Devex)
     ?(jobs = 1) ?(deterministic = false)
     ?(rc_fixing = false) ?(propagate = false) ?(cuts = false)
+    ?(heuristics = false) ?heur_cadence ?heur_dive_depth
     ?(certify = Bb.Cert_off) ?(tracer = Ilp.Trace.disabled) vars =
   if lint then lint_or_fail ?options:lint_options vars;
   let options =
@@ -202,6 +203,12 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
       rc_fixing;
       propagate;
       cuts;
+      heuristics;
+      heur_cadence =
+        Option.value heur_cadence ~default:Bb.default_options.Bb.heur_cadence;
+      heur_dive_depth =
+        Option.value heur_dive_depth
+          ~default:Bb.default_options.Bb.heur_dive_depth;
       pseudocost = strategy = Branching.Pseudocost;
       certify_level = certify;
       tracer;

@@ -39,6 +39,9 @@ val solve :
   ?rc_fixing:bool ->
   ?propagate:bool ->
   ?cuts:bool ->
+  ?heuristics:bool ->
+  ?heur_cadence:int ->
+  ?heur_dive_depth:int ->
   ?certify:Ilp.Branch_bound.certify_level ->
   ?tracer:Ilp.Trace.t ->
   Vars.t ->
@@ -91,6 +94,14 @@ val solve :
     {!Branching.Pseudocost} strategy additionally turns on reliability
     branching inside the solver. See {!Ilp.Branch_bound.options} and
     the "Node deductions" section of [docs/SOLVER.md].
+
+    [heuristics] (default off) runs the {!Ilp.Heuristics} primal pass
+    — LP rounding + repair and depth-bounded diving — at the root and
+    every [heur_cadence] nodes (defaults from
+    {!Ilp.Branch_bound.default_options}); [heur_dive_depth] bounds one
+    dive. Installed incumbents carry their source in the report
+    timeline. Heuristics never change the proven optimum, only how
+    early an incumbent appears.
 
     [certify] (default {!Ilp.Branch_bound.Cert_off}) turns on exact
     rational certification of LP verdicts inside the search; counters

@@ -83,7 +83,16 @@ object, including the deduction counters and the incumbent timeline
 (installation times masked — they vary with the machine):
 
   $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --json | sed 's/"t":[0-9.e-]*/"t":T/g'
-  {"outcome": "optimal", "comm_cost": 2, "vars": 64, "constrs": 149, "nodes": 22, "incumbents": 1, "max_depth": 8, "deductions": {"rc_fixed": 0, "prop_fixings": 0, "prop_prunes": 0, "prop_local_hits": 0, "cut_rounds": 0, "cover": {"separated": 0, "active": 0, "evicted": 0}, "clique": {"separated": 0, "active": 0, "evicted": 0}, "pc_branchings": 0}, "timeline": [{"t":T,"obj":2,"node":11}]}
+  {"outcome": "optimal", "comm_cost": 2, "vars": 64, "constrs": 149, "nodes": 22, "incumbents": 1, "max_depth": 8, "deductions": {"rc_fixed": 0, "prop_fixings": 0, "prop_prunes": 0, "prop_local_hits": 0, "cut_rounds": 0, "cover": {"separated": 0, "active": 0, "evicted": 0}, "clique": {"separated": 0, "active": 0, "evicted": 0}, "pc_branchings": 0}, "timeline": [{"t":T,"obj":2,"node":11,"source":"hook"}]}
+
+Each timeline entry is tagged with the source of the incumbent
+(search, hook, round, dive). --heuristics enables the primal pass
+(LP rounding with repair, backtracking depth-bounded diving); on this
+instance the root dive reaches the optimum before the scheduler hook
+fires, so the first incumbent is tagged "dive":
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --heuristics --json | tr ',' '\n' | grep -o '"source":"[a-z]*"'
+  "source":"dive"
 
 With --jobs N the branch-and-bound search runs on N worker domains and
 --stats reports one row per worker with steal/handoff rates (numbers
@@ -96,6 +105,16 @@ timing-dependent, and the computed column widths follow the values):
    id nodes incumbents steals steals/s handoffs handoffs/s idle idle% pivots
    N N N N N N N Ns N N
    N N N N N N N Ns N N
+
+--pricing selects the simplex pricing rule inside every worker engine
+(each worker owns a private engine, so the rule applies across the
+pool); both rules reach the same optimum:
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --jobs 2 --pricing devex | sed -n '/^solve/p' | sed 's/(.* nodes.*)/(..)/'
+  solve: optimal (..)
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --jobs 2 --pricing partial | sed -n '/^solve/p' | sed 's/(.* nodes.*)/(..)/'
+  solve: optimal (..)
 
 --trace records the solve as a structured event stream (JSONL here;
 a .json suffix selects the Chrome trace_event format instead), and the
@@ -113,7 +132,7 @@ always do):
   $ ../../bin/tpart.exe trace summary run.jsonl | grep '^nodes'
   nodes         opened=22 closed=22 max_depth=8
 
-  $ ../../bin/tpart.exe trace summary run.jsonl | sed 's/[0-9][0-9]*\(\.[0-9]*\)\?/N/g'
+  $ ../../bin/tpart.exe trace summary run.jsonl | sed 's/[0-9][0-9]*\(\.[0-9]*\)\?/N/g' | grep -v '^phases'
   events        N in N s, N writer (main: N)
   nodes         opened=N closed=N max_depth=N
   close reasons bound=N branched=N infeasible=N
@@ -122,8 +141,18 @@ always do):
   cuts          rounds=N separated=N
   propagation   runs=N fixings=N conflicts=N
   incumbents    N (first N @Ns node N, best N @Ns node N)
-  phases        search=Ns/N presolve=Ns/N formulate=Ns/N estimate=Ns/N
   
+
+
+The phases line sorts by self-time, so at sub-millisecond resolution
+the formulate/presolve order is machine-dependent; check its content
+order-insensitively:
+
+  $ ../../bin/tpart.exe trace summary run.jsonl | sed -n 's/^phases  *//p' | tr -s ' ' '\n' | sed 's|=[0-9.e-]*s/[0-9]*$|=Ns/N|' | sort
+  estimate=Ns/N
+  formulate=Ns/N
+  presolve=Ns/N
+  search=Ns/N
 
 The stream checker verifies writer/sequence consistency:
 

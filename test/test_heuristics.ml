@@ -1,0 +1,185 @@
+(* Tests for the primal heuristics: round+repair and diving as pure
+   functions, and their integration into the branch and bound — the
+   first incumbent on a fractional-root model must come from a
+   heuristic at the root, tagged with its source, without changing the
+   proven optimum. *)
+
+module Lp = Ilp.Lp
+module Bb = Ilp.Branch_bound
+module Sx = Ilp.Simplex
+module H = Ilp.Heuristics
+
+let knapsack values weights cap =
+  let lp = Lp.create () in
+  let vars = Array.map (fun _ -> Lp.add_var lp Lp.Binary) values in
+  ignore
+    (Lp.add_constr lp
+       (Array.to_list (Array.mapi (fun i v -> (weights.(i), v)) vars))
+       Lp.Le cap);
+  Lp.set_objective lp ~maximize:true
+    (Array.to_list (Array.mapi (fun i v -> (values.(i), v)) vars));
+  lp
+
+(* A 12-item knapsack whose LP relaxation is fractional at the root. *)
+let hard_knapsack () =
+  knapsack
+    (Array.init 12 (fun i -> Float.of_int (7 + (i mod 5))))
+    (Array.init 12 (fun i -> Float.of_int (3 + (i mod 7))))
+    17.
+
+let test_round_and_repair () =
+  let lp = hard_knapsack () in
+  let r = Sx.solve lp in
+  Alcotest.(check bool) "root LP optimal" true (r.Sx.status = Sx.Optimal);
+  let h = H.create lp in
+  match H.round_and_repair h ~x:r.Sx.x () with
+  | None -> Alcotest.fail "round+repair found nothing on a knapsack"
+  | Some rx ->
+    Alcotest.(check bool) "feasible" true
+      (Ilp.Feas_check.is_feasible ~tol:1e-6 lp rx);
+    Array.iter
+      (fun v ->
+        Alcotest.(check bool) "integral" true
+          (Float.abs (v -. Float.round v) <= 1e-9))
+      rx
+
+let test_round_and_repair_pure () =
+  (* the repair must not mutate its input point *)
+  let lp = hard_knapsack () in
+  let r = Sx.solve lp in
+  let x = Array.copy r.Sx.x in
+  let h = H.create lp in
+  ignore (H.round_and_repair h ~x ());
+  Alcotest.(check (array (float 0.))) "input untouched" r.Sx.x x
+
+let test_dive () =
+  let lp = hard_knapsack () in
+  let r = Sx.solve lp in
+  let n = Lp.num_vars lp in
+  let lb = Array.make n 0. and ub = Array.make n 1. in
+  let h = H.create lp in
+  match
+    H.dive h ~lb ~ub ~x:r.Sx.x ~max_depth:n ~cutoff:Float.infinity
+      ~deadline:Float.infinity ()
+  with
+  | None -> Alcotest.fail "dive found nothing on a knapsack"
+  | Some dx ->
+    Alcotest.(check bool) "feasible" true
+      (Ilp.Feas_check.is_feasible ~tol:1e-6 lp dx)
+
+let test_dive_respects_cutoff () =
+  (* with a cutoff below the LP bound every dive level fails it *)
+  let lp = hard_knapsack () in
+  let r = Sx.solve lp in
+  let n = Lp.num_vars lp in
+  let lb = Array.make n 0. and ub = Array.make n 1. in
+  let h = H.create lp in
+  Alcotest.(check bool) "cutoff prunes the dive" true
+    (H.dive h ~lb ~ub ~x:r.Sx.x ~max_depth:n ~cutoff:(r.Sx.obj -. 1000.)
+       ~deadline:Float.infinity ()
+    = None)
+
+let test_dive_backtracks () =
+  (* a model where rounding the fractional variable to its *nearest*
+     bound is infeasible and only the opposite bound completes: the
+     dive must backtrack at the level instead of giving up.
+       max x + y + z   s.t.  x + y = 1,  2x + 2y + 2z <= 3
+     LP optimum has z = 1/2; z -> 1 conflicts with x + y = 1, z -> 0
+     leaves an integral optimum. *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp Lp.Binary
+  and y = Lp.add_var lp Lp.Binary
+  and z = Lp.add_var lp Lp.Binary in
+  ignore (Lp.add_constr lp [ (1., x); (1., y) ] Lp.Eq 1.);
+  ignore (Lp.add_constr lp [ (2., x); (2., y); (2., z) ] Lp.Le 3.);
+  Lp.set_objective lp ~maximize:true [ (1., x); (1., y); (1., z) ];
+  let r = Sx.solve lp in
+  Alcotest.(check bool) "root LP optimal" true (r.Sx.status = Sx.Optimal);
+  Alcotest.(check (float 1e-9)) "z fractional at the root" 0.5
+    r.Sx.x.((z :> int));
+  let h = H.create lp in
+  let lbs = Array.make 3 0. and ubs = Array.make 3 1. in
+  match
+    H.dive h ~lb:lbs ~ub:ubs ~x:r.Sx.x ~max_depth:3 ~cutoff:Float.infinity
+      ~deadline:Float.infinity ()
+  with
+  | None -> Alcotest.fail "dive gave up instead of backtracking"
+  | Some dx ->
+    Alcotest.(check bool) "feasible" true
+      (Ilp.Feas_check.is_feasible ~tol:1e-6 lp dx);
+    Alcotest.(check (float 1e-9)) "z fixed to the opposite bound" 0.
+      dx.((z :> int))
+
+let source_name (_, _, _, s) = Ilp.Trace.incumbent_source_name s
+
+let test_root_incumbent_with_source () =
+  let lp = hard_knapsack () in
+  let options = { Bb.default_options with Bb.heuristics = true } in
+  let outcome, stats = Bb.solve ~options lp in
+  let baseline, base_stats = Bb.solve lp in
+  (match (outcome, baseline) with
+   | Bb.Optimal { obj; _ }, Bb.Optimal { obj = obj0; _ } ->
+     Alcotest.(check (float 1e-9)) "heuristics keep the optimum" obj0 obj
+   | _ -> Alcotest.fail "expected optimal on both solves");
+  Alcotest.(check bool) "timeline nonempty" true
+    (Array.length stats.Bb.timeline > 0);
+  let t0, _, node0, src0 = stats.Bb.timeline.(0) in
+  ignore t0;
+  Alcotest.(check int) "first incumbent at the root" 1 node0;
+  Alcotest.(check bool)
+    (Printf.sprintf "first incumbent from a heuristic (got %s)"
+       (Ilp.Trace.incumbent_source_name src0))
+    true
+    (src0 = Ilp.Trace.Src_round || src0 = Ilp.Trace.Src_dive);
+  (* the tree search itself still closes the proof, and with an
+     incumbent available from node 1 it must not need more nodes *)
+  Alcotest.(check bool) "no more nodes than the cold search" true
+    (stats.Bb.nodes <= base_stats.Bb.nodes);
+  (* search-found incumbents keep the default tag *)
+  Array.iter
+    (fun entry ->
+      Alcotest.(check bool) "known source name" true
+        (Ilp.Trace.incumbent_source_of_name (source_name entry) <> None))
+    stats.Bb.timeline
+
+let test_heuristics_off_tags_search () =
+  let lp = hard_knapsack () in
+  let _, stats = Bb.solve lp in
+  Array.iter
+    (fun (_, _, _, src) ->
+      Alcotest.(check bool) "search tag" true (src = Ilp.Trace.Src_search))
+    stats.Bb.timeline
+
+let test_parallel_heuristics () =
+  (* jobs=2 with heuristics: same optimum, and the run terminates (the
+     pool latch under the heuristic-enabled workers) *)
+  let lp = hard_knapsack () in
+  let options =
+    { Bb.default_options with Bb.heuristics = true; Bb.jobs = 2 }
+  in
+  match (Bb.solve ~options lp, Bb.solve lp) with
+  | (Bb.Optimal { obj; _ }, _), (Bb.Optimal { obj = obj0; _ }, _) ->
+    Alcotest.(check (float 1e-9)) "parallel heuristic optimum" obj0 obj
+  | _ -> Alcotest.fail "expected optimal on both solves"
+
+let () =
+  Alcotest.run "heuristics"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "round+repair" `Quick test_round_and_repair;
+          Alcotest.test_case "round+repair is pure" `Quick
+            test_round_and_repair_pure;
+          Alcotest.test_case "dive" `Quick test_dive;
+          Alcotest.test_case "dive cutoff" `Quick test_dive_respects_cutoff;
+          Alcotest.test_case "dive backtracks" `Quick test_dive_backtracks;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "root incumbent tagged" `Quick
+            test_root_incumbent_with_source;
+          Alcotest.test_case "search tag by default" `Quick
+            test_heuristics_off_tags_search;
+          Alcotest.test_case "parallel solve" `Quick test_parallel_heuristics;
+        ] );
+    ]

@@ -104,6 +104,37 @@ let test_deterministic_mode_with_deductions () =
   Alcotest.(check bool) "same verdict as plain solve" true
     (objective_of a = objective_of plain)
 
+let test_heuristics_parallel_verdict () =
+  (* heuristics on, hook off, across worker counts: the primal pass
+     must never change the verdict, and the parallel run must terminate
+     through the pool latch with heuristic-enabled workers *)
+  let spec = mk ~n:2 ~l:1 (Ex.figure1 ()) in
+  let solve jobs =
+    objective_of
+      (Solver.solve ~scheduler_completion:false ~heuristics:true ~jobs
+         (F.build spec))
+  in
+  let seq = solve 1 and par = solve 4 in
+  if seq <> par then
+    Alcotest.failf "heuristics: jobs=1 gives %s but jobs=4 gives %s"
+      (pp_verdict seq) (pp_verdict par)
+
+let test_parallel_terminates_solved () =
+  (* Regression for the "solved:false" anomaly: with no time pressure
+     the parallel search must close the tree and report a proven
+     verdict (not a limit) at every worker count. *)
+  let spec = mk ~n:2 ~l:1 (Ex.figure1 ()) in
+  List.iter
+    (fun jobs ->
+      let r =
+        Solver.solve ~scheduler_completion:false ~jobs (F.build spec)
+      in
+      match r.Solver.outcome with
+      | Solver.Feasible _ | Solver.Infeasible_model -> ()
+      | Solver.Timed_out _ ->
+        Alcotest.failf "jobs=%d: unlimited search reported a limit" jobs)
+    [ 1; 2; 4; 8 ]
+
 let test_worker_stats_shape () =
   let spec = mk ~n:2 ~l:1 (Ex.figure1 ()) in
   let r = Solver.solve ~jobs:3 (F.build spec) in
@@ -158,6 +189,10 @@ let () =
             test_deterministic_mode_with_deductions;
           Alcotest.test_case "worker stats shape" `Quick
             test_worker_stats_shape;
+          Alcotest.test_case "heuristics, parallel verdict" `Quick
+            test_heuristics_parallel_verdict;
+          Alcotest.test_case "terminates solved" `Quick
+            test_parallel_terminates_solved;
         ] );
       ( "explore",
         [

@@ -135,6 +135,71 @@ let test_hungry_signal () =
   Alcotest.(check bool) "fed" false (Pool.hungry p);
   Pool.stop p
 
+let test_hungry_after_latch () =
+  (* Regression: [hungry] reads atomic mirrors now — after the crew
+     latches the pool it must report not-hungry (donating into a
+     stopped pool is wasted work), and the mirrors must agree with the
+     latch. *)
+  let p = Pool.create ~workers:1 in
+  Alcotest.(check (option int)) "latch" None (Pool.take p);
+  Alcotest.(check bool) "stopped after latch" true (Pool.stopped p);
+  Alcotest.(check bool) "not hungry once stopped" false (Pool.hungry p)
+
+let test_mirror_accounting () =
+  (* Regression for the lock-free mirrors: every path that moves items
+     (push/take/try_take/drain) must keep the queued mirror exact, or
+     [hungry] lies and workers donate into a full pool / starve an
+     empty one. Single-domain, so the mirror must be exact at every
+     step. *)
+  let p = Pool.create ~workers:2 in
+  Alcotest.(check bool) "fresh pool not hungry" false (Pool.hungry p);
+  List.iter (Pool.push p) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "take sees top" (Some 3) (Pool.take p);
+  Alcotest.(check (option int)) "try_take next" (Some 2) (Pool.try_take p);
+  Alcotest.(check (list int)) "drain rest" [ 1 ] (Pool.drain p);
+  Alcotest.(check (option int)) "try_take on empty" None (Pool.try_take p);
+  Alcotest.(check bool) "empty but nobody parked" false (Pool.hungry p);
+  let d = Domain.spawn (fun () -> Pool.take p) in
+  while not (Pool.hungry p) do
+    Domain.cpu_relax ()
+  done;
+  Pool.push p 9;
+  Alcotest.(check (option int)) "parked worker fed" (Some 9) (Domain.join d);
+  Alcotest.(check bool) "fed, not hungry" false (Pool.hungry p);
+  Pool.stop p
+
+let test_churn_termination () =
+  (* Termination detection under contention: workers that re-push work
+     a bounded number of times must process every item exactly once and
+     then all latch out with None — no lost wakeup, no deadlock, no
+     double consumption. This is the protocol behind the parallel
+     search's "solved" flag. *)
+  let workers = 4 in
+  let p = Pool.create ~workers in
+  (* (generation, id): a worker re-pushes an item until generation 0 *)
+  for i = 0 to 31 do
+    Pool.push p (3, i)
+  done;
+  let consumed = Atomic.make 0 in
+  let doms =
+    Array.init workers (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match Pool.take p with
+              | None -> ()
+              | Some (gen, id) ->
+                if gen = 0 then Atomic.incr consumed
+                else Pool.push p (gen - 1, id);
+                loop ()
+            in
+            loop ()))
+  in
+  Array.iter Domain.join doms;
+  Alcotest.(check int) "every item consumed exactly once" 32
+    (Atomic.get consumed);
+  Alcotest.(check bool) "latched" true (Pool.stopped p);
+  Alcotest.(check (list (pair int int))) "nothing left" [] (Pool.drain p)
+
 let () =
   Alcotest.run "pool"
     [
@@ -160,5 +225,11 @@ let () =
           Alcotest.test_case "early cutoff unblocks" `Quick
             test_early_cutoff_unblocks;
           Alcotest.test_case "hungry signal" `Quick test_hungry_signal;
+          Alcotest.test_case "hungry after latch" `Quick
+            test_hungry_after_latch;
+          Alcotest.test_case "mirror accounting" `Quick
+            test_mirror_accounting;
+          Alcotest.test_case "churn termination" `Quick
+            test_churn_termination;
         ] );
     ]

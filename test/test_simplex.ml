@@ -535,6 +535,94 @@ let prop_devex_01_warm_parity =
       done;
       !ok)
 
+(* -------- basis export / install (warm-start shipping) -------- *)
+
+let prop_shipped_basis_reaches_optimum =
+  (* The parallel search's shipping protocol: solve a parent LP on one
+     engine, export its basis, install it into a DIFFERENT engine of
+     the same model, tighten some bounds (the child's branching fixes)
+     and dual-reoptimize. The result must match a cold solve of the
+     child bounds — under both pricing rules. *)
+  QCheck.Test.make
+    ~name:"warm start from a shipped basis matches the cold optimum"
+    ~count:100
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      List.for_all
+        (fun pricing ->
+          let lp = make_rand_01 seed ~n:8 ~m:6 in
+          let parent = Sx.create ~pricing lp in
+          let r0 = Sx.primal parent in
+          if r0.Sx.status <> Sx.Optimal then true (* covered elsewhere *)
+          else begin
+            let b = Sx.export_basis parent in
+            let thief = Sx.create ~pricing lp in
+            if not (Sx.install_basis thief b) then false
+            else begin
+              let rng = Taskgraph.Prng.create (seed + 13) in
+              let lp2 = Lp.copy lp in
+              for j = 0 to 7 do
+                if Taskgraph.Prng.bool rng 0.4 then begin
+                  let fix = Float.of_int (Taskgraph.Prng.int rng 2) in
+                  Sx.set_var_bounds thief j ~lb:fix ~ub:fix;
+                  Lp.set_bounds lp2 (Lp.var_of_int lp2 j) ~lb:fix ~ub:fix
+                end
+              done;
+              let warm = Sx.dual_reopt thief in
+              let cold = Sx.solve lp2 in
+              match (warm.Sx.status, cold.Sx.status) with
+              | Sx.Optimal, Sx.Optimal ->
+                Float.abs (warm.Sx.obj -. cold.Sx.obj) <= 1e-7
+              | Sx.Infeasible, Sx.Infeasible -> true
+              | _, _ -> false
+            end
+          end)
+        [ Sx.Devex; Sx.Partial ])
+
+let test_basis_mismatch_falls_back () =
+  (* A basis exported from a model of different dimensions must be
+     rejected, and the refusing engine must still solve cleanly from
+     its cold slack basis afterwards. *)
+  let lp_big = make_rand_01 7 ~n:8 ~m:6 in
+  let lp_small = make_rand_01 7 ~n:5 ~m:4 in
+  let donor = Sx.create lp_big in
+  ignore (Sx.primal donor);
+  let b = Sx.export_basis donor in
+  let eng = Sx.create lp_small in
+  Alcotest.(check bool) "mismatched basis rejected" false
+    (Sx.install_basis eng b);
+  let r = Sx.primal eng in
+  Alcotest.(check bool) "engine recovers with a cold solve" true
+    (r.Sx.status = Sx.Optimal);
+  let reference = Sx.solve lp_small in
+  Alcotest.(check (float 1e-7)) "and reaches the true optimum"
+    reference.Sx.obj r.Sx.obj
+
+let test_stale_basis_reopt () =
+  (* A basis exported BEFORE later pivots is stale but dimensionally
+     valid: installing it must succeed and dual_reopt must still land
+     on the optimum of the current bounds. *)
+  let lp = make_rand_01 21 ~n:8 ~m:6 in
+  let eng = Sx.create lp in
+  let r0 = Sx.primal eng in
+  Alcotest.(check bool) "base solve optimal" true (r0.Sx.status = Sx.Optimal);
+  let stale = Sx.export_basis eng in
+  (* walk the engine elsewhere: fix a few variables and re-optimize *)
+  Sx.set_var_bounds eng 0 ~lb:1. ~ub:1.;
+  Sx.set_var_bounds eng 3 ~lb:0. ~ub:0.;
+  ignore (Sx.dual_reopt eng);
+  (* now install the stale root basis and re-solve the CURRENT bounds *)
+  Alcotest.(check bool) "stale basis installs" true
+    (Sx.install_basis eng stale);
+  let warm = Sx.dual_reopt eng in
+  let lp2 = Lp.copy lp in
+  Lp.set_bounds lp2 (Lp.var_of_int lp2 0) ~lb:1. ~ub:1.;
+  Lp.set_bounds lp2 (Lp.var_of_int lp2 3) ~lb:0. ~ub:0.;
+  let cold = Sx.solve lp2 in
+  Alcotest.(check bool) "same status" true (warm.Sx.status = cold.Sx.status);
+  if warm.Sx.status = Sx.Optimal then
+    Alcotest.(check (float 1e-7)) "same objective" cold.Sx.obj warm.Sx.obj
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "simplex"
@@ -564,9 +652,16 @@ let () =
           Alcotest.test_case "BFRT exhaustion certifies infeasibility" `Quick
             test_bfrt_exhaustion_is_infeasible;
         ] );
+      ( "basis-shipping",
+        [
+          Alcotest.test_case "mismatched basis falls back" `Quick
+            test_basis_mismatch_falls_back;
+          Alcotest.test_case "stale basis reopt" `Quick test_stale_basis_reopt;
+        ] );
       ( "properties",
         [ qt prop_feasible_and_dominates; qt prop_warm_start_agrees;
           qt prop_mixed_senses; qt prop_dense_sparse_agree;
           qt prop_dense_sparse_warm_agree; qt prop_pricing_rules_agree;
-          qt prop_devex_01_warm_parity; qt prop_lp_bound_below_milp ] );
+          qt prop_devex_01_warm_parity; qt prop_lp_bound_below_milp;
+          qt prop_shipped_basis_reaches_optimum ] );
     ]

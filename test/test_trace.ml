@@ -27,7 +27,7 @@ let test_emit_collect_order () =
   let w = Trace.main t in
   Alcotest.(check bool) "active" true (Trace.active w);
   for i = 0 to 99 do
-    Trace.emit w (Trace.Incumbent { node = i; obj = Float.of_int i })
+    Trace.emit w (Trace.Incumbent { node = i; obj = Float.of_int i; source = Trace.Src_search })
   done;
   let r = Trace.collect t in
   Alcotest.(check int) "all collected" 100 (Array.length r);
@@ -43,7 +43,7 @@ let test_ring_overwrites_oldest () =
   let t = Trace.create ~capacity:16 () in
   let w = Trace.main t in
   for i = 0 to 99 do
-    Trace.emit w (Trace.Incumbent { node = i; obj = 0. })
+    Trace.emit w (Trace.Incumbent { node = i; obj = 0.; source = Trace.Src_search })
   done;
   let r = Trace.collect t in
   Alcotest.(check int) "capacity retained" 16 (Array.length r);
@@ -69,7 +69,7 @@ let merge_property =
       let worker d () =
         let w = Trace.make_writer t (Printf.sprintf "w%d" d) in
         for i = 0 to nevents - 1 do
-          Trace.emit w (Trace.Incumbent { node = (d * 1_000_000) + i; obj = 0. })
+          Trace.emit w (Trace.Incumbent { node = (d * 1_000_000) + i; obj = 0.; source = Trace.Src_search })
         done
       in
       let doms = Array.init ndoms (fun d -> Domain.spawn (worker d)) in
