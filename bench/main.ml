@@ -397,6 +397,11 @@ type lp_row = {
   lp_devex_pivots : int;
   lp_devex_flips : int;
   lp_root_speedup : float;
+  lp_bucket_factor_s : float;
+  lp_bucket_factors : int;
+  lp_legacy_factor_s : float;
+  lp_legacy_factors : int;
+  lp_factor_speedup : float;
   lp_solve_s : float;
   lp_solved : bool;
   lp_result : string;
@@ -425,9 +430,9 @@ let lp_bench ~quick () =
     ]
   in
   Format.printf
-    " %-6s %-3s %-3s | %-5s %-6s | %-10s %-7s | %-10s %-7s %-6s | %-7s | full solve (devex)@."
+    " %-6s %-3s %-3s | %-5s %-6s | %-10s %-7s | %-10s %-7s %-6s | %-7s | %-13s | full solve (devex)@."
     "graph" "N" "L" "Var" "Const" "partial(s)" "pivots" "devex(s)" "pivots"
-    "flips" "speedup";
+    "flips" "speedup" "LU bkt/leg";
   let ratios = ref [] in
   List.iter
     (fun (gno, n, ams, l) ->
@@ -464,6 +469,29 @@ let lp_bench ~quick () =
       let td, dv_pivots, dv_flips = root Ilp.Simplex.Devex in
       let speedup = tp /. td in
       ratios := speedup :: !ratios;
+      (* the factorization kernel under each LU pivot search: same devex
+         root solves, accumulated Lu.factor wall time and count from the
+         engine's own statistics; per-factorization averages are compared
+         (counts differ — the bucket rule refactorizes on a shorter eta
+         cadence, see docs/PERFORMANCE.md) *)
+      let root_factor rule =
+        let runs =
+          List.init reps (fun _ ->
+              let st =
+                Ilp.Simplex.create ~pricing:Ilp.Simplex.Devex ~lu_rule:rule lp
+              in
+              ignore (Ilp.Simplex.primal ~max_iters st);
+              let s = Ilp.Simplex.stats st in
+              (s.Ilp.Simplex.factor_time_s, s.Ilp.Simplex.factorizations))
+        in
+        (median (List.map fst runs), snd (List.hd runs))
+      in
+      let bk_s, bk_n = root_factor Ilp.Lu.Bucket in
+      let lg_s, lg_n = root_factor Ilp.Lu.Legacy in
+      let factor_speedup =
+        (lg_s /. float_of_int (Int.max 1 lg_n))
+        /. (bk_s /. float_of_int (Int.max 1 bk_n))
+      in
       (* the production search under the devex default: does the Table 4
          cell close inside the budget? *)
       let vars2 = F.build ~options:F.tightened_options spec in
@@ -485,15 +513,19 @@ let lp_bench ~quick () =
           lp_partial_s = tp; lp_partial_pivots = pp_pivots;
           lp_devex_s = td; lp_devex_pivots = dv_pivots;
           lp_devex_flips = dv_flips; lp_root_speedup = speedup;
+          lp_bucket_factor_s = bk_s; lp_bucket_factors = bk_n;
+          lp_legacy_factor_s = lg_s; lp_legacy_factors = lg_n;
+          lp_factor_speedup = factor_speedup;
           lp_solve_s = solve_s; lp_solved = solved; lp_result = result;
         }
         :: !lp_rows;
       Format.printf
-        " %-6d %-3d %-3d | %-5d %-6d | %-10.4f %-7d | %-10.4f %-7d %-6d | %-7.2f | %.2fs %s@."
+        " %-6d %-3d %-3d | %-5d %-6d | %-10.4f %-7d | %-10.4f %-7d %-6d | %-7.2f | factor x%-5.1f | %.2fs %s@."
         gno n l
         (Temporal.Vars.num_vars vars)
         (Temporal.Vars.num_constrs vars)
-        tp pp_pivots td dv_pivots dv_flips speedup solve_s result)
+        tp pp_pivots td dv_pivots dv_flips speedup factor_speedup solve_s
+        result)
     points;
   let geomean =
     exp
@@ -511,11 +543,16 @@ let write_lp_json path =
        \"constrs\": %d, \"partial_root_s\": %.6f, \
        \"partial_pivots\": %d, \"devex_root_s\": %.6f, \
        \"devex_pivots\": %d, \"devex_flips\": %d, \
-       \"root_speedup\": %.3f, \"solve_s\": %.3f, \"solved\": %b, \
+       \"root_speedup\": %.3f, \"bucket_factor_time_s\": %.6f, \
+       \"bucket_factorizations\": %d, \"legacy_factor_time_s\": %.6f, \
+       \"legacy_factorizations\": %d, \"factor_speedup\": %.3f, \
+       \"solve_s\": %.3f, \"solved\": %b, \
        \"result\": %S }"
       r.lp_graph r.lp_n r.lp_l r.lp_vars r.lp_constrs r.lp_partial_s
       r.lp_partial_pivots r.lp_devex_s r.lp_devex_pivots r.lp_devex_flips
-      r.lp_root_speedup r.lp_solve_s r.lp_solved r.lp_result
+      r.lp_root_speedup r.lp_bucket_factor_s r.lp_bucket_factors
+      r.lp_legacy_factor_s r.lp_legacy_factors r.lp_factor_speedup
+      r.lp_solve_s r.lp_solved r.lp_result
   in
   let rows = List.rev !lp_rows in
   let geomean =

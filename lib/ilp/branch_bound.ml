@@ -31,6 +31,7 @@ type options = {
   check_model : bool;
   lp_backend : Simplex.backend;
   lp_pricing : Simplex.pricing;
+  lp_lu : Lu.pivot_rule option;
   jobs : int;
   deterministic : bool;
   rc_fixing : bool;
@@ -62,6 +63,7 @@ let default_options =
     check_model = false;
     lp_backend = Simplex.Sparse_lu;
     lp_pricing = Simplex.Partial;
+    lp_lu = None;
     jobs = 1;
     deterministic = false;
     rc_fixing = false;
@@ -832,7 +834,8 @@ let run_heuristics ctx ~node_no ~depth ~lb ~ub x =
     | None ->
       let h =
         Heuristics.create ~backend:env.opts.lp_backend
-          ~pricing:env.opts.lp_pricing ~trace:ctx.tw env.lp
+          ~pricing:env.opts.lp_pricing ?lu_rule:env.opts.lp_lu ~trace:ctx.tw
+          env.lp
       in
       ctx.heur <- Some h;
       h
@@ -1221,7 +1224,7 @@ let cut_and_branch opts lp t0 tw =
     !continue_ && !rounds < opts.cut_rounds
     && Mono.elapsed_since t0 <= cut_budget
   do
-    let res = Simplex.solve ~backend:opts.lp_backend ~pricing:opts.lp_pricing (with_cuts !active) in
+    let res = Simplex.solve ~backend:opts.lp_backend ~pricing:opts.lp_pricing ?lu_rule:opts.lp_lu (with_cuts !active) in
     if res.Simplex.status <> Simplex.Optimal then continue_ := false
     else if
       List.for_all
@@ -1341,7 +1344,7 @@ let root_node =
 
 let solve_sequential env =
   let opts = env.opts in
-  let st = Simplex.create ~backend:opts.lp_backend ~pricing:opts.lp_pricing env.lp in
+  let st = Simplex.create ~backend:opts.lp_backend ~pricing:opts.lp_pricing ?lu_rule:opts.lp_lu env.lp in
   let tw = Trace.main opts.tracer in
   Simplex.set_trace st tw;
   let pivots0 = Simplex.total_pivots st in
@@ -1448,7 +1451,7 @@ type wret = {
 let solve_parallel env =
   let opts = env.opts in
   let jobs = opts.jobs in
-  let st0 = Simplex.create ~backend:opts.lp_backend ~pricing:opts.lp_pricing env.lp in
+  let st0 = Simplex.create ~backend:opts.lp_backend ~pricing:opts.lp_pricing ?lu_rule:opts.lp_lu env.lp in
   let tw0 = Trace.main opts.tracer in
   Simplex.set_trace st0 tw0;
   let pivots0 = Simplex.total_pivots st0 in
@@ -1524,7 +1527,7 @@ let solve_parallel env =
     in
     let local : node Pool.Deque.t = Pool.Deque.create () in
     List.iter (Pool.Deque.push local) (List.rev my_seeds);
-    let st = Simplex.create ~backend:opts.lp_backend ~pricing:opts.lp_pricing env.lp in
+    let st = Simplex.create ~backend:opts.lp_backend ~pricing:opts.lp_pricing ?lu_rule:opts.lp_lu env.lp in
     (* Registered from inside the spawned domain: this domain is the
        buffer's single writer for the whole search. *)
     let tw =

@@ -12,12 +12,13 @@ type t = {
   root_ub : float array;
   backend : Simplex.backend;
   pricing : Simplex.pricing;
+  lu_rule : Lu.pivot_rule option;  (* None: follow the pricing default *)
   trace : Trace.writer;
   mutable eng : Simplex.state option;
   mutable eng_fresh : bool;  (* no usable basis on the engine yet *)
 }
 
-let create ?(backend = Simplex.Sparse_lu) ?(pricing = Simplex.Devex)
+let create ?(backend = Simplex.Sparse_lu) ?(pricing = Simplex.Devex) ?lu_rule
     ?(trace = Trace.null_writer) lp =
   let n = Lp.num_vars lp in
   let ivars =
@@ -35,6 +36,7 @@ let create ?(backend = Simplex.Sparse_lu) ?(pricing = Simplex.Devex)
     root_ub = Array.init n (fun j -> Lp.var_ub lp (Lp.var_of_int lp j));
     backend;
     pricing;
+    lu_rule;
     trace;
     eng = None;
     eng_fresh = true;
@@ -48,7 +50,10 @@ let engine t =
   match t.eng with
   | Some st -> st
   | None ->
-    let st = Simplex.create ~backend:t.backend ~pricing:t.pricing t.lp in
+    let st =
+      Simplex.create ~backend:t.backend ~pricing:t.pricing
+        ?lu_rule:t.lu_rule t.lp
+    in
     Simplex.set_trace st t.trace;
     t.eng <- Some st;
     st

@@ -25,12 +25,15 @@ type t
 val create :
   ?backend:Simplex.backend ->
   ?pricing:Simplex.pricing ->
+  ?lu_rule:Lu.pivot_rule ->
   ?trace:Trace.writer ->
   Lp.t ->
   t
 (** Prepares heuristic state for the model. Cheap: the private simplex
-    engine is only built on the first {!dive}. [trace] routes the
-    private engine's LP-solve events (default {!Trace.null_writer}). *)
+    engine is only built on the first {!dive}. [lu_rule] forwards to
+    {!Simplex.create} (omitted: the pricing-mode default). [trace]
+    routes the private engine's LP-solve events (default
+    {!Trace.null_writer}). *)
 
 val round_and_repair :
   t -> ?int_tol:float -> ?max_flips:int -> x:float array -> unit ->

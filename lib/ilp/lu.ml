@@ -78,13 +78,24 @@ let check_owner lu op =
          lu.owner
          (Domain.self () :> int))
 
-let factor ?(trace = Trace.null_writer) (a : Sparse.Csc.mat)
-    (basis : int array) =
-  let t_start = if Trace.active trace then Mono.now () else 0. in
-  let m = Array.length basis in
-  if a.Sparse.Csc.nrows <> m then invalid_arg "Lu.factor: dimension mismatch";
-  (* Active submatrix as dual hash maps: per-slot row->value columns and
-     per-row slot sets, kept consistent through elimination. *)
+type pivot_rule = Legacy | Bucket
+
+(* Bucket-path candidate budget: once any acceptable pivot is in hand,
+   the search stops probing after this many threshold-passing candidates
+   per elimination step. Together with the count-ordered buckets and the
+   [cost <= (k-1)^2] exit this bounds the per-step search independently
+   of the active submatrix size; the cap is generous enough that on the
+   paper-graph bases it almost never binds before the exact exit does. *)
+let max_probes = 200
+
+(* The legacy pivot path: active submatrix as dual hash maps (per-slot
+   row->value columns and per-row slot sets). The pivot order this
+   produces is iteration-order-sensitive, and the frozen node-count
+   fixtures pin it under [Partial] pricing — every scan below must stay
+   bit-exact. [probes] counts threshold-passing candidate evaluations
+   (observation only; it cannot change the selection). *)
+let factor_legacy (a : Sparse.Csc.mat) (basis : int array) m lp_row u_q u_diag
+    l_idx l_val u_idx u_val fill probes =
   let cols : (int, float) Hashtbl.t array =
     Array.init m (fun _ -> Hashtbl.create 8)
   in
@@ -97,11 +108,6 @@ let factor ?(trace = Trace.null_writer) (a : Sparse.Csc.mat)
         Hashtbl.replace rows.(i) j ())
   done;
   let col_active = Array.make m true in
-  let lp_row = Array.make m 0 and u_q = Array.make m 0 in
-  let u_diag = Array.make m 0. in
-  let l_idx = Array.make m [||] and l_val = Array.make m [||] in
-  let u_idx = Array.make m [||] and u_val = Array.make m [||] in
-  let fill = ref m in
   for step = 0 to m - 1 do
     (* Threshold Markowitz: among entries no smaller than [tau] times
        their column's max, minimize (col_nnz-1)*(row_nnz-1); stop early
@@ -122,6 +128,7 @@ let factor ?(trace = Trace.null_writer) (a : Sparse.Csc.mat)
                (fun i v ->
                  let av = Float.abs v in
                  if av >= tau *. colmax && av >= abs_tol then begin
+                   incr probes;
                    let cost = (cnt_j - 1) * (Hashtbl.length rows.(i) - 1) in
                    if
                      cost < !best_cost
@@ -189,10 +196,401 @@ let factor ?(trace = Trace.null_writer) (a : Sparse.Csc.mat)
       u_idx.(step) <- Array.of_list (List.map fst !uent);
       u_val.(step) <- Array.of_list (List.map snd !uent);
       fill := !fill + List.length !lent + List.length !uent
+  done
+
+(* Entry arena for the bucket pivot path: the active submatrix lives in
+   parallel arrays of (row, col, value) triples threaded onto two
+   doubly-linked lists each — one per column, one per row — so an entry
+   is spliced in or out in O(1) and a column or row is walked in
+   O(its nnz). [cnx] doubles as the free-list link. Grown by doubling
+   when fill-in outruns the initial 2x-nnz headroom. *)
+type arena = {
+  mutable acap : int;
+  mutable e_row : int array;
+  mutable e_col : int array;
+  mutable e_val : float array;
+  mutable cnx : int array;  (* next entry in the same column / free link *)
+  mutable cpv : int array;
+  mutable rnx : int array;  (* next entry in the same row *)
+  mutable rpv : int array;
+  mutable atop : int;  (* bump-allocation watermark *)
+  mutable freeh : int;  (* free-list head, -1 when empty *)
+}
+
+(* The bucket pivot path (Suhl-Suhl style). On top of the arena it keeps
+   the active columns and rows sorted by nonzero count in doubly-linked
+   {e bucket} lists: [cb_head.(k)] chains the columns of count [k]
+   (likewise [rb_head] for rows), and every count change relinks its
+   column or row in O(1). The Markowitz search then visits buckets in
+   increasing count order and stops as soon as no unseen candidate can
+   beat the best cost found: after both count-[<= k-1] bucket families
+   have been scanned, any unseen entry has column {e and} row count
+   [>= k], i.e. cost [>= (k-1)^2]. Eliminations splice the pivot row and
+   column out and apply the rank-1 update in O(entries touched). The
+   pivot order differs from [factor_legacy] (by design — both satisfy
+   the same threshold test against [tau]). *)
+let factor_bucket (a : Sparse.Csc.mat) (basis : int array) m lp_row u_q u_diag
+    l_idx l_val u_idx u_val fill probes =
+  let nnz = ref 0 in
+  for j = 0 to m - 1 do
+    Sparse.Csc.iter_col a basis.(j) (fun _ _ -> incr nnz)
   done;
+  let ar =
+    let cap = Int.max 64 (2 * !nnz) in
+    {
+      acap = cap;
+      e_row = Array.make cap 0;
+      e_col = Array.make cap 0;
+      e_val = Array.make cap 0.;
+      cnx = Array.make cap (-1);
+      cpv = Array.make cap (-1);
+      rnx = Array.make cap (-1);
+      rpv = Array.make cap (-1);
+      atop = 0;
+      freeh = -1;
+    }
+  in
+  let grow () =
+    let nc = 2 * ar.acap in
+    let gi a =
+      let b = Array.make nc (-1) in
+      Array.blit a 0 b 0 ar.acap;
+      b
+    in
+    let gf a =
+      let b = Array.make nc 0. in
+      Array.blit a 0 b 0 ar.acap;
+      b
+    in
+    ar.e_row <- gi ar.e_row;
+    ar.e_col <- gi ar.e_col;
+    ar.e_val <- gf ar.e_val;
+    ar.cnx <- gi ar.cnx;
+    ar.cpv <- gi ar.cpv;
+    ar.rnx <- gi ar.rnx;
+    ar.rpv <- gi ar.rpv;
+    ar.acap <- nc
+  in
+  let alloc () =
+    if ar.freeh >= 0 then begin
+      let e = ar.freeh in
+      ar.freeh <- ar.cnx.(e);
+      e
+    end
+    else begin
+      if ar.atop = ar.acap then grow ();
+      let e = ar.atop in
+      ar.atop <- ar.atop + 1;
+      e
+    end
+  in
+  let chead = Array.make m (-1) and rhead = Array.make m (-1) in
+  let ccnt = Array.make m 0 and rcnt = Array.make m 0 in
+  let insert r c v =
+    let e = alloc () in
+    ar.e_row.(e) <- r;
+    ar.e_col.(e) <- c;
+    ar.e_val.(e) <- v;
+    ar.cnx.(e) <- chead.(c);
+    ar.cpv.(e) <- -1;
+    if chead.(c) >= 0 then ar.cpv.(chead.(c)) <- e;
+    chead.(c) <- e;
+    ccnt.(c) <- ccnt.(c) + 1;
+    ar.rnx.(e) <- rhead.(r);
+    ar.rpv.(e) <- -1;
+    if rhead.(r) >= 0 then ar.rpv.(rhead.(r)) <- e;
+    rhead.(r) <- e;
+    rcnt.(r) <- rcnt.(r) + 1
+  in
+  let remove_from_col e =
+    let nx = ar.cnx.(e) and pv = ar.cpv.(e) in
+    if pv >= 0 then ar.cnx.(pv) <- nx else chead.(ar.e_col.(e)) <- nx;
+    if nx >= 0 then ar.cpv.(nx) <- pv
+  in
+  let remove_from_row e =
+    let nx = ar.rnx.(e) and pv = ar.rpv.(e) in
+    if pv >= 0 then ar.rnx.(pv) <- nx else rhead.(ar.e_row.(e)) <- nx;
+    if nx >= 0 then ar.rpv.(nx) <- pv
+  in
+  let free_entry e =
+    ar.cnx.(e) <- ar.freeh;
+    ar.freeh <- e
+  in
+  for j = 0 to m - 1 do
+    Sparse.Csc.iter_col a basis.(j) (fun i v -> insert i j v)
+  done;
+  (* Count buckets. A column (or row) always sits in the bucket of its
+     current count; count-0 members land in bucket 0, which the search
+     never visits (they cannot supply a pivot until fill-in revives
+     them, and every count change relinks). Unlink before any count
+     change: the head fixup reads the current count. *)
+  let cb_head = Array.make (m + 1) (-1) in
+  let cb_nx = Array.make m (-1) and cb_pv = Array.make m (-1) in
+  let rb_head = Array.make (m + 1) (-1) in
+  let rb_nx = Array.make m (-1) and rb_pv = Array.make m (-1) in
+  let cb_link j =
+    let k = ccnt.(j) in
+    cb_nx.(j) <- cb_head.(k);
+    cb_pv.(j) <- -1;
+    if cb_head.(k) >= 0 then cb_pv.(cb_head.(k)) <- j;
+    cb_head.(k) <- j
+  in
+  let cb_unlink j =
+    let nx = cb_nx.(j) and pv = cb_pv.(j) in
+    if pv >= 0 then cb_nx.(pv) <- nx else cb_head.(ccnt.(j)) <- nx;
+    if nx >= 0 then cb_pv.(nx) <- pv
+  in
+  let rb_link i =
+    let k = rcnt.(i) in
+    rb_nx.(i) <- rb_head.(k);
+    rb_pv.(i) <- -1;
+    if rb_head.(k) >= 0 then rb_pv.(rb_head.(k)) <- i;
+    rb_head.(k) <- i
+  in
+  let rb_unlink i =
+    let nx = rb_nx.(i) and pv = rb_pv.(i) in
+    if pv >= 0 then rb_nx.(pv) <- nx else rb_head.(rcnt.(i)) <- nx;
+    if nx >= 0 then rb_pv.(nx) <- pv
+  in
+  for j = 0 to m - 1 do
+    cb_link j
+  done;
+  for i = 0 to m - 1 do
+    rb_link i
+  done;
+  (* Per-column magnitude maximum for the threshold test, cached and
+     recomputed lazily: eliminations mark every column they touch dirty,
+     and a pivot search reuses a clean max across however many candidate
+     entries it probes in that column. *)
+  let cmax = Array.make m 0. in
+  let cdirty = Array.make m true in
+  let colmax j =
+    if cdirty.(j) then begin
+      let mx = ref 0. in
+      let e = ref chead.(j) in
+      while !e >= 0 do
+        let av = Float.abs ar.e_val.(!e) in
+        if av > !mx then mx := av;
+        e := ar.cnx.(!e)
+      done;
+      cmax.(j) <- !mx;
+      cdirty.(j) <- false
+    end;
+    cmax.(j)
+  in
+  (* Rank-1 update workspace: row-pattern scatter, stamp-validated. *)
+  let pos = Array.make m (-1) in
+  let pstamp = Array.make m 0 in
+  let stamp = ref 0 in
+  for step = 0 to m - 1 do
+    let best_e = ref (-1) and best_cost = ref max_int and best_mag = ref 0. in
+    let pstep = ref 0 in
+    let k = ref 1 in
+    let searching = ref true in
+    while !searching && !k <= m do
+      if !best_e >= 0 && !best_cost <= (!k - 1) * (!k - 1) then
+        searching := false
+      else begin
+        (* columns of count k *)
+        let j = ref cb_head.(!k) in
+        while !searching && !j >= 0 do
+          let nj = cb_nx.(!j) in
+          let mx = colmax !j in
+          if mx >= abs_tol then begin
+            let e = ref chead.(!j) in
+            while !e >= 0 do
+              let av = Float.abs ar.e_val.(!e) in
+              if av >= tau *. mx && av >= abs_tol then begin
+                incr pstep;
+                let cost = (!k - 1) * (rcnt.(ar.e_row.(!e)) - 1) in
+                if cost < !best_cost || (cost = !best_cost && av > !best_mag)
+                then begin
+                  best_cost := cost;
+                  best_mag := av;
+                  best_e := !e
+                end
+              end;
+              e := ar.cnx.(!e)
+            done;
+            if !best_cost = 0 || (!best_e >= 0 && !pstep >= max_probes) then
+              searching := false
+          end;
+          j := nj
+        done;
+        (* rows of count k; entries in columns of count <= k were
+           already seen from the column side *)
+        if !searching then begin
+          let i = ref rb_head.(!k) in
+          while !searching && !i >= 0 do
+            let ni = rb_nx.(!i) in
+            let e = ref rhead.(!i) in
+            while !e >= 0 do
+              let c = ar.e_col.(!e) in
+              if ccnt.(c) > !k then begin
+                let mx = colmax c in
+                let av = Float.abs ar.e_val.(!e) in
+                if mx >= abs_tol && av >= tau *. mx && av >= abs_tol
+                then begin
+                  incr pstep;
+                  let cost = (ccnt.(c) - 1) * (!k - 1) in
+                  if
+                    cost < !best_cost || (cost = !best_cost && av > !best_mag)
+                  then begin
+                    best_cost := cost;
+                    best_mag := av;
+                    best_e := !e
+                  end
+                end
+              end;
+              e := ar.rnx.(!e)
+            done;
+            if !best_cost = 0 || (!best_e >= 0 && !pstep >= max_probes) then
+              searching := false;
+            i := ni
+          done
+        end;
+        incr k
+      end
+    done;
+    probes := !probes + !pstep;
+    if !best_e < 0 then raise Singular;
+    let e0 = !best_e in
+    let p = ar.e_row.(e0) and q = ar.e_col.(e0) in
+    let v = ar.e_val.(e0) in
+    lp_row.(step) <- p;
+    u_q.(step) <- q;
+    u_diag.(step) <- v;
+    (* harvest the L column and U row while the lists are intact *)
+    let nl = ccnt.(q) - 1 and nu = rcnt.(p) - 1 in
+    let li = Array.make nl 0 and lv = Array.make nl 0. in
+    let n = ref 0 in
+    let e = ref chead.(q) in
+    while !e >= 0 do
+      let r = ar.e_row.(!e) in
+      if r <> p then begin
+        li.(!n) <- r;
+        lv.(!n) <- ar.e_val.(!e) /. v;
+        incr n
+      end;
+      e := ar.cnx.(!e)
+    done;
+    let ui = Array.make nu 0 and uv = Array.make nu 0. in
+    let n = ref 0 in
+    let e = ref rhead.(p) in
+    while !e >= 0 do
+      let c = ar.e_col.(!e) in
+      if c <> q then begin
+        ui.(!n) <- c;
+        uv.(!n) <- ar.e_val.(!e);
+        incr n
+      end;
+      e := ar.rnx.(!e)
+    done;
+    l_idx.(step) <- li;
+    l_val.(step) <- lv;
+    u_idx.(step) <- ui;
+    u_val.(step) <- uv;
+    fill := !fill + nl + nu;
+    (* detach the pivot column and row *)
+    cb_unlink q;
+    rb_unlink p;
+    let e = ref chead.(q) in
+    while !e >= 0 do
+      let nx = ar.cnx.(!e) in
+      let r = ar.e_row.(!e) in
+      remove_from_row !e;
+      if r <> p then begin
+        rb_unlink r;
+        rcnt.(r) <- rcnt.(r) - 1;
+        rb_link r
+      end;
+      free_entry !e;
+      e := nx
+    done;
+    chead.(q) <- -1;
+    ccnt.(q) <- 0;
+    let e = ref rhead.(p) in
+    while !e >= 0 do
+      let nx = ar.rnx.(!e) in
+      let c = ar.e_col.(!e) in
+      remove_from_col !e;
+      cb_unlink c;
+      ccnt.(c) <- ccnt.(c) - 1;
+      cb_link c;
+      cdirty.(c) <- true;
+      free_entry !e;
+      e := nx
+    done;
+    rhead.(p) <- -1;
+    rcnt.(p) <- 0;
+    (* rank-1 Schur-complement update, O(entries touched): scatter each
+       L row's column pattern, then walk the U row against it *)
+    for il = 0 to nl - 1 do
+      let r = li.(il) and l = lv.(il) in
+      incr stamp;
+      let s = !stamp in
+      let e = ref rhead.(r) in
+      while !e >= 0 do
+        pos.(ar.e_col.(!e)) <- !e;
+        pstamp.(ar.e_col.(!e)) <- s;
+        e := ar.rnx.(!e)
+      done;
+      rb_unlink r;
+      for iu = 0 to nu - 1 do
+        let c = ui.(iu) in
+        let delta = -.l *. uv.(iu) in
+        if pstamp.(c) = s && pos.(c) >= 0 then begin
+          let e = pos.(c) in
+          let nv = ar.e_val.(e) +. delta in
+          if Float.abs nv <= drop_tol then begin
+            cb_unlink c;
+            remove_from_col e;
+            ccnt.(c) <- ccnt.(c) - 1;
+            cb_link c;
+            remove_from_row e;
+            rcnt.(r) <- rcnt.(r) - 1;
+            free_entry e;
+            pos.(c) <- -1;
+            cdirty.(c) <- true
+          end
+          else begin
+            ar.e_val.(e) <- nv;
+            cdirty.(c) <- true
+          end
+        end
+        else if Float.abs delta > drop_tol then begin
+          cb_unlink c;
+          insert r c delta;
+          cb_link c;
+          cdirty.(c) <- true
+        end
+      done;
+      rb_link r
+    done
+  done
+
+let factor ?(trace = Trace.null_writer) ?(rule = Bucket) (a : Sparse.Csc.mat)
+    (basis : int array) =
+  let t_start = if Trace.active trace then Mono.now () else 0. in
+  let m = Array.length basis in
+  if a.Sparse.Csc.nrows <> m then invalid_arg "Lu.factor: dimension mismatch";
+  let lp_row = Array.make m 0 and u_q = Array.make m 0 in
+  let u_diag = Array.make m 0. in
+  let l_idx = Array.make m [||] and l_val = Array.make m [||] in
+  let u_idx = Array.make m [||] and u_val = Array.make m [||] in
+  let fill = ref m in
+  let probes = ref 0 in
+  (match rule with
+  | Legacy ->
+    factor_legacy a basis m lp_row u_q u_diag l_idx l_val u_idx u_val fill
+      probes
+  | Bucket ->
+    factor_bucket a basis m lp_row u_q u_diag l_idx l_val u_idx u_val fill
+      probes);
   if Trace.active trace then
     Trace.emit trace
-      (Trace.Lu_factor { fill = !fill; dt = Mono.now () -. t_start });
+      (Trace.Lu_factor
+         { m; fill = !fill; probes = !probes; dt = Mono.now () -. t_start });
   (* Inverse permutations and transposed dependency lists. *)
   let step_of_row = Array.make m 0 and step_of_slot = Array.make m 0 in
   for k = 0 to m - 1 do

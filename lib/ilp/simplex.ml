@@ -30,6 +30,7 @@ type stats = {
   refactor_eta : int;
   refactor_numeric : int;
   refactor_residual : int;
+  factor_time_s : float;
   ftran_seconds : float;
   btran_seconds : float;
   pivots : int;
@@ -44,6 +45,7 @@ let empty_stats =
     refactor_eta = 0;
     refactor_numeric = 0;
     refactor_residual = 0;
+    factor_time_s = 0.;
     ftran_seconds = 0.;
     btran_seconds = 0.;
     pivots = 0;
@@ -58,6 +60,7 @@ let add_stats a b =
     refactor_eta = a.refactor_eta + b.refactor_eta;
     refactor_numeric = a.refactor_numeric + b.refactor_numeric;
     refactor_residual = a.refactor_residual + b.refactor_residual;
+    factor_time_s = a.factor_time_s +. b.factor_time_s;
     ftran_seconds = a.ftran_seconds +. b.ftran_seconds;
     btran_seconds = a.btran_seconds +. b.btran_seconds;
     pivots = a.pivots + b.pivots;
@@ -67,9 +70,10 @@ let add_stats a b =
 let pp_stats ppf s =
   Format.fprintf ppf
     "factorizations=%d fill=%d etas=%d refactors(eta/numeric/residual)=%d/%d/%d \
-     ftran=%.3fs btran=%.3fs pivots=%d flips=%d"
+     factor=%.3fs ftran=%.3fs btran=%.3fs pivots=%d flips=%d"
     s.factorizations s.fill s.etas s.refactor_eta s.refactor_numeric
-    s.refactor_residual s.ftran_seconds s.btran_seconds s.pivots s.bound_flips
+    s.refactor_residual s.factor_time_s s.ftran_seconds s.btran_seconds
+    s.pivots s.bound_flips
 
 type vstat = Basic | At_lower | At_upper | Free_zero
 
@@ -117,6 +121,7 @@ type state = {
   mat : Sparse.Csc.mat;  (* all columns, CSC *)
   csr : Sparse.Csr.mat;  (* row-major mirror, for pivot-row pricing *)
   pricing : pricing;
+  lu_rule : Lu.pivot_rule;  (* pivot search of the sparse factorization *)
   lb : float array;
   ub : float array;
   cost : float array;  (* phase-II minimization costs *)
@@ -160,6 +165,7 @@ type state = {
   mutable rf_eta : int;
   mutable rf_numeric : int;
   mutable rf_residual : int;
+  mutable t_factor : float;
   mutable t_ftran : float;
   mutable t_btran : float;
   mutable last_inf : infeasibility option;
@@ -186,6 +192,15 @@ let eta_limit = 64 (* sparse: eta-file length triggering refactorization *)
    they patch. *)
 let devex_eta_limit = 128
 let devex_eta_fill = 16
+
+(* Bucket-LU refactorization cadence. The bucket pivot search cuts the
+   factorization cost F by roughly an order of magnitude while the
+   per-eta solve overhead c is unchanged, so the sqrt(2F/c) optimum
+   shrinks by ~sqrt(10): with F ~ 0.012 s and c ~ 17 us on the graph-2
+   root the optimum is ~40 etas. Applies whenever the engine's LU rule
+   is [Bucket]; [Legacy] engines keep their pricing-matched historical
+   cadences above. *)
+let bucket_eta_limit = 40
 let res_tol = 1e-6 (* basic-solution residual triggering refactorization *)
 let devex_reset = 1e8 (* weight bound triggering a reference-frame reset *)
 
@@ -211,6 +226,7 @@ let refactorizations st = st.refactors
 
 let backend st = match st.repr with Rdense _ -> Dense | Rsparse _ -> Sparse_lu
 let pricing st = st.pricing
+let lu_rule st = st.lu_rule
 
 let stats st =
   {
@@ -220,6 +236,7 @@ let stats st =
     refactor_eta = st.rf_eta;
     refactor_numeric = st.rf_numeric;
     refactor_residual = st.rf_residual;
+    factor_time_s = st.t_factor;
     ftran_seconds = st.t_ftran;
     btran_seconds = st.t_btran;
     pivots = st.total_pivots;
@@ -253,7 +270,17 @@ let emit_refactor st trigger =
     Trace.emit st.trace (Trace.Lu_refactor { trigger; etas })
   end
 
-let create ?(backend = Sparse_lu) ?(pricing = Devex) lp =
+let create ?(backend = Sparse_lu) ?(pricing = Devex) ?lu_rule lp =
+  (* The LU pivot rule defaults per pricing mode, mirroring how the
+     pricing switch itself gates history: [Partial] engines are the
+     bit-exact legacy baseline (the frozen node-count fixtures pin the
+     legacy pivot order), so they keep [Lu.Legacy]; [Devex] engines get
+     the bucket search. An explicit [lu_rule] overrides either way. *)
+  let lu_rule =
+    match lu_rule with
+    | Some r -> r
+    | None -> ( match pricing with Devex -> Lu.Bucket | Partial -> Lu.Legacy)
+  in
   let m = Lp.num_constrs lp in
   let nstruct = Lp.num_vars lp in
   let ncols = nstruct + m + m in
@@ -319,6 +346,7 @@ let create ?(backend = Sparse_lu) ?(pricing = Devex) lp =
     mat;
     csr = Sparse.Csr.of_csc mat;
     pricing;
+    lu_rule;
     lb;
     ub;
     cost;
@@ -360,6 +388,7 @@ let create ?(backend = Sparse_lu) ?(pricing = Devex) lp =
     rf_eta = 0;
     rf_numeric = 0;
     rf_residual = 0;
+    t_factor = 0.;
     t_ftran = 0.;
     t_btran = 0.;
     last_inf = None;
@@ -402,9 +431,15 @@ let default_stat st j =
 
 exception Singular_basis
 
-(* Factorize (or re-invert) the current basis from scratch. *)
+(* Factorize (or re-invert) the current basis from scratch. Wall time
+   is accumulated into [t_factor] (reported as [stats.factor_time_s])
+   for both backends, including factorizations that end in
+   [Singular_basis]. *)
 let fresh_factor st =
   st.n_factor <- st.n_factor + 1;
+  let t0 = now () in
+  Fun.protect ~finally:(fun () -> st.t_factor <- st.t_factor +. (now () -. t0))
+  @@ fun () ->
   match st.repr with
   | Rdense binv ->
     let m = st.m in
@@ -454,7 +489,7 @@ let fresh_factor st =
       done
     done
   | Rsparse box -> (
-    match Lu.factor ~trace:st.trace st.mat st.basis with
+    match Lu.factor ~trace:st.trace ~rule:st.lu_rule st.mat st.basis with
     | lu ->
       box.lu <- Some lu;
       st.last_fill <- Lu.fill lu
@@ -695,11 +730,18 @@ let update_factor st r =
 let due_refresh st =
   match st.repr with
   | Rdense _ -> st.pivots_since_refactor >= refactor_period
-  | Rsparse { lu = Some lu } ->
-    if st.pricing = Partial then Lu.eta_count lu >= eta_limit
-    else
-      Lu.eta_count lu >= devex_eta_limit
+  | Rsparse { lu = Some lu } -> (
+    match st.lu_rule with
+    | Lu.Bucket ->
+      (* factorizations are ~10x cheaper: refresh much earlier (see
+         [bucket_eta_limit]); the dense-eta guard still applies *)
+      Lu.eta_count lu >= bucket_eta_limit
       || Lu.eta_nnz lu > devex_eta_fill * Lu.fill lu
+    | Lu.Legacy ->
+      if st.pricing = Partial then Lu.eta_count lu >= eta_limit
+      else
+        Lu.eta_count lu >= devex_eta_limit
+        || Lu.eta_nnz lu > devex_eta_fill * Lu.fill lu)
   | Rsparse { lu = None } -> false
 
 let objective_value st costs =
@@ -1883,5 +1925,5 @@ let dual_reopt ?(max_iters = 200_000) st =
       (dual_reopt_core ~max_iters st)
   end
 
-let solve ?backend ?pricing ?max_iters lp =
-  primal ?max_iters (create ?backend ?pricing lp)
+let solve ?backend ?pricing ?lu_rule ?max_iters lp =
+  primal ?max_iters (create ?backend ?pricing ?lu_rule lp)

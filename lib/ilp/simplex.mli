@@ -123,6 +123,11 @@ type stats = {
   refactor_residual : int;
       (** Refactorizations triggered by the basic-solution residual
           check. *)
+  factor_time_s : float;
+      (** Wall time spent in fresh basis factorizations /
+          re-inversions — the cost [factorizations] counts. Together
+          with [ftran_seconds]/[btran_seconds] this makes the
+          factor-vs-solve split visible without a trace. *)
   ftran_seconds : float;  (** Wall time spent in forward solves. *)
   btran_seconds : float;  (** Wall time spent in transposed solves. *)
   pivots : int;  (** Cumulative basis-changing simplex pivots. *)
@@ -144,14 +149,23 @@ val pp_stats : Format.formatter -> stats -> unit
 
 type state
 
-val create : ?backend:backend -> ?pricing:pricing -> Lp.t -> state
+val create :
+  ?backend:backend -> ?pricing:pricing -> ?lu_rule:Lu.pivot_rule -> Lp.t -> state
 (** Builds solver storage for the model (default backend {!Sparse_lu},
-    default pricing {!Devex}). Later mutations of the [Lp.t] are not
-    observed except through {!set_var_bounds}. The returned engine is
-    owned by the calling domain (see the module preamble). *)
+    default pricing {!Devex}). [lu_rule] selects the sparse
+    factorization's pivot search (see {!Lu.pivot_rule}); when omitted it
+    follows the pricing mode — [Devex] engines use [Lu.Bucket], while
+    [Partial] engines keep [Lu.Legacy] so the historical pivot order
+    (and with it the frozen node-count fixtures) is preserved
+    bit-exactly. Later mutations of the [Lp.t] are not observed except
+    through {!set_var_bounds}. The returned engine is owned by the
+    calling domain (see the module preamble). *)
 
 val backend : state -> backend
 val pricing : state -> pricing
+
+val lu_rule : state -> Lu.pivot_rule
+(** The LU pivot rule the engine resolved at {!create} time. *)
 
 val stats : state -> stats
 (** Cumulative statistics across all solves on this state. *)
@@ -190,7 +204,12 @@ val dual_reopt : ?max_iters:int -> state -> result
     valid and equivalent to {!primal}. *)
 
 val solve :
-  ?backend:backend -> ?pricing:pricing -> ?max_iters:int -> Lp.t -> result
+  ?backend:backend ->
+  ?pricing:pricing ->
+  ?lu_rule:Lu.pivot_rule ->
+  ?max_iters:int ->
+  Lp.t ->
+  result
 (** [solve lp] is [primal (create lp)]: one-shot LP relaxation solve. *)
 
 (** {1 Warm-start basis shipping} — consumed by {!Branch_bound}. *)

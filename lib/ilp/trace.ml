@@ -26,7 +26,7 @@ type event =
       dual_res : float;
       dt : float;
     }
-  | Lu_factor of { fill : int; dt : float }
+  | Lu_factor of { m : int; fill : int; probes : int; dt : float }
   | Lu_refactor of { trigger : refactor_trigger; etas : int }
   | Cut_sep of { family : string; found : int; best_violation : float }
   | Cut_round of { round : int; separated : int; active : int; evicted : int }
@@ -232,8 +232,9 @@ let pp_event ppf = function
       "lp_solve kind=%s pivots=%d flips=%d obj=%g primal_res=%.2e \
        dual_res=%.2e dt=%.3es"
       (lp_kind_name kind) pivots flips obj primal_res dual_res dt
-  | Lu_factor { fill; dt } ->
-    Format.fprintf ppf "lu_factor fill=%d dt=%.3es" fill dt
+  | Lu_factor { m; fill; probes; dt } ->
+    Format.fprintf ppf "lu_factor m=%d fill=%d probes=%d dt=%.3es" m fill
+      probes dt
   | Lu_refactor { trigger; etas } ->
     Format.fprintf ppf "lu_refactor trigger=%s etas=%d" (trigger_name trigger)
       etas

@@ -78,8 +78,14 @@ type event =
       dual_res : float;
       dt : float;  (** Seconds spent inside the simplex entry point. *)
     }
-  | Lu_factor of { fill : int; dt : float }
-      (** A fresh sparse LU factorization completed. *)
+  | Lu_factor of { m : int; fill : int; probes : int; dt : float }
+      (** A fresh sparse LU factorization completed. [m] is the basis
+          dimension, [fill] the stored entries of L + U, [probes] the
+          number of threshold-passing candidates the Markowitz pivot
+          search evaluated over the whole factorization (the cost the
+          [Bucket] rule bounds — see {!Lu.pivot_rule}). Streams written
+          before these fields existed decode with [m = 0] and
+          [probes = 0]. *)
   | Lu_refactor of { trigger : refactor_trigger; etas : int }
       (** A refactorization was triggered; [etas] is the eta-file length
           discarded. *)

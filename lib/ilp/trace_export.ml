@@ -49,8 +49,14 @@ let record_to_json (r : Trace.record) =
         ("dual_res", num dual_res);
         ("dt", num dt);
       ]
-    | Lu_factor { fill; dt } ->
-      [ ("type", Json.Str "lu_factor"); ("fill", inum fill); ("dt", num dt) ]
+    | Lu_factor { m; fill; probes; dt } ->
+      [
+        ("type", Json.Str "lu_factor");
+        ("m", inum m);
+        ("fill", inum fill);
+        ("probes", inum probes);
+        ("dt", num dt);
+      ]
     | Lu_refactor { trigger; etas } ->
       [
         ("type", Json.Str "lu_refactor");
@@ -219,7 +225,13 @@ let event_of_json j =
         dt = req_num j "dt";
       }
   | "lu_factor" ->
-    Lu_factor { fill = req_int j "fill"; dt = req_num j "dt" }
+    Lu_factor
+      {
+        m = opt_int j "m" ~default:0;
+        fill = req_int j "fill";
+        probes = opt_int j "probes" ~default:0;
+        dt = req_num j "dt";
+      }
   | "lu_refactor" ->
     Lu_refactor
       { trigger = trigger_of_name (req_str j "trigger"); etas = req_int j "etas" }
@@ -361,11 +373,11 @@ let chrome_event (r : Trace.record) =
         ("primal_res", num primal_res);
         ("dual_res", num dual_res);
       ]
-  | Lu_factor { fill; dt } ->
+  | Lu_factor { m; fill; probes; dt } ->
     base ~cat:"lp"
       ~ts:(Float.max 0. (us (r.ts -. dt)))
       ~dur:(us dt) "X" "lu_factor"
-      [ ("fill", inum fill) ]
+      [ ("m", inum m); ("fill", inum fill); ("probes", inum probes) ]
   | Lu_refactor { trigger; etas } ->
     instant ~cat:"lp" "lu_refactor"
       [ ("trigger", Json.Str (Trace.trigger_name trigger)); ("etas", inum etas) ]
@@ -557,7 +569,13 @@ let load_chrome j =
               | "lu_factor", "X" ->
                 let dur = req_num e "dur" in
                 ( (ts_us +. dur) /. 1e6,
-                  Lu_factor { fill = req_int args "fill"; dt = dur /. 1e6 } )
+                  Lu_factor
+                    {
+                      m = opt_int args "m" ~default:0;
+                      fill = req_int args "fill";
+                      probes = opt_int args "probes" ~default:0;
+                      dt = dur /. 1e6;
+                    } )
               | "lu_refactor", _ ->
                 ( ts_us /. 1e6,
                   Lu_refactor

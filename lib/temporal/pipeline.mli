@@ -36,6 +36,7 @@ val run :
   ?heur_dive_depth:int ->
   ?certify:Ilp.Branch_bound.certify_level ->
   ?lp_pricing:Ilp.Simplex.pricing ->
+  ?lp_lu:Ilp.Lu.pivot_rule ->
   ?tracer:Ilp.Trace.t ->
   graph:Taskgraph.Graph.t ->
   allocation:Hls.Component.allocation ->
@@ -60,7 +61,8 @@ val run :
     stage log gains a [certify:] line with the verdict counts.
     [lp_pricing] selects the simplex pricing rule (default
     {!Ilp.Simplex.Devex}; [Partial] is the historical baseline — see
-    docs/PERFORMANCE.md). [tracer]
+    docs/PERFORMANCE.md); [lp_lu] the LU pivot search of the node LP
+    factorizations (default: follow the pricing mode). [tracer]
     records structured events across the flow — estimate / formulate /
     presolve phase spans plus the full solver taxonomy — for export
     through {!Ilp.Trace_export} (see [docs/OBSERVABILITY.md]). *)

@@ -180,7 +180,7 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
     ?(max_nodes = max_int) ?(validate = true) ?(scheduler_completion = true)
     ?(presolve = true) ?(lint = false) ?lint_options
     ?(lp_backend = Ilp.Simplex.Sparse_lu) ?(lp_pricing = Ilp.Simplex.Devex)
-    ?(jobs = 1) ?(deterministic = false)
+    ?lp_lu ?(jobs = 1) ?(deterministic = false)
     ?(rc_fixing = false) ?(propagate = false) ?(cuts = false)
     ?(heuristics = false) ?heur_cadence ?heur_dive_depth
     ?(certify = Bb.Cert_off) ?(tracer = Ilp.Trace.disabled) vars =
@@ -198,6 +198,7 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
         (if scheduler_completion then Some (scheduler_hook vars) else None);
       lp_backend;
       lp_pricing;
+      lp_lu;
       jobs;
       deterministic;
       rc_fixing;

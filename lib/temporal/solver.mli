@@ -34,6 +34,7 @@ val solve :
   ?lint_options:Formulation.options ->
   ?lp_backend:Ilp.Simplex.backend ->
   ?lp_pricing:Ilp.Simplex.pricing ->
+  ?lp_lu:Ilp.Lu.pivot_rule ->
   ?jobs:int ->
   ?deterministic:bool ->
   ?rc_fixing:bool ->
@@ -77,7 +78,10 @@ val solve :
     from {!Ilp.Branch_bound.default_options}, whose {!Ilp.Simplex.Partial}
     default is pinned by historical node-count regressions; devex with
     the bound-flipping dual ratio test is the fast path on the paper
-    models, see docs/PERFORMANCE.md).
+    models, see docs/PERFORMANCE.md). [lp_lu] selects the sparse LU
+    pivot search (see {!Ilp.Lu.pivot_rule}); omitted it follows the
+    pricing mode ({!Ilp.Lu.Bucket} under devex — the fast default —
+    and {!Ilp.Lu.Legacy} under partial pricing).
 
     [jobs] (default [1]) runs the branch-and-bound tree search on that
     many worker domains, each with its own simplex engine; [jobs = 1]

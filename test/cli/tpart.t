@@ -42,7 +42,7 @@ LU fill-in, eta updates, the refactorization triggers, and solve times
   $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 | grep lp-stats | sed 's/[0-9][0-9]*\(\.[0-9]*\)\?/N/g'
 
   $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --stats | grep lp-stats | sed 's/[0-9][0-9]*\(\.[0-9]*\)\?/N/g'
-  lp-stats: factorizations=N fill=N etas=N refactors(eta/numeric/residual)=N/N/N ftran=Ns btran=Ns pivots=N flips=N
+  lp-stats: factorizations=N fill=N etas=N refactors(eta/numeric/residual)=N/N/N factor=Ns ftran=Ns btran=Ns pivots=N flips=N
 
 --stats also reports the node-deduction counters (reduced-cost fixing,
 domain propagation, the cut pool, pseudo-cost branching) as a table
@@ -66,16 +66,16 @@ Enabling the deduction stack shrinks the tree and moves the counters
 the columns re-align to the widest rendered cell:
 
   $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --rc-fix --propagate --cuts --branching pseudocost --stats | sed -n '/^solve/p;/deductions:/,/pc-branchings/p' | sed 's/[0-9.]*s)$/Ts)/'
-  solve: optimal (comm cost 2, 3 partitions) (12 nodes, Ts)
+  solve: optimal (comm cost 2, 3 partitions) (11 nodes, Ts)
   deductions:
     counter          total
-    rc-fixed             0
-    prop-fixings        77
+    rc-fixed             2
+    prop-fixings        70
     prop-prunes          0
     prop-local-hits      0
-    cut-rounds           2
-    cover-cuts       1/1/0
-    clique-cuts      4/4/0
+    cut-rounds           3
+    cover-cuts       2/2/0
+    clique-cuts      2/2/0
     pc-branchings        0
 
 --json replaces the human-readable report with one machine-readable
@@ -165,7 +165,7 @@ Graphviz DOT — 22 nodes give 21 parent edges:
   $ ../../bin/tpart.exe trace tree run.jsonl | head -3
   digraph search {
     node [shape=box, style=filled, fontname="monospace", fontsize=9];
-    n1 [label="#1 d=0\nobj=0\nbranched", fillcolor=lightblue];
+    n1 [label="#1 d=0\nobj=2.63678e-16\nbranched", fillcolor=lightblue];
 
   $ ../../bin/tpart.exe trace tree run.jsonl | grep -c ' -> '
   21
@@ -289,13 +289,13 @@ names each member row; the capacity rows and the assignment rows that
 force usage form the minimal conflict:
 
   $ ../../bin/tpart.exe analyze -g chain:3 --adders 1 --muls 1 --subs 0 -c 1 -l 2 -n 3 --iis | sed -n '1p;/uniq\|assign\|cap/p;$p'
-  irreducible infeasible subsystem: 11 row(s), 27 LP solves
+  irreducible infeasible subsystem: 12 row(s), 31 LP solves
     uniq_t2: set partitioning: the task lies in exactly one partition (eq. 1)
     assign_i2: unique operation assignment within its window (eq. 6)
     cap_p1: FPGA resource capacity of a partition (eq. 11)
     cap_p2: FPGA resource capacity of a partition (eq. 11)
     cap_p3: FPGA resource capacity of a partition (eq. 11)
-  certified: Farkas infeasibility proof, gap 11/42 over 11 rows (witness row 15)
+  certified: Farkas infeasibility proof, gap 11/42 over 12 rows (witness row 15)
 
 On an LP-feasible model the flag reports that no subsystem exists and
 exits 0 (integrality is not considered):

@@ -241,6 +241,40 @@ let test_chrome_roundtrip () =
       | Error m -> Alcotest.fail m
       | Ok loaded -> check_roundtrip records loaded)
 
+(* The Lu_factor payload grew [m] and [probes] fields; round-trip them
+   explicitly through both codecs (the solve-based round-trips above
+   only compare pretty-printed events) and make sure the checker is
+   happy with a factorization-only stream. *)
+let test_lu_factor_roundtrip () =
+  let t = Trace.create () in
+  let w = Trace.main t in
+  (* keep dt below the emit timestamp: the chrome codec stores the
+     event start as [ts - dt] clamped at zero, so an oversized dt would
+     push the reconstructed timestamps out of order *)
+  Trace.emit w (Trace.Lu_factor { m = 37; fill = 245; probes = 112; dt = 3.25e-7 });
+  Trace.emit w (Trace.Lu_factor { m = 1; fill = 1; probes = 0; dt = 0. });
+  let records = Trace.collect t in
+  List.iter
+    (fun (name, sink) ->
+      with_temp_file (fun path ->
+          write_with sink records path;
+          match Export.load path with
+          | Error m -> Alcotest.fail (name ^ ": " ^ m)
+          | Ok loaded ->
+            Alcotest.(check (list string))
+              (name ^ " stream clean") [] (Export.check loaded);
+            check_roundtrip records loaded;
+            (match loaded.(0).Trace.ev with
+             | Trace.Lu_factor { m; fill; probes; dt } ->
+               Alcotest.(check int) (name ^ " m") 37 m;
+               Alcotest.(check int) (name ^ " fill") 245 fill;
+               Alcotest.(check int) (name ^ " probes") 112 probes;
+               Alcotest.(check bool)
+                 (name ^ " dt") true
+                 (Float.abs (dt -. 3.25e-7) < 1e-9)
+             | _ -> Alcotest.fail (name ^ ": not an Lu_factor event"))))
+    [ ("jsonl", Export.jsonl_sink); ("chrome", Export.chrome_sink) ]
+
 let test_chrome_wellformed () =
   let records, _ = sample_records () in
   with_temp_file (fun path ->
@@ -353,6 +387,8 @@ let () =
         [
           Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
           Alcotest.test_case "chrome round-trip" `Quick test_chrome_roundtrip;
+          Alcotest.test_case "lu_factor m/probes round-trip" `Quick
+            test_lu_factor_roundtrip;
           Alcotest.test_case "chrome well-formed" `Quick
             test_chrome_wellformed;
           Alcotest.test_case "summary sink consistent" `Quick
