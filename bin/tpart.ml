@@ -383,6 +383,89 @@ let trace_out =
            loadable in Perfetto / chrome://tracing with one track per \
            solver domain. Inspect with $(b,tpart trace).")
 
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Sample live solver metrics to $(docv) as a JSONL snapshot \
+           stream: one registry snapshot object per line on the \
+           $(b,--metrics-interval) cadence, plus one exact final \
+           snapshot after every worker has joined. Inspect with \
+           $(b,tpart metrics).")
+
+let prometheus_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prometheus" ] ~docv:"FILE"
+        ~doc:
+          "Write the final metrics snapshot to $(docv) in Prometheus \
+           text exposition format (version 0.0.4) on exit.")
+
+let metrics_interval =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "metrics-interval" ] ~docv:"SECONDS"
+        ~doc:
+          "Sampling cadence for $(b,--metrics) / $(b,--progress) \
+           (clamped to >= 0.01).")
+
+let progress_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "progress" ]
+        ~doc:
+          "Live gap-convergence progress on stderr: gap, best \
+           bound/incumbent, node and pivot throughput, pool depth and \
+           elapsed/deadline, redrawn in place on a TTY and as periodic \
+           plain lines otherwise, with one final summary line either \
+           way. Sampled on the $(b,--metrics-interval) cadence.")
+
+(* One progress frame from a metrics snapshot. The final frame drops
+   the instantaneous fields (rates, open nodes) and keeps only totals
+   that are exact once the workers joined, so it is stable enough for
+   the cram tests to pin. *)
+let progress_render ~final ~time_limit (snap : Ilp.Metrics.snapshot) =
+  let c k = Ilp.Metrics.counter_value snap k in
+  let g k = Ilp.Metrics.gauge_value snap k in
+  let bound = g Ilp.Metrics.G_best_bound
+  and inc = g Ilp.Metrics.G_incumbent_obj in
+  let pv v = if Float.is_finite v then Printf.sprintf "%g" v else "-" in
+  let gap =
+    if Float.is_finite bound && Float.is_finite inc then
+      Printf.sprintf "%.2f%%"
+        (100. *. (inc -. bound) /. Float.max 1e-9 (Float.abs inc))
+    else "-"
+  in
+  let deadline =
+    if Float.is_finite time_limit then Printf.sprintf "%g" time_limit
+    else "inf"
+  in
+  let ts = snap.Ilp.Metrics.s_ts in
+  if final then
+    Printf.sprintf
+      "progress: nodes=%d pivots=%d factorizations=%d bound=%s \
+       incumbent=%s gap=%s elapsed=%.2f/%ss"
+      (c Ilp.Metrics.C_nodes) (c Ilp.Metrics.C_lp_pivots)
+      (c Ilp.Metrics.C_lu_factorizations)
+      (pv bound) (pv inc) gap ts deadline
+  else
+    let rate n = if ts > 0. then Float.of_int n /. ts else 0. in
+    Printf.sprintf
+      "progress: nodes=%d (%.0f/s) pivots=%d (%.0f/s) open=%s pool=%s \
+       bound=%s incumbent=%s gap=%s elapsed=%.1f/%ss"
+      (c Ilp.Metrics.C_nodes)
+      (rate (c Ilp.Metrics.C_nodes))
+      (c Ilp.Metrics.C_lp_pivots)
+      (rate (c Ilp.Metrics.C_lp_pivots))
+      (pv (g Ilp.Metrics.G_open_nodes))
+      (pv (g Ilp.Metrics.G_pool_depth))
+      (pv bound) (pv inc) gap ts deadline
+
 (* Column-aligned key/value tables for --stats: widths are computed
    from the rendered cells, so counters of any magnitude stay aligned.
    First column left-aligned, the rest right-aligned. *)
@@ -454,7 +537,7 @@ let print_workers elapsed (workers : Ilp.Branch_bound.worker_stats array) =
            (Array.to_list workers))
   end
 
-let json_of_result ?certification result =
+let json_of_result ?certification ~time_limit result =
   let r = result.Temporal.Pipeline.report in
   let s = r.Temporal.Solver.stats in
   let d = s.Ilp.Branch_bound.deductions in
@@ -479,7 +562,8 @@ let json_of_result ?certification result =
      \"deductions\": {\"rc_fixed\": %d, \"prop_fixings\": %d, \
      \"prop_prunes\": %d, \"prop_local_hits\": %d, \"cut_rounds\": %d, \
      \"cover\": %s, \"clique\": %s, \"pc_branchings\": %d}, \
-     \"timeline\": %s%s}"
+     \"timeline\": %s, \"bound_timeline\": %s, \"elapsed\": %s, \
+     \"time_limit\": %s, \"time_limit_hit\": %b%s}"
     outcome comm r.Temporal.Solver.vars r.Temporal.Solver.constrs
     s.Ilp.Branch_bound.nodes s.Ilp.Branch_bound.incumbents
     s.Ilp.Branch_bound.max_depth d.Ilp.Branch_bound.rc_fixed
@@ -489,6 +573,18 @@ let json_of_result ?certification result =
     (fam d.Ilp.Branch_bound.clique_cuts)
     d.Ilp.Branch_bound.pc_branchings
     (Ilp.Json.to_string (Temporal.Report.incumbent_timeline s))
+    (Ilp.Json.to_string (Temporal.Report.bound_timeline s))
+    (Ilp.Json.to_string (Ilp.Json.Num s.Ilp.Branch_bound.elapsed))
+    (Ilp.Json.to_string
+       (if Float.is_finite time_limit then Ilp.Json.Num time_limit
+        else Ilp.Json.Null))
+    (* The CLI exposes no node limit, so a limit verdict is a deadline
+       hit; the elapsed check guards the day it grows one. *)
+    (match r.Temporal.Solver.outcome with
+     | Temporal.Solver.Timed_out _ ->
+       s.Ilp.Branch_bound.elapsed >= time_limit *. 0.99
+     | Temporal.Solver.Feasible _ | Temporal.Solver.Infeasible_model ->
+       false)
     (match certification with
      | Some j -> Printf.sprintf ", \"certification\": %s" (Ilp.Json.to_string j)
      | None -> "")
@@ -497,7 +593,8 @@ let solve_cmd =
   let run g a m s capacity alpha scratch latency partitions time_limit strategy
       no_tighten no_step_cuts fortet dot lp_out report_wanted lint
       stats_wanted jobs deterministic rc_fixing propagate cuts heuristics
-      heur_cadence heur_dive_depth certify lp_pricing lp_lu json trace =
+      heur_cadence heur_dive_depth certify lp_pricing lp_lu json trace
+      metrics_out prometheus_out metrics_interval progress =
     let allocation = Hls.Component.ams (a, m, s) in
     let options =
       {
@@ -514,12 +611,68 @@ let solve_cmd =
       | Some _ -> Ilp.Trace.create ()
       | None -> Ilp.Trace.disabled
     in
+    (* Any of the three telemetry outputs needs a live registry; the
+       sampler domain drives them all from the same snapshot stream. *)
+    let metrics =
+      if metrics_out <> None || prometheus_out <> None || progress then
+        Ilp.Metrics.create ()
+      else Ilp.Metrics.disabled
+    in
+    if Ilp.Metrics.enabled metrics && trace <> None then
+      (* Polled, not hot-path: the tracer's drop count only moves when a
+         ring buffer wraps, so it is published at snapshot time. *)
+      Ilp.Metrics.on_snapshot metrics (fun () ->
+          Ilp.Metrics.set_shared metrics Ilp.Metrics.C_trace_dropped_events
+            (Ilp.Trace.dropped tracer));
+    let metrics_oc = Option.map open_out metrics_out in
+    let n_snapshots = ref 0 in
+    let prev_snap = ref Ilp.Metrics.empty_snapshot in
+    (* Mid-run snapshots are racy-monotone per cell; clamping against
+       the previously emitted one keeps the on-disk stream invariant
+       unconditional (see Metrics_export.monotonize). *)
+    let emit snap =
+      let snap = Ilp.Metrics_export.monotonize !prev_snap snap in
+      prev_snap := snap;
+      incr n_snapshots;
+      Option.iter (fun oc -> Ilp.Metrics_export.write_jsonl oc snap) metrics_oc;
+      snap
+    in
+    let tty = Unix.isatty Unix.stderr in
+    let show_progress snap =
+      let line = progress_render ~final:false ~time_limit snap in
+      if tty then Printf.eprintf "\r%s\027[K%!" line
+      else Printf.eprintf "%s\n%!" line
+    in
+    let sampler =
+      if Ilp.Metrics.enabled metrics then
+        Some
+          (Ilp.Metrics_export.start ~interval:metrics_interval metrics
+             ~on_sample:(fun snap ->
+               let snap = emit snap in
+               if progress then show_progress snap))
+      else None
+    in
     let result =
       Temporal.Pipeline.run ~options ~strategy ~time_limit
         ?num_partitions:partitions ~lint ~jobs ~deterministic ~rc_fixing
         ~propagate ~cuts ~heuristics ~heur_cadence ~heur_dive_depth ~certify
-        ~lp_pricing ?lp_lu ~tracer ~graph:g
+        ~lp_pricing ?lp_lu ~tracer ~metrics ~graph:g
         ~allocation ?capacity ~alpha ~scratch ~latency_relax:latency ()
+    in
+    (* Stop sampling before any post-processing: the final snapshot is
+       taken after every worker domain joined, so its totals are exact
+       (they equal --stats; the test suite pins this). *)
+    let final_snap =
+      Option.map
+        (fun smp ->
+          let snap = emit (Ilp.Metrics_export.stop smp) in
+          if progress then begin
+            if tty then Printf.eprintf "\r\027[K%!";
+            Printf.eprintf "%s\n%!"
+              (progress_render ~final:true ~time_limit snap)
+          end;
+          snap)
+        sampler
     in
     let stats = result.Temporal.Pipeline.report.Temporal.Solver.stats in
     let certifying = certify <> Ilp.Branch_bound.Cert_off in
@@ -545,7 +698,7 @@ let solve_cmd =
                   (Temporal.Report.certification
                      ~row_name:(Lazy.force row_name) stats)
               else None)
-           result)
+           ~time_limit result)
     else Format.printf "%a@." Temporal.Pipeline.pp result;
     if certifying && not json then begin
       let c = stats.Ilp.Branch_bound.certification in
@@ -573,6 +726,12 @@ let solve_cmd =
       print_workers stats.Ilp.Branch_bound.elapsed
         stats.Ilp.Branch_bound.workers
     end;
+    (* "wrote FILE" confirmations move to stderr under --json so the
+       stdout report stays a single parseable object *)
+    let note path detail =
+      (if json then Format.eprintf else Format.printf) "wrote %s%s@." path
+        detail
+    in
     (match trace with
      | Some path ->
        let records = Ilp.Trace.collect tracer in
@@ -585,17 +744,28 @@ let solve_cmd =
        Ilp.Trace_export.run sink records;
        close_out oc;
        let dropped = Ilp.Trace.dropped tracer in
-       Format.printf "wrote %s (%d events%s)@." path (Array.length records)
-         (if dropped > 0 then Printf.sprintf ", %d overwritten" dropped
-          else "")
+       note path
+         (Printf.sprintf " (%d events%s)" (Array.length records)
+            (if dropped > 0 then Printf.sprintf ", %d overwritten" dropped
+             else ""))
      | None -> ());
+    (match (metrics_out, metrics_oc) with
+     | Some path, Some oc ->
+       close_out oc;
+       note path (Printf.sprintf " (%d snapshots)" !n_snapshots)
+     | _ -> ());
+    (match (prometheus_out, final_snap) with
+     | Some path, Some snap ->
+       write_file path (Ilp.Metrics_export.prometheus snap);
+       note path ""
+     | _ -> ());
     (match lp_out with
      | Some path ->
        let vars =
          Temporal.Formulation.build ~options result.Temporal.Pipeline.spec
        in
        write_file path (Ilp.Lp_format.to_string vars.Temporal.Vars.lp);
-       Format.printf "wrote %s@." path
+       note path ""
      | None -> ());
     let outcome_exit =
       match result.Temporal.Pipeline.report.Temporal.Solver.outcome with
@@ -608,7 +778,7 @@ let solve_cmd =
            write_file path
              (Taskgraph.Dot.op_graph_with_partition g (fun t ->
                   sol.Temporal.Solution.partition_of.(t)));
-           Format.printf "wrote %s@." path
+           note path ""
          | None -> ());
         0
       | Temporal.Solver.Infeasible_model -> 1
@@ -638,7 +808,8 @@ let solve_cmd =
       $ stats_flag $ jobs_arg $ deterministic_flag $ rc_fix_flag
       $ propagate_flag $ cuts_flag $ heuristics_flag $ heur_cadence_arg
       $ heur_dive_depth_arg $ certify_arg
-      $ pricing_arg $ lu_arg $ solve_json_flag $ trace_out)
+      $ pricing_arg $ lu_arg $ solve_json_flag $ trace_out $ metrics_out
+      $ prometheus_out $ metrics_interval $ progress_flag)
 
 (* ---------------- analyze command ---------------- *)
 
@@ -902,6 +1073,162 @@ let trace_cmd =
        ~doc:"Inspect structured solver traces recorded by solve --trace.")
     [ trace_tree_cmd; trace_summary_cmd; trace_validate_cmd ]
 
+(* ---------------- metrics command ---------------- *)
+
+let metrics_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Snapshot stream recorded by $(b,tpart solve --metrics): one \
+           JSONL registry snapshot per line.")
+
+let with_metrics path k =
+  match Ilp.Metrics_export.load path with
+  | Error msg ->
+    Format.eprintf "tpart metrics: %s@." msg;
+    1
+  | Ok snaps -> k snaps
+
+let metrics_summary_cmd =
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.")
+  in
+  let run path json =
+    with_metrics path (fun snaps ->
+        match Ilp.Metrics_export.Summary.of_snapshots snaps with
+        | Error msg ->
+          Format.eprintf "tpart metrics: %s: %s@." path msg;
+          1
+        | Ok s ->
+          if json then
+            print_endline
+              (Ilp.Json.to_string (Ilp.Metrics_export.Summary.to_json s))
+          else Format.printf "%a@." Ilp.Metrics_export.Summary.pp s;
+          0)
+  in
+  Cmd.v
+    (Cmd.info "summary"
+       ~doc:
+         "Summarize a metrics snapshot stream: search/LP/LU/pool totals \
+          and throughput from the final (exact) snapshot, gauge values, \
+          histogram statistics, and a warning when trace events were \
+          dropped.")
+    Term.(const run $ metrics_file_arg $ json_flag)
+
+let metrics_validate_cmd =
+  let run path =
+    with_metrics path (fun snaps ->
+        match Ilp.Metrics_export.check snaps with
+        | Ok () ->
+          Format.printf "%s: %d snapshots, stream consistent@." path
+            (List.length snaps);
+          0
+        | Error msg ->
+          Format.eprintf "%s: %s@." path msg;
+          1)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Check a metrics snapshot stream against the codec and the \
+          stream invariants (non-decreasing timestamps, monotone \
+          counters and histogram cells, bucket sums matching counts); \
+          exits 1 on any violation.")
+    Term.(const run $ metrics_file_arg)
+
+let metrics_cmd =
+  Cmd.group
+    (Cmd.info "metrics"
+       ~doc:"Inspect metrics snapshots recorded by solve --metrics.")
+    [ metrics_summary_cmd; metrics_validate_cmd ]
+
+(* ---------------- bench command ---------------- *)
+
+let bench_diff_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline benchmark report (JSON).")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Candidate benchmark report (JSON).")
+  in
+  let time_threshold =
+    Arg.(
+      value
+      & opt float 1.5
+      & info [ "time-threshold" ] ~docv:"FACTOR"
+          ~doc:
+            "Flag a time-like cell as a regression when it slows down \
+             by more than $(docv)x (and by more than 50 ms absolute). \
+             Inverted for speedup cells.")
+  in
+  let count_threshold =
+    Arg.(
+      value
+      & opt float 1.1
+      & info [ "count-threshold" ] ~docv:"FACTOR"
+          ~doc:
+            "Flag an effort counter (nodes, pivots, factorizations) as \
+             a regression when it grows by more than $(docv)x.")
+  in
+  let ignore_fields =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "ignore" ] ~docv:"FIELDS"
+          ~doc:
+            "Comma-separated field names to skip entirely (neither \
+             compared nor counted), e.g. $(b,solved,result) when \
+             diffing runs made under different time budgets.")
+  in
+  let run old_p new_p tt ct ign =
+    let load path =
+      match Temporal.Bench_diff.load_file path with
+      | Ok j -> Ok j
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    in
+    match (load old_p, load new_p) with
+    | Error e, _ | _, Error e ->
+      Format.eprintf "tpart bench diff: %s@." e;
+      2
+    | Ok o, Ok n -> (
+      match
+        Temporal.Bench_diff.diff ~time_threshold:tt ~count_threshold:ct
+          ~ignore:ign o n
+      with
+      | Error e ->
+        Format.eprintf "tpart bench diff: schema mismatch: %s@." e;
+        2
+      | Ok r ->
+        Format.printf "%a" Temporal.Bench_diff.pp r;
+        if r.Temporal.Bench_diff.r_regressions > 0 then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two benchmark JSON reports (the committed \
+          BENCH_*.json artifacts or fresh $(b,bench/main.exe --json) \
+          output) section by section and row by row, flagging per-cell \
+          time/node/factor changes beyond the thresholds. Exits 0 when \
+          clean, 1 on any regression, 2 when the reports share no \
+          comparable schema.")
+    Term.(
+      const run $ old_arg $ new_arg $ time_threshold $ count_threshold
+      $ ignore_fields)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:"Compare benchmark reports across runs (regression diffing).")
+    [ bench_diff_cmd ]
+
 (* ---------------- explore command ---------------- *)
 
 let explore_cmd =
@@ -938,4 +1265,4 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "tpart" ~doc ~version:"1.0.0")
           [ graph_cmd; estimate_cmd; solve_cmd; analyze_cmd; explore_cmd;
-            trace_cmd ]))
+            trace_cmd; metrics_cmd; bench_cmd ]))

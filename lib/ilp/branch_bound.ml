@@ -46,6 +46,7 @@ type options = {
   heur_dive_depth : int;
   certify_level : certify_level;
   tracer : Trace.t;
+  metrics : Metrics.t;
 }
 
 let default_options =
@@ -78,6 +79,7 @@ let default_options =
     heur_dive_depth = 50;
     certify_level = Cert_off;
     tracer = Trace.disabled;
+    metrics = Metrics.disabled;
   }
 
 type outcome =
@@ -182,6 +184,11 @@ type stats = {
   deductions : deduction_stats;
   certification : certification_stats;
   timeline : (float * float * int * Trace.incumbent_source) array;
+  bound_timeline : (float * float) array;
+      (* (elapsed, best proven dual bound) of each improvement of the
+         global lower bound, oldest first; the final entry is the
+         authoritative bound of the outcome (= objective on Optimal),
+         so together with [timeline] it reconstructs the final gap *)
 }
 
 let empty_stats =
@@ -197,6 +204,7 @@ let empty_stats =
     deductions = empty_deductions;
     certification = empty_certification;
     timeline = [||];
+    bound_timeline = [||];
   }
 
 let fractionality v =
@@ -403,6 +411,12 @@ type incumbent = {
   mutable timeline : (float * float * int * Trace.incumbent_source) list;
       (* (elapsed, objective, node id, source) of each improving
          install, newest first; guarded by [user_lock] *)
+  mutable bounds : (float * float) list;
+      (* (elapsed, dual bound) of each improvement of the best proven
+         global lower bound, newest first; guarded by [user_lock] *)
+  mutable last_bound : float;
+      (* newest recorded bound ([neg_infinity] while none); read racily
+         as a pre-filter, authoritative under [user_lock] *)
 }
 
 let new_incumbent () =
@@ -412,6 +426,8 @@ let new_incumbent () =
     best = None;
     n_incumbents = 0;
     timeline = [];
+    bounds = [];
+    last_bound = Float.neg_infinity;
   }
 
 (* Bound-delta bookkeeping: one entry per node fixing currently applied
@@ -437,6 +453,7 @@ type ctx = {
   st : Simplex.state;
   push : node -> unit;
   tw : Trace.writer;  (* this context's single-writer trace buffer *)
+  msh : Metrics.shard;  (* this context's single-writer metrics shard *)
   det : bool;
   set_root : bool;  (* this context solves the root relaxation *)
   bump : unit -> int;  (* global node counter; returns the new total *)
@@ -476,7 +493,8 @@ let pc_tables env =
       Array.make env.nvars 0 )
   else ([||], [||], [||], [||])
 
-let make_ctx env ~inc ~st ~push ~tw ~det ~set_root ~bump ~ship ~local_best =
+let make_ctx env ~inc ~st ~push ~tw ~msh ~det ~set_root ~bump ~ship
+    ~local_best =
   let pc_up_sum, pc_up_cnt, pc_down_sum, pc_down_cnt = pc_tables env in
   {
     env;
@@ -484,6 +502,7 @@ let make_ctx env ~inc ~st ~push ~tw ~det ~set_root ~bump ~ship ~local_best =
     st;
     push;
     tw;
+    msh;
     det;
     set_root;
     bump;
@@ -564,6 +583,21 @@ let move_to ctx fixes =
 
 let best_seen ctx =
   if ctx.det then ctx.local_best else Atomic.get ctx.inc.best_obj
+
+(* Record an improvement of the global dual (lower) bound. [b] must be
+   a valid lower bound on every open node at the time of the call —
+   staleness is fine (a stale bound is a weaker, still-valid one), an
+   optimistic bound is not. The racy [last_bound] pre-check keeps the
+   no-progress case lock-free. *)
+let note_bound inc metrics ~t0 b =
+  if Float.is_finite b && b > inc.last_bound +. 1e-9 then
+    Mutex.protect inc.user_lock (fun () ->
+        if b > inc.last_bound +. 1e-9 then begin
+          inc.last_bound <- b;
+          inc.bounds <- (Mono.elapsed_since t0, b) :: inc.bounds;
+          if Metrics.enabled metrics then
+            Metrics.set_gauge metrics Metrics.G_best_bound b
+        end)
 
 (* Pruning cutoff given the current incumbent ([infinity] when none —
    the subtractions below leave infinities alone). *)
@@ -671,6 +705,10 @@ let install ctx ~node_no ~source obj x ~callback =
     inc.n_incumbents <- inc.n_incumbents + 1;
     inc.timeline <-
       (Mono.elapsed_since ctx.env.t0, obj, node_no, source) :: inc.timeline;
+    if Metrics.active ctx.msh then
+      Metrics.incr ctx.msh Metrics.C_incumbents;
+    if Metrics.enabled ctx.env.opts.metrics then
+      Metrics.set_gauge ctx.env.opts.metrics Metrics.G_incumbent_obj obj;
     if Trace.active ctx.tw then
       Trace.emit ctx.tw (Trace.Incumbent { node = node_no; obj; source });
     if callback then
@@ -801,7 +839,10 @@ let certify_node ctx ~nno res =
   let cs = ctx.env.cert in
   Atomic.incr cs.c_checked;
   (match cert.Certify.verdict with
-   | Certify.Certified -> Atomic.incr cs.c_certified
+   | Certify.Certified ->
+     Atomic.incr cs.c_certified;
+     if Metrics.active ctx.msh then
+       Metrics.incr ctx.msh Metrics.C_certified_nodes
    | Certify.Refuted ->
      Atomic.incr cs.c_refuted;
      Log.warn (fun f ->
@@ -835,7 +876,7 @@ let run_heuristics ctx ~node_no ~depth ~lb ~ub x =
       let h =
         Heuristics.create ~backend:env.opts.lp_backend
           ~pricing:env.opts.lp_pricing ?lu_rule:env.opts.lp_lu ~trace:ctx.tw
-          env.lp
+          ~metrics:ctx.msh env.lp
       in
       ctx.heur <- Some h;
       h
@@ -863,6 +904,7 @@ let process_node ctx node =
   let opts = env.opts in
   let nno = ctx.bump () in
   ctx.k_nodes <- ctx.k_nodes + 1;
+  if Metrics.active ctx.msh then Metrics.incr ctx.msh Metrics.C_nodes;
   if node.depth > ctx.k_max_depth then ctx.k_max_depth <- node.depth;
   if Trace.active ctx.tw then
     Trace.emit ctx.tw
@@ -914,7 +956,9 @@ let process_node ctx node =
             (List.filteri (fun i _ -> i < node.fresh) node.fixes
             |> List.map (fun (j, _, _) -> j))
       in
-      match Propagate.run prop ~lb ~ub ?seeds ~trace:ctx.tw () with
+      match
+        Propagate.run prop ~lb ~ub ?seeds ~trace:ctx.tw ~metrics:ctx.msh ()
+      with
       | Propagate.Ok d ->
         if d.Propagate.fixes <> [] then
           ignore
@@ -1194,7 +1238,7 @@ let process_node ctx node =
    deterministic function of the model. *)
 let max_cuts_per_round = 32
 
-let cut_and_branch opts lp t0 tw =
+let cut_and_branch opts lp t0 tw msh =
   let pool = Cuts.create_pool () in
   (* Root cutting must leave time for the search: cap the loop at a
      quarter of the time limit so a large model's LP re-solves cannot
@@ -1245,13 +1289,15 @@ let cut_and_branch opts lp t0 tw =
       active := keep;
       let fresh =
         Cuts.pool_add pool
-          (List.map snd (Cuts.separate ~trace:tw lp ~x:res.Simplex.x))
+          (List.map snd
+             (Cuts.separate ~trace:tw ~metrics:msh lp ~x:res.Simplex.x))
       in
       if fresh = [] then continue_ := false
       else begin
         active :=
           !active @ List.filteri (fun i _ -> i < max_cuts_per_round) fresh;
         incr rounds;
+        if Metrics.active msh then Metrics.incr msh Metrics.C_cut_rounds;
         if Trace.active tw then
           Trace.emit tw
             (Trace.Cut_round
@@ -1328,6 +1374,15 @@ let make_env options lp t0 ~cuts_info =
 
 let finitize b = if Float.is_finite b then b else Float.neg_infinity
 
+(* The authoritative dual bound of a finished search, appended to the
+   bound timeline so its last entry always reconstructs the final gap:
+   the proven optimum when one exists, the best open bound on a limit
+   (nan — filtered by [note_bound] — when no bound is meaningful). *)
+let outcome_bound = function
+  | Optimal { obj; _ } -> obj
+  | Limit_reached { bound; _ } -> bound
+  | Infeasible | Unbounded -> Float.nan
+
 let root_node =
   {
     fixes = [];
@@ -1347,6 +1402,8 @@ let solve_sequential env =
   let st = Simplex.create ~backend:opts.lp_backend ~pricing:opts.lp_pricing ?lu_rule:opts.lp_lu env.lp in
   let tw = Trace.main opts.tracer in
   Simplex.set_trace st tw;
+  let msh = Metrics.main opts.metrics in
+  Simplex.set_metrics st msh;
   let pivots0 = Simplex.total_pivots st in
   let inc = new_incumbent () in
   let nodes = ref 0 in
@@ -1377,12 +1434,23 @@ let solve_sequential env =
     Float.min from_stack from_heap
   in
   let ctx =
-    make_ctx env ~inc ~st ~push ~tw ~det:false ~set_root:true
+    make_ctx env ~inc ~st ~push ~tw ~msh ~det:false ~set_root:true
       ~bump:(fun () ->
         incr nodes;
         !nodes)
       ~ship:false ~local_best:Float.infinity
   in
+  (* Open-node gauge for the metrics sampler: racy reads of the stack
+     and heap sizes from the snapshotting domain (immutable list spine,
+     word-sized heap counter — stale but well-defined). [polling] fences
+     the closure off once the solve returns, so a later snapshot cannot
+     clobber gauges the caller publishes from the outcome. *)
+  let polling = ref true in
+  if Metrics.enabled opts.metrics then
+    Metrics.on_snapshot opts.metrics (fun () ->
+        if !polling then
+          Metrics.set_gauge opts.metrics Metrics.G_open_nodes
+            (Float.of_int (List.length !stack + heap.Heap.size)));
   push root_node;
   if Trace.active tw then Trace.emit tw (Trace.Span_begin "search");
   let result = ref None in
@@ -1402,6 +1470,12 @@ let solve_sequential env =
            | None -> if !unbounded then Unbounded else Infeasible)
     | Some node ->
       refix_root ctx;
+      (* Dual-bound convergence sample: after the pop, the global lower
+         bound is the min over the remaining frontier and this node.
+         [open_bound] walks the frontier, so sample on a cadence. *)
+      if !nodes land 31 = 0 then
+        note_bound inc opts.metrics ~t0:env.t0
+          (Float.min (open_bound ()) node.n_bound);
       if !nodes >= opts.max_nodes || Mono.now () > env.deadline then
         result := Some (limit node)
       else if node.n_bound >= cutoff ctx then () (* pruned by bound *)
@@ -1414,6 +1488,9 @@ let solve_sequential env =
         | Step_numeric -> result := Some (limit node))
   done;
   if Trace.active tw then Trace.emit tw (Trace.Span_end "search");
+  polling := false;
+  let outcome = Option.get !result in
+  note_bound inc opts.metrics ~t0:env.t0 (outcome_bound outcome);
   let stats =
     {
       nodes = !nodes;
@@ -1427,9 +1504,10 @@ let solve_sequential env =
       deductions = deduction_totals env.ded;
       certification = certification_totals env.cert;
       timeline = Array.of_list (List.rev inc.timeline);
+      bound_timeline = Array.of_list (List.rev inc.bounds);
     }
   in
-  (Option.get !result, stats)
+  (outcome, stats)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel driver (jobs > 1). Phase 1 seeds a frontier sequentially on
@@ -1454,6 +1532,8 @@ let solve_parallel env =
   let st0 = Simplex.create ~backend:opts.lp_backend ~pricing:opts.lp_pricing ?lu_rule:opts.lp_lu env.lp in
   let tw0 = Trace.main opts.tracer in
   Simplex.set_trace st0 tw0;
+  let msh0 = Metrics.main opts.metrics in
+  Simplex.set_metrics st0 msh0;
   let pivots0 = Simplex.total_pivots st0 in
   let inc = new_incumbent () in
   let nodes = Atomic.make 0 in
@@ -1469,7 +1549,7 @@ let solve_parallel env =
   let seed_ctx =
     make_ctx env ~inc ~st:st0
       ~push:(fun nd -> Pool.Deque.push seed_dq nd)
-      ~tw:tw0 ~det:false ~set_root:true ~bump
+      ~tw:tw0 ~msh:msh0 ~det:false ~set_root:true ~bump
       ~ship:(not opts.deterministic) ~local_best:Float.infinity
   in
   Pool.Deque.push seed_dq root_node;
@@ -1519,13 +1599,68 @@ let solve_parallel env =
   in
   let det_best0 = Atomic.get inc.best_obj in
   let failure : exn option Atomic.t = Atomic.make None in
+  (* Worker deques are allocated on the spawning domain so the metrics
+     poll below can sample their lengths; each deque is still written
+     only by its worker. [mirrors.(wi)] is worker [wi]'s published lower
+     bound on everything it holds (deque + node in hand): refreshed at
+     the top of [handle] — children pushed later bound at least the
+     processed node's objective, so the published value stays valid (if
+     stale-low) until the next refresh. Deterministic mode deals seeds
+     before the workers start, so mirrors begin at each deal's min;
+     pool-fed workers start empty ([infinity] — the pool fold covers
+     the seeds). *)
+  let locals = Array.init jobs (fun _ -> Pool.Deque.create ()) in
+  let deal wi =
+    if opts.deterministic then List.filteri (fun i _ -> i mod jobs = wi) seeds
+    else []
+  in
+  let mirrors =
+    Array.init jobs (fun wi ->
+        Atomic.make
+          (List.fold_left
+             (fun acc (nd : node) -> Float.min acc nd.n_bound)
+             Float.infinity (deal wi)))
+  in
+  (* Sampler-driven observability: open-node and pool-depth gauges from
+     racy deque lengths, and the global dual bound as the min of the
+     worker mirrors and a locked fold over the pool. A sample racing
+     the instant between a steal and the stealing worker's mirror
+     update can transiently overstate the bound; the timeline's final
+     entry (from the outcome) is authoritative. [polling] fences the
+     closures off once the solve returns. *)
+  let polling = ref true in
+  if Metrics.enabled opts.metrics then
+    Metrics.on_snapshot opts.metrics (fun () ->
+        if !polling then begin
+          let in_pool = match pool with Some p -> Pool.queued p | None -> 0 in
+          let open_n =
+            Array.fold_left
+              (fun acc d -> acc + Pool.Deque.length d)
+              in_pool locals
+          in
+          Metrics.set_gauge opts.metrics Metrics.G_open_nodes
+            (Float.of_int open_n);
+          if Option.is_some pool then
+            Metrics.set_gauge opts.metrics Metrics.G_pool_depth
+              (Float.of_int in_pool);
+          let b =
+            Array.fold_left
+              (fun acc m -> Float.min acc (Atomic.get m))
+              Float.infinity mirrors
+          in
+          let b =
+            match pool with
+            | Some p ->
+              Pool.fold
+                (fun acc (nd : node) -> Float.min acc nd.n_bound)
+                b p
+            | None -> b
+          in
+          note_bound inc opts.metrics ~t0:env.t0 b
+        end);
   let worker wi () =
-    let my_seeds =
-      if opts.deterministic then
-        List.filteri (fun i _ -> i mod jobs = wi) seeds
-      else []
-    in
-    let local : node Pool.Deque.t = Pool.Deque.create () in
+    let my_seeds = deal wi in
+    let local : node Pool.Deque.t = locals.(wi) in
     List.iter (Pool.Deque.push local) (List.rev my_seeds);
     let st = Simplex.create ~backend:opts.lp_backend ~pricing:opts.lp_pricing ?lu_rule:opts.lp_lu env.lp in
     (* Registered from inside the spawned domain: this domain is the
@@ -1534,6 +1669,8 @@ let solve_parallel env =
       Trace.make_writer opts.tracer (Printf.sprintf "worker %d" wi)
     in
     Simplex.set_trace st tw;
+    let msh = Metrics.make_shard opts.metrics in
+    Simplex.set_metrics st msh;
     let steals = ref 0 and handoffs = ref 0 and idle = ref 0. in
     (* Worker-private pseudo-cost tables (built by [make_ctx]): no
        sharing, no timing dependence — deterministic-mode node counts
@@ -1541,12 +1678,17 @@ let solve_parallel env =
     let ctx =
       make_ctx env ~inc ~st
         ~push:(fun nd -> Pool.Deque.push local nd)
-        ~tw ~det:opts.deterministic ~set_root:false ~bump
+        ~tw ~msh ~det:opts.deterministic ~set_root:false ~bump
         ~ship:(not opts.deterministic)
         ~local_best:
           (if opts.deterministic then det_best0 else Float.infinity)
     in
     let handle node =
+      if Metrics.active msh then
+        Atomic.set mirrors.(wi)
+          (Pool.Deque.fold
+             (fun acc (nd : node) -> Float.min acc nd.n_bound)
+             node.n_bound local);
       if Atomic.get stop_flag <> 0 then Pool.Deque.push local node
       else if over_limit () then begin
         flag_stop 1;
@@ -1558,14 +1700,19 @@ let solve_parallel env =
         match process_node ctx node with
         | Step_ok -> (
           match pool with
-          | Some p when Pool.Deque.length local > 1 && Pool.hungry p -> (
-            (* donate the bottom of the deque: the shallowest, largest
-               open subtree this worker holds *)
-            match Pool.Deque.pop_bottom local with
-            | Some nd ->
-              Pool.push p nd;
-              incr handoffs
-            | None -> ())
+          | Some p when Pool.Deque.length local > 1 ->
+            if Metrics.active msh then
+              Metrics.incr msh Metrics.C_pool_hungry_polls;
+            if Pool.hungry p then (
+              (* donate the bottom of the deque: the shallowest,
+                 largest open subtree this worker holds *)
+              match Pool.Deque.pop_bottom local with
+              | Some nd ->
+                Pool.push p nd;
+                incr handoffs;
+                if Metrics.active msh then
+                  Metrics.incr msh Metrics.C_pool_handoffs
+              | None -> ())
           | _ -> ())
         | Step_unbounded ->
           flag_stop 2;
@@ -1586,12 +1733,21 @@ let solve_parallel env =
           match pool with
           | None -> () (* deterministic: private work is all there is *)
           | Some p -> (
+            (* Nothing held locally while blocked in [take]. *)
+            if Metrics.active msh then
+              Atomic.set mirrors.(wi) Float.infinity;
             let t = Mono.now () in
             match Pool.take p with
             | None -> idle := !idle +. Mono.elapsed_since t
             | Some node ->
+              (* Publish the stolen node's bound before anything else:
+                 it left the pool's fold when [take] removed it. *)
+              if Metrics.active msh then
+                Atomic.set mirrors.(wi) node.n_bound;
               idle := !idle +. Mono.elapsed_since t;
               incr steals;
+              if Metrics.active msh then
+                Metrics.incr msh Metrics.C_pool_steals;
               handle node;
               drive ()))
     in
@@ -1677,6 +1833,8 @@ let solve_parallel env =
     | _ (* 1 = limit, 3 = numeric *) ->
       Limit_reached { best = inc.best; bound = finitize !open_acc }
   in
+  polling := false;
+  note_bound inc opts.metrics ~t0:env.t0 (outcome_bound outcome);
   let stats =
     {
       nodes = Atomic.get nodes;
@@ -1690,6 +1848,7 @@ let solve_parallel env =
       deductions = deduction_totals env.ded;
       certification = certification_totals env.cert;
       timeline = Array.of_list (List.rev inc.timeline);
+      bound_timeline = Array.of_list (List.rev inc.bounds);
     }
   in
   (outcome, stats)
@@ -1698,6 +1857,9 @@ let solve ?(options = default_options) lp =
   if options.jobs < 1 then invalid_arg "Branch_bound.solve: jobs < 1";
   if options.check_model then Analyze.assert_clean lp;
   let t0 = Mono.now () in
+  if Metrics.enabled options.metrics then
+    Metrics.set_gauge options.metrics Metrics.G_workers
+      (Float.of_int options.jobs);
   (* Root cut-and-branch runs on the calling domain before any search
      state exists; the search then operates on the strengthened model.
      The pool is shared read-only with every worker through the
@@ -1706,7 +1868,9 @@ let solve ?(options = default_options) lp =
     if options.cuts then begin
       let tw = Trace.main options.tracer in
       if Trace.active tw then Trace.emit tw (Trace.Span_begin "cuts");
-      let lp', pool, active, rounds = cut_and_branch options lp t0 tw in
+      let lp', pool, active, rounds =
+        cut_and_branch options lp t0 tw (Metrics.main options.metrics)
+      in
       if Trace.active tw then Trace.emit tw (Trace.Span_end "cuts");
       Log.info (fun f ->
           f "cut-and-branch: %d rounds, %d active cuts" rounds

@@ -203,6 +203,22 @@ type options = {
           registers its own ["worker i"] track from inside its domain.
           Collect with {!Trace.collect} after {!solve} returns and
           export through {!Trace_export}. *)
+  metrics : Metrics.t;
+      (** Live metrics registry (default {!Metrics.disabled}, costing
+          one branch per instrumentation site). When enabled, the
+          search counts nodes, incumbents, certified verdicts, LP
+          solves/pivots/flips, hyper-sparse solve rates,
+          (re)factorizations, cut/propagation/heuristic activity and
+          pool traffic into per-domain single-writer shards — the
+          sequential driver and the seeding phase write the registry's
+          main shard, each worker registers its own from inside its
+          domain — and publishes gauges (open nodes, pool depth, best
+          dual bound, incumbent objective, worker count) for the
+          snapshot poller. The final {!Metrics.snapshot} after {!solve}
+          returns agrees exactly with {!stats}: node, pivot and
+          factorization totals are equal (heuristic engines' private
+          pivots are excluded from both). Enabling metrics also drives
+          the sampled part of {!stats.bound_timeline} for [jobs > 1]. *)
 }
 
 val default_options : options
@@ -300,6 +316,18 @@ type stats = {
           installation order. The last entry's objective equals the
           final incumbent objective; [source] says whether the search,
           the completion hook, or a primal heuristic found it. *)
+  bound_timeline : (float * float) array;
+      (** The dual-bound timeline, mirroring [timeline]: one
+          [(elapsed seconds, bound)] entry per recorded improvement of
+          the best proven global lower bound, oldest first and strictly
+          increasing in both fields. The last entry is authoritative —
+          it is the outcome's bound (the objective itself on
+          {!Optimal}), so the final gap is reconstructible from the two
+          timelines. Interior entries are sampled: every 32 nodes on
+          the sequential driver; from the metrics snapshot poller when
+          [jobs > 1] (without metrics a parallel timeline holds only
+          the final entry). Empty when the search proves infeasibility
+          or unboundedness. *)
 }
 
 val empty_stats : stats

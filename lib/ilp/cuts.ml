@@ -265,9 +265,13 @@ let separate_cliques lp ~x =
 
 (* Both separators, as (violation, cut) sorted most-violated first with
    a deterministic tie-break on the (sorted) support. *)
-let separate ?(trace = Trace.null_writer) lp ~x =
+let separate ?(trace = Trace.null_writer) ?(metrics = Metrics.null_shard) lp ~x
+    =
   let covers = separate_covers lp ~x in
   let cliques = separate_cliques lp ~x in
+  if Metrics.active metrics then
+    Metrics.add metrics Metrics.C_cuts_separated
+      (List.length covers + List.length cliques);
   if Trace.active trace then begin
     let best l = List.fold_left (fun m (v, _) -> Float.max m v) 0. l in
     Trace.emit trace

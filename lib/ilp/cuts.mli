@@ -42,12 +42,19 @@ val violation : cut -> float array -> float
 (** [violation c x] is [coef . x - rhs] at the point [x]: positive means
     the cut is violated there. *)
 
-val separate : ?trace:Trace.writer -> Lp.t -> x:float array -> (float * cut) list
+val separate :
+  ?trace:Trace.writer ->
+  ?metrics:Metrics.shard ->
+  Lp.t ->
+  x:float array ->
+  (float * cut) list
 (** All violated cover and clique cuts at the fractional point [x],
     paired with their violation and sorted most-violated first (ties
     broken on the support, deterministically). When [trace] is an
     active writer, one {!Trace.Cut_sep} event is emitted per family
-    (cover, clique) with the count found and the best violation. *)
+    (cover, clique) with the count found and the best violation; when
+    [metrics] is an active shard the total found is added to
+    {!Metrics.C_cuts_separated}. *)
 
 val separate_covers : Lp.t -> x:float array -> (float * cut) list
 val separate_cliques : Lp.t -> x:float array -> (float * cut) list

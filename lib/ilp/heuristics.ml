@@ -14,12 +14,17 @@ type t = {
   pricing : Simplex.pricing;
   lu_rule : Lu.pivot_rule option;  (* None: follow the pricing default *)
   trace : Trace.writer;
+  (* Heuristic activity is counted through the dedicated C_heur_*
+     counters only; the private engine below gets no metrics shard, so
+     its pivots never pollute the search-wide LP totals (which must
+     match Branch_bound.stats exactly). *)
+  metrics : Metrics.shard;
   mutable eng : Simplex.state option;
   mutable eng_fresh : bool;  (* no usable basis on the engine yet *)
 }
 
 let create ?(backend = Simplex.Sparse_lu) ?(pricing = Simplex.Devex) ?lu_rule
-    ?(trace = Trace.null_writer) lp =
+    ?(trace = Trace.null_writer) ?(metrics = Metrics.null_shard) lp =
   let n = Lp.num_vars lp in
   let ivars =
     List.map (fun (v : Lp.var) -> (v :> int)) (Lp.integer_vars lp)
@@ -38,6 +43,7 @@ let create ?(backend = Simplex.Sparse_lu) ?(pricing = Simplex.Devex) ?lu_rule
     pricing;
     lu_rule;
     trace;
+    metrics;
     eng = None;
     eng_fresh = true;
   }
@@ -98,6 +104,7 @@ let repair_row t rx ~row ~activity ~sense ~rhs =
 
 let round_and_repair t ?(int_tol = 1e-6) ?max_flips ~x () =
   ignore int_tol;
+  if Metrics.active t.metrics then Metrics.incr t.metrics Metrics.C_heur_runs;
   let max_flips =
     match max_flips with
     | Some m -> m
@@ -136,6 +143,8 @@ let round_and_repair t ?(int_tol = 1e-6) ?max_flips ~x () =
   done;
   if !verdict = Some true then begin
     Log.debug (fun f -> f "round+repair found a feasible point (%d flips)" !flips);
+    if Metrics.active t.metrics then
+      Metrics.incr t.metrics Metrics.C_heur_incumbents;
     Some rx
   end
   else None
@@ -143,6 +152,8 @@ let round_and_repair t ?(int_tol = 1e-6) ?max_flips ~x () =
 let dive t ~lb ~ub ~x ?(int_tol = 1e-6) ~max_depth ~cutoff ~deadline () =
   if t.ivars = [] then None
   else begin
+    if Metrics.active t.metrics then
+      Metrics.incr t.metrics Metrics.C_heur_runs;
     let st = engine t in
     for j = 0 to t.n - 1 do
       Simplex.set_var_bounds st j ~lb:lb.(j) ~ub:ub.(j)
@@ -180,7 +191,11 @@ let dive t ~lb ~ub ~x ?(int_tol = 1e-6) ~max_depth ~cutoff ~deadline () =
       if Mono.now () > deadline then None
       else
         let j = most_frac y in
-        if j < 0 then Some (Array.copy y)
+        if j < 0 then begin
+          if Metrics.active t.metrics then
+            Metrics.incr t.metrics Metrics.C_heur_incumbents;
+          Some (Array.copy y)
+        end
         else if depth >= max_depth then None
         else begin
           let v = Float.round y.(j) in

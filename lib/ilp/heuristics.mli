@@ -27,13 +27,18 @@ val create :
   ?pricing:Simplex.pricing ->
   ?lu_rule:Lu.pivot_rule ->
   ?trace:Trace.writer ->
+  ?metrics:Metrics.shard ->
   Lp.t ->
   t
 (** Prepares heuristic state for the model. Cheap: the private simplex
     engine is only built on the first {!dive}. [lu_rule] forwards to
     {!Simplex.create} (omitted: the pricing-mode default). [trace]
     routes the private engine's LP-solve events (default
-    {!Trace.null_writer}). *)
+    {!Trace.null_writer}). [metrics] receives only the heuristic-level
+    counters ({!Metrics.C_heur_runs} per {!round_and_repair}/{!dive}
+    invocation, {!Metrics.C_heur_incumbents} per candidate returned);
+    the private engine's pivots are deliberately {e not} counted, so
+    search-wide LP totals stay equal to [Branch_bound.stats]. *)
 
 val round_and_repair :
   t -> ?int_tol:float -> ?max_flips:int -> x:float array -> unit ->

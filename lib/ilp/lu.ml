@@ -569,8 +569,8 @@ let factor_bucket (a : Sparse.Csc.mat) (basis : int array) m lp_row u_q u_diag
     done
   done
 
-let factor ?(trace = Trace.null_writer) ?(rule = Bucket) (a : Sparse.Csc.mat)
-    (basis : int array) =
+let factor ?(trace = Trace.null_writer) ?(metrics = Metrics.null_shard)
+    ?(rule = Bucket) (a : Sparse.Csc.mat) (basis : int array) =
   let t_start = if Trace.active trace then Mono.now () else 0. in
   let m = Array.length basis in
   if a.Sparse.Csc.nrows <> m then invalid_arg "Lu.factor: dimension mismatch";
@@ -591,6 +591,8 @@ let factor ?(trace = Trace.null_writer) ?(rule = Bucket) (a : Sparse.Csc.mat)
     Trace.emit trace
       (Trace.Lu_factor
          { m; fill = !fill; probes = !probes; dt = Mono.now () -. t_start });
+  if Metrics.active metrics then
+    Metrics.add metrics Metrics.C_lu_probes !probes;
   (* Inverse permutations and transposed dependency lists. *)
   let step_of_row = Array.make m 0 and step_of_slot = Array.make m 0 in
   for k = 0 to m - 1 do

@@ -52,7 +52,12 @@ type pivot_rule =
           {!Legacy}. *)
 
 val factor :
-  ?trace:Trace.writer -> ?rule:pivot_rule -> Sparse.Csc.mat -> int array -> t
+  ?trace:Trace.writer ->
+  ?metrics:Metrics.shard ->
+  ?rule:pivot_rule ->
+  Sparse.Csc.mat ->
+  int array ->
+  t
 (** [factor a basis] factorizes the [m x m] basis matrix, where
     [m = Array.length basis] and each [basis.(j)] names a column of
     [a]. The eta file starts empty. [rule] selects the pivot search
@@ -62,7 +67,8 @@ val factor :
     [Invalid_argument] when [a]'s row dimension differs from [m].
     When [trace] is an active writer a {!Trace.Lu_factor} event (basis
     dimension, fill, pivot-search probes, wall time) is emitted on
-    completion. *)
+    completion; when [metrics] is an active shard the probe count is
+    added to {!Metrics.C_lu_probes}. *)
 
 val ftran : t -> float array -> unit
 (** [ftran lu b] solves [B x = b] in place: on entry [b] is a dense

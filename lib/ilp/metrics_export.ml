@@ -1,0 +1,510 @@
+(* Numbers must round-trip textually: Json prints floats with enough
+   digits, and nan/inf gauges become null (JSON has no non-finite
+   literals). *)
+let num_or_null v = if Float.is_finite v then Json.Num v else Json.Null
+
+let snapshot_to_json (s : Metrics.snapshot) =
+  let counters =
+    Array.to_list
+      (Array.map
+         (fun c ->
+           ( Metrics.counter_name c,
+             Json.Num (float_of_int (Metrics.counter_value s c)) ))
+         Metrics.all_counters)
+  in
+  let gauges =
+    Array.to_list
+      (Array.map
+         (fun g -> (Metrics.gauge_name g, num_or_null (Metrics.gauge_value s g)))
+         Metrics.all_gauges)
+  in
+  let hists =
+    Array.to_list
+      (Array.map
+         (fun h ->
+           let v = Metrics.hist_value s h in
+           ( Metrics.histogram_name h,
+             Json.Obj
+               [
+                 ("count", Json.Num (float_of_int v.Metrics.h_count));
+                 ("sum", Json.Num v.Metrics.h_sum);
+                 ("max", Json.Num v.Metrics.h_max);
+                 ( "buckets",
+                   Json.Arr
+                     (Array.to_list
+                        (Array.map
+                           (fun n -> Json.Num (float_of_int n))
+                           v.Metrics.h_buckets)) );
+               ] ))
+         Metrics.all_histograms)
+  in
+  Json.Obj
+    [
+      ("ts", Json.Num s.Metrics.s_ts);
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("hists", Json.Obj hists);
+    ]
+
+let ( let* ) = Result.bind
+
+let obj_bindings what = function
+  | Json.Obj kvs -> Ok kvs
+  | _ -> Error (Printf.sprintf "%s: expected an object" what)
+
+let snapshot_of_json j =
+  let* top = obj_bindings "snapshot" j in
+  let* ts =
+    match Json.member "ts" j with
+    | Some (Json.Num v) -> Ok v
+    | _ -> Error "snapshot: missing numeric ts"
+  in
+  let counters = Array.make (Array.length Metrics.all_counters) 0 in
+  let gauges = Array.make (Array.length Metrics.all_gauges) Float.nan in
+  let hists =
+    Array.make (Array.length Metrics.all_histograms) Metrics.empty_snapshot.Metrics.s_hists.(0)
+  in
+  let* () =
+    match List.assoc_opt "counters" top with
+    | None -> Ok ()
+    | Some c ->
+      let* kvs = obj_bindings "counters" c in
+      List.fold_left
+        (fun acc (k, v) ->
+          let* () = acc in
+          match Metrics.counter_of_name k with
+          | None -> Error (Printf.sprintf "unknown counter %S" k)
+          | Some cnt -> (
+            match Json.int v with
+            | Some n ->
+              counters.(Metrics.counter_index cnt) <- n;
+              Ok ()
+            | None -> Error (Printf.sprintf "counter %S: expected an integer" k)))
+        (Ok ()) kvs
+  in
+  let* () =
+    match List.assoc_opt "gauges" top with
+    | None -> Ok ()
+    | Some g ->
+      let* kvs = obj_bindings "gauges" g in
+      List.fold_left
+        (fun acc (k, v) ->
+          let* () = acc in
+          match Metrics.gauge_of_name k with
+          | None -> Error (Printf.sprintf "unknown gauge %S" k)
+          | Some g -> (
+            match v with
+            | Json.Null ->
+              gauges.(Metrics.gauge_index g) <- Float.nan;
+              Ok ()
+            | Json.Num x ->
+              gauges.(Metrics.gauge_index g) <- x;
+              Ok ()
+            | _ -> Error (Printf.sprintf "gauge %S: expected number or null" k)))
+        (Ok ()) kvs
+  in
+  let* () =
+    match List.assoc_opt "hists" top with
+    | None -> Ok ()
+    | Some h ->
+      let* kvs = obj_bindings "hists" h in
+      List.fold_left
+        (fun acc (k, v) ->
+          let* () = acc in
+          match Metrics.histogram_of_name k with
+          | None -> Error (Printf.sprintf "unknown histogram %S" k)
+          | Some hh ->
+            let count =
+              Option.bind (Json.member "count" v) Json.int
+              |> Option.value ~default:0
+            and sum =
+              Option.bind (Json.member "sum" v) Json.num
+              |> Option.value ~default:0.
+            and hmax =
+              Option.bind (Json.member "max" v) Json.num
+              |> Option.value ~default:0.
+            in
+            let* buckets =
+              match Json.member "buckets" v with
+              | Some (Json.Arr l) when List.length l = Metrics.n_buckets ->
+                List.fold_left
+                  (fun acc b ->
+                    let* acc = acc in
+                    match Json.int b with
+                    | Some n -> Ok (n :: acc)
+                    | None ->
+                      Error
+                        (Printf.sprintf "histogram %S: non-integer bucket" k))
+                  (Ok []) l
+                |> Result.map (fun l -> Array.of_list (List.rev l))
+              | _ ->
+                Error
+                  (Printf.sprintf "histogram %S: expected %d buckets" k
+                     Metrics.n_buckets)
+            in
+            if Array.fold_left ( + ) 0 buckets <> count then
+              Error
+                (Printf.sprintf "histogram %S: count %d <> bucket sum" k count)
+            else begin
+              hists.(Metrics.histogram_index hh) <-
+                {
+                  Metrics.h_count = count;
+                  h_sum = sum;
+                  h_max = hmax;
+                  h_buckets = buckets;
+                };
+              Ok ()
+            end)
+        (Ok ()) kvs
+  in
+  Ok
+    {
+      Metrics.s_ts = ts;
+      s_counters = counters;
+      s_gauges = gauges;
+      s_hists = hists;
+    }
+
+let monotonize (prev : Metrics.snapshot) (cur : Metrics.snapshot) =
+  let counters =
+    Array.mapi
+      (fun i v -> Int.max v prev.Metrics.s_counters.(i))
+      cur.Metrics.s_counters
+  in
+  let hists =
+    Array.mapi
+      (fun i (h : Metrics.hist) ->
+        let p = prev.Metrics.s_hists.(i) in
+        let buckets =
+          Array.mapi
+            (fun k n -> Int.max n p.Metrics.h_buckets.(k))
+            h.Metrics.h_buckets
+        in
+        {
+          Metrics.h_count = Array.fold_left ( + ) 0 buckets;
+          h_sum = Float.max h.Metrics.h_sum p.Metrics.h_sum;
+          h_max = Float.max h.Metrics.h_max p.Metrics.h_max;
+          h_buckets = buckets;
+        })
+      cur.Metrics.s_hists
+  in
+  {
+    cur with
+    Metrics.s_ts = Float.max cur.Metrics.s_ts prev.Metrics.s_ts;
+    s_counters = counters;
+    s_hists = hists;
+  }
+
+let write_jsonl oc s =
+  output_string oc (Json.to_string (snapshot_to_json s));
+  output_char oc '\n'
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents ->
+    let lines =
+      String.split_on_char '\n' contents
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | l :: rest -> (
+        match Json.parse l with
+        | Error e -> Error (Printf.sprintf "line %d: %s" i e)
+        | Ok j -> (
+          match snapshot_of_json j with
+          | Error e -> Error (Printf.sprintf "line %d: %s" i e)
+          | Ok s -> go (i + 1) (s :: acc) rest))
+    in
+    go 1 [] lines
+
+let check snaps =
+  let* () = if snaps = [] then Error "empty snapshot stream" else Ok () in
+  let rec go i prev = function
+    | [] -> Ok ()
+    | (s : Metrics.snapshot) :: rest ->
+      let err fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "snapshot %d: %s" i m)) fmt in
+      let* () =
+        Array.fold_left
+          (fun acc (h : Metrics.hist) ->
+            let* () = acc in
+            if Array.fold_left ( + ) 0 h.Metrics.h_buckets <> h.Metrics.h_count
+            then err "histogram count differs from its bucket sum"
+            else if h.Metrics.h_sum < 0. || h.Metrics.h_max < 0. then
+              err "negative histogram sum or max"
+            else Ok ())
+          (Ok ()) s.Metrics.s_hists
+      in
+      let* () =
+        match prev with
+        | None -> Ok ()
+        | Some (p : Metrics.snapshot) ->
+          if s.Metrics.s_ts < p.Metrics.s_ts then
+            err "timestamp decreased (%g after %g)" s.Metrics.s_ts p.Metrics.s_ts
+          else
+            Array.fold_left
+              (fun acc c ->
+                let* () = acc in
+                let v = Metrics.counter_value s c
+                and pv = Metrics.counter_value p c in
+                if v < pv then
+                  err "counter %s decreased (%d after %d)"
+                    (Metrics.counter_name c) v pv
+                else Ok ())
+              (Ok ()) Metrics.all_counters
+      in
+      go (i + 1) (Some s) rest
+  in
+  go 1 None snaps
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+
+let prom_name kind name = Printf.sprintf "tpart_%s%s" name kind
+
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let prometheus (s : Metrics.snapshot) =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b l; Buffer.add_char b '\n') fmt in
+  Array.iter
+    (fun c ->
+      let n = prom_name "_total" (Metrics.counter_name c) in
+      line "# HELP %s Solver counter %s." n (Metrics.counter_name c);
+      line "# TYPE %s counter" n;
+      line "%s %d" n (Metrics.counter_value s c))
+    Metrics.all_counters;
+  Array.iter
+    (fun g ->
+      let v = Metrics.gauge_value s g in
+      if Float.is_finite v then begin
+        let n = prom_name "" (Metrics.gauge_name g) in
+        line "# HELP %s Solver gauge %s." n (Metrics.gauge_name g);
+        line "# TYPE %s gauge" n;
+        line "%s %s" n (prom_float v)
+      end)
+    Metrics.all_gauges;
+  Array.iter
+    (fun h ->
+      let v = Metrics.hist_value s h in
+      let n = prom_name "" (Metrics.histogram_name h) in
+      line "# HELP %s Solver histogram %s." n (Metrics.histogram_name h);
+      line "# TYPE %s histogram" n;
+      let cum = ref 0 in
+      for i = 0 to Metrics.n_buckets - 1 do
+        cum := !cum + v.Metrics.h_buckets.(i);
+        let le = Metrics.bucket_le i in
+        let le_s = if Float.is_finite le then prom_float le else "+Inf" in
+        line "%s_bucket{le=\"%s\"} %d" n le_s !cum
+      done;
+      line "%s_sum %s" n (prom_float v.Metrics.h_sum);
+      line "%s_count %d" n v.Metrics.h_count)
+    Metrics.all_histograms;
+  Buffer.contents b
+
+let parse_prometheus text =
+  let parse_labels l =
+    (* l is the inside of {...}: k="v" pairs, comma-separated *)
+    String.split_on_char ',' l
+    |> List.filter (fun s -> String.trim s <> "")
+    |> List.map (fun kv ->
+           match String.index_opt kv '=' with
+           | None -> Error (Printf.sprintf "bad label %S" kv)
+           | Some i ->
+             let k = String.trim (String.sub kv 0 i) in
+             let v = String.trim (String.sub kv (i + 1) (String.length kv - i - 1)) in
+             let v =
+               if String.length v >= 2 && v.[0] = '"' then
+                 String.sub v 1 (String.length v - 2)
+               else v
+             in
+             Ok (k, v))
+    |> List.fold_left
+         (fun acc r ->
+           let* acc = acc in
+           let* kv = r in
+           Ok (kv :: acc))
+         (Ok [])
+    |> Result.map List.rev
+  in
+  let parse_value v =
+    match String.trim v with
+    | "+Inf" -> Ok Float.infinity
+    | "-Inf" -> Ok Float.neg_infinity
+    | "NaN" -> Ok Float.nan
+    | s -> (
+      match float_of_string_opt s with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "bad sample value %S" s))
+  in
+  String.split_on_char '\n' text
+  |> List.filter (fun l ->
+         let l = String.trim l in
+         l <> "" && l.[0] <> '#')
+  |> List.fold_left
+       (fun acc l ->
+         let* acc = acc in
+         let l = String.trim l in
+         let* name, labels, rest =
+           match String.index_opt l '{' with
+           | Some i -> (
+             match String.index_opt l '}' with
+             | None -> Error (Printf.sprintf "unterminated labels in %S" l)
+             | Some j ->
+               let* labels = parse_labels (String.sub l (i + 1) (j - i - 1)) in
+               Ok
+                 ( String.sub l 0 i,
+                   labels,
+                   String.sub l (j + 1) (String.length l - j - 1) ))
+           | None -> (
+             match String.index_opt l ' ' with
+             | None -> Error (Printf.sprintf "no sample value in %S" l)
+             | Some i ->
+               Ok
+                 ( String.sub l 0 i,
+                   [],
+                   String.sub l i (String.length l - i) ))
+         in
+         let* v = parse_value rest in
+         Ok ((name, labels, v) :: acc))
+       (Ok [])
+  |> Result.map List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate summary                                                   *)
+
+module Summary = struct
+  type t = {
+    snapshots : int;
+    duration : float;
+    final : Metrics.snapshot;
+  }
+
+  let of_snapshots = function
+    | [] -> Error "empty snapshot stream"
+    | (first : Metrics.snapshot) :: _ as snaps ->
+      let final = List.nth snaps (List.length snaps - 1) in
+      Ok
+        {
+          snapshots = List.length snaps;
+          duration = final.Metrics.s_ts -. first.Metrics.s_ts;
+          final;
+        }
+
+  let rate n dt = if dt > 0. then float_of_int n /. dt else 0.
+
+  let ratio_pct a b =
+    if b = 0 then 0. else 100. *. float_of_int a /. float_of_int b
+
+  let pp ppf t =
+    let s = t.final in
+    let c x = Metrics.counter_value s x in
+    let g x = Metrics.gauge_value s x in
+    let fin v = if Float.is_finite v then Printf.sprintf "%g" v else "-" in
+    let dt = s.Metrics.s_ts in
+    Format.fprintf ppf "@[<v>";
+    Format.fprintf ppf "snapshots      %d over %.3fs (last at %.3fs)@,"
+      t.snapshots t.duration dt;
+    Format.fprintf ppf "search         nodes=%d (%.1f/s) incumbents=%d certified=%d@,"
+      (c Metrics.C_nodes)
+      (rate (c Metrics.C_nodes) dt)
+      (c Metrics.C_incumbents) (c Metrics.C_certified_nodes);
+    Format.fprintf ppf "bounds         best_bound=%s incumbent=%s open=%s workers=%s@,"
+      (fin (g Metrics.G_best_bound))
+      (fin (g Metrics.G_incumbent_obj))
+      (fin (g Metrics.G_open_nodes))
+      (fin (g Metrics.G_workers));
+    Format.fprintf ppf "lp             solves=%d pivots=%d (%.1f/s) flips=%d@,"
+      (c Metrics.C_lp_solves) (c Metrics.C_lp_pivots)
+      (rate (c Metrics.C_lp_pivots) dt)
+      (c Metrics.C_lp_bound_flips);
+    Format.fprintf ppf "hyper-sparse   ftran=%d/%d (%.1f%%) btran=%d/%d (%.1f%%)@,"
+      (c Metrics.C_ftran_hyper) (c Metrics.C_ftran_solves)
+      (ratio_pct (c Metrics.C_ftran_hyper) (c Metrics.C_ftran_solves))
+      (c Metrics.C_btran_hyper) (c Metrics.C_btran_solves)
+      (ratio_pct (c Metrics.C_btran_hyper) (c Metrics.C_btran_solves));
+    Format.fprintf ppf "lu             factorizations=%d refactorizations=%d probes=%d@,"
+      (c Metrics.C_lu_factorizations)
+      (c Metrics.C_lu_refactorizations)
+      (c Metrics.C_lu_probes);
+    Format.fprintf ppf "deductions     cut_rounds=%d cuts=%d prop_runs=%d prop_fixings=%d@,"
+      (c Metrics.C_cut_rounds) (c Metrics.C_cuts_separated)
+      (c Metrics.C_prop_runs) (c Metrics.C_prop_fixings);
+    Format.fprintf ppf "heuristics     runs=%d incumbents=%d@,"
+      (c Metrics.C_heur_runs) (c Metrics.C_heur_incumbents);
+    Format.fprintf ppf "pool           steals=%d handoffs=%d hungry_polls=%d depth=%s@,"
+      (c Metrics.C_pool_steals) (c Metrics.C_pool_handoffs)
+      (c Metrics.C_pool_hungry_polls)
+      (fin (g Metrics.G_pool_depth));
+    Array.iter
+      (fun h ->
+        let v = Metrics.hist_value s h in
+        Format.fprintf ppf "%-14s count=%d sum=%.3fs max=%.3fs mean=%.6fs@,"
+          (Metrics.histogram_name h) v.Metrics.h_count v.Metrics.h_sum
+          v.Metrics.h_max
+          (if v.Metrics.h_count = 0 then 0.
+           else v.Metrics.h_sum /. float_of_int v.Metrics.h_count))
+      Metrics.all_histograms;
+    (let dropped = c Metrics.C_trace_dropped_events in
+     if dropped > 0 then
+       Format.fprintf ppf
+         "WARNING: %d trace events dropped (ring buffers wrapped)@," dropped);
+    Format.fprintf ppf "@]"
+
+  let to_json t =
+    Json.Obj
+      [
+        ("snapshots", Json.Num (float_of_int t.snapshots));
+        ("duration", Json.Num t.duration);
+        ("final", snapshot_to_json t.final);
+      ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sampler                                                             *)
+
+(* The sampler runs on a systhread of the calling domain, NOT on a
+   fresh domain. An extra domain — even one asleep in [Unix.sleepf] —
+   must be interrupted at every stop-the-world minor collection, which
+   measures at tens of percent of wall-clock on an allocation-heavy
+   sequential solve. A sleeping systhread holds no runtime lock and
+   costs nothing until it wakes to take the (microsecond-scale)
+   snapshot. *)
+type sampler = {
+  sm : Metrics.t;
+  s_stop : bool Atomic.t;
+  s_thread : Thread.t;
+}
+
+let start ?(interval = 1.0) m ~on_sample =
+  let interval = Float.max 0.01 interval in
+  let stop_flag = Atomic.make false in
+  let thread =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          (* chunked sleep: [stop] must not wait a full interval *)
+          let slept = ref 0. in
+          while (not (Atomic.get stop_flag)) && !slept < interval do
+            let d = Float.min 0.05 (interval -. !slept) in
+            Thread.delay d;
+            slept := !slept +. d
+          done;
+          if not (Atomic.get stop_flag) then begin
+            on_sample (Metrics.snapshot m);
+            loop ()
+          end
+        in
+        loop ())
+      ()
+  in
+  { sm = m; s_stop = stop_flag; s_thread = thread }
+
+let stop s =
+  Atomic.set s.s_stop true;
+  Thread.join s.s_thread;
+  Metrics.snapshot s.sm

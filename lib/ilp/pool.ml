@@ -148,6 +148,8 @@ let stop p =
       Condition.broadcast p.nonempty)
 
 let stopped p = Atomic.get p.is_stopped
+let queued p = Atomic.get p.n_queued
+let fold f init p = with_lock p (fun () -> Deque.fold f init p.dq)
 
 let hungry p =
   (not (Atomic.get p.is_stopped))

@@ -73,6 +73,18 @@ val stopped : 'a t -> bool
 (** Lock-free (a single atomic read): safe to poll from every worker's
     inner loop. *)
 
+val queued : 'a t -> int
+(** Current number of queued items — a lock-free read of the atomic
+    mirror, so it is a racy instantaneous sample (exact only when the
+    pool is quiescent). Intended for metrics gauges, not for control
+    decisions; use {!hungry} for donation policy. *)
+
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+(** Fold over a consistent snapshot of the queued items, taken under
+    the pool lock. Meant for low-cadence observers (the metrics
+    sampler's best-bound poll); do not call it from a worker's node
+    loop — it contends with every push/take. *)
+
 val hungry : 'a t -> bool
 (** [true] when the pool is not stopped, empty, and at least one worker
     is blocked in {!take} — the signal that a worker holding surplus

@@ -171,7 +171,8 @@ type outcome =
   | Empty_domain of int
   | Conflict of string
 
-let run t ~lb ~ub ?seeds ?max_steps ?(trace = Trace.null_writer) () =
+let run t ~lb ~ub ?seeds ?max_steps ?(trace = Trace.null_writer)
+    ?(metrics = Metrics.null_shard) () =
   let nrows = Array.length t.rows in
   let max_steps =
     match max_steps with Some s -> s | None -> Int.max 256 (64 * nrows)
@@ -207,6 +208,10 @@ let run t ~lb ~ub ?seeds ?max_steps ?(trace = Trace.null_writer) () =
       if !moved_any && t.rows.(ri).local then incr local_hits
     done;
     let fixes = List.rev_map (fun j -> (j, lb.(j), ub.(j))) !order in
+    if Metrics.active metrics then begin
+      Metrics.incr metrics Metrics.C_prop_runs;
+      Metrics.add metrics Metrics.C_prop_fixings (List.length fixes)
+    end;
     if Trace.active trace then
       Trace.emit trace
         (Trace.Prop_run
@@ -219,6 +224,7 @@ let run t ~lb ~ub ?seeds ?max_steps ?(trace = Trace.null_writer) () =
     Ok { fixes; local_hits = !local_hits; steps = !steps }
   with
   | (Empty _ | Conflict_row _) as e ->
+    if Metrics.active metrics then Metrics.incr metrics Metrics.C_prop_runs;
     if Trace.active trace then
       Trace.emit trace
         (Trace.Prop_run

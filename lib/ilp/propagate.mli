@@ -81,6 +81,7 @@ val run :
   ?seeds:int list ->
   ?max_steps:int ->
   ?trace:Trace.writer ->
+  ?metrics:Metrics.shard ->
   unit ->
   outcome
 (** Worklist propagation to a fixpoint, mutating [lb]/[ub] in place.
@@ -95,4 +96,6 @@ val run :
     When [trace] is an active writer, one {!Trace.Prop_run} event is
     emitted per call — including conflicting runs, where [fixings] is
     reported as [0] (the partial tightenings are discarded by the
-    caller anyway). *)
+    caller anyway). When [metrics] is an active shard every call bumps
+    {!Metrics.C_prop_runs} and successful runs add their fixing count
+    to {!Metrics.C_prop_fixings}. *)

@@ -35,6 +35,9 @@ type stats = {
   btran_seconds : float;
   pivots : int;
   bound_flips : int;
+  minor_words : float;
+  major_words : float;
+  compactions : int;
 }
 
 let empty_stats =
@@ -50,6 +53,9 @@ let empty_stats =
     btran_seconds = 0.;
     pivots = 0;
     bound_flips = 0;
+    minor_words = 0.;
+    major_words = 0.;
+    compactions = 0;
   }
 
 let add_stats a b =
@@ -65,15 +71,19 @@ let add_stats a b =
     btran_seconds = a.btran_seconds +. b.btran_seconds;
     pivots = a.pivots + b.pivots;
     bound_flips = a.bound_flips + b.bound_flips;
+    minor_words = a.minor_words +. b.minor_words;
+    major_words = a.major_words +. b.major_words;
+    compactions = a.compactions + b.compactions;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "factorizations=%d fill=%d etas=%d refactors(eta/numeric/residual)=%d/%d/%d \
-     factor=%.3fs ftran=%.3fs btran=%.3fs pivots=%d flips=%d"
+     factor=%.3fs ftran=%.3fs btran=%.3fs pivots=%d flips=%d \
+     gc(minor/major)=%.0f/%.0fw compactions=%d"
     s.factorizations s.fill s.etas s.refactor_eta s.refactor_numeric
     s.refactor_residual s.factor_time_s s.ftran_seconds s.btran_seconds
-    s.pivots s.bound_flips
+    s.pivots s.bound_flips s.minor_words s.major_words s.compactions
 
 type vstat = Basic | At_lower | At_upper | Free_zero
 
@@ -170,6 +180,10 @@ type state = {
   mutable t_btran : float;
   mutable last_inf : infeasibility option;
   mutable trace : Trace.writer;
+  mutable ms : Metrics.shard;
+  mutable gc_minor : float;  (* Gc.quick_stat deltas over top-level solves *)
+  mutable gc_major : float;
+  mutable gc_compactions : int;
 }
 
 (* Tolerances. The models we target have small integer coefficients, so
@@ -241,6 +255,9 @@ let stats st =
     btran_seconds = st.t_btran;
     pivots = st.total_pivots;
     bound_flips = st.bound_flips;
+    minor_words = st.gc_minor;
+    major_words = st.gc_major;
+    compactions = st.gc_compactions;
   }
 
 let pp_status ppf = function
@@ -257,6 +274,7 @@ let art_col st i = st.nstruct + st.m + i
    mutually consistent across domains. *)
 let now = Mono.now
 let set_trace st w = st.trace <- w
+let set_metrics st s = st.ms <- s
 
 (* A refactorization trigger fired; the matching {!Trace.Lu_factor}
    event follows from [Lu.factor] itself. *)
@@ -393,6 +411,10 @@ let create ?(backend = Sparse_lu) ?(pricing = Devex) ?lu_rule lp =
     t_btran = 0.;
     last_inf = None;
     trace = Trace.null_writer;
+    ms = Metrics.null_shard;
+    gc_minor = 0.;
+    gc_major = 0.;
+    gc_compactions = 0;
   }
 
 let set_var_bounds st j ~lb ~ub =
@@ -438,7 +460,14 @@ exception Singular_basis
 let fresh_factor st =
   st.n_factor <- st.n_factor + 1;
   let t0 = now () in
-  Fun.protect ~finally:(fun () -> st.t_factor <- st.t_factor +. (now () -. t0))
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = now () -. t0 in
+      st.t_factor <- st.t_factor +. dt;
+      if Metrics.active st.ms then begin
+        Metrics.incr st.ms Metrics.C_lu_factorizations;
+        Metrics.observe st.ms Metrics.H_factor_seconds dt
+      end)
   @@ fun () ->
   match st.repr with
   | Rdense binv ->
@@ -489,7 +518,9 @@ let fresh_factor st =
       done
     done
   | Rsparse box -> (
-    match Lu.factor ~trace:st.trace ~rule:st.lu_rule st.mat st.basis with
+    match
+      Lu.factor ~trace:st.trace ~metrics:st.ms ~rule:st.lu_rule st.mat st.basis
+    with
     | lu ->
       box.lu <- Some lu;
       st.last_fill <- Lu.fill lu
@@ -536,7 +567,11 @@ let ftran_col st j =
          st.wpat.(!n) <- r;
          incr n);
      st.wpat_n <- Lu.ftran_sparse lu st.w st.wpat !n);
-  st.t_ftran <- st.t_ftran +. (now () -. t0)
+  st.t_ftran <- st.t_ftran +. (now () -. t0);
+  if Metrics.active st.ms then begin
+    Metrics.incr st.ms Metrics.C_ftran_solves;
+    if st.wpat_n >= 0 then Metrics.incr st.ms Metrics.C_ftran_hyper
+  end
 
 (* xb <- xb - coef * w, over w's nonzero pattern when available. *)
 let update_xb_step st coef =
@@ -615,6 +650,7 @@ let rec compute_xb st =
    Used as a numerical safeguard and by the periodic refresh. *)
 and refactor st =
   st.refactors <- st.refactors + 1;
+  if Metrics.active st.ms then Metrics.incr st.ms Metrics.C_lu_refactorizations;
   st.pivots_since_refactor <- 0;
   fresh_factor st;
   for i = 0 to st.m - 1 do
@@ -653,6 +689,7 @@ let dual_row st r =
   match st.repr with
   | Rdense binv ->
     st.rho_n <- -1;
+    if Metrics.active st.ms then Metrics.incr st.ms Metrics.C_btran_solves;
     binv.(r)
   | Rsparse box ->
     let lu = lu_of st box in
@@ -666,6 +703,10 @@ let dual_row st r =
     st.rpat.(0) <- r;
     st.rho_n <- Lu.btran_sparse lu st.rho st.rpat 1;
     st.t_btran <- st.t_btran +. (now () -. t0);
+    if Metrics.active st.ms then begin
+      Metrics.incr st.ms Metrics.C_btran_solves;
+      if st.rho_n >= 0 then Metrics.incr st.ms Metrics.C_btran_hyper
+    end;
     st.rho
 
 (* alpha <- rho A over every column, scanning only the rows where rho is
@@ -1892,22 +1933,45 @@ let dual_reopt_core ~max_iters st =
      | Infeasible -> assert false (* primal_loop never returns Infeasible *)))
 
 let emit_lp_solve st kind ~pivots0 ~flips0 ~t0 (r : result) =
-  Trace.emit st.trace
-    (Trace.Lp_solve
-       {
-         kind;
-         pivots = st.total_pivots - pivots0;
-         flips = st.bound_flips - flips0;
-         obj = r.obj;
-         primal_res = r.primal_res;
-         dual_res = r.dual_res;
-         dt = now () -. t0;
-       });
+  let dt = now () -. t0 in
+  if Metrics.active st.ms then begin
+    Metrics.incr st.ms Metrics.C_lp_solves;
+    Metrics.add st.ms Metrics.C_lp_pivots (st.total_pivots - pivots0);
+    Metrics.add st.ms Metrics.C_lp_bound_flips (st.bound_flips - flips0);
+    Metrics.observe st.ms Metrics.H_lp_seconds dt
+  end;
+  if Trace.active st.trace then
+    Trace.emit st.trace
+      (Trace.Lp_solve
+         {
+           kind;
+           pivots = st.total_pivots - pivots0;
+           flips = st.bound_flips - flips0;
+           obj = r.obj;
+           primal_res = r.primal_res;
+           dual_res = r.dual_res;
+           dt;
+         });
+  r
+
+(* Every top-level solve accounts its [Gc.quick_stat] deltas to the
+   engine (reported in {!stats}), so hot-path allocation regressions
+   are visible from [--stats] alone. [quick_stat] reads domain-local
+   counters — no heap walk. *)
+let with_gc_accounting st core =
+  let g0 = Gc.quick_stat () in
+  let r = core () in
+  let g1 = Gc.quick_stat () in
+  st.gc_minor <- st.gc_minor +. (g1.Gc.minor_words -. g0.Gc.minor_words);
+  st.gc_major <- st.gc_major +. (g1.Gc.major_words -. g0.Gc.major_words);
+  st.gc_compactions <- st.gc_compactions + (g1.Gc.compactions - g0.Gc.compactions);
   r
 
 let primal ?(max_iters = 200_000) st =
   check_owner st "primal";
-  if not (Trace.active st.trace) then primal_core ~max_iters st
+  with_gc_accounting st @@ fun () ->
+  if not (Trace.active st.trace || Metrics.active st.ms) then
+    primal_core ~max_iters st
   else begin
     let t0 = now () and pivots0 = st.total_pivots in
     let flips0 = st.bound_flips in
@@ -1917,7 +1981,9 @@ let primal ?(max_iters = 200_000) st =
 
 let dual_reopt ?(max_iters = 200_000) st =
   check_owner st "dual_reopt";
-  if not (Trace.active st.trace) then dual_reopt_core ~max_iters st
+  with_gc_accounting st @@ fun () ->
+  if not (Trace.active st.trace || Metrics.active st.ms) then
+    dual_reopt_core ~max_iters st
   else begin
     let t0 = now () and pivots0 = st.total_pivots in
     let flips0 = st.bound_flips in

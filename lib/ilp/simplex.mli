@@ -136,6 +136,13 @@ type stats = {
           tests that sent the entering column to its opposite bound,
           and the candidates a bound-flipping dual ratio test passed
           through. Not included in [pivots]. *)
+  minor_words : float;
+      (** [Gc.quick_stat] minor-heap words allocated inside
+          {!primal}/{!dual_reopt} calls on this engine — the hot path's
+          allocation budget, so regressions show up in [--stats]
+          without a profiler. *)
+  major_words : float;  (** Major-heap words allocated, same scope. *)
+  compactions : int;  (** Heap compactions observed, same scope. *)
 }
 
 val empty_stats : stats
@@ -190,6 +197,16 @@ val set_trace : state -> Trace.writer -> unit
     events from the basis kernel. The default is
     {!Trace.null_writer}: each instrumentation site then costs a single
     branch. The writer must belong to the engine's owning domain. *)
+
+val set_metrics : state -> Metrics.shard -> unit
+(** Routes engine counters to a {!Metrics} shard: per-solve
+    [C_lp_solves]/[C_lp_pivots]/[C_lp_bound_flips] (measured as the
+    same deltas as the trace events, so final-snapshot totals equal
+    the engine counters exactly), hyper-sparse FTRAN/BTRAN hit
+    counters on the pattern-capable kernels, factorization and
+    refactorization counts, and the factor-time and LP-solve-time
+    histograms. The default is {!Metrics.null_shard} (one branch per
+    site). The shard must belong to the engine's owning domain. *)
 
 val primal : ?max_iters:int -> state -> result
 (** Full primal solve from a fresh slack basis (phase I + phase II).

@@ -818,6 +818,7 @@ module Summary = struct
 
   type t = {
     events : int;
+    dropped : int;
     duration : float;
     writers : (string * int) list;
     nodes_opened : int;
@@ -847,6 +848,10 @@ module Summary = struct
     mutable a_events : int;
     mutable a_duration : float;
     a_writers : (int, string * int) Hashtbl.t;
+    (* Smallest sequence number seen per writer. Writers number their
+       events densely from 0, so a positive minimum is exactly the
+       count of events that writer's ring buffer overwrote. *)
+    a_min_seq : (int, int) Hashtbl.t;
     mutable a_opened : int;
     mutable a_closed : int;
     a_reasons : (string, int) Hashtbl.t;
@@ -877,6 +882,7 @@ module Summary = struct
       a_events = 0;
       a_duration = 0.;
       a_writers = Hashtbl.create 8;
+      a_min_seq = Hashtbl.create 8;
       a_opened = 0;
       a_closed = 0;
       a_reasons = Hashtbl.create 8;
@@ -948,6 +954,9 @@ module Summary = struct
        | None -> (r.dname, 0)
      in
      Hashtbl.replace acc.a_writers r.dom (r.dname, n + 1));
+    (match Hashtbl.find_opt acc.a_min_seq r.dom with
+     | Some m when m <= r.seq -> ()
+     | _ -> Hashtbl.replace acc.a_min_seq r.dom r.seq);
     match r.ev with
     | Trace.Node_open { depth; _ } ->
       acc.a_opened <- acc.a_opened + 1;
@@ -1000,6 +1009,7 @@ module Summary = struct
     in
     {
       events = acc.a_events;
+      dropped = Hashtbl.fold (fun _ m a -> a + m) acc.a_min_seq 0;
       duration = acc.a_duration;
       writers =
         Hashtbl.fold (fun dom wn a -> (dom, wn) :: a) acc.a_writers []
@@ -1059,6 +1069,11 @@ module Summary = struct
         line "%s: %d" name n)
       t.writers;
     line ")@.";
+    if t.dropped > 0 then
+      line
+        "WARNING       %d events dropped (ring buffers wrapped; raise the \
+         tracer capacity)@."
+        t.dropped;
     line "nodes         opened=%d closed=%d max_depth=%d@." t.nodes_opened
       t.nodes_closed t.max_depth;
     line "close reasons %a@." pp_assoc t.close_reasons;
@@ -1092,6 +1107,7 @@ module Summary = struct
     Json.Obj
       [
         ("events", inum t.events);
+        ("dropped", inum t.dropped);
         ("duration", num t.duration);
         ( "writers",
           Json.Arr

@@ -80,6 +80,11 @@ module Summary : sig
 
   type t = {
     events : int;
+    dropped : int;
+        (** Events lost to ring-buffer wrap-around, summed over
+            writers (each writer numbers its events densely from 0, so
+            its smallest surviving sequence number is its drop count).
+            Rendered as an explicit warning by {!pp} when positive. *)
     duration : float;  (** Largest timestamp seen. *)
     writers : (string * int) list;  (** Events per writer, dom order. *)
     nodes_opened : int;

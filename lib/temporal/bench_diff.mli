@@ -1,0 +1,93 @@
+(** Schema-aware comparison of two benchmark JSON reports.
+
+    [tpart bench diff OLD.json NEW.json] compares the committed
+    [BENCH_*.json] artifacts produced by [tpart bench] across runs:
+    matching rows cell by cell, flagging per-cell regressions against
+    configurable thresholds, and tolerating partial overlap (rows or
+    whole sections present on only one side are reported as warnings,
+    not errors).
+
+    The comparator discovers the report shape instead of hard-coding
+    one schema version:
+
+    - every top-level key whose value is an array of objects is a
+      {e row section} ([lp], [nodes], [parallel], [certify]); rows are
+      matched on the subset of identity fields they carry ([graph],
+      [n], [l], [jobs], [config], [name], [rule]);
+    - every top-level key whose value is an object of scalars (other
+      than the [host] environment stamp) is a {e scalar section}
+      ([trace]) compared field-wise;
+    - remaining top-level numeric fields ([root_geomean_speedup], …)
+      form an implicit [(top-level)] scalar section.
+
+    Numeric fields are classified by name: time-like fields (suffix
+    [_s]/[_seconds], or containing [time]) and search-effort counters
+    ([nodes], [pivots], [factorizations]) are lower-is-better;
+    [speedup] fields are higher-is-better; everything else is
+    informational and never flagged. Boolean [solved]/[root] fields
+    regress on a [true] to [false] transition; [result] strings
+    regress on any change. *)
+
+type severity =
+  | Improvement  (** Beat the threshold in the good direction. *)
+  | Within_noise  (** Changed, but inside the threshold band. *)
+  | Regression  (** Beat the threshold in the bad direction. *)
+
+type cell = {
+  c_section : string;
+  c_row : string;  (** Rendered row identity; [""] in scalar sections. *)
+  c_field : string;
+  c_old : float;
+  c_new : float;
+  c_ratio : float;  (** [new / old]; [nan] when [old] is zero. *)
+  c_time : bool;  (** Compared under the time threshold. *)
+  c_severity : severity;
+}
+
+type report = {
+  r_sections : string list;  (** Sections compared, file order. *)
+  r_cells : cell list;
+      (** Every numeric cell whose value changed, file order. *)
+  r_compared : int;  (** Total numeric cells compared (incl. equal). *)
+  r_missing_rows : (string * string) list;
+      (** (section, row) present in OLD but absent from NEW. *)
+  r_new_rows : (string * string) list;  (** Present only in NEW. *)
+  r_status_changes : (string * string) list;
+      (** Regressed non-numeric cells: (section/row, description) —
+          [solved] flipping to [false], [result] strings changing. *)
+  r_regressions : int;  (** Flagged cells + status changes. *)
+  r_improvements : int;
+}
+
+val diff :
+  ?time_threshold:float ->
+  ?count_threshold:float ->
+  ?ignore:string list ->
+  Ilp.Json.t ->
+  Ilp.Json.t ->
+  (report, string) result
+(** [diff old_ new_] compares two parsed benchmark reports.
+    [Error reason] is a schema mismatch: a side is not a JSON object,
+    or the two reports share no comparable section. Sharing sections
+    but no rows is a mismatch too — identity fields that never align
+    mean the files measure different things.
+
+    [time_threshold] (default [1.5]) flags a time-like cell when it
+    slows down by more than that factor {e and} by more than 50 ms
+    absolute (noise floor for sub-millisecond cells). Inverted for
+    [speedup] fields. [count_threshold] (default [1.1]) is the same
+    for effort counters, with an absolute floor of 1.
+
+    Fields named in [ignore] (default empty) are skipped entirely —
+    neither compared nor counted. This is for comparisons across
+    known-incomparable configurations, e.g. CI diffing a [--quick]
+    bench (30 s budget) against a committed full run (300 s budget),
+    where [solved]/[result] flips on budget-bound rows are expected
+    rather than regressions. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable rendering: flagged cells per section, row warnings,
+    and a one-line summary (the line [tpart bench diff] prints last). *)
+
+val load_file : string -> (Ilp.Json.t, string) result
+(** Reads and parses one report; the error names the file. *)

@@ -38,6 +38,7 @@ val run :
   ?lp_pricing:Ilp.Simplex.pricing ->
   ?lp_lu:Ilp.Lu.pivot_rule ->
   ?tracer:Ilp.Trace.t ->
+  ?metrics:Ilp.Metrics.t ->
   graph:Taskgraph.Graph.t ->
   allocation:Hls.Component.allocation ->
   ?capacity:int ->
@@ -65,6 +66,8 @@ val run :
     factorizations (default: follow the pricing mode). [tracer]
     records structured events across the flow — estimate / formulate /
     presolve phase spans plus the full solver taxonomy — for export
-    through {!Ilp.Trace_export} (see [docs/OBSERVABILITY.md]). *)
+    through {!Ilp.Trace_export} (see [docs/OBSERVABILITY.md]).
+    [metrics] forwards a live {!Ilp.Metrics} registry to the solve
+    stage for the sampling exporters in {!Ilp.Metrics_export}. *)
 
 val pp : Format.formatter -> result -> unit

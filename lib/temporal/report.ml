@@ -161,3 +161,17 @@ let incumbent_timeline (stats : Ilp.Branch_bound.stats) : Ilp.Json.t =
                   Ilp.Json.Str (Ilp.Trace.incumbent_source_name source) );
               ])
           stats.Ilp.Branch_bound.timeline))
+
+let bound_timeline (stats : Ilp.Branch_bound.stats) : Ilp.Json.t =
+  Ilp.Json.Arr
+    (Array.to_list
+       (Array.map
+          (fun (t, b) ->
+            Ilp.Json.Obj
+              [
+                ("t", Ilp.Json.Num t);
+                ( "bound",
+                  if Float.is_finite b then Ilp.Json.Num b else Ilp.Json.Null
+                );
+              ])
+          stats.Ilp.Branch_bound.bound_timeline))

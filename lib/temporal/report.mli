@@ -35,3 +35,11 @@ val incumbent_timeline : Ilp.Branch_bound.stats -> Ilp.Json.t
     search, embedded in [tpart solve --json] reports. [source] is one
     of ["search"], ["hook"], ["round"], ["dive"] (see
     {!Ilp.Trace.incumbent_source_name}). *)
+
+val bound_timeline : Ilp.Branch_bound.stats -> Ilp.Json.t
+(** The solver's dual-bound timeline as a JSON array of
+    [{"t": seconds, "bound": value}] objects, in improvement order —
+    the other half of the gap-convergence pair (the last entries of
+    the two timelines reconstruct the final gap). Mirrors
+    {!Ilp.Branch_bound.stats.bound_timeline}; non-finite bounds render
+    as [null]. *)

@@ -183,7 +183,8 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
     ?lp_lu ?(jobs = 1) ?(deterministic = false)
     ?(rc_fixing = false) ?(propagate = false) ?(cuts = false)
     ?(heuristics = false) ?heur_cadence ?heur_dive_depth
-    ?(certify = Bb.Cert_off) ?(tracer = Ilp.Trace.disabled) vars =
+    ?(certify = Bb.Cert_off) ?(tracer = Ilp.Trace.disabled)
+    ?(metrics = Ilp.Metrics.disabled) vars =
   if lint then lint_or_fail ?options:lint_options vars;
   let options =
     {
@@ -213,6 +214,7 @@ let solve ?(strategy = Branching.Paper) ?(value_order = Bb.One_first)
       pseudocost = strategy = Branching.Pseudocost;
       certify_level = certify;
       tracer;
+      metrics;
     }
   in
   (* Presolve drops redundant rows and tightens bounds without touching

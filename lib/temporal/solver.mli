@@ -45,6 +45,7 @@ val solve :
   ?heur_dive_depth:int ->
   ?certify:Ilp.Branch_bound.certify_level ->
   ?tracer:Ilp.Trace.t ->
+  ?metrics:Ilp.Metrics.t ->
   Vars.t ->
   report
 (** Defaults: paper branching, value 1 first, depth-first, no limits,
@@ -119,6 +120,12 @@ val solve :
     [tracer] (default {!Ilp.Trace.disabled}) records structured solver
     events — presolve and search phase spans, node open/close, LP
     solves, incumbents — for export through {!Ilp.Trace_export}; see
+    [docs/OBSERVABILITY.md].
+
+    [metrics] (default {!Ilp.Metrics.disabled}) counts live solver
+    telemetry — nodes, pivots, factorizations, pool traffic, dual
+    bound and incumbent gauges — into an {!Ilp.Metrics} registry for
+    the sampling exporters in {!Ilp.Metrics_export}; same chapter of
     [docs/OBSERVABILITY.md]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -42,7 +42,7 @@ LU fill-in, eta updates, the refactorization triggers, and solve times
   $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 | grep lp-stats | sed 's/[0-9][0-9]*\(\.[0-9]*\)\?/N/g'
 
   $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --stats | grep lp-stats | sed 's/[0-9][0-9]*\(\.[0-9]*\)\?/N/g'
-  lp-stats: factorizations=N fill=N etas=N refactors(eta/numeric/residual)=N/N/N factor=Ns ftran=Ns btran=Ns pivots=N flips=N
+  lp-stats: factorizations=N fill=N etas=N refactors(eta/numeric/residual)=N/N/N factor=Ns ftran=Ns btran=Ns pivots=N flips=N gc(minor/major)=N/Nw compactions=N
 
 --stats also reports the node-deduction counters (reduced-cost fixing,
 domain propagation, the cut pool, pseudo-cost branching) as a table
@@ -79,11 +79,13 @@ the columns re-align to the widest rendered cell:
     pc-branchings        0
 
 --json replaces the human-readable report with one machine-readable
-object, including the deduction counters and the incumbent timeline
-(installation times masked — they vary with the machine):
+object, including the deduction counters, both convergence timelines
+(incumbent and dual bound — their last entries reconstruct the final
+gap) and the explicit wall-clock deadline verdict (times masked —
+they vary with the machine):
 
-  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --json | sed 's/"t":[0-9.e-]*/"t":T/g'
-  {"outcome": "optimal", "comm_cost": 2, "vars": 64, "constrs": 149, "nodes": 22, "incumbents": 1, "max_depth": 8, "deductions": {"rc_fixed": 0, "prop_fixings": 0, "prop_prunes": 0, "prop_local_hits": 0, "cut_rounds": 0, "cover": {"separated": 0, "active": 0, "evicted": 0}, "clique": {"separated": 0, "active": 0, "evicted": 0}, "pc_branchings": 0}, "timeline": [{"t":T,"obj":2,"node":11,"source":"hook"}]}
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --json | sed 's/"t":[0-9.e-]*/"t":T/g; s/"elapsed": [0-9.e-]*/"elapsed": E/'
+  {"outcome": "optimal", "comm_cost": 2, "vars": 64, "constrs": 149, "nodes": 22, "incumbents": 1, "max_depth": 8, "deductions": {"rc_fixed": 0, "prop_fixings": 0, "prop_prunes": 0, "prop_local_hits": 0, "cut_rounds": 0, "cover": {"separated": 0, "active": 0, "evicted": 0}, "clique": {"separated": 0, "active": 0, "evicted": 0}, "pc_branchings": 0}, "timeline": [{"t":T,"obj":2,"node":11,"source":"hook"}], "bound_timeline": [{"t":T,"bound":2}], "elapsed": E, "time_limit": 600, "time_limit_hit": false}
 
 Each timeline entry is tagged with the source of the incumbent
 (search, hook, round, dive). --heuristics enables the primal pass
@@ -175,6 +177,88 @@ The Chrome variant round-trips through the same tools:
   $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --trace run.json > /dev/null
   $ ../../bin/tpart.exe trace validate run.json
   run.json: 96 records, stream consistent
+
+--metrics samples live solver telemetry to a JSONL snapshot stream and
+--progress prints a gap-convergence summary line on stderr once the
+search finishes. The node total is exact — the same 22 nodes as the
+--json report — while pivot and factorization counts vary with the
+machine and times always do (masked):
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --metrics run-metrics.jsonl --progress 2>&1 >/dev/null | sed 's/pivots=[0-9]*/pivots=P/; s/factorizations=[0-9]*/factorizations=F/; s/elapsed=[0-9.]*/elapsed=T/'
+  progress: nodes=22 pivots=P factorizations=F bound=2 incumbent=2 gap=0.00% elapsed=T/600s
+
+The stream validator checks the codec and the monotonicity invariants;
+a fast solve produces exactly one snapshot, the exact final one taken
+after every worker joined:
+
+  $ ../../bin/tpart.exe metrics validate run-metrics.jsonl
+  run-metrics.jsonl: 1 snapshots, stream consistent
+
+The offline summary renders the final snapshot (numbers masked — they
+vary with the machine; the gauges that were never polled print "-"):
+
+  $ ../../bin/tpart.exe metrics summary run-metrics.jsonl | sed 's/[0-9][0-9]*\(\.[0-9]*\)\?/N/g'
+  snapshots      N over Ns (last at Ns)
+  search         nodes=N (N/s) incumbents=N certified=N
+  bounds         best_bound=N incumbent=N open=- workers=N
+  lp             solves=N pivots=N (N/s) flips=N
+  hyper-sparse   ftran=N/N (N%) btran=N/N (N%)
+  lu             factorizations=N refactorizations=N probes=N
+  deductions     cut_rounds=N cuts=N prop_runs=N prop_fixings=N
+  heuristics     runs=N incumbents=N
+  pool           steals=N handoffs=N hungry_polls=N depth=-
+  factor_seconds count=N sum=Ns max=Ns mean=Ns
+  lp_seconds     count=N sum=Ns max=Ns mean=Ns
+  
+
+
+The same pair works under parallel search — node distribution across
+workers is timing-dependent (nodes masked) but the converged bound,
+incumbent and gap are not, and the final snapshot is still exact:
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --jobs 2 --metrics run-metrics2.jsonl --progress 2>&1 >/dev/null | sed 's/nodes=[0-9]*/nodes=N/; s/pivots=[0-9]*/pivots=P/; s/factorizations=[0-9]*/factorizations=F/; s/elapsed=[0-9.]*/elapsed=T/'
+  progress: nodes=N pivots=P factorizations=F bound=2 incumbent=2 gap=0.00% elapsed=T/600s
+
+  $ ../../bin/tpart.exe metrics validate run-metrics2.jsonl
+  run-metrics2.jsonl: 1 snapshots, stream consistent
+
+  $ ../../bin/tpart.exe metrics summary run-metrics2.jsonl | grep '^bounds'
+  bounds         best_bound=2 incumbent=2 open=- workers=2
+
+--prometheus writes the final snapshot as a Prometheus text exposition
+(values masked):
+
+  $ ../../bin/tpart.exe solve -g chain:3 --adders 1 --muls 1 --subs 0 -c 45 -l 2 -n 3 --prometheus run.prom | tail -1
+  wrote run.prom
+
+  $ grep -E '^tpart_(nodes_total|lu_factorizations_total|best_bound) ' run.prom | sed 's/ [0-9.]*$/ V/'
+  tpart_nodes_total V
+  tpart_lu_factorizations_total V
+  tpart_best_bound V
+
+bench diff compares two benchmark JSON reports cell by cell: identical
+reports are clean (exit 0), a slowdown past the threshold is a
+regression (exit 1), and reports sharing no schema exit 2:
+
+  $ cat > bench_old.json <<'EOF'
+  > {"lp": [{"graph": 1, "n": 3, "l": 1, "solve_s": 1.0, "nodes": 100, "solved": true}]}
+  > EOF
+  $ sed 's/"solve_s": 1.0/"solve_s": 4.0/' bench_old.json > bench_new.json
+
+  $ ../../bin/tpart.exe bench diff bench_old.json bench_old.json
+  sections: lp
+  bench diff: 5 cell(s) compared, 0 regression(s), 0 improvement(s)
+
+  $ ../../bin/tpart.exe bench diff bench_old.json bench_new.json
+  sections: lp
+    REGRESSION  lp graph=1 n=3 l=1.solve_s: 1 -> 4  (4.00x)
+  bench diff: 5 cell(s) compared, 1 regression(s), 0 improvement(s)
+  [1]
+
+  $ echo '{"alien": [{"a": 1}]}' > bench_alien.json
+  $ ../../bin/tpart.exe bench diff bench_old.json bench_alien.json
+  tpart bench diff: schema mismatch: the two reports share no benchmark section
+  [2]
 
 An infeasible instance exits with code 1:
 
